@@ -1,0 +1,98 @@
+// harmonia-bench regenerates the paper's evaluation figures (§9) from
+// the simulated testbed and prints the series as tab-separated tables.
+//
+// Usage:
+//
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmonia/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "measurement-window multiplier (lower = faster, noisier)")
+	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 ablations all)")
+	flag.Parse()
+	s := experiments.Scale(*scale)
+
+	runners := []struct {
+		name, title, xlabel, ylabel string
+		run                         func() []experiments.Series
+	}{
+		{"5a", "Figure 5(a): latency vs throughput, read-only, 3 replicas",
+			"throughput (MRPS)", "mean latency (ms)",
+			func() []experiments.Series { return experiments.Fig5a(s) }},
+		{"5b", "Figure 5(b): latency vs throughput, write-only, 3 replicas",
+			"throughput (MRPS)", "mean latency (ms)",
+			func() []experiments.Series { return experiments.Fig5b(s) }},
+		{"6a", "Figure 6(a): read throughput vs write rate, 3 replicas",
+			"write throughput (MRPS)", "read throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig6a(s) }},
+		{"6b", "Figure 6(b): total throughput vs write ratio, 3 replicas",
+			"write ratio (%)", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig6b(s) }},
+		{"7a", "Figure 7(a): scalability, read-only workload",
+			"replicas", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig7(s, 0) }},
+		{"7b", "Figure 7(b): scalability, write-only workload",
+			"replicas", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig7(s, 1) }},
+		{"7c", "Figure 7(c): scalability, 5% writes",
+			"replicas", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig7(s, 0.05) }},
+		{"8", "Figure 8: throughput vs dirty-set hash-table slots (5% writes)",
+			"slots", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig8(s) }},
+		{"9a", "Figure 9(a): primary-backup family, reads vs write rate",
+			"write throughput (MRPS)", "read throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig9(s, "pb") }},
+		{"9b", "Figure 9(b): quorum family, reads vs write rate",
+			"write throughput (MRPS)", "read throughput (MRPS)",
+			func() []experiments.Series { return experiments.Fig9(s, "quorum") }},
+		{"10", "Figure 10: throughput during switch stop/reactivate (ms, 1000:1 compressed)",
+			"time (ms)", "throughput (MRPS)",
+			func() []experiments.Series { return []experiments.Series{experiments.Fig10(s)} }},
+		{"ablations", "Ablations (DESIGN.md §6)",
+			"-", "see series names",
+			func() []experiments.Series {
+				var out []experiments.Series
+				out = append(out, tag("eager-completions: ", experiments.AblationEagerCompletions(s))...)
+				out = append(out, tag("lazy-cleanup: ", experiments.AblationLazyCleanup(s))...)
+				out = append(out, tag("stages: ", experiments.AblationStages(s))...)
+				return out
+			}},
+	}
+
+	found := false
+	for _, r := range runners {
+		if *fig != "all" && *fig != r.name {
+			continue
+		}
+		found = true
+		fmt.Printf("== %s ==\n", r.title)
+		series := r.run()
+		fmt.Printf("%-24s %16s %16s\n", "series", r.xlabel, r.ylabel)
+		for _, sr := range series {
+			for _, p := range sr.Points {
+				fmt.Printf("%-24s %16.3f %16.3f\n", sr.Name, p.X, p.Y)
+			}
+		}
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func tag(prefix string, ss []experiments.Series) []experiments.Series {
+	for i := range ss {
+		ss[i].Name = prefix + ss[i].Name
+	}
+	return ss
+}

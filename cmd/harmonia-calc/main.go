@@ -1,0 +1,48 @@
+// harmonia-calc evaluates the paper's §6.2 switch-resource model: how
+// many concurrent writes a dirty set of n stages × m slots can track,
+// and what request rates that supports.
+//
+// Usage:
+//
+//	harmonia-calc [-stages 3] [-slots 64000] [-util 0.5]
+//	              [-writems 1.0] [-writeratio 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"harmonia/internal/dataplane"
+)
+
+func main() {
+	stages := flag.Int("stages", 3, "pipeline stages used by the hash table (n)")
+	slots := flag.Int("slots", 64000, "register slots per stage (m)")
+	util := flag.Float64("util", 0.5, "effective table utilization (u)")
+	writeMS := flag.Float64("writems", 1.0, "write duration in milliseconds (t)")
+	ratio := flag.Float64("writeratio", 0.05, "write fraction of the workload (w)")
+	idBits := flag.Int("idbits", 32, "object-ID width in bits")
+	seqBits := flag.Int("seqbits", 32, "sequence-number width in bits")
+	flag.Parse()
+
+	r := dataplane.ResourceModel{
+		Stages:        *stages,
+		SlotsPerStage: *slots,
+		Utilization:   *util,
+		WriteSeconds:  *writeMS / 1000,
+		WriteRatio:    *ratio,
+		IDBits:        *idBits,
+		SeqBits:       *seqBits,
+	}
+	fmt.Printf("dirty set: %d stages x %d slots, utilization %.0f%%\n",
+		r.Stages, r.SlotsPerStage, r.Utilization*100)
+	fmt.Printf("concurrent tracked writes: %.0f\n", r.ConcurrentWrites())
+	fmt.Printf("supported write rate:      %.1f MRPS\n", r.WriteRate()/1e6)
+	fmt.Printf("supported total rate:      %.2f BRPS (at %.0f%% writes)\n",
+		r.TotalRate()/1e9, r.WriteRatio*100)
+	fmt.Printf("switch memory:             %.2f MB\n", r.MemoryBytes()/1e6)
+	def := dataplane.PaperExample()
+	if r == def {
+		fmt.Println("(these are the paper's §6.2 example numbers: 96 MRPS writes, 1.92 BRPS total, 1.5 MB)")
+	}
+}

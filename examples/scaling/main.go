@@ -1,0 +1,46 @@
+// Scaling: the paper's headline result (Fig. 7) in miniature — read
+// throughput as the replica count grows from 2 to 6, chain replication
+// with and without Harmonia. CR stays flat at one server's capacity
+// because only the tail serves reads; Harmonia grows with every
+// replica added.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmonia"
+)
+
+func measure(replicas int, useHarmonia bool) float64 {
+	c, err := harmonia.New(harmonia.Config{
+		Protocol:    harmonia.ChainReplication,
+		Replicas:    replicas,
+		UseHarmonia: useHarmonia,
+		Seed:        int64(replicas),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := c.Run(harmonia.LoadSpec{
+		Clients:    96 * replicas,
+		Duration:   25 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		WriteRatio: 0, // read-only, as in Fig. 7(a)
+		Keys:       10000,
+	})
+	return rep.Throughput
+}
+
+func main() {
+	fmt.Println("read-only throughput (MRPS), chain replication ± Harmonia")
+	fmt.Printf("%-10s %10s %14s %8s\n", "replicas", "CR", "Harmonia(CR)", "speedup")
+	for n := 2; n <= 6; n++ {
+		cr := measure(n, false)
+		h := measure(n, true)
+		fmt.Printf("%-10d %10.2f %14.2f %7.1fx\n", n, cr/1e6, h/1e6, h/cr)
+	}
+	fmt.Println("\nCR is bounded by the tail server; Harmonia grows ~linearly,")
+	fmt.Println("matching Fig. 7(a) of the paper (10x at 10 replicas on the testbed).")
+}

@@ -1,0 +1,315 @@
+// Package harmonia is a reproduction of "Harmonia: Near-Linear
+// Scalability for Replicated Storage with In-Network Conflict
+// Detection" (Zhu et al., VLDB 2019).
+//
+// Harmonia makes replicated-storage reads scale nearly linearly with
+// the number of replicas without giving up linearizability: a
+// programmable switch on the data path tracks the set of objects with
+// in-flight writes (the dirty set) plus a last-committed point, sends
+// reads of uncontended objects to a single random replica, and lets
+// the replica validate the read locally against the stamped commit
+// point.
+//
+// This package is the public face of the reproduction: it assembles a
+// fully simulated rack (calibrated discrete-event simulation of
+// servers, links, and the switch data plane program) running one of
+// five replication protocols — primary-backup, chain replication,
+// CRAQ, Viewstamped Replication, or NOPaxos — with or without Harmonia
+// assistance, and exposes clients, load generation, failure injection,
+// and linearizability checking.
+//
+// Quick start:
+//
+//	c, err := harmonia.New(harmonia.Config{
+//		Protocol:    harmonia.ChainReplication,
+//		Replicas:    3,
+//		UseHarmonia: true,
+//	})
+//	...
+//	cl := c.Client()
+//	_ = cl.Set("user:42", []byte("hello"))
+//	v, ok, _ := cl.Get("user:42")
+package harmonia
+
+import (
+	"fmt"
+	"time"
+
+	"harmonia/internal/cluster"
+	"harmonia/internal/dataplane"
+	"harmonia/internal/lincheck"
+	"harmonia/internal/metrics"
+)
+
+// Protocol selects the replication protocol running on the replicas.
+type Protocol int
+
+// The supported protocols (§7 of the paper; CRAQ is the protocol-level
+// baseline of §9.5).
+const (
+	PrimaryBackup Protocol = iota
+	ChainReplication
+	CRAQ
+	ViewstampedReplication
+	NOPaxos
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string { return p.internal().String() }
+
+func (p Protocol) internal() cluster.Protocol {
+	switch p {
+	case PrimaryBackup:
+		return cluster.PB
+	case ChainReplication:
+		return cluster.Chain
+	case CRAQ:
+		return cluster.CRAQ
+	case ViewstampedReplication:
+		return cluster.VR
+	case NOPaxos:
+		return cluster.NOPaxos
+	default:
+		return cluster.Chain
+	}
+}
+
+// Config describes the cluster to build. The zero value of every
+// optional field selects the paper's defaults (3-stage × 64K-slot
+// dirty set, 8-shard servers calibrated to 0.92/0.80 MQPS
+// reads/writes, 5µs links).
+type Config struct {
+	// Protocol is the replication protocol.
+	Protocol Protocol
+	// Replicas is the group size (default 3, the paper's default).
+	Replicas int
+	// UseHarmonia enables in-network conflict detection; false runs
+	// the unmodified protocol as a baseline.
+	UseHarmonia bool
+
+	// Stages and SlotsPerStage size the switch's dirty-set hash table.
+	Stages, SlotsPerStage int
+
+	// DropProb / ReorderProb / ReorderDelay / LinkJitter perturb the
+	// client↔switch↔replica packet path (replica↔replica channels
+	// model TCP and stay reliable).
+	DropProb     float64
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	LinkJitter   time.Duration
+
+	// RecordHistory captures all operations for CheckLinearizability.
+	RecordHistory bool
+
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+// Cluster is an assembled simulated rack.
+type Cluster struct {
+	c *cluster.Cluster
+}
+
+// New builds and primes a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Protocol < PrimaryBackup || cfg.Protocol > NOPaxos {
+		return nil, fmt.Errorf("harmonia: unknown protocol %d", cfg.Protocol)
+	}
+	if cfg.Protocol == CRAQ && cfg.UseHarmonia {
+		return nil, fmt.Errorf("harmonia: CRAQ is the protocol-level baseline and does not take switch assistance")
+	}
+	if cfg.Replicas < 0 || cfg.Replicas == 1 && cfg.Protocol == ViewstampedReplication {
+		return nil, fmt.Errorf("harmonia: invalid replica count %d", cfg.Replicas)
+	}
+	c := cluster.New(cluster.Config{
+		Protocol:      cfg.Protocol.internal(),
+		Replicas:      cfg.Replicas,
+		UseHarmonia:   cfg.UseHarmonia,
+		Stages:        cfg.Stages,
+		SlotsPerStage: cfg.SlotsPerStage,
+		DropProb:      cfg.DropProb,
+		ReorderProb:   cfg.ReorderProb,
+		ReorderDelay:  cfg.ReorderDelay,
+		LinkJitter:    cfg.LinkJitter,
+		RecordHistory: cfg.RecordHistory,
+		Seed:          cfg.Seed,
+	})
+	return &Cluster{c: c}, nil
+}
+
+// Client returns a synchronous client. Each call registers a new
+// client identity; operations advance the simulation until the reply
+// arrives.
+func (cl *Cluster) Client() *Client {
+	return &Client{s: cl.c.NewSyncClient()}
+}
+
+// Client issues synchronous operations against the cluster.
+type Client struct {
+	s *cluster.SyncClient
+}
+
+// Get reads a key. found reports whether the key exists.
+func (c *Client) Get(key string) (value []byte, found bool, err error) { return c.s.Get(key) }
+
+// Set writes a key.
+func (c *Client) Set(key string, value []byte) error { return c.s.Set(key, value) }
+
+// Delete removes a key.
+func (c *Client) Delete(key string) error { return c.s.Delete(key) }
+
+// Dist selects a key popularity distribution for load generation.
+type Dist int
+
+// Distributions from the paper's methodology (§9.1).
+const (
+	Uniform Dist = iota
+	Zipf09       // zipfian, θ = 0.9
+)
+
+// LoadSpec describes a load-generation run.
+type LoadSpec struct {
+	// Closed-loop clients (default 64). When Rate > 0 the run is
+	// open-loop Poisson instead and Clients is ignored.
+	Clients int
+	Rate    float64 // ops/second, open loop
+
+	Duration time.Duration // measurement window (default 50ms)
+	Warmup   time.Duration
+
+	WriteRatio float64 // fraction of writes (paper default 0.05)
+	Keys       int     // key-space size (default 100k)
+	Dist       Dist
+
+	// Bucket > 0 additionally collects a completion-rate time series
+	// (the Fig. 10 visualization).
+	Bucket time.Duration
+}
+
+// Report summarizes a load run.
+type Report struct {
+	Ops             uint64
+	Reads, Writes   uint64
+	Throughput      float64 // ops/second
+	ReadThroughput  float64
+	WriteThroughput float64
+	MeanLatency     time.Duration
+	P50Latency      time.Duration
+	P99Latency      time.Duration
+	Retries         uint64
+	Series          []SeriesPoint
+}
+
+// SeriesPoint is one time-series bucket.
+type SeriesPoint struct {
+	Start time.Duration
+	Rate  float64 // completions per second
+}
+
+// Run executes a load specification.
+func (cl *Cluster) Run(spec LoadSpec) Report {
+	mode := cluster.Closed
+	if spec.Rate > 0 {
+		mode = cluster.Open
+	}
+	rep := cl.c.RunLoad(cluster.LoadSpec{
+		Mode:       mode,
+		Clients:    spec.Clients,
+		Rate:       spec.Rate,
+		Duration:   spec.Duration,
+		Warmup:     spec.Warmup,
+		WriteRatio: spec.WriteRatio,
+		Keys:       spec.Keys,
+		Dist:       cluster.Dist(spec.Dist),
+		Bucket:     spec.Bucket,
+	})
+	out := Report{
+		Ops: rep.Ops, Reads: rep.Reads, Writes: rep.Writes,
+		Throughput:      rep.Throughput,
+		ReadThroughput:  rep.ReadThroughput,
+		WriteThroughput: rep.WriteThroughput,
+		MeanLatency:     rep.Latency.Mean(),
+		P50Latency:      rep.Latency.Quantile(0.5),
+		P99Latency:      rep.Latency.Quantile(0.99),
+		Retries:         rep.Retries,
+	}
+	if rep.Series != nil {
+		for _, p := range rep.Series.Points() {
+			out.Series = append(out.Series, SeriesPoint{Start: p.Start, Rate: p.Rate})
+		}
+	}
+	return out
+}
+
+// Preload installs n objects across the replicas before measurement.
+func (cl *Cluster) Preload(n int) { cl.c.Preload(n) }
+
+// AdvanceTime runs the simulation for d without client load.
+func (cl *Cluster) AdvanceTime(d time.Duration) { cl.c.RunFor(d) }
+
+// StopSwitch halts the switch, as in the paper's §9.6 failure
+// experiment.
+func (cl *Cluster) StopSwitch() { cl.c.StopSwitch() }
+
+// ReactivateSwitch boots a replacement switch with a fresh epoch and
+// runs the §5.3 agreement before it may serve.
+func (cl *Cluster) ReactivateSwitch() { cl.c.ReactivateSwitch() }
+
+// CrashReplica fails replica i and reconfigures the protocol around it
+// where supported.
+func (cl *Cluster) CrashReplica(i int) error { return cl.c.CrashReplica(i) }
+
+// SwitchStats reports the scheduler's decision counters.
+type SwitchStats struct {
+	Writes        uint64 // writes sequenced
+	WritesDropped uint64 // dirty set full
+	FastReads     uint64 // single-replica reads
+	NormalReads   uint64 // reads on the protocol path
+	DirtyHits     uint64 // reads that found their object contended
+	Completions   uint64 // write-completions processed
+	DirtySetSize  int    // current contended-object count
+	Epoch         uint32 // active switch incarnation
+}
+
+// SwitchStats snapshots the active switch's counters.
+func (cl *Cluster) SwitchStats() SwitchStats {
+	s := cl.c.Scheduler()
+	st := s.Stats
+	return SwitchStats{
+		Writes: st.Writes, WritesDropped: st.WritesDropped,
+		FastReads: st.FastReads, NormalReads: st.NormalReads,
+		DirtyHits: st.DirtyHits, Completions: st.Completions,
+		DirtySetSize: s.DirtyCount(), Epoch: s.Epoch(),
+	}
+}
+
+// CheckResult is the linearizability verdict over the recorded
+// history.
+type CheckResult struct {
+	Ok      bool
+	Decided bool
+	Reason  string
+}
+
+// CheckLinearizability verifies the recorded history (requires
+// Config.RecordHistory). Mixing Client.Set with explicit values and
+// history checking is unsupported; the load generators always use
+// checkable values.
+func (cl *Cluster) CheckLinearizability() CheckResult {
+	res := cl.c.CheckLinearizability()
+	return CheckResult{Ok: res.Ok, Decided: res.Decided, Reason: res.Reason}
+}
+
+// History returns the recorded operations (for custom analysis).
+func (cl *Cluster) History() []lincheck.Op { return cl.c.History() }
+
+// LatencyHistogram re-exports the metrics type for Report consumers
+// needing more than the three quantiles.
+type LatencyHistogram = metrics.Histogram
+
+// ResourceModel re-exports the §6.2 switch-memory model.
+type ResourceModel = dataplane.ResourceModel
+
+// PaperResourceExample returns the §6.2 worked example (n=3, m=64000,
+// u=50%, t=1ms, w=5%).
+func PaperResourceExample() ResourceModel { return dataplane.PaperExample() }

@@ -1,0 +1,165 @@
+package harmonia
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if err := cl.Set("user:42", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get("user:42")
+	if err != nil || !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := cl.Delete("user:42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get("user:42"); ok {
+		t.Fatal("key survived delete")
+	}
+	if _, ok, _ := cl.Get("never-written"); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestAllProtocolsPublicAPI(t *testing.T) {
+	for _, p := range []Protocol{PrimaryBackup, ChainReplication, CRAQ, ViewstampedReplication, NOPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			c, err := New(Config{Protocol: p, Replicas: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := c.Client()
+			if err := cl.Set("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := cl.Get("k")
+			if err != nil || !ok || string(v) != "v" {
+				t.Fatalf("Get = %q, %v, %v", v, ok, err)
+			}
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Protocol: Protocol(99)}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if _, err := New(Config{Protocol: CRAQ, UseHarmonia: true}); err == nil {
+		t.Fatal("Harmonia(CRAQ) accepted")
+	}
+	if _, err := New(Config{Replicas: -1}); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+}
+
+func TestRunReportsThroughput(t *testing.T) {
+	c, err := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run(LoadSpec{
+		Clients: 64, Duration: 20 * time.Millisecond, Warmup: 2 * time.Millisecond,
+		WriteRatio: 0.05, Keys: 10000,
+	})
+	if rep.Ops == 0 || rep.Throughput == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.MeanLatency == 0 || rep.P99Latency < rep.P50Latency {
+		t.Fatalf("latency stats inconsistent: %+v", rep)
+	}
+	st := c.SwitchStats()
+	if st.FastReads == 0 || st.Writes == 0 {
+		t.Fatalf("switch stats empty: %+v", st)
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	c, _ := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	rep := c.Run(LoadSpec{
+		Rate: 100000, Duration: 20 * time.Millisecond, Warmup: 2 * time.Millisecond,
+		Keys: 1000,
+	})
+	if rep.Ops == 0 {
+		t.Fatal("open loop completed nothing")
+	}
+}
+
+func TestFailureInjectionAndLinCheck(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		RecordHistory: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if err := cl.Set("a", nil); err != nil { // nil value: id-coded, checkable
+		t.Fatal(err)
+	}
+	c.StopSwitch()
+	c.ReactivateSwitch()
+	c.AdvanceTime(10 * time.Millisecond)
+	if _, _, err := cl.Get("a"); err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if got := c.SwitchStats().Epoch; got != 2 {
+		t.Fatalf("epoch = %d", got)
+	}
+	res := c.CheckLinearizability()
+	if !res.Decided || !res.Ok {
+		t.Fatalf("history check failed: %+v", res)
+	}
+	if len(c.History()) == 0 {
+		t.Fatal("no history recorded")
+	}
+}
+
+func TestCrashReplicaPublic(t *testing.T) {
+	c, _ := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	if err := c.CrashReplica(2); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if err := cl.Set("x", []byte("1")); err != nil {
+		t.Fatalf("write after tail crash: %v", err)
+	}
+	if err := c.CrashReplica(99); err == nil {
+		t.Fatal("out-of-range crash accepted")
+	}
+}
+
+func TestSeriesCollection(t *testing.T) {
+	c, _ := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	rep := c.Run(LoadSpec{
+		Clients: 16, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+		Keys: 100, Bucket: time.Millisecond,
+	})
+	if len(rep.Series) == 0 {
+		t.Fatal("no time series collected")
+	}
+}
+
+func TestPreloadPublic(t *testing.T) {
+	c, _ := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true})
+	c.Preload(5)
+	cl := c.Client()
+	if _, ok, _ := cl.Get("obj00000003"); !ok {
+		t.Fatal("preloaded key missing")
+	}
+}
+
+func TestResourceExample(t *testing.T) {
+	r := PaperResourceExample()
+	if r.WriteRate() != 96e6 || r.TotalRate() != 1.92e9 {
+		t.Fatalf("paper numbers off: %g %g", r.WriteRate(), r.TotalRate())
+	}
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"time"
+
+	"harmonia/internal/metrics"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// Dist selects a key distribution.
+type Dist int
+
+// Key distributions.
+const (
+	Uniform Dist = iota
+	Zipf09       // zipf, θ = 0.9 (the paper's skewed workload)
+)
+
+// Mode selects the load-generation discipline.
+type Mode int
+
+// Load modes.
+const (
+	// Closed runs N virtual clients with one outstanding op each;
+	// throughput saturates at the bottleneck's capacity. Used for the
+	// throughput figures.
+	Closed Mode = iota
+	// Open issues ops at a Poisson rate regardless of completions.
+	// Used for the latency-vs-throughput figures.
+	Open
+)
+
+// LoadSpec describes a measurement run.
+type LoadSpec struct {
+	Mode       Mode
+	Clients    int     // closed-loop virtual clients
+	Rate       float64 // open-loop ops/second
+	Duration   time.Duration
+	Warmup     time.Duration
+	WriteRatio float64
+	Keys       int
+	Dist       Dist
+	// Bucket, when > 0, also collects a completion time series
+	// (Fig. 10).
+	Bucket time.Duration
+}
+
+func (s *LoadSpec) fillDefaults() {
+	if s.Clients <= 0 {
+		s.Clients = 64
+	}
+	if s.Duration <= 0 {
+		s.Duration = 50 * time.Millisecond
+	}
+	if s.Keys <= 0 {
+		s.Keys = 100000
+	}
+	if s.Warmup < 0 {
+		s.Warmup = 0
+	}
+}
+
+// Report summarizes a run. Rates count only completions inside the
+// measurement window (after warmup).
+type Report struct {
+	Duration        time.Duration
+	Ops             uint64
+	Reads, Writes   uint64
+	Throughput      float64 // ops per second
+	ReadThroughput  float64
+	WriteThroughput float64
+	Latency         *metrics.Histogram
+	ReadLatency     *metrics.Histogram
+	WriteLatency    *metrics.Histogram
+	Retries         uint64
+	Unanswered      uint64 // open-loop ops with no reply by run end
+	Series          *metrics.TimeSeries
+}
+
+// opState tracks one in-flight logical operation.
+type opState struct {
+	pkt         *wire.Packet
+	valueID     int64
+	firstInvoke sim.Time
+	timer       *sim.Timer
+	histIdx     int // recorder slot, -1 when not recording
+}
+
+// vclient is one virtual client: a closed-loop issuer or a slot pool
+// for open-loop ops.
+type vclient struct {
+	c    *Cluster
+	id   uint32
+	addr simnet.NodeID
+
+	gen     *opGen
+	pending map[uint64]*opState
+	nextReq uint64
+
+	measuring  *measurement
+	closedLoop bool
+
+	// onReply, when set, observes every matched reply (SyncClient).
+	onReply func(pkt *wire.Packet)
+}
+
+// opGen produces the next operation from the workload spec.
+type opGen struct {
+	c     *Cluster
+	keys  keyGen
+	ratio float64
+}
+
+type keyGen interface{ Next() int }
+
+func (g *opGen) next() (key string, write bool) {
+	k := g.keys.Next()
+	return keyName(k), g.c.eng.Rand().Float64() < g.ratio
+}
+
+// measurement accumulates the report during the window.
+type measurement struct {
+	c          *Cluster
+	start      sim.Time
+	collect    bool
+	ops        uint64
+	reads      uint64
+	writes     uint64
+	retriesCnt uint64
+	lat        *metrics.Histogram
+	rlat       *metrics.Histogram
+	wlat       *metrics.Histogram
+	series     *metrics.TimeSeries
+}
+
+func (m *measurement) observe(write bool, d time.Duration, at sim.Time) {
+	if !m.collect {
+		return
+	}
+	m.ops++
+	m.lat.Observe(d)
+	if write {
+		m.writes++
+		m.wlat.Observe(d)
+	} else {
+		m.reads++
+		m.rlat.Observe(d)
+	}
+	if m.series != nil {
+		m.series.Add(time.Duration(at - m.start))
+	}
+}
+
+// Recv implements simnet.Handler for the client node.
+func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok || !pkt.IsReply() {
+		return
+	}
+	st, ok := v.pending[pkt.ReqID]
+	if !ok {
+		return // late duplicate of an already-completed op
+	}
+	delete(v.pending, pkt.ReqID)
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	now := v.c.eng.Now()
+	isWrite := st.pkt.Op == wire.OpWrite
+	v.measuring.observe(isWrite, time.Duration(now-st.firstInvoke), now)
+	if st.histIdx >= 0 {
+		var observed int64
+		if pkt.Op == wire.OpReadReply && pkt.Flags&wire.FlagNotFound == 0 {
+			observed = decodeValue(pkt.Value)
+		}
+		v.c.hist.ret(st.histIdx, int64(now), observed)
+	}
+	if v.onReply != nil {
+		v.onReply(pkt)
+	}
+	if v.closedLoop {
+		v.issueNext()
+	}
+}
+
+// issueNext starts the next closed-loop op.
+func (v *vclient) issueNext() {
+	key, write := v.gen.next()
+	v.issue(key, write)
+}
+
+// issue sends one operation and arms the retry timer (closed loop
+// only; open-loop ops are never retried).
+func (v *vclient) issue(key string, write bool) {
+	v.nextReq++
+	req := v.nextReq
+	pkt := &wire.Packet{
+		ObjID:    wire.HashKey(key),
+		Key:      key,
+		ClientID: v.id,
+		ReqID:    req,
+	}
+	st := &opState{pkt: pkt, firstInvoke: v.c.eng.Now(), histIdx: -1}
+	if write {
+		pkt.Op = wire.OpWrite
+		v.c.valueCtr++
+		st.valueID = v.c.valueCtr
+		pkt.Value = encodeValue(st.valueID)
+	} else {
+		pkt.Op = wire.OpRead
+	}
+	if v.c.cfg.RecordHistory {
+		st.histIdx = v.c.hist.invoke(uint64(pkt.ObjID), write, st.valueID, int64(st.firstInvoke))
+	}
+	v.pending[req] = st
+	v.send(st)
+}
+
+func (v *vclient) send(st *opState) {
+	v.c.net.Send(v.addr, switchAddr, st.pkt.Clone())
+	if v.closedLoop {
+		st.timer = v.c.eng.After(v.c.cfg.RetryTimeout, func() { v.retry(st) })
+	}
+}
+
+func (v *vclient) retry(st *opState) {
+	if _, still := v.pending[st.pkt.ReqID]; !still {
+		return
+	}
+	v.measuring.noteRetry()
+	v.send(st)
+}
+
+func (m *measurement) noteRetry() {
+	if m.collect {
+		m.retriesCnt++
+	}
+}
+
+// RunLoad executes a measurement and returns the report. The cluster
+// keeps running afterwards; RunLoad can be called repeatedly (e.g.
+// around failure injection).
+func (c *Cluster) RunLoad(spec LoadSpec) Report {
+	return c.RunLoads([]LoadSpec{spec})[0]
+}
+
+// RunLoads drives several load groups concurrently through one shared
+// warmup+measurement window and reports each separately. The paper's
+// mixed-rate experiments (read throughput under a fixed write rate,
+// Figs. 6a and 9) combine a closed-loop read group with an open-loop
+// write group this way. Warmup and Duration are taken from the first
+// spec.
+func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
+	if len(specs) == 0 {
+		return nil
+	}
+	for i := range specs {
+		specs[i].fillDefaults()
+	}
+	window := specs[0].Duration
+	warmup := specs[0].Warmup
+
+	type group struct {
+		meas    *measurement
+		clients []*vclient
+	}
+	groups := make([]group, len(specs))
+	for gi := range specs {
+		spec := specs[gi]
+		meas := &measurement{
+			c:    c,
+			lat:  metrics.NewHistogram(),
+			rlat: metrics.NewHistogram(),
+			wlat: metrics.NewHistogram(),
+		}
+		if spec.Bucket > 0 {
+			meas.series = metrics.NewTimeSeries(spec.Bucket)
+		}
+		newKeys := func() keyGen {
+			if spec.Dist == Zipf09 {
+				return newZipfGen(spec.Keys, c.eng.Rand())
+			}
+			return newUniformGen(spec.Keys, c.eng.Rand())
+		}
+		var clients []*vclient
+		if spec.Mode == Closed {
+			clients = make([]*vclient, spec.Clients)
+			for i := range clients {
+				clients[i] = c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, true)
+			}
+			for _, v := range clients {
+				v.issueNext()
+			}
+		} else {
+			v := c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, false)
+			clients = []*vclient{v}
+			rate := spec.Rate
+			// Poisson arrivals at rate.
+			var arrive func()
+			stop := c.eng.Now() + sim.Time(warmup+window)
+			arrive = func() {
+				if c.eng.Now() >= stop {
+					return
+				}
+				key, write := v.gen.next()
+				v.issue(key, write)
+				gap := time.Duration(c.eng.Rand().ExpFloat64() / rate * float64(time.Second))
+				c.eng.After(gap, arrive)
+			}
+			c.eng.After(0, arrive)
+		}
+		groups[gi] = group{meas: meas, clients: clients}
+	}
+
+	// Shared warmup, then one measurement window for all groups.
+	c.eng.RunFor(warmup)
+	for _, g := range groups {
+		g.meas.start = c.eng.Now()
+		g.meas.collect = true
+	}
+	c.eng.RunFor(window)
+	out := make([]Report, len(groups))
+	for gi, g := range groups {
+		g.meas.collect = false
+		rep := Report{
+			Duration: window,
+			Ops:      g.meas.ops, Reads: g.meas.reads, Writes: g.meas.writes,
+			Throughput:      float64(g.meas.ops) / window.Seconds(),
+			ReadThroughput:  float64(g.meas.reads) / window.Seconds(),
+			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
+			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
+			Retries: g.meas.retriesCnt,
+			Series:  g.meas.series,
+		}
+		// Tear down: detach clients so the next run starts clean.
+		for _, v := range g.clients {
+			v.closedLoop = false
+			for _, st := range v.pending {
+				if st.timer != nil {
+					st.timer.Stop()
+				}
+				rep.Unanswered++
+			}
+		}
+		out[gi] = rep
+	}
+	return out
+}
+
+// newVClient registers a fresh virtual client node.
+func (c *Cluster) newVClient(meas *measurement, gen *opGen, closed bool) *vclient {
+	id := uint32(len(c.clients) + 1) // 0 reserved for the priming client
+	v := &vclient{
+		c: c, id: id, addr: clientBase + simnet.NodeID(id),
+		gen: gen, pending: make(map[uint64]*opState),
+		measuring: meas, closedLoop: closed,
+	}
+	c.clients = append(c.clients, v)
+	c.net.AddNode(v.addr, v, simnet.ProcConfig{Workers: 0})
+	return v
+}

@@ -1,0 +1,584 @@
+// Package cluster assembles a complete simulated Harmonia rack: the
+// in-switch request scheduler, a replica group running one of the five
+// supported protocols, a controller for the §5.3 lease/failover
+// agreements, and load-generating clients. It is the substrate every
+// end-to-end test, example, and benchmark runs on.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harmonia/internal/core"
+	"harmonia/internal/protocol"
+	"harmonia/internal/protocol/chain"
+	"harmonia/internal/protocol/craq"
+	"harmonia/internal/protocol/nopaxos"
+	"harmonia/internal/protocol/pb"
+	"harmonia/internal/protocol/vr"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// Protocol selects the replication protocol.
+type Protocol int
+
+// The supported protocols.
+const (
+	PB Protocol = iota
+	Chain
+	CRAQ
+	VR
+	NOPaxos
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case PB:
+		return "PB"
+	case Chain:
+		return "CR"
+	case CRAQ:
+		return "CRAQ"
+	case VR:
+		return "VR"
+	case NOPaxos:
+		return "NOPaxos"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ReadBehind reports whether the protocol's §7 class is read-behind.
+func (p Protocol) ReadBehind() bool { return p == VR || p == NOPaxos }
+
+// Node addressing scheme.
+const (
+	switchAddr     simnet.NodeID = 1
+	controllerAddr simnet.NodeID = 2
+	replicaBase    simnet.NodeID = 10
+	clientBase     simnet.NodeID = 1000
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	Protocol    Protocol
+	Replicas    int
+	UseHarmonia bool
+
+	// Switch dirty-set sizing (defaults: 3 × 64000, the prototype's).
+	Stages        int
+	SlotsPerStage int
+
+	// Server model. Defaults reproduce the paper's single-server Redis
+	// numbers: 8 shards, 0.92 MQPS reads, 0.80 MQPS writes.
+	Workers     int
+	ReadCost    time.Duration
+	WriteCost   time.Duration
+	ControlCost time.Duration
+	Shards      int
+
+	// Network model (defaults: 5µs links, lossless).
+	LinkLatency  time.Duration
+	LinkJitter   time.Duration
+	DropProb     float64
+	ReorderProb  float64
+	ReorderDelay time.Duration
+
+	// Lease management (§5.3). The controller renews at half-life.
+	LeaseDuration time.Duration
+
+	// Client behavior.
+	RetryTimeout time.Duration
+
+	// Ablations.
+	DisableCommitStamp bool          // switch stamps a maximal commit point (unsafe)
+	DisableReadChecks  bool          // replicas skip the §7 fast-read check (unsafe)
+	DisableLazyCleanup bool          // stray dirty entries never reclaimed
+	EagerCompletions   bool          // VR: completions at commit, not after COMMIT-ACKs
+	SyncEvery          time.Duration // NOPaxos sync cadence
+
+	// RecordHistory captures every operation for linearizability
+	// checking (costs memory; off for throughput runs).
+	RecordHistory bool
+
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Stages <= 0 {
+		c.Stages = 3
+	}
+	if c.SlotsPerStage <= 0 {
+		c.SlotsPerStage = 64000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.ReadCost <= 0 {
+		// 8 workers / 0.92 MQPS per server.
+		c.ReadCost = time.Duration(float64(c.Workers) / 0.92e6 * float64(time.Second))
+	}
+	if c.WriteCost <= 0 {
+		c.WriteCost = time.Duration(float64(c.Workers) / 0.80e6 * float64(time.Second))
+	}
+	if c.ControlCost <= 0 {
+		c.ControlCost = 2 * time.Microsecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 5 * time.Microsecond
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 50 * time.Millisecond
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 2 * time.Millisecond
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ReplicaHandle is the cluster's view of one protocol replica.
+type ReplicaHandle interface {
+	simnet.Handler
+	// Preload installs an object directly (cluster warm-up).
+	Preload(id wire.ObjectID, value []byte, seq wire.Seq)
+}
+
+// Cluster is an assembled simulated rack.
+type Cluster struct {
+	cfg Config
+	eng *sim.Engine
+	net *simnet.Network
+
+	swWrap   *switchWrapper
+	sched    *core.Scheduler
+	replicas []ReplicaHandle
+	raw      any // protocol-specific slice for reconfiguration
+
+	ctl *controller
+
+	clients []*vclient
+	hist    *recorder
+
+	valueCtr int64
+
+	epoch uint32
+}
+
+// switchWrapper lets the cluster swap the scheduler on switch
+// replacement (a rebooted switch runs a fresh program instance).
+type switchWrapper struct {
+	inner simnet.Handler // nil = booting: drop everything
+}
+
+// Recv implements simnet.Handler.
+func (w *switchWrapper) Recv(from simnet.NodeID, msg simnet.Message) {
+	if w.inner != nil {
+		w.inner.Recv(from, msg)
+	}
+}
+
+// New assembles and primes a cluster.
+func New(cfg Config) *Cluster {
+	cfg.fillDefaults()
+	c := &Cluster{
+		cfg:   cfg,
+		eng:   sim.NewEngine(cfg.Seed),
+		hist:  newRecorder(),
+		epoch: 1,
+	}
+	c.net = simnet.New(c.eng, simnet.LinkConfig{
+		Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter,
+		DropProb: cfg.DropProb, ReorderProb: cfg.ReorderProb, ReorderDelay: cfg.ReorderDelay,
+	})
+
+	// Switch: line-rate node wrapping the scheduler.
+	c.swWrap = &switchWrapper{}
+	c.net.AddNode(switchAddr, c.swWrap, simnet.ProcConfig{Workers: 0})
+	c.sched = c.newScheduler(c.epoch)
+	c.swWrap.inner = c.sched
+
+	// Controller.
+	c.ctl = newController(c)
+	c.net.AddNode(controllerAddr, c.ctl, simnet.ProcConfig{Workers: 0})
+
+	// Replicas.
+	c.buildReplicas()
+
+	// Replica↔replica and controller channels model TCP: reliable and
+	// FIFO (chain replication and primary-backup are only correct
+	// under reliable inter-replica channels — a write lost mid-chain
+	// forever would break the commit-order-equals-sequence-order
+	// invariant the §7.2 check relies on). Loss and reordering apply
+	// to the client↔switch↔replica packet path, which is where
+	// Harmonia's own recovery mechanisms (client retries, stray
+	// dirty-set entries, OUM gap handling) operate.
+	reliable := simnet.LinkConfig{Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter}
+	addrs := c.replicaAddrs()
+	for i, a := range addrs {
+		for _, b := range addrs[i+1:] {
+			c.net.SetLinkBoth(a, b, reliable)
+		}
+		c.net.SetLinkBoth(a, controllerAddr, reliable)
+	}
+
+	// Initial lease and priming write so the switch becomes ready.
+	c.ctl.grantLeases(c.epoch)
+	c.prime()
+	return c
+}
+
+// Engine exposes the simulation engine (tests and harnesses).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Network exposes the simulated network (tests).
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Scheduler exposes the active switch program (tests and stats).
+func (c *Cluster) Scheduler() *core.Scheduler { return c.sched }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// replicaAddrs lists the replica addresses in index order.
+func (c *Cluster) replicaAddrs() []simnet.NodeID {
+	out := make([]simnet.NodeID, c.cfg.Replicas)
+	for i := range out {
+		out[i] = replicaBase + simnet.NodeID(i)
+	}
+	return out
+}
+
+// writeDst and readDst give the normal-path entry points per protocol.
+func (c *Cluster) writeDst() simnet.NodeID {
+	switch c.cfg.Protocol {
+	case Chain, CRAQ:
+		return replicaBase // head
+	default:
+		return replicaBase // primary / leader (index 0 at start)
+	}
+}
+
+func (c *Cluster) readDst() simnet.NodeID {
+	switch c.cfg.Protocol {
+	case Chain:
+		return replicaBase + simnet.NodeID(c.cfg.Replicas-1) // tail
+	case CRAQ:
+		return replicaBase // unused: RandomReads mode
+	default:
+		return replicaBase // primary / leader
+	}
+}
+
+func (c *Cluster) newScheduler(epoch uint32) *core.Scheduler {
+	return core.New(core.Config{
+		Epoch:              epoch,
+		Stages:             c.cfg.Stages,
+		SlotsPerStage:      c.cfg.SlotsPerStage,
+		Replicas:           c.replicaAddrs(),
+		WriteDst:           c.writeDst(),
+		ReadDst:            c.readDst(),
+		MulticastWrites:    c.cfg.Protocol == NOPaxos,
+		ClientBase:         clientBase,
+		DisableFastReads:   !c.cfg.UseHarmonia,
+		RandomReads:        c.cfg.Protocol == CRAQ,
+		DisableCommitStamp: c.cfg.DisableCommitStamp,
+		DisableLazyCleanup: c.cfg.DisableLazyCleanup,
+		Rand:               c.eng.Rand(),
+	}, core.SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
+		c.net.Send(switchAddr, to, pkt)
+	}))
+}
+
+// replicaEnv adapts the network to protocol.Env.
+type replicaEnv struct {
+	c  *Cluster
+	id simnet.NodeID
+}
+
+func (e *replicaEnv) ID() simnet.NodeID { return e.id }
+func (e *replicaEnv) Send(to simnet.NodeID, msg any) {
+	e.c.net.Send(e.id, to, msg)
+}
+func (e *replicaEnv) SendSwitch(pkt *wire.Packet) {
+	e.c.net.Send(e.id, switchAddr, pkt)
+}
+func (e *replicaEnv) After(d time.Duration, fn func()) *sim.Timer { return e.c.eng.After(d, fn) }
+func (e *replicaEnv) Now() sim.Time                               { return e.c.eng.Now() }
+func (e *replicaEnv) Rand() *rand.Rand                            { return e.c.eng.Rand() }
+
+// buildReplicas constructs the protocol replica set and registers the
+// nodes with the calibrated processor model.
+func (c *Cluster) buildReplicas() {
+	addrs := c.replicaAddrs()
+	cost := func(msg simnet.Message) time.Duration {
+		switch protocol.ClassOf(msg) {
+		case protocol.CostRead:
+			return c.cfg.ReadCost
+		case protocol.CostWrite:
+			return c.cfg.WriteCost
+		default:
+			return c.cfg.ControlCost
+		}
+	}
+	proc := simnet.ProcConfig{Workers: c.cfg.Workers, Cost: cost}
+
+	n := c.cfg.Replicas
+	f := (n - 1) / 2
+	c.replicas = make([]ReplicaHandle, n)
+	switch c.cfg.Protocol {
+	case PB:
+		rs := make([]*pb.Replica, n)
+		for i := 0; i < n; i++ {
+			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			rs[i] = pb.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			rs[i].DisableCheck = c.cfg.DisableReadChecks
+			c.replicas[i] = pbHandle{rs[i]}
+			c.net.AddNode(addrs[i], c.replicas[i], proc)
+		}
+		c.raw = rs
+	case Chain:
+		rs := make([]*chain.Replica, n)
+		for i := 0; i < n; i++ {
+			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			rs[i] = chain.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			rs[i].DisableCheck = c.cfg.DisableReadChecks
+			c.replicas[i] = chainHandle{rs[i]}
+			c.net.AddNode(addrs[i], c.replicas[i], proc)
+		}
+		c.raw = rs
+	case CRAQ:
+		rs := make([]*craq.Replica, n)
+		for i := 0; i < n; i++ {
+			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			rs[i] = craq.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			c.replicas[i] = craqHandle{rs[i]}
+			c.net.AddNode(addrs[i], c.replicas[i], proc)
+		}
+		c.raw = rs
+	case VR:
+		rs := make([]*vr.Replica, n)
+		opts := vr.DefaultOptions()
+		opts.EagerCompletions = c.cfg.EagerCompletions
+		for i := 0; i < n; i++ {
+			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			rs[i] = vr.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards, opts)
+			rs[i].DisableCheck = c.cfg.DisableReadChecks
+			rs[i].OnViewChange = c.onViewChange
+			c.replicas[i] = vrHandle{rs[i]}
+			c.net.AddNode(addrs[i], c.replicas[i], proc)
+		}
+		c.raw = rs
+	case NOPaxos:
+		rs := make([]*nopaxos.Replica, n)
+		for i := 0; i < n; i++ {
+			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards,
+				nopaxos.Options{SyncEvery: c.cfg.SyncEvery})
+			rs[i].DisableCheck = c.cfg.DisableReadChecks
+			c.replicas[i] = nopaxosHandle{rs[i]}
+			c.net.AddNode(addrs[i], c.replicas[i], proc)
+		}
+		c.raw = rs
+	default:
+		panic("cluster: unknown protocol")
+	}
+}
+
+// onViewChange retargets the switch at a new VR leader.
+func (c *Cluster) onViewChange(view uint64, leader int) {
+	dst := replicaBase + simnet.NodeID(leader)
+	c.sched.SetTargets(dst, dst)
+}
+
+// prime issues one write end-to-end so the switch observes its first
+// WRITE-COMPLETION and enables single-replica reads (§5.3 applies to
+// cold boots exactly as to replacements).
+func (c *Cluster) prime() {
+	pkt := &wire.Packet{
+		Op: wire.OpWrite, ObjID: wire.HashKey("__prime__"), Key: "__prime__",
+		ClientID: 0, ReqID: 1, Value: []byte{1},
+	}
+	c.net.Send(clientBase, switchAddr, pkt)
+	// Drive the write (and for NOPaxos, a sync round) to completion.
+	c.eng.RunFor(20 * time.Millisecond)
+}
+
+// Preload installs n objects across all replicas without going
+// through the protocol, and returns the value ids used (for history
+// seeding).
+func (c *Cluster) Preload(n int) {
+	for i := 0; i < n; i++ {
+		key := keyName(i)
+		id := wire.HashKey(key)
+		c.valueCtr++
+		val := encodeValue(c.valueCtr)
+		seq := wire.Seq{Epoch: 0, N: uint64(i + 1)}
+		for _, r := range c.replicas {
+			r.Preload(id, val, seq)
+		}
+		if c.cfg.RecordHistory {
+			c.hist.preload(uint64(id), c.valueCtr)
+		}
+	}
+}
+
+// RunFor advances simulated time.
+func (c *Cluster) RunFor(d time.Duration) { c.eng.RunFor(d) }
+
+// --- failure injection ---
+
+// StopSwitch halts the switch (it stops forwarding entirely, as in
+// §9.6's experiment).
+func (c *Cluster) StopSwitch() {
+	c.net.SetDown(switchAddr, true)
+}
+
+// ReactivateSwitch brings up a replacement switch with a fresh epoch
+// and empty register state, then runs the §5.3 agreement: replicas
+// revoke the old lease before the new switch may forward writes, and
+// fast-path reads resume only after the first new-epoch
+// WRITE-COMPLETION reaches the switch.
+func (c *Cluster) ReactivateSwitch() {
+	c.net.SetDown(switchAddr, false)
+	c.epoch++
+	next := c.newScheduler(c.epoch)
+	c.swWrap.inner = nil // booting: drops traffic until agreement done
+	c.ctl.revokeThen(c.epoch-1, func() {
+		c.swWrap.inner = next
+		c.sched = next
+		c.ctl.grantLeases(c.epoch)
+	})
+}
+
+// CrashReplica fails replica i: its node drops all traffic and the
+// protocol reconfigures around it where supported (§5.3 server
+// failures). The switch stops scheduling fast-path reads to it.
+func (c *Cluster) CrashReplica(i int) error {
+	if i < 0 || i >= c.cfg.Replicas {
+		return fmt.Errorf("cluster: replica %d out of range", i)
+	}
+	addr := replicaBase + simnet.NodeID(i)
+	c.net.SetDown(addr, true)
+	c.sched.RemoveReplica(addr)
+	switch rs := c.raw.(type) {
+	case []*chain.Replica:
+		for j, r := range rs {
+			if j != i {
+				r.Reconfigure(i)
+			}
+		}
+		// Retarget head/tail.
+		head, tail := -1, -1
+		for j, r := range rs {
+			if j == i {
+				continue
+			}
+			if r.IsHead() && head == -1 {
+				head = j
+			}
+			if r.IsTail() {
+				tail = j
+			}
+		}
+		if head >= 0 && tail >= 0 {
+			c.sched.SetTargets(replicaBase+simnet.NodeID(head), replicaBase+simnet.NodeID(tail))
+		}
+	case []*pb.Replica:
+		if i == 0 {
+			return fmt.Errorf("cluster: primary failover requires an external configuration service (not modeled)")
+		}
+		for j, r := range rs {
+			if j != i {
+				r.RemoveBackup(i)
+			}
+		}
+	case []*vr.Replica:
+		// The VR view-change timers handle leader failure. For any
+		// failure, survivors stop waiting on the dead replica's
+		// COMMIT-ACKs so WRITE-COMPLETIONs keep flowing.
+		for j, r := range rs {
+			if j != i {
+				r.MarkDead(i)
+			}
+		}
+	case []*nopaxos.Replica:
+		if i == 0 {
+			return fmt.Errorf("cluster: NOPaxos leader failover (view change) not modeled")
+		}
+	case []*craq.Replica:
+		return fmt.Errorf("cluster: CRAQ reconfiguration not modeled")
+	}
+	return nil
+}
+
+// SwitchAddr returns the switch's network address (experiment hooks).
+func (c *Cluster) SwitchAddr() simnet.NodeID { return switchAddr }
+
+// ReplicaAddr returns replica i's network address (experiment hooks).
+func (c *Cluster) ReplicaAddr(i int) simnet.NodeID { return replicaBase + simnet.NodeID(i) }
+
+// ShimStats sums the replicas' fast-path shim counters.
+func (c *Cluster) ShimStats() (served, rejected, leaseRejected uint64) {
+	add := func(b *protocol.Base) {
+		served += b.FastServed
+		rejected += b.FastRejected
+		leaseRejected += b.LeaseRejected
+	}
+	switch rs := c.raw.(type) {
+	case []*pb.Replica:
+		for _, r := range rs {
+			add(r.Base)
+		}
+	case []*chain.Replica:
+		for _, r := range rs {
+			add(r.Base)
+		}
+	case []*vr.Replica:
+		for _, r := range rs {
+			add(r.Base)
+		}
+	case []*nopaxos.Replica:
+		for _, r := range rs {
+			add(r.Base)
+		}
+	}
+	return
+}
+
+// --- small helpers ---
+
+func keyName(i int) string { return fmt.Sprintf("obj%08d", i) }
+
+func encodeValue(id int64) []byte {
+	b := make([]byte, 8)
+	for k := 0; k < 8; k++ {
+		b[k] = byte(uint64(id) >> (8 * k))
+	}
+	return b
+}
+
+func decodeValue(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v |= uint64(b[k]) << (8 * k)
+	}
+	return int64(v)
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"harmonia/internal/protocol"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+)
+
+// controller is the cluster's configuration service (the role Chubby
+// or ZooKeeper plays in a real deployment, and the control plane of
+// §5.3): it periodically grants the fast-read lease for the active
+// switch epoch and orchestrates the agreement on switch replacement —
+// every replica must acknowledge revocation of the old epoch before
+// the new switch may forward writes.
+type controller struct {
+	c *Cluster
+
+	nextRevokeID uint64
+	pending      map[uint64]*revocation
+}
+
+type revocation struct {
+	acked map[int]bool
+	need  int
+	done  func()
+}
+
+func newController(c *Cluster) *controller {
+	return &controller{c: c, pending: make(map[uint64]*revocation)}
+}
+
+// Recv implements simnet.Handler: the controller only consumes
+// revocation acknowledgments.
+func (ct *controller) Recv(from simnet.NodeID, msg simnet.Message) {
+	ack, ok := msg.(protocol.LeaseRevokeAck)
+	if !ok {
+		return
+	}
+	rev, ok := ct.pending[ack.ID]
+	if !ok {
+		return
+	}
+	rev.acked[ack.Replica] = true
+	if len(rev.acked) >= rev.need {
+		delete(ct.pending, ack.ID)
+		rev.done()
+	}
+}
+
+// grantLeases issues (and keeps renewing) the fast-read lease for
+// epoch to every replica. Renewal stops automatically when a newer
+// epoch takes over.
+func (ct *controller) grantLeases(epoch uint32) {
+	if epoch != ct.c.epoch {
+		return // superseded
+	}
+	d := ct.c.cfg.LeaseDuration
+	expiry := ct.c.eng.Now() + sim.Time(d)
+	for _, addr := range ct.c.replicaAddrs() {
+		ct.c.net.Send(controllerAddr, addr, protocol.LeaseGrant{Epoch: epoch, Expiry: expiry})
+	}
+	ct.c.eng.After(d/2, func() { ct.grantLeases(epoch) })
+}
+
+// revokeThen demands revocation of every lease ≤ epoch from all
+// replicas and calls done once all live replicas acknowledged. Crashed
+// replicas are excluded: their leases expire on their own and they
+// cannot serve reads anyway.
+func (ct *controller) revokeThen(epoch uint32, done func()) {
+	ct.nextRevokeID++
+	id := ct.nextRevokeID
+	live := 0
+	for _, addr := range ct.c.replicaAddrs() {
+		if !ct.c.net.IsDown(addr) {
+			live++
+		}
+	}
+	rev := &revocation{acked: make(map[int]bool), need: live, done: done}
+	ct.pending[id] = rev
+	for _, addr := range ct.c.replicaAddrs() {
+		if !ct.c.net.IsDown(addr) {
+			ct.c.net.Send(controllerAddr, addr, protocol.LeaseRevoke{
+				Epoch: epoch, AckTo: controllerAddr, ID: id,
+			})
+		}
+	}
+	if live == 0 {
+		delete(ct.pending, id)
+		done()
+	}
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"harmonia/internal/protocol/chain"
+	"harmonia/internal/protocol/craq"
+	"harmonia/internal/protocol/nopaxos"
+	"harmonia/internal/protocol/pb"
+	"harmonia/internal/protocol/vr"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// The handle adapters give the cluster a uniform view of the five
+// replica types: message delivery plus the preload hook used to warm
+// the key space without driving millions of protocol writes.
+
+type pbHandle struct{ r *pb.Replica }
+
+func (h pbHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, msg) }
+func (h pbHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
+	h.r.Store.Seed(id, value, seq)
+}
+
+type chainHandle struct{ r *chain.Replica }
+
+func (h chainHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, msg) }
+func (h chainHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
+	h.r.Store.Seed(id, value, seq)
+}
+
+type craqHandle struct{ r *craq.Replica }
+
+func (h craqHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, msg) }
+func (h craqHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
+	h.r.PreloadClean(id, value, 0)
+}
+
+type vrHandle struct{ r *vr.Replica }
+
+func (h vrHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, msg) }
+func (h vrHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
+	h.r.Store.Seed(id, value, seq)
+}
+
+type nopaxosHandle struct{ r *nopaxos.Replica }
+
+func (h nopaxosHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, msg) }
+func (h nopaxosHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
+	h.r.Store.Seed(id, value, seq)
+}

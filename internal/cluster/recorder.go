@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"harmonia/internal/lincheck"
+	"harmonia/internal/workload"
+	"math/rand"
+)
+
+// recorder captures the operation history for linearizability
+// checking.
+type recorder struct {
+	ops []lincheck.Op
+}
+
+func newRecorder() *recorder { return &recorder{} }
+
+// invoke registers an operation start and returns its slot index.
+func (r *recorder) invoke(key uint64, write bool, value int64, at int64) int {
+	r.ops = append(r.ops, lincheck.Op{
+		Key: key, Write: write, Value: value, Invoke: at, Return: -1,
+	})
+	return len(r.ops) - 1
+}
+
+// ret completes the op in slot idx. Reads record the observed value.
+func (r *recorder) ret(idx int, at int64, observed int64) {
+	op := &r.ops[idx]
+	op.Return = at
+	if !op.Write {
+		op.Value = observed
+	}
+}
+
+// preload records an instantaneous write at time 0, representing data
+// installed before the run.
+func (r *recorder) preload(key uint64, value int64) {
+	r.ops = append(r.ops, lincheck.Op{Key: key, Write: true, Value: value, Invoke: 0, Return: 0})
+}
+
+// History returns the recorded operations.
+func (c *Cluster) History() []lincheck.Op {
+	return append([]lincheck.Op(nil), c.hist.ops...)
+}
+
+// CheckLinearizability verifies the recorded history.
+func (c *Cluster) CheckLinearizability() lincheck.Result {
+	return lincheck.Check(c.hist.ops)
+}
+
+// --- key generators (thin adapters over internal/workload) ---
+
+func newUniformGen(n int, rng *rand.Rand) keyGen { return workload.NewUniform(n, rng) }
+
+func newZipfGen(n int, rng *rand.Rand) keyGen { return workload.NewZipfian(n, 0.9, rng) }

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// The scheduler's central safety obligation: whenever it fast-paths a
+// read for an object, every write to that object it ever forwarded
+// must be covered by the stamped last-committed point. (The replica
+// checks in §7 are sound only because of this: a stamped point ≥ the
+// object's last forwarded write proves the write completed, since
+// completions are processed in order.) We drive random operation
+// streams — writes, in-order completions, reads, and lost completions
+// — against the scheduler and assert the invariant at every fast read.
+func TestFastPathCoverageInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fwd []sent
+		cap := &capture{}
+		sched := New(Config{
+			Epoch: 1, Stages: 2, SlotsPerStage: 8,
+			Replicas:   []simnet.NodeID{1, 2, 3},
+			WriteDst:   1, ReadDst: 3, ClientBase: 1000,
+			Rand: rand.New(rand.NewSource(seed + 1)),
+		}, SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
+			cap.Send(to, pkt)
+			fwd = append(fwd, sent{to, pkt})
+		}))
+
+		// Model: last forwarded (undropped) write per object, and the
+		// queue of completions not yet delivered. Completions are
+		// delivered in order but may be lost (stray entries).
+		lastForwarded := map[wire.ObjectID]uint64{}
+		var pendingComp []*wire.Packet
+
+		for i := 0; i < 400; i++ {
+			switch rng.Intn(4) {
+			case 0: // write
+				obj := wire.ObjectID(rng.Intn(12))
+				before := len(fwd)
+				sched.Process(&wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: uint64(i)})
+				if len(fwd) > before { // not dropped by a full table
+					pkt := fwd[len(fwd)-1].pkt
+					if pkt.Seq.N > lastForwarded[obj] {
+						lastForwarded[obj] = pkt.Seq.N
+					}
+					pendingComp = append(pendingComp, &wire.Packet{
+						Op: wire.OpWriteCompletion, ObjID: obj, Seq: pkt.Seq,
+					})
+				}
+			case 1: // deliver the next completion (in order)
+				if len(pendingComp) > 0 {
+					sched.Process(pendingComp[0])
+					pendingComp = pendingComp[1:]
+				}
+			case 2: // lose the next completion (stray dirty entry)
+				if len(pendingComp) > 1 && rng.Intn(3) == 0 {
+					pendingComp = pendingComp[1:]
+				}
+			case 3: // read
+				obj := wire.ObjectID(rng.Intn(12))
+				before := len(fwd)
+				sched.Process(&wire.Packet{Op: wire.OpRead, ObjID: obj, ClientID: 2, ReqID: uint64(i)})
+				if len(fwd) == before {
+					return false // reads are never dropped
+				}
+				pkt := fwd[len(fwd)-1].pkt
+				if pkt.Flags&wire.FlagFastPath != 0 {
+					lc := sched.LastCommitted()
+					if lc.Epoch != 1 {
+						return false
+					}
+					if lastForwarded[obj] > lc.N {
+						return false // uncovered write: unsafe fast path
+					}
+					if pkt.LastCommitted != lc {
+						return false // stamp must be the switch's point
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequence numbers handed to forwarded writes are strictly increasing,
+// with gaps exactly where the dirty set dropped writes.
+func TestSequencingMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cap := &capture{}
+		sched := New(Config{
+			Epoch: 1, Stages: 1, SlotsPerStage: 4,
+			Replicas: []simnet.NodeID{1, 2}, WriteDst: 1, ReadDst: 1, ClientBase: 1000,
+			Rand: rand.New(rand.NewSource(seed)),
+		}, cap)
+		lastSeq := uint64(0)
+		issued := uint64(0)
+		for i := 0; i < 300; i++ {
+			obj := wire.ObjectID(rng.Intn(64))
+			before := len(cap.out)
+			sched.Process(&wire.Packet{Op: wire.OpWrite, ObjID: obj})
+			issued++
+			if len(cap.out) > before {
+				seq := cap.out[len(cap.out)-1].pkt.Seq
+				if seq.Epoch != 1 || seq.N <= lastSeq || seq.N > issued {
+					return false
+				}
+				lastSeq = seq.N
+			}
+			if rng.Intn(3) == 0 { // drain an entry occasionally
+				sched.Process(&wire.Packet{Op: wire.OpWriteCompletion, ObjID: obj,
+					Seq: wire.Seq{Epoch: 1, N: issued}})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dirty set never reports more entries than writes outstanding,
+// and drains to zero once every forwarded write's completion arrives.
+func TestDirtySetDrainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fwd []*wire.Packet
+		sched := New(Config{
+			Epoch: 1, Stages: 3, SlotsPerStage: 32,
+			Replicas: []simnet.NodeID{1}, WriteDst: 1, ReadDst: 1, ClientBase: 1000,
+			Rand: rand.New(rand.NewSource(seed)),
+		}, SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
+			if pkt.Op == wire.OpWrite {
+				fwd = append(fwd, pkt)
+			}
+		}))
+		for i := 0; i < 200; i++ {
+			sched.Process(&wire.Packet{Op: wire.OpWrite, ObjID: wire.ObjectID(rng.Intn(40))})
+		}
+		if sched.DirtyCount() > len(fwd) {
+			return false
+		}
+		for _, pkt := range fwd {
+			sched.Process(&wire.Packet{Op: wire.OpWriteCompletion, ObjID: pkt.ObjID, Seq: pkt.Seq})
+		}
+		return sched.DirtyCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package dataplane emulates the parts of a programmable switching
+// ASIC (e.g. Barefoot Tofino) that Harmonia's conflict-detection module
+// uses: per-stage register arrays accessed at line rate, per-stage hash
+// functions, and the multi-stage open-addressing hash table of the
+// paper's Figure 4.
+//
+// The emulation enforces the hardware's structural constraints rather
+// than merely reproducing functional behaviour:
+//
+//   - a packet visits stages strictly in order, once;
+//   - each stage performs at most one register-array access per packet
+//     (one read-modify-write of one slot);
+//   - state is partitioned per stage — a stage cannot see another
+//     stage's registers.
+//
+// Anything expressible against this interface is therefore plausibly
+// compilable to a real pipeline, which is the point of the substitution
+// documented in DESIGN.md.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RegisterArray is one stage's array of 64-bit registers. Real switch
+// stages expose register arrays to the match-action units; Harmonia
+// stores an object ID and its pending-write sequence number per slot,
+// which fits in two 32-bit registers or one paired 64-bit register.
+type RegisterArray struct {
+	slots []slot
+}
+
+type slot struct {
+	used bool
+	key  uint32 // object ID
+	val  uint64 // largest pending sequence number (per-epoch counter)
+}
+
+// NewRegisterArray allocates an array with m slots.
+func NewRegisterArray(m int) *RegisterArray {
+	return &RegisterArray{slots: make([]slot, m)}
+}
+
+// Size returns the slot count.
+func (r *RegisterArray) Size() int { return len(r.slots) }
+
+// Stage couples a register array with a hash function, mirroring one
+// physical pipeline stage used by the dirty-set table.
+type Stage struct {
+	arr  *RegisterArray
+	seed uint32
+}
+
+// hash32 is a Murmur3-style finalizer-based hash. Tofino stages provide
+// configurable CRC-based hash units; any well-mixed 32-bit hash stands
+// in for them.
+func hash32(key, seed uint32) uint32 {
+	h := key ^ seed
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// index computes this stage's slot index for an object ID.
+func (s *Stage) index(key uint32) int {
+	return int(hash32(key, s.seed) % uint32(len(s.arr.slots)))
+}
+
+// Table is the multi-stage hash table of Figure 4. Each stage holds one
+// register array and its own hash function; an object lives in at most
+// one stage's slot at a time.
+//
+// Operations follow the paper exactly:
+//
+//   - Insert (write): place the object ID in the first stage whose slot
+//     for this object is empty or already holds the object. If every
+//     stage's slot is occupied by a different object, the insert fails
+//     and the switch drops the write (§6.1).
+//   - Search (read): probe every stage; the object is present if any
+//     stage's slot holds it.
+//   - Delete (write completion): probe every stage and clear the slot
+//     holding the object, but only when the completing sequence number
+//     is at least the stored one (Algorithm 1, line 6).
+type Table struct {
+	stages []Stage
+	used   int // occupied slots, for stats
+}
+
+// ErrTableFull is returned by Insert when no stage has a usable slot
+// for the object; the caller (the scheduler) drops the write.
+var ErrTableFull = errors.New("dataplane: no free slot in any stage")
+
+// NewTable builds a table with the given number of stages and slots per
+// stage. Stage hash seeds differ so that objects colliding in one stage
+// are unlikely to collide in the next.
+func NewTable(stages, slotsPerStage int) *Table {
+	if stages <= 0 || slotsPerStage <= 0 {
+		panic(fmt.Sprintf("dataplane: invalid table %dx%d", stages, slotsPerStage))
+	}
+	t := &Table{stages: make([]Stage, stages)}
+	for i := range t.stages {
+		t.stages[i] = Stage{
+			arr: NewRegisterArray(slotsPerStage),
+			// Distinct fixed seeds per stage; values are arbitrary
+			// odd-ish constants.
+			seed: 0x9e3779b9*uint32(i) + 0x7f4a7c15,
+		}
+	}
+	return t
+}
+
+// Stages returns the stage count.
+func (t *Table) Stages() int { return len(t.stages) }
+
+// SlotsPerStage returns the per-stage slot count.
+func (t *Table) SlotsPerStage() int { return t.stages[0].arr.Size() }
+
+// Capacity returns the total slot count.
+func (t *Table) Capacity() int { return len(t.stages) * t.SlotsPerStage() }
+
+// Used returns the number of occupied slots.
+func (t *Table) Used() int { return t.used }
+
+// Insert records (key → seq), overwriting the sequence number if the
+// key is already present (concurrent writes to one object keep only the
+// largest sequence number; the scheduler always inserts increasing
+// ones). Returns ErrTableFull when no stage can hold the key.
+//
+// The single pipeline pass carries one bit of metadata ("claimed"): the
+// first stage with an empty slot claims the key, and if a later stage
+// turns out to already hold the key (possible when the earlier slot was
+// freed by an unrelated deletion since the key last moved in), that
+// older entry is cleared as the packet passes it. Because the scheduler
+// assigns strictly increasing sequence numbers, the claimed entry is
+// always at least as new as the cleared one, so the table never holds
+// two live entries for one key.
+func (t *Table) Insert(key uint32, seq uint64) error {
+	claimed := -1
+	for i := range t.stages {
+		st := &t.stages[i]
+		sl := &st.arr.slots[st.index(key)]
+		if sl.used && sl.key == key {
+			if claimed >= 0 {
+				// Deduplicate: fold this stale entry into the claim.
+				cst := &t.stages[claimed]
+				csl := &cst.arr.slots[cst.index(key)]
+				if sl.val > csl.val {
+					csl.val = sl.val
+				}
+				sl.used = false
+				t.used--
+				return nil
+			}
+			if seq > sl.val {
+				sl.val = seq
+			}
+			return nil
+		}
+		if !sl.used && claimed < 0 {
+			sl.used = true
+			sl.key = key
+			sl.val = seq
+			t.used++
+			claimed = i
+		}
+	}
+	if claimed >= 0 {
+		return nil
+	}
+	return ErrTableFull
+}
+
+// Lookup probes all stages for key; it returns the stored sequence
+// number and whether the key is present.
+func (t *Table) Lookup(key uint32) (uint64, bool) {
+	for i := range t.stages {
+		st := &t.stages[i]
+		sl := &st.arr.slots[st.index(key)]
+		if sl.used && sl.key == key {
+			return sl.val, true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key if present with stored seq ≤ upTo (the write-
+// completion rule: a completion only clears the entry when no newer
+// write to the object is still pending). It reports whether an entry
+// was removed.
+func (t *Table) Delete(key uint32, upTo uint64) bool {
+	for i := range t.stages {
+		st := &t.stages[i]
+		sl := &st.arr.slots[st.index(key)]
+		if sl.used && sl.key == key {
+			if sl.val <= upTo {
+				sl.used = false
+				t.used--
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// SweepStale removes every entry whose sequence number is ≤ commit.
+// This implements §5.2's stray-entry cleanup ("any stray entries in the
+// dirty set can be removed as soon as a WRITE-COMPLETION message with a
+// higher sequence number arrives... This removal can also be done
+// periodically"). A real pipeline does it incrementally as reads probe
+// slots; sweeping is the periodic variant and touches each slot once.
+func (t *Table) SweepStale(commit uint64) int {
+	removed := 0
+	for i := range t.stages {
+		arr := t.stages[i].arr
+		for j := range arr.slots {
+			sl := &arr.slots[j]
+			if sl.used && sl.val <= commit {
+				sl.used = false
+				t.used--
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// CleanSlotIfStale implements the per-read incremental variant of
+// stray-entry removal: given a key that a read probed and found, clear
+// it when its sequence number is ≤ commit. Returns true if cleared.
+func (t *Table) CleanSlotIfStale(key uint32, commit uint64) bool {
+	return t.Delete(key, commit)
+}
+
+// Reset clears all slots (switch reboot: register state is soft and is
+// lost).
+func (t *Table) Reset() {
+	for i := range t.stages {
+		arr := t.stages[i].arr
+		for j := range arr.slots {
+			arr.slots[j] = slot{}
+		}
+	}
+	t.used = 0
+}
+
+// MemoryBytes reports the register memory the table consumes, using the
+// paper's accounting: 32-bit object ID + 32-bit sequence number per
+// slot (§6.2: 192K slots → 1.5 MB).
+func (t *Table) MemoryBytes() int {
+	return t.Capacity() * 8
+}

@@ -1,0 +1,59 @@
+package dataplane
+
+// ResourceModel is the back-of-envelope switch-memory model of §6.2.
+// With n pipeline stages of m slots each at utilization u, the switch
+// holds up to u·n·m concurrent pending writes. If a write stays dirty
+// for duration t seconds and the workload's write ratio is w, the
+// supportable rates follow directly.
+type ResourceModel struct {
+	Stages        int     // n
+	SlotsPerStage int     // m
+	Utilization   float64 // u, effective fill accounting for collisions
+	WriteSeconds  float64 // t, seconds a write stays in the dirty set
+	WriteRatio    float64 // w, fraction of requests that are writes
+	IDBits        int     // object-ID width (paper: 32)
+	SeqBits       int     // sequence-number width (paper: 32)
+}
+
+// PaperExample returns the concrete numbers the paper plugs in:
+// n=3, m=64000, u=50%, t=1ms, w=5%, 32-bit IDs and sequence numbers.
+func PaperExample() ResourceModel {
+	return ResourceModel{
+		Stages:        3,
+		SlotsPerStage: 64000,
+		Utilization:   0.5,
+		WriteSeconds:  0.001,
+		WriteRatio:    0.05,
+		IDBits:        32,
+		SeqBits:       32,
+	}
+}
+
+// ConcurrentWrites returns u·n·m, the number of in-flight writes the
+// table can track.
+func (r ResourceModel) ConcurrentWrites() float64 {
+	return r.Utilization * float64(r.Stages) * float64(r.SlotsPerStage)
+}
+
+// WriteRate returns the supportable writes per second: u·n·m / t.
+func (r ResourceModel) WriteRate() float64 {
+	if r.WriteSeconds <= 0 {
+		return 0
+	}
+	return r.ConcurrentWrites() / r.WriteSeconds
+}
+
+// TotalRate returns the supportable total request rate u·n·m/(w·t).
+func (r ResourceModel) TotalRate() float64 {
+	if r.WriteRatio <= 0 {
+		return 0
+	}
+	return r.WriteRate() / r.WriteRatio
+}
+
+// MemoryBytes returns the register memory consumed by the full table:
+// n·m slots of (IDBits+SeqBits) each.
+func (r ResourceModel) MemoryBytes() float64 {
+	perSlot := float64(r.IDBits+r.SeqBits) / 8
+	return float64(r.Stages) * float64(r.SlotsPerStage) * perSlot
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import "testing"
+
+// tiny is the smallest scale: every figure function must still produce
+// well-formed, direction-correct series.
+const tiny Scale = 0.1
+
+func TestFig5aShape(t *testing.T) {
+	series := Fig5a(tiny)
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s has nonpositive latency", s.Name)
+			}
+		}
+	}
+	// Harmonia must reach a higher max read throughput than CR.
+	crMax, hMax := maxX(series[0]), maxX(series[1])
+	if hMax < 1.5*crMax {
+		t.Fatalf("no read scaling in Fig5a: CR=%.2f Harmonia=%.2f", crMax, hMax)
+	}
+}
+
+func TestFig5bWritePathsEqual(t *testing.T) {
+	series := Fig5b(tiny)
+	crMax, hMax := maxX(series[0]), maxX(series[1])
+	ratio := hMax / crMax
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("write-only curves diverge: CR=%.2f Harmonia=%.2f", crMax, hMax)
+	}
+}
+
+func TestFig6aReadThroughputDecaysWithWrites(t *testing.T) {
+	series := Fig6a(tiny)
+	h := series[1]
+	first, last := h.Points[0].Y, h.Points[len(h.Points)-1].Y
+	if first <= last {
+		t.Fatalf("Harmonia read throughput did not decay with write rate: %v → %v", first, last)
+	}
+	// At low write rate Harmonia ≳ 2× CR.
+	if h.Points[0].Y < 2*series[0].Points[0].Y {
+		t.Fatalf("Harmonia not ahead at low write rate: %v vs %v", h.Points[0].Y, series[0].Points[0].Y)
+	}
+}
+
+func TestFig6bConvergesAtHighWriteRatio(t *testing.T) {
+	series := Fig6b(tiny)
+	cr, h := series[0], series[1]
+	// Read-only end: Harmonia wins big; write-only end: equal-ish.
+	if h.Points[0].Y < 2*cr.Points[0].Y {
+		t.Fatal("no win at read-only end")
+	}
+	lastRatio := h.Points[len(h.Points)-1].Y / cr.Points[len(cr.Points)-1].Y
+	if lastRatio < 0.75 || lastRatio > 1.3 {
+		t.Fatalf("write-only end diverges: ratio %.2f", lastRatio)
+	}
+}
+
+func TestFig7ScalingShape(t *testing.T) {
+	series := Fig7(tiny, 0)
+	cr, h := series[0], series[1]
+	// CR flat: max/min below 1.4.
+	crMin, crMax := minMaxY(cr)
+	if crMax/crMin > 1.4 {
+		t.Fatalf("CR not flat: %v..%v", crMin, crMax)
+	}
+	// Harmonia at 10 replicas ≥ 4× CR (linear growth, allowing slack
+	// at tiny scale).
+	if h.Points[len(h.Points)-1].Y < 4*crMax {
+		t.Fatalf("Harmonia at 10 replicas only %.2f vs CR %.2f", h.Points[len(h.Points)-1].Y, crMax)
+	}
+	// And growing monotonically-ish: last > first.
+	if h.Points[len(h.Points)-1].Y <= h.Points[0].Y {
+		t.Fatal("Harmonia not growing with replicas")
+	}
+}
+
+func TestFig8SmallTablesThrottle(t *testing.T) {
+	series := Fig8(tiny)
+	for _, s := range series {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if first >= last {
+			t.Fatalf("%s: 4-slot table (%.2f) not slower than 64K (%.2f)", s.Name, first, last)
+		}
+	}
+}
+
+func TestFig9FamiliesImprove(t *testing.T) {
+	for _, fam := range []string{"pb", "quorum"} {
+		series := Fig9(tiny, fam)
+		base := map[string]float64{}
+		for _, s := range series {
+			base[s.Name] = s.Points[0].Y // lowest write rate
+		}
+		checks := map[string]string{}
+		if fam == "pb" {
+			checks["Harmonia(PB)"] = "PB"
+			checks["Harmonia(CR)"] = "CR"
+		} else {
+			checks["Harmonia(VR)"] = "VR"
+			checks["Harmonia(NOPaxos)"] = "NOPaxos"
+		}
+		for h, b := range checks {
+			if base[h] < 1.7*base[b] {
+				t.Fatalf("%s (%.2f) not ≥1.7× %s (%.2f)", h, base[h], b, base[b])
+			}
+		}
+	}
+}
+
+func TestFig9UnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Fig9(tiny, "bogus")
+}
+
+func TestFig10IncidentShape(t *testing.T) {
+	s := Fig10(0.5)
+	if len(s.Points) < 10 {
+		t.Fatalf("too few buckets: %d", len(s.Points))
+	}
+	// There must be a zero-throughput bucket (outage, starting at 20%
+	// of the run) and recovery to at least half the pre-failure peak
+	// afterwards.
+	var pre float64
+	outage := false
+	var post float64
+	for i, p := range s.Points {
+		fifth := len(s.Points) / 5
+		switch {
+		case i < fifth:
+			if p.Y > pre {
+				pre = p.Y
+			}
+		default:
+			if p.Y == 0 {
+				outage = true
+			}
+			if outage && p.Y > post {
+				post = p.Y
+			}
+		}
+	}
+	if pre == 0 {
+		t.Fatal("no pre-failure throughput")
+	}
+	if !outage {
+		t.Fatal("no outage observed")
+	}
+	if post < pre/2 {
+		t.Fatalf("no recovery: pre=%.2f post=%.2f", pre, post)
+	}
+}
+
+func TestAblationEagerCompletionsHurts(t *testing.T) {
+	// Needs a window long enough for the jittered stamp/execution race
+	// to fire a few times (the simulation is deterministic, so the
+	// outcome is stable).
+	s := AblationEagerCompletions(0.4)
+	delayed, eager := s[0].Points[0].Y, s[1].Points[0].Y
+	if eager <= delayed {
+		t.Fatalf("eager completions rejection rate (%.2f%%) not above delayed (%.2f%%)", eager, delayed)
+	}
+}
+
+func TestAblationLazyCleanupHelps(t *testing.T) {
+	s := AblationLazyCleanup(tiny)
+	on, off := s[0].Points[0].Y, s[1].Points[0].Y
+	if off >= on {
+		t.Fatalf("cleanup off (%.2f) not slower than on (%.2f) under completion loss", off, on)
+	}
+}
+
+func TestAblationStagesHelp(t *testing.T) {
+	s := AblationStages(tiny)
+	single, multi := s[0].Points[0].Y, s[1].Points[0].Y
+	if multi <= single*0.95 {
+		t.Fatalf("multi-stage (%.2f) not at least on par with single-stage (%.2f)", multi, single)
+	}
+}
+
+func maxX(s Series) float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.X > m {
+			m = p.X
+		}
+	}
+	return m
+}
+
+func minMaxY(s Series) (float64, float64) {
+	min, max := s.Points[0].Y, s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < min {
+			min = p.Y
+		}
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return min, max
+}

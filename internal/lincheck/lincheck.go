@@ -1,0 +1,214 @@
+// Package lincheck verifies that a recorded operation history is
+// linearizable with respect to per-key register semantics — the
+// correctness property Harmonia promises to preserve (§7.1: a read
+// sees all writes that finished before it started, and never sees
+// uncommitted data).
+//
+// The checker partitions the history by key (linearizability is
+// compositional) and runs a Wing & Gong style search per key with
+// memoization on (linearized-set, last-write) states. Operations that
+// never received a response (client timeouts) are treated as pending:
+// a pending write may take effect at any point after its invocation or
+// not at all; pending reads impose no constraints and are dropped.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one operation in a history. Timestamps are arbitrary units
+// (the harness uses simulated nanoseconds); Return < 0 marks an
+// operation with no response (pending at history end).
+//
+// Values: writes carry a unique positive Value (or a unique negative
+// value for deletes). Reads carry the observed Value, with 0 meaning
+// "not found". A read of 0 matches both the initial state and any
+// deleted state.
+type Op struct {
+	Key    uint64
+	Write  bool
+	Value  int64
+	Invoke int64
+	Return int64
+}
+
+// Pending reports whether the op never returned.
+func (o Op) Pending() bool { return o.Return < 0 }
+
+// Result is the checker's verdict.
+type Result struct {
+	// Ok reports linearizability. Only meaningful when Decided.
+	Ok bool
+	// Decided is false when the search exceeded Config limits.
+	Decided bool
+	// Key identifies the offending key when !Ok.
+	Key uint64
+	// Reason describes the violation or limit.
+	Reason string
+}
+
+// Config bounds the search.
+type Config struct {
+	// MaxOpsPerKey rejects absurdly contended keys rather than
+	// searching forever. 0 means the default (512).
+	MaxOpsPerKey int
+	// StateLimit bounds visited memo states per key. 0 means the
+	// default (4M).
+	StateLimit int
+}
+
+func (c Config) maxOps() int {
+	if c.MaxOpsPerKey > 0 {
+		return c.MaxOpsPerKey
+	}
+	return 512
+}
+
+func (c Config) stateLimit() int {
+	if c.StateLimit > 0 {
+		return c.StateLimit
+	}
+	return 4 << 20
+}
+
+// Check verifies the full history with default limits.
+func Check(ops []Op) Result { return CheckConfig(ops, Config{}) }
+
+// CheckConfig verifies the full history.
+func CheckConfig(ops []Op, cfg Config) Result {
+	byKey := make(map[uint64][]Op)
+	for _, o := range ops {
+		if !o.Pending() && o.Return < o.Invoke {
+			return Result{Ok: false, Decided: true, Key: o.Key,
+				Reason: fmt.Sprintf("op returns (%d) before invocation (%d)", o.Return, o.Invoke)}
+		}
+		if o.Pending() && !o.Write {
+			continue // pending reads constrain nothing
+		}
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	for key, kops := range byKey {
+		res := checkKey(key, kops, cfg)
+		if !res.Ok || !res.Decided {
+			return res
+		}
+	}
+	return Result{Ok: true, Decided: true}
+}
+
+// checkKey runs the per-key search.
+func checkKey(key uint64, ops []Op, cfg Config) Result {
+	if len(ops) > cfg.maxOps() {
+		return Result{Decided: false, Key: key,
+			Reason: fmt.Sprintf("key has %d ops, above limit %d", len(ops), cfg.maxOps())}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	n := len(ops)
+	words := (n + 63) / 64
+	type stateKey struct {
+		mask string
+		last int // index of last linearized write, -1 initially
+	}
+	visited := make(map[stateKey]bool)
+	mask := make([]uint64, words)
+
+	var completedLeft int
+	for _, o := range ops {
+		if !o.Pending() {
+			completedLeft++
+		}
+	}
+
+	set := func(i int) { mask[i/64] |= 1 << (i % 64) }
+	clear := func(i int) { mask[i/64] &^= 1 << (i % 64) }
+	has := func(i int) bool { return mask[i/64]&(1<<(i%64)) != 0 }
+	keyOf := func(last int) stateKey {
+		b := make([]byte, words*8)
+		for w, v := range mask {
+			for k := 0; k < 8; k++ {
+				b[w*8+k] = byte(v >> (8 * k))
+			}
+		}
+		return stateKey{mask: string(b), last: last}
+	}
+
+	// current register state derived from the last linearized write:
+	// -1 → initial missing.
+	valueOf := func(last int) int64 {
+		if last < 0 {
+			return 0
+		}
+		v := ops[last].Value
+		if v < 0 {
+			return 0 // delete: state is "missing"
+		}
+		return v
+	}
+
+	states := 0
+	var dfs func(last, remaining int) (bool, Result)
+	dfs = func(last, remaining int) (bool, Result) {
+		if remaining == 0 {
+			return true, Result{Ok: true, Decided: true}
+		}
+		sk := keyOf(last)
+		if visited[sk] {
+			return false, Result{}
+		}
+		visited[sk] = true
+		states++
+		if states > cfg.stateLimit() {
+			return false, Result{Decided: false, Key: key, Reason: "state limit exceeded"}
+		}
+		// Earliest return among unlinearized completed ops bounds
+		// which ops may linearize next.
+		minReturn := int64(1<<63 - 1)
+		for i, o := range ops {
+			if !has(i) && !o.Pending() && o.Return < minReturn {
+				minReturn = o.Return
+			}
+		}
+		for i, o := range ops {
+			if has(i) || o.Invoke > minReturn {
+				continue
+			}
+			if !o.Write {
+				// Read must observe the current state.
+				cur := valueOf(last)
+				if o.Value != cur {
+					continue
+				}
+				set(i)
+				ok, res := dfs(last, remaining-1)
+				if ok || !res.Decided && res.Reason != "" {
+					return ok, res
+				}
+				clear(i)
+				continue
+			}
+			set(i)
+			rem := remaining
+			if !o.Pending() {
+				rem--
+			}
+			ok, res := dfs(i, rem)
+			if ok || !res.Decided && res.Reason != "" {
+				return ok, res
+			}
+			clear(i)
+		}
+		return false, Result{}
+	}
+
+	ok, res := dfs(-1, completedLeft)
+	if ok {
+		return Result{Ok: true, Decided: true}
+	}
+	if !res.Decided && res.Reason != "" {
+		return res
+	}
+	return Result{Ok: false, Decided: true, Key: key,
+		Reason: fmt.Sprintf("no linearization for %d ops on key %d", n, key)}
+}

@@ -1,0 +1,529 @@
+// Package model is an explicit-state model checker for the Harmonia
+// protocol, mirroring the TLA+ specification in the paper's Appendix B
+// action for action. It exhaustively explores all interleavings of the
+// spec's transitions for bounded parameters and checks the spec's
+// Linearizability invariant, for both read-ahead and read-behind
+// protocol classes and across switch failovers.
+//
+// The checker also supports deliberately broken variants (skipping the
+// last-committed comparison, the active-switch gate, or the
+// first-completion readiness gate); tests assert those are caught,
+// which validates both the protocol design and the checker itself.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// write mirrors the spec's write records: a switch number and per-
+// switch sequence number, ordered lexicographically (switch first),
+// plus the data item it targets. The zero value is BottomWrite.
+type write struct {
+	Sw   uint8
+	Seq  uint8
+	Item uint8
+}
+
+// bottom is the write smaller than all real writes.
+var bottom = write{}
+
+// gte reports w1 ≥ w2 in the spec's lexicographic order.
+func gte(w1, w2 write) bool {
+	if w1.Sw != w2.Sw {
+		return w1.Sw > w2.Sw
+	}
+	return w1.Seq >= w2.Seq
+}
+
+// gt reports w1 > w2.
+func gt(w1, w2 write) bool { return gte(w1, w2) && w1 != w2 }
+
+// Message records, mirroring the spec's message schemas. The ghost
+// field carries the latest response the issuing client could have
+// observed, which is what lets the invariant express linearizability
+// without an explicit history.
+type protoRead struct {
+	Item  uint8
+	Ghost write
+}
+
+type harmRead struct {
+	Item  uint8
+	Sw    uint8
+	LC    write
+	Ghost write
+}
+
+type response struct {
+	W     write
+	Ghost write
+}
+
+// switchState is one switch's soft state.
+type switchState struct {
+	Seq   uint8
+	Dirty map[uint8]uint8 // item → largest pending seq
+	LC    write
+}
+
+// state is one global state of the transition system.
+type state struct {
+	switches []switchState
+	active   uint8
+	log      []write
+	commits  []uint8 // per-replica commit points
+
+	writes     []write
+	protoReads []protoRead
+	harmReads  []harmRead
+	responses  []response
+
+	writesSent uint8
+	readsSent  uint8
+}
+
+// Config bounds the exploration and selects the protocol class.
+type Config struct {
+	DataItems int
+	Replicas  int
+	Switches  int
+	MaxWrites int // total SendWrite actions
+	MaxReads  int // total SendRead actions
+	// ReadBehind selects the spec's isReadBehind constant.
+	ReadBehind bool
+
+	// Broken variants (for checker validation — never part of the
+	// real protocol):
+	SkipCommitCheck       bool // HandleHarmoniaRead ignores lastCommitted
+	SkipActiveSwitchCheck bool // replicas accept reads from any switch
+	SkipReadyGate         bool // switches fast-path reads before any completion
+
+	// MaxStates aborts runaway explorations (0 = 4M).
+	MaxStates int
+}
+
+func (c *Config) fill() {
+	if c.DataItems <= 0 {
+		c.DataItems = 2
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Switches <= 0 {
+		c.Switches = 1
+	}
+	if c.MaxWrites <= 0 {
+		c.MaxWrites = 2
+	}
+	if c.MaxReads <= 0 {
+		c.MaxReads = 2
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 4 << 20
+	}
+}
+
+// Result reports the exploration outcome.
+type Result struct {
+	States    int
+	Violation bool
+	Trace     []string // action names leading to the violation
+	LimitHit  bool
+}
+
+// Check explores the bounded state space.
+func Check(cfg Config) Result {
+	cfg.fill()
+	init := &state{
+		switches: make([]switchState, cfg.Switches),
+		active:   1,
+		commits:  make([]uint8, cfg.Replicas),
+	}
+	for i := range init.switches {
+		init.switches[i].Dirty = map[uint8]uint8{}
+	}
+
+	type node struct {
+		st     *state
+		parent string
+		action string
+	}
+	visited := map[string]struct{ parent, action string }{}
+	key0 := encode(init)
+	visited[key0] = struct{ parent, action string }{"", "Init"}
+	queue := []node{{st: init, parent: "", action: "Init"}}
+	states := 0
+
+	traceOf := func(key string) []string {
+		var actions []string
+		for key != "" {
+			v := visited[key]
+			actions = append(actions, v.action)
+			key = v.parent
+		}
+		// reverse
+		for i, j := 0, len(actions)-1; i < j; i, j = i+1, j-1 {
+			actions[i], actions[j] = actions[j], actions[i]
+		}
+		return actions
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		states++
+		if states > cfg.MaxStates {
+			return Result{States: states, LimitHit: true}
+		}
+		curKey := encode(cur.st)
+		succs, bad := successors(cur.st, cfg)
+		if bad != "" {
+			trace := append(traceOf(curKey), bad)
+			return Result{States: states, Violation: true, Trace: trace}
+		}
+		for _, s := range succs {
+			k := encode(s.st)
+			if _, ok := visited[k]; ok {
+				continue
+			}
+			visited[k] = struct{ parent, action string }{curKey, s.action}
+			queue = append(queue, node{st: s.st, parent: curKey, action: s.action})
+		}
+	}
+	return Result{States: states}
+}
+
+type succ struct {
+	st     *state
+	action string
+}
+
+// committedLog mirrors the spec: the full log for read-behind
+// protocols (entries are committed before replicas execute them), the
+// all-replica-processed prefix for read-ahead protocols.
+func committedLog(s *state, readBehind bool) []write {
+	if readBehind {
+		return s.log
+	}
+	min := len(s.log)
+	for _, c := range s.commits {
+		if int(c) < min {
+			min = int(c)
+		}
+	}
+	return s.log[:min]
+}
+
+func maxCommittedWriteFor(item uint8, log []write) write {
+	w := bottom
+	for _, e := range log {
+		if e.Item == item && gte(e, w) {
+			w = e
+		}
+	}
+	return w
+}
+
+func maxCommittedWrite(log []write) write {
+	w := bottom
+	for _, e := range log {
+		if gte(e, w) {
+			w = e
+		}
+	}
+	return w
+}
+
+// successors enumerates all enabled actions. It returns a violating
+// action's name when a response breaking the invariant would be
+// produced.
+func successors(s *state, cfg Config) ([]succ, string) {
+	var out []succ
+	readBehind := cfg.ReadBehind
+
+	// checkResponse applies the spec's Linearizability invariant to a
+	// newly created response. Both conjuncts are monotone (the
+	// committed log only grows), so creation-time checking over every
+	// reachable interleaving is equivalent to the TLA+ state
+	// invariant.
+	checkResponse := func(r response, st *state) bool {
+		if !gte(r.W, r.Ghost) {
+			return false
+		}
+		if r.W == bottom {
+			return true
+		}
+		for _, e := range committedLog(st, readBehind) {
+			if e == r.W {
+				return true
+			}
+		}
+		return false
+	}
+
+	// SendWrite(s, d)
+	if s.writesSent < uint8(cfg.MaxWrites) {
+		for sw := 1; sw <= cfg.Switches; sw++ {
+			if uint8(sw) > s.active {
+				continue // only activated switches send writes
+			}
+			for d := 1; d <= cfg.DataItems; d++ {
+				ns := clone(s)
+				sst := &ns.switches[sw-1]
+				sst.Seq++
+				sst.Dirty[uint8(d)] = sst.Seq
+				ns.writes = append(ns.writes, write{Sw: uint8(sw), Seq: sst.Seq, Item: uint8(d)})
+				ns.writesSent++
+				out = append(out, succ{ns, fmt.Sprintf("SendWrite(s%d,d%d)", sw, d)})
+			}
+		}
+	}
+
+	// HandleWrite(w): append in order.
+	for _, w := range s.writes {
+		if inLog(s.log, w) {
+			continue
+		}
+		if len(s.log) > 0 && !gte(w, s.log[len(s.log)-1]) {
+			continue
+		}
+		ns := clone(s)
+		ns.log = append(ns.log, w)
+		out = append(out, succ{ns, fmt.Sprintf("HandleWrite(%v)", w)})
+	}
+
+	// ProcessWriteCompletion(w): for committed writes.
+	for _, w := range s.log {
+		if !gte(maxCommittedWrite(committedLog(s, readBehind)), w) {
+			continue
+		}
+		ns := clone(s)
+		sst := &ns.switches[w.Sw-1]
+		for d, seq := range sst.Dirty {
+			if seq <= w.Seq {
+				delete(sst.Dirty, d)
+			}
+		}
+		if gte(w, sst.LC) {
+			sst.LC = w
+		}
+		out = append(out, succ{ns, fmt.Sprintf("ProcessWriteCompletion(%v)", w)})
+	}
+
+	// CommitWrite(r): replica locally executes the next log entry.
+	for r := 0; r < cfg.Replicas; r++ {
+		if int(s.commits[r]) >= len(s.log) {
+			continue
+		}
+		ns := clone(s)
+		ns.commits[r]++
+		out = append(out, succ{ns, fmt.Sprintf("CommitWrite(r%d)", r)})
+	}
+
+	// SendRead(s, d)
+	if s.readsSent < uint8(cfg.MaxReads) {
+		for sw := 1; sw <= cfg.Switches; sw++ {
+			for d := 1; d <= cfg.DataItems; d++ {
+				sst := s.switches[sw-1]
+				_, dirty := sst.Dirty[uint8(d)]
+				ready := gt(sst.LC, bottom) || cfg.SkipReadyGate
+				ghost := maxCommittedWriteFor(uint8(d), committedLog(s, readBehind))
+				for _, resp := range s.responses {
+					if resp.W != bottom && resp.W.Item == uint8(d) && gte(resp.W, ghost) {
+						ghost = resp.W
+					}
+				}
+				ns := clone(s)
+				ns.readsSent++
+				if !dirty && ready {
+					ns.harmReads = addHarmRead(ns.harmReads, harmRead{
+						Item: uint8(d), Sw: uint8(sw), LC: sst.LC, Ghost: ghost,
+					})
+					out = append(out, succ{ns, fmt.Sprintf("SendRead(s%d,d%d,fast)", sw, d)})
+				} else {
+					ns.protoReads = addProtoRead(ns.protoReads, protoRead{Item: uint8(d), Ghost: ghost})
+					out = append(out, succ{ns, fmt.Sprintf("SendRead(s%d,d%d,proto)", sw, d)})
+				}
+			}
+		}
+	}
+
+	// HandleProtocolRead(m): the normal path answers from committed
+	// state.
+	for _, m := range s.protoReads {
+		ns := clone(s)
+		r := response{W: maxCommittedWriteFor(m.Item, committedLog(ns, readBehind)), Ghost: m.Ghost}
+		if !checkResponse(r, ns) {
+			return nil, fmt.Sprintf("HandleProtocolRead(d%d) -> INVARIANT VIOLATED", m.Item)
+		}
+		ns.responses = addResponse(ns.responses, r)
+		out = append(out, succ{ns, fmt.Sprintf("HandleProtocolRead(d%d)", m.Item)})
+	}
+
+	// HandleHarmoniaRead(r, m): single-replica fast-path read.
+	for _, m := range s.harmReads {
+		for r := 0; r < cfg.Replicas; r++ {
+			if m.Sw != s.active && !cfg.SkipActiveSwitchCheck {
+				continue
+			}
+			cp := int(s.commits[r])
+			var localLatest write // last write this replica executed
+			if cp > 0 {
+				localLatest = s.log[cp-1]
+			}
+			w := maxCommittedWriteFor(m.Item, s.log[:cp])
+			if !cfg.SkipCommitCheck {
+				if cfg.ReadBehind {
+					// Visibility: replica must have executed at least
+					// up to the stamped point.
+					if !gte(localLatest, m.LC) {
+						continue
+					}
+				} else {
+					// Integrity: everything applied to the item here
+					// must have committed by the stamped point.
+					if !gte(m.LC, w) {
+						continue
+					}
+				}
+			}
+			ns := clone(s)
+			resp := response{W: w, Ghost: m.Ghost}
+			if !checkResponse(resp, ns) {
+				return nil, fmt.Sprintf("HandleHarmoniaRead(r%d,d%d) -> INVARIANT VIOLATED", r, m.Item)
+			}
+			ns.responses = addResponse(ns.responses, resp)
+			out = append(out, succ{ns, fmt.Sprintf("HandleHarmoniaRead(r%d,d%d)", r, m.Item)})
+		}
+	}
+
+	// SwitchFailover
+	if int(s.active) < cfg.Switches {
+		ns := clone(s)
+		ns.active++
+		out = append(out, succ{ns, "SwitchFailover"})
+	}
+
+	return out, ""
+}
+
+// --- set-like message insertion (TLA+ messages form a set) ---
+
+func inLog(log []write, w write) bool {
+	for _, e := range log {
+		if e == w {
+			return true
+		}
+	}
+	return false
+}
+
+func addProtoRead(s []protoRead, m protoRead) []protoRead {
+	for _, e := range s {
+		if e == m {
+			return s
+		}
+	}
+	return append(s, m)
+}
+
+func addHarmRead(s []harmRead, m harmRead) []harmRead {
+	for _, e := range s {
+		if e == m {
+			return s
+		}
+	}
+	return append(s, m)
+}
+
+func addResponse(s []response, m response) []response {
+	for _, e := range s {
+		if e == m {
+			return s
+		}
+	}
+	return append(s, m)
+}
+
+// clone deep-copies a state.
+func clone(s *state) *state {
+	ns := &state{
+		switches:   make([]switchState, len(s.switches)),
+		active:     s.active,
+		log:        append([]write(nil), s.log...),
+		commits:    append([]uint8(nil), s.commits...),
+		writes:     append([]write(nil), s.writes...),
+		protoReads: append([]protoRead(nil), s.protoReads...),
+		harmReads:  append([]harmRead(nil), s.harmReads...),
+		responses:  append([]response(nil), s.responses...),
+		writesSent: s.writesSent,
+		readsSent:  s.readsSent,
+	}
+	for i, sw := range s.switches {
+		d := make(map[uint8]uint8, len(sw.Dirty))
+		for k, v := range sw.Dirty {
+			d[k] = v
+		}
+		ns.switches[i] = switchState{Seq: sw.Seq, Dirty: d, LC: sw.LC}
+	}
+	return ns
+}
+
+// encode produces a canonical string for the visited set.
+func encode(s *state) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "a%d|w%d|r%d|", s.active, s.writesSent, s.readsSent)
+	for _, sw := range s.switches {
+		fmt.Fprintf(&b, "S%d,%v[", sw.Seq, sw.LC)
+		keys := make([]int, 0, len(sw.Dirty))
+		for k := range sw.Dirty {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d,", k, sw.Dirty[uint8(k)])
+		}
+		b.WriteString("]")
+	}
+	fmt.Fprintf(&b, "|L%v|C%v|", s.log, s.commits)
+	b.WriteString(encodeSorted(s.writes))
+	b.WriteString("|pr")
+	pr := append([]protoRead(nil), s.protoReads...)
+	sort.Slice(pr, func(i, j int) bool { return less(pr[i], pr[j]) })
+	fmt.Fprintf(&b, "%v|hr", pr)
+	hr := append([]harmRead(nil), s.harmReads...)
+	sort.Slice(hr, func(i, j int) bool { return lessH(hr[i], hr[j]) })
+	fmt.Fprintf(&b, "%v|re", hr)
+	re := append([]response(nil), s.responses...)
+	sort.Slice(re, func(i, j int) bool { return lessR(re[i], re[j]) })
+	fmt.Fprintf(&b, "%v", re)
+	return b.String()
+}
+
+func encodeSorted(ws []write) string {
+	w := append([]write(nil), ws...)
+	sort.Slice(w, func(i, j int) bool {
+		if w[i].Sw != w[j].Sw {
+			return w[i].Sw < w[j].Sw
+		}
+		if w[i].Seq != w[j].Seq {
+			return w[i].Seq < w[j].Seq
+		}
+		return w[i].Item < w[j].Item
+	})
+	return fmt.Sprintf("%v", w)
+}
+
+func less(a, b protoRead) bool {
+	return fmt.Sprint(a) < fmt.Sprint(b)
+}
+
+func lessH(a, b harmRead) bool {
+	return fmt.Sprint(a) < fmt.Sprint(b)
+}
+
+func lessR(a, b response) bool {
+	return fmt.Sprint(a) < fmt.Sprint(b)
+}

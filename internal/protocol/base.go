@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"harmonia/internal/simnet"
+	"harmonia/internal/store"
+	"harmonia/internal/wire"
+)
+
+// ReadClass distinguishes the two §7 protocol families, which differ
+// in which anomaly they must defend against on the fast path.
+type ReadClass int
+
+const (
+	// ReadAhead protocols (primary-backup, chain replication) may have
+	// applied uncommitted writes; the shim rejects fast reads whose
+	// stamp is older than the object's applied write (§7.2).
+	ReadAhead ReadClass = iota
+	// ReadBehind protocols (VR, NOPaxos) may lag behind the commit
+	// point; the shim rejects fast reads whose stamp is ahead of the
+	// replica's execution point (§7.3).
+	ReadBehind
+)
+
+// Base bundles the per-replica state every protocol carries: the
+// storage backend, the duplicate-suppression table, and the switch
+// lease, plus the shim-layer logic for fast-path reads.
+type Base struct {
+	Env   Env
+	Group GroupConfig
+	Store *store.Store
+	CT    *ClientTable
+	Lease SwitchLease
+	Class ReadClass
+
+	// DisableCheck is an ablation switch: the replica serves fast-path
+	// reads without the §7 visibility/integrity check, demonstrating
+	// why the dirty set alone is insufficient under network asynchrony
+	// (§5.2). Never enable outside experiments.
+	DisableCheck bool
+
+	// Stats the harness inspects.
+	FastServed    uint64 // fast-path reads answered locally
+	FastRejected  uint64 // fast-path reads forwarded to the normal path
+	LeaseRejected uint64 // fast-path reads rejected by the lease gate
+	UnsafeServed  uint64 // served with DisableCheck where the check would have rejected
+}
+
+// NewBase constructs the shared state.
+func NewBase(env Env, g GroupConfig, class ReadClass, shards int) *Base {
+	return &Base{
+		Env:   env,
+		Group: g,
+		Store: store.New(shards),
+		CT:    NewClientTable(),
+		Class: class,
+	}
+}
+
+// ReadReply builds the reply for a read of pkt's object from the local
+// store.
+func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
+	rep := &wire.Packet{
+		Op:       wire.OpReadReply,
+		ObjID:    pkt.ObjID,
+		ClientID: pkt.ClientID,
+		ReqID:    pkt.ReqID,
+		Key:      pkt.Key,
+		// Echo the request's commit stamp (diagnostic; clients and the
+		// switch ignore it on replies).
+		LastCommitted: pkt.LastCommitted,
+	}
+	if obj, ok := b.Store.Get(pkt.ObjID); ok {
+		rep.Value = append([]byte(nil), obj.Value...)
+	} else {
+		rep.Flags |= wire.FlagNotFound
+	}
+	return rep
+}
+
+// WriteReply builds the client reply for a completed write. If
+// piggyback is true, the reply carries the write's sequence number so
+// the switch processes it as a WRITE-COMPLETION on the way through
+// (Fig. 2b); read-behind protocols pass false and send completions
+// separately once the §7.3 condition holds.
+func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
+	rep := &wire.Packet{
+		Op:       wire.OpWriteReply,
+		ObjID:    pkt.ObjID,
+		ClientID: pkt.ClientID,
+		ReqID:    pkt.ReqID,
+		Key:      pkt.Key,
+	}
+	if piggyback {
+		rep.Seq = pkt.Seq
+	}
+	return rep
+}
+
+// Completion builds a standalone WRITE-COMPLETION notification for the
+// switch.
+func (b *Base) Completion(objID wire.ObjectID, seq wire.Seq) *wire.Packet {
+	return &wire.Packet{Op: wire.OpWriteCompletion, ObjID: objID, Seq: seq}
+}
+
+// HandleFastRead runs the shim-layer check for a fast-path read. When
+// the read passes the lease gate and the class-specific §7 check, it
+// is answered from the local store; otherwise it is forwarded to
+// normalDst (primary, tail, or leader) marked FlagForwarded so that no
+// switch re-examines it. If normalDst is this replica itself, the
+// caller's normal-path handler is invoked via the returned flag
+// instead (serveNormally == true).
+func (b *Base) HandleFastRead(pkt *wire.Packet, normalDst SendTarget) (serveNormally bool) {
+	epoch := pkt.LastCommitted.Epoch
+	if !b.Lease.Allows(epoch, b.Env.Now()) {
+		b.LeaseRejected++
+		return b.rejectFast(pkt, normalDst)
+	}
+	var ok bool
+	switch b.Class {
+	case ReadAhead:
+		ok = ReadAheadAccept(pkt.LastCommitted, b.Store.ObjectSeq(pkt.ObjID))
+	case ReadBehind:
+		ok = ReadBehindAccept(pkt.LastCommitted, b.Store.LastApplied())
+	}
+	if b.DisableCheck {
+		if !ok {
+			b.UnsafeServed++
+		}
+		ok = true
+	}
+	if !ok {
+		b.FastRejected++
+		return b.rejectFast(pkt, normalDst)
+	}
+	b.FastServed++
+	b.Env.SendSwitch(b.ReadReply(pkt))
+	return false
+}
+
+func (b *Base) rejectFast(pkt *wire.Packet, normalDst SendTarget) bool {
+	pkt.Flags = (pkt.Flags &^ wire.FlagFastPath) | wire.FlagForwarded
+	if normalDst.Self {
+		return true
+	}
+	b.Env.Send(normalDst.Node, pkt)
+	return false
+}
+
+// SendTarget names where rejected fast reads go.
+type SendTarget struct {
+	Node simnet.NodeID
+	Self bool
+}
+
+// TargetSelf marks the local replica as the normal-path destination.
+func TargetSelf() SendTarget { return SendTarget{Self: true} }
+
+// Target points at a remote node.
+func Target(n simnet.NodeID) SendTarget { return SendTarget{Node: n} }

@@ -1,0 +1,277 @@
+// Package chain implements chain replication (van Renesse & Schneider,
+// OSDI 2004) with the Harmonia adaptations of §7.2.
+//
+// Replicas form a chain: index 0 is the head, index N-1 the tail.
+// Writes enter at the head and propagate down; the tail's application
+// commits the write and produces the client reply, which piggybacks the
+// WRITE-COMPLETION through the switch. Normal-path reads are served by
+// the tail (whose state is exactly the committed state); Harmonia
+// fast-path reads may land on any replica and are validated with the
+// read-ahead integrity check.
+//
+// Commit acknowledgments flow back up the chain so that each node can
+// trim its resend buffer; on a mid-chain node failure, the predecessor
+// resends unacknowledged writes to its new successor, and the
+// successor's in-order apply guard discards what it already has.
+package chain
+
+import (
+	"harmonia/internal/protocol"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// propagate carries a write down the chain.
+type propagate struct {
+	Pkt *wire.Packet
+}
+
+// CostClass marks propagation as a full write application.
+func (propagate) CostClass() protocol.CostClass { return protocol.CostWrite }
+
+// chainAck flows from the tail up the chain announcing the commit
+// point, letting nodes trim their resend buffers.
+type chainAck struct {
+	Seq wire.Seq
+}
+
+// CostClass marks the ack as control traffic.
+func (chainAck) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// reReply asks the tail to re-send the cached reply for a duplicate
+// client request.
+type reReply struct {
+	ClientID uint32
+	ReqID    uint64
+}
+
+// CostClass marks the re-reply request as control traffic.
+func (reReply) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// Replica is one chain node.
+type Replica struct {
+	*protocol.Base
+
+	// next and prev are chain-neighbor indexes (-1 at the ends); they
+	// change under reconfiguration.
+	next, prev int
+	// alive tracks which indexes are still chain members.
+	alive []bool
+
+	// unacked buffers writes forwarded but not yet known committed,
+	// in sequence order, for resend on successor failure.
+	unacked []*wire.Packet
+	// committed is the highest sequence number known committed here.
+	committed wire.Seq
+
+	// Stats
+	WritesApplied   uint64
+	WritesCommitted uint64 // tail only
+	ReadsServed     uint64 // tail normal-path reads
+}
+
+// New builds a chain node.
+func New(env protocol.Env, g protocol.GroupConfig, shards int) *Replica {
+	r := &Replica{
+		Base:  protocol.NewBase(env, g, protocol.ReadAhead, shards),
+		next:  g.Self + 1,
+		prev:  g.Self - 1,
+		alive: make([]bool, g.N()),
+	}
+	if r.next >= g.N() {
+		r.next = -1
+	}
+	for i := range r.alive {
+		r.alive[i] = true
+	}
+	return r
+}
+
+// IsHead and IsTail report chain position under the current
+// configuration.
+func (r *Replica) IsHead() bool { return r.prev == -1 }
+
+// IsTail reports whether this node is the current tail.
+func (r *Replica) IsTail() bool { return r.next == -1 }
+
+// tailIndex computes the current tail's index from liveness.
+func (r *Replica) tailIndex() int {
+	for i := r.Group.N() - 1; i >= 0; i-- {
+		if r.alive[i] {
+			return i
+		}
+	}
+	return r.Group.Self
+}
+
+// Recv implements simnet.Handler.
+func (r *Replica) Recv(from simnet.NodeID, msg simnet.Message) {
+	if r.HandleControl(msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Packet:
+		r.recvPacket(m)
+	case propagate:
+		r.recvPropagate(m.Pkt)
+	case chainAck:
+		r.recvAck(m.Seq)
+	case reReply:
+		r.recvReReply(m)
+	}
+}
+
+func (r *Replica) recvPacket(pkt *wire.Packet) {
+	switch pkt.Op {
+	case wire.OpWrite:
+		if r.IsHead() {
+			r.headWrite(pkt)
+		}
+	case wire.OpRead:
+		if pkt.Flags&wire.FlagFastPath != 0 {
+			target := protocol.Target(r.Group.Addr(r.tailIndex()))
+			if r.IsTail() {
+				target = protocol.TargetSelf()
+			}
+			if r.HandleFastRead(pkt, target) {
+				r.tailRead(pkt)
+			}
+			return
+		}
+		if r.IsTail() {
+			r.tailRead(pkt)
+			return
+		}
+		// Stale routing: pass the read along to the real tail.
+		r.Env.Send(r.Group.Addr(r.tailIndex()), pkt)
+	}
+}
+
+// headWrite admits a client write at the head.
+func (r *Replica) headWrite(pkt *wire.Packet) {
+	execute, _ := r.CT.Admit(pkt.ClientID, pkt.ReqID)
+	if !execute {
+		// Duplicate: the head holds no reply cache (the tail replies),
+		// so ask the tail to re-send its cached reply if the write
+		// already committed; if still in flight the pending reply will
+		// serve the retransmission.
+		r.Env.Send(r.Group.Addr(r.tailIndex()), reReply{ClientID: pkt.ClientID, ReqID: pkt.ReqID})
+		return
+	}
+	r.apply(pkt)
+}
+
+// recvPropagate applies a write arriving from the predecessor.
+func (r *Replica) recvPropagate(pkt *wire.Packet) { r.apply(pkt) }
+
+// apply installs a write and moves it along the chain, or commits it
+// at the tail.
+func (r *Replica) apply(pkt *wire.Packet) {
+	if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
+		// §5.2 write-order requirement: out-of-order writes are
+		// discarded; the client's retry gets a fresh sequence number.
+		return
+	}
+	r.WritesApplied++
+	if r.IsTail() {
+		r.commitAtTail(pkt)
+		return
+	}
+	r.unacked = append(r.unacked, pkt)
+	r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt})
+}
+
+// commitAtTail finishes a write: the tail's apply is the commit.
+func (r *Replica) commitAtTail(pkt *wire.Packet) {
+	r.WritesCommitted++
+	r.committed = r.committed.Max(pkt.Seq)
+	rep := r.WriteReply(pkt, true) // piggybacks the WRITE-COMPLETION
+	r.CT.Complete(pkt.ClientID, pkt.ReqID, rep)
+	r.Env.SendSwitch(rep)
+	if r.prev >= 0 {
+		r.Env.Send(r.Group.Addr(r.prev), chainAck{Seq: pkt.Seq})
+	}
+}
+
+// recvAck trims the resend buffer and relays the commit point up.
+func (r *Replica) recvAck(seq wire.Seq) {
+	r.committed = r.committed.Max(seq)
+	cut := 0
+	for cut < len(r.unacked) && r.unacked[cut].Seq.LessEq(seq) {
+		cut++
+	}
+	r.unacked = r.unacked[cut:]
+	if r.prev >= 0 {
+		r.Env.Send(r.Group.Addr(r.prev), chainAck{Seq: seq})
+	}
+}
+
+// recvReReply answers a duplicate-write probe from its reply cache.
+func (r *Replica) recvReReply(m reReply) {
+	if !r.IsTail() {
+		return
+	}
+	if cached := r.CT.Cached(m.ClientID, m.ReqID); cached != nil {
+		rep := cached.Clone()
+		rep.Seq = wire.ZeroSeq // do not re-trigger the completion
+		r.Env.SendSwitch(rep)
+	}
+}
+
+// tailRead serves a read from committed state.
+func (r *Replica) tailRead(pkt *wire.Packet) {
+	r.ReadsServed++
+	r.Env.SendSwitch(r.ReadReply(pkt))
+}
+
+// Reconfigure removes a failed node from the chain. Every survivor
+// re-links; the failed node's predecessor resends its unacknowledged
+// writes to its new successor (or commits them itself if it became the
+// tail). The in-order apply guard at the successor discards anything
+// it already processed.
+func (r *Replica) Reconfigure(failed int) {
+	if failed < 0 || failed >= r.Group.N() || !r.alive[failed] {
+		return
+	}
+	r.alive[failed] = false
+	self := r.Group.Self
+	if self == failed {
+		return
+	}
+	// Recompute neighbors from the liveness map.
+	r.next, r.prev = -1, -1
+	for i := self + 1; i < r.Group.N(); i++ {
+		if r.alive[i] {
+			r.next = i
+			break
+		}
+	}
+	for i := self - 1; i >= 0; i-- {
+		if r.alive[i] {
+			r.prev = i
+			break
+		}
+	}
+	// If our successor was the failed node, recover its in-flight
+	// writes.
+	pending := r.unacked
+	if r.IsTail() {
+		// Became the tail: our applied-but-unacked writes are now
+		// committed by definition; reply for them.
+		r.unacked = nil
+		for _, pkt := range pending {
+			r.commitAtTail(pkt)
+		}
+		return
+	}
+	// Resend the unacked window to the (possibly new) successor.
+	for _, pkt := range pending {
+		r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt})
+	}
+}
+
+// Committed returns the highest commit point this node knows (tests).
+func (r *Replica) Committed() wire.Seq { return r.committed }
+
+// UnackedLen returns the resend-buffer length (tests).
+func (r *Replica) UnackedLen() int { return len(r.unacked) }

@@ -1,0 +1,172 @@
+package craq
+
+import (
+	"testing"
+
+	"harmonia/internal/protocol"
+	"harmonia/internal/protocol/ptest"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+func group(t *testing.T, n int) (*ptest.Harness, []*Replica) {
+	t.Helper()
+	h := ptest.NewHarness(1)
+	addrs := make([]simnet.NodeID, n)
+	for i := range addrs {
+		addrs[i] = simnet.NodeID(i + 1)
+	}
+	reps := make([]*Replica, n)
+	for i := range reps {
+		g := protocol.GroupConfig{Replicas: addrs, Self: i}
+		reps[i] = New(h.Env(addrs[i], i), g, 8)
+		h.Register(addrs[i], reps[i])
+	}
+	return h, reps
+}
+
+func write(obj wire.ObjectID, n uint64, client uint32, req uint64, val string) *wire.Packet {
+	return &wire.Packet{
+		Op: wire.OpWrite, ObjID: obj, Seq: wire.Seq{Epoch: 1, N: n},
+		ClientID: client, ReqID: req, Value: []byte(val),
+	}
+}
+
+func read(obj wire.ObjectID, client uint32, req uint64) *wire.Packet {
+	return &wire.Packet{Op: wire.OpRead, ObjID: obj, ClientID: client, ReqID: req}
+}
+
+func TestWriteTwoPhaseCommit(t *testing.T) {
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	rep := h.LastToSwitch()
+	if rep == nil || rep.Op != wire.OpWriteReply {
+		t.Fatal("no reply from tail")
+	}
+	// Phase 2 completed: every node holds exactly one clean version.
+	for i, r := range reps {
+		if r.VersionCount(7) != 1 {
+			t.Fatalf("node %d retains %d versions", i, r.VersionCount(7))
+		}
+		if v := r.obj(7).latest(); !v.clean {
+			t.Fatalf("node %d version dirty after commit", i)
+		}
+	}
+}
+
+func TestCleanReadServedLocally(t *testing.T) {
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	for i := 1; i <= 3; i++ {
+		h.Inject(100, simnet.NodeID(i), read(7, 2, uint64(i)))
+		rep := h.LastToSwitch()
+		if rep.Op != wire.OpReadReply || string(rep.Value) != "v1" {
+			t.Fatalf("clean read at node %d failed", i)
+		}
+	}
+	if reps[0].CleanReads != 1 || reps[1].CleanReads != 1 || reps[2].CleanReads != 1 {
+		t.Fatal("clean reads not served at each node")
+	}
+}
+
+func TestDirtyReadQueriesTailAndReturnsCommitted(t *testing.T) {
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "old"))
+	// Stall phase 1 before the tail: mid node has a dirty version.
+	h.Blackhole[3] = true
+	h.Inject(100, 1, write(7, 2, 1, 2, "new"))
+	h.Blackhole[3] = false
+	if got := reps[1].VersionCount(7); got != 2 {
+		t.Fatalf("mid retains %d versions, want 2 (clean old + dirty new)", got)
+	}
+	// A read at the mid node must return the committed "old" value via
+	// a tail version query — not the dirty "new" one.
+	h.Inject(100, 2, read(7, 3, 1))
+	rep := h.LastToSwitch()
+	if rep.Op != wire.OpReadReply || string(rep.Value) != "old" {
+		t.Fatalf("dirty read returned %q, want committed \"old\"", rep.Value)
+	}
+	if reps[1].DirtyReads != 1 {
+		t.Fatal("dirty read not counted")
+	}
+}
+
+func TestReadMissingObject(t *testing.T) {
+	h, _ := group(t, 3)
+	h.Inject(100, 2, read(42, 1, 1))
+	rep := h.LastToSwitch()
+	if rep.Flags&wire.FlagNotFound == 0 {
+		t.Fatal("missing object not flagged")
+	}
+}
+
+func TestDeleteVisibleAsNotFound(t *testing.T) {
+	h, _ := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	del := write(7, 2, 1, 2, "")
+	del.Flags |= wire.FlagDelete
+	h.Inject(100, 1, del)
+	h.Inject(100, 2, read(7, 2, 1))
+	rep := h.LastToSwitch()
+	if rep.Flags&wire.FlagNotFound == 0 {
+		t.Fatal("deleted object still readable")
+	}
+}
+
+func TestOutOfOrderWriteDiscarded(t *testing.T) {
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 5, 1, 1, "v5"))
+	h.Inject(100, 1, write(8, 3, 2, 1, "stale"))
+	if reps[0].VersionCount(8) != 0 {
+		t.Fatal("stale write created a version")
+	}
+}
+
+func TestDuplicateWriteReReplied(t *testing.T) {
+	h, _ := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	h.Inject(100, 1, write(7, 2, 1, 1, "v1"))
+	replies := h.SwitchPacketsOf(wire.OpWriteReply)
+	if len(replies) != 2 {
+		t.Fatalf("%d replies, want 2", len(replies))
+	}
+}
+
+func TestVersionGCAfterManyWrites(t *testing.T) {
+	h, reps := group(t, 3)
+	for i := uint64(1); i <= 20; i++ {
+		h.Inject(100, 1, write(7, i, 1, i, "v"))
+	}
+	for i, r := range reps {
+		if got := r.VersionCount(7); got != 1 {
+			t.Fatalf("node %d retains %d versions after quiescence", i, got)
+		}
+	}
+}
+
+func TestDirtyReadWithGCedCommittedVersion(t *testing.T) {
+	// Construct the race where the tail's committed version answer
+	// refers to a version the asking node already garbage-collected:
+	// the node must serve its oldest retained (≥ committed) version.
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	// Inject a version reply for an old version number directly.
+	h.Inject(3, 2, versionReply{ObjID: 7, N: 0, Found: true, Pkt: read(7, 9, 1)})
+	rep := h.LastToSwitch()
+	if rep.Op != wire.OpReadReply || string(rep.Value) != "v1" {
+		t.Fatalf("stale version reply mishandled: %v", rep)
+	}
+	_ = reps
+}
+
+func TestTailReadAlwaysClean(t *testing.T) {
+	h, reps := group(t, 3)
+	h.Inject(100, 1, write(7, 1, 1, 1, "v1"))
+	h.Inject(100, 3, read(7, 2, 1))
+	if reps[2].DirtyReads != 0 {
+		t.Fatal("tail read used a version query")
+	}
+	if rep := h.LastToSwitch(); string(rep.Value) != "v1" {
+		t.Fatal("tail read wrong")
+	}
+}

@@ -1,0 +1,566 @@
+// Package nopaxos implements NOPaxos (Li et al., OSDI 2016) with the
+// Harmonia adaptations of §7.3.
+//
+// NOPaxos replaces leader-driven ordering with an in-network sequencer:
+// client writes are stamped with a session and message number and
+// multicast to every replica (ordered unreliable multicast, OUM). In
+// this reproduction the Harmonia switch doubles as the sequencer — the
+// paper notes the two naturally share a switch — so the Harmonia
+// sequence number (epoch = OUM session, counter = message number) is
+// the OUM stamp, and the scheduler's MulticastWrites mode performs the
+// delivery.
+//
+// Replicas append sequenced writes to their logs; only the leader
+// executes immediately and answers the client. Drops appear as message
+// -number gaps: followers fetch missing entries from the leader, and a
+// gap at the leader is resolved by committing a NO-OP in that slot
+// (gap agreement, leader-driven here). A periodic synchronization
+// (SYNC-PREPARE / SYNC-ACK / SYNC-COMMIT) brings all replicas' executed
+// state to a common prefix; per §7.3, completion of a synchronization
+// is when the leader releases WRITE-COMPLETIONs for the objects
+// affected in the synced range.
+//
+// Scope note: NOPaxos view changes (leader failure) are not
+// implemented; the paper's evaluation does not exercise them, and the
+// Harmonia integration is unaffected (DESIGN.md records this).
+package nopaxos
+
+import (
+	"time"
+
+	"harmonia/internal/protocol"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// entry is one log slot: a sequenced write or an agreed NO-OP.
+type entry struct {
+	Pkt  *wire.Packet
+	NoOp bool
+}
+
+// --- protocol messages ---
+
+// gapRequest asks the leader for missing log entries [From, To].
+type gapRequest struct {
+	From, To uint64 // op numbers
+	Replica  int
+}
+
+// CostClass marks gap traffic as control.
+func (gapRequest) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// gapReply returns entries starting at First.
+type gapReply struct {
+	First   uint64
+	Entries []entry
+}
+
+// CostClass marks gap traffic as control.
+func (gapReply) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// gapCommit instructs replicas to place a NO-OP at OpNum (replacing a
+// real entry if they had one — the slot's fate is decided by the
+// leader). Epoch identifies the OUM session the slot belongs to, so a
+// replica that has not yet seen any write of that session establishes
+// the correct session base.
+type gapCommit struct {
+	Epoch uint32
+	OpNum uint64
+}
+
+// CostClass marks gap traffic as control.
+func (gapCommit) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// syncPrepare starts a synchronization round up to OpNum.
+type syncPrepare struct {
+	OpNum uint64
+}
+
+// CostClass marks sync traffic as control.
+func (syncPrepare) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// syncAck confirms the replica's log covers OpNum. SyncPoint tells the
+// leader how far this replica has already synchronized, so the commit
+// can carry exactly the NO-OP positions the replica has not yet
+// reconciled.
+type syncAck struct {
+	OpNum     uint64
+	Replica   int
+	SyncPoint uint64
+}
+
+// CostClass marks sync traffic as control.
+func (syncAck) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// syncCommit finalizes the round: the recipient reconciles the listed
+// NO-OP slots (a gapCommit may have been lost — without this, a
+// follower could execute a real entry in a slot the leader declared
+// NO-OP, diverging permanently) and then executes through OpNum.
+type syncCommit struct {
+	OpNum uint64
+	NoOps []uint64 // NO-OP op numbers in (recipient's SyncPoint, OpNum]
+}
+
+// CostClass marks sync traffic as control.
+func (syncCommit) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// Options tunes the replica.
+type Options struct {
+	// SyncEvery is the leader's synchronization cadence. Zero disables
+	// the timer (tests drive syncs manually via ForceSync).
+	SyncEvery time.Duration
+}
+
+// DefaultOptions returns the standard sync cadence.
+func DefaultOptions() Options { return Options{SyncEvery: time.Millisecond} }
+
+// Replica is one NOPaxos group member. Index 0 is the leader.
+type Replica struct {
+	*protocol.Base
+	opts Options
+
+	log      []entry
+	curEpoch uint32 // current OUM session
+	sessBase uint64 // log length when the session began
+	lastMsg  uint64 // last in-session message number appended
+
+	pending map[uint64]*wire.Packet // buffered out-of-order arrivals (opNum → write)
+
+	executed  uint64 // ops executed against the store
+	syncPoint uint64 // last synchronized op
+
+	// Leader bookkeeping.
+	syncAcks     map[uint64]map[int]uint64 // opNum → replica → acked sync point
+	lastSyncSent uint64
+	completedOp  uint64   // ops whose completions have been released
+	noopPos      []uint64 // sorted op numbers of committed NO-OPs (leader)
+
+	syncTimer *sim.Timer
+
+	// Stats
+	WritesExecuted uint64
+	NoOps          uint64
+	Syncs          uint64
+	ReadsServed    uint64
+}
+
+// New builds a NOPaxos replica.
+func New(env protocol.Env, g protocol.GroupConfig, shards int, opts Options) *Replica {
+	r := &Replica{
+		Base:     protocol.NewBase(env, g, protocol.ReadBehind, shards),
+		opts:     opts,
+		pending:  make(map[uint64]*wire.Packet),
+		syncAcks: make(map[uint64]map[int]uint64),
+	}
+	if r.IsLeader() && opts.SyncEvery > 0 {
+		r.syncTimer = env.After(opts.SyncEvery, r.syncTick)
+	}
+	return r
+}
+
+// IsLeader reports whether this replica is the (static) leader.
+func (r *Replica) IsLeader() bool { return r.Group.Self == 0 }
+
+func (r *Replica) leaderAddr() simnet.NodeID { return r.Group.Addr(0) }
+
+// LogLen returns the log length (tests).
+func (r *Replica) LogLen() int { return len(r.log) }
+
+// SyncPoint returns the last synchronized op (tests).
+func (r *Replica) SyncPoint() uint64 { return r.syncPoint }
+
+// Recv implements simnet.Handler.
+func (r *Replica) Recv(from simnet.NodeID, msg simnet.Message) {
+	if r.HandleControl(msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Packet:
+		r.recvPacket(m)
+	case gapRequest:
+		r.recvGapRequest(m)
+	case gapReply:
+		r.recvGapReply(m)
+	case gapCommit:
+		r.recvGapCommit(m)
+	case syncPrepare:
+		r.recvSyncPrepare(m)
+	case syncAck:
+		r.recvSyncAck(m)
+	case syncCommit:
+		r.recvSyncCommit(m)
+	}
+}
+
+func (r *Replica) recvPacket(pkt *wire.Packet) {
+	switch pkt.Op {
+	case wire.OpWrite:
+		r.recvSequencedWrite(pkt)
+	case wire.OpRead:
+		if pkt.Flags&wire.FlagFastPath != 0 {
+			target := protocol.Target(r.leaderAddr())
+			if r.IsLeader() {
+				target = protocol.TargetSelf()
+			}
+			if r.HandleFastRead(pkt, target) {
+				r.leaderRead(pkt)
+			}
+			return
+		}
+		if !r.IsLeader() {
+			r.Env.Send(r.leaderAddr(), pkt)
+			return
+		}
+		r.leaderRead(pkt)
+	}
+}
+
+// leaderRead serves a normal-path read from the leader's fully
+// executed state.
+func (r *Replica) leaderRead(pkt *wire.Packet) {
+	r.ReadsServed++
+	r.Env.SendSwitch(r.ReadReply(pkt))
+}
+
+// recvSequencedWrite handles an OUM-delivered write.
+// sessionCheck admits a message from session e, performing the session
+// change if e is newer. It reports whether the message is current.
+func (r *Replica) sessionCheck(e uint32) bool {
+	if e < r.curEpoch {
+		return false // stale session
+	}
+	if e > r.curEpoch {
+		// Session change: the old session's undelivered tail is
+		// abandoned (clients retry through the new sequencer).
+		r.curEpoch = e
+		r.sessBase = uint64(len(r.log))
+		r.lastMsg = 0
+		r.pending = make(map[uint64]*wire.Packet)
+	}
+	return true
+}
+
+func (r *Replica) recvSequencedWrite(pkt *wire.Packet) {
+	if !r.sessionCheck(pkt.Seq.Epoch) {
+		return
+	}
+	n := pkt.Seq.N
+	switch {
+	case n == r.lastMsg+1:
+		r.appendWrite(pkt)
+		r.drainPending()
+	case n > r.lastMsg+1:
+		// Gap: buffer this write and ask the leader for the missing
+		// range. The leader resolves its own gaps with NO-OPs.
+		r.pending[r.sessBase+n] = pkt
+		if r.IsLeader() {
+			r.leaderFillGaps(n)
+		} else {
+			r.Env.Send(r.leaderAddr(), gapRequest{
+				From: r.sessBase + r.lastMsg + 1, To: r.sessBase + n - 1, Replica: r.Group.Self,
+			})
+		}
+	default:
+		// Duplicate delivery; already have it.
+	}
+}
+
+// appendWrite appends the next in-order write; the leader executes and
+// replies immediately.
+func (r *Replica) appendWrite(pkt *wire.Packet) {
+	r.log = append(r.log, entry{Pkt: pkt})
+	r.lastMsg = pkt.Seq.N
+	if r.IsLeader() {
+		r.executeThrough(uint64(len(r.log)))
+	}
+}
+
+// leaderFillGaps commits NO-OPs for the leader's own missing slots up
+// to (but excluding) message n, then drains the buffer.
+func (r *Replica) leaderFillGaps(n uint64) {
+	for r.lastMsg+1 < n {
+		r.lastMsg++
+		r.log = append(r.log, entry{NoOp: true})
+		r.NoOps++
+		op := r.sessBase + r.lastMsg
+		r.noopPos = append(r.noopPos, op)
+		r.executeThrough(uint64(len(r.log)))
+		r.broadcast(gapCommit{Epoch: r.curEpoch, OpNum: op})
+	}
+	r.drainPending()
+}
+
+// drainPending consumes buffered arrivals that are now in order.
+func (r *Replica) drainPending() {
+	for {
+		op := r.sessBase + r.lastMsg + 1
+		pkt, ok := r.pending[op]
+		if !ok {
+			return
+		}
+		delete(r.pending, op)
+		r.appendWrite(pkt)
+	}
+}
+
+func (r *Replica) broadcast(msg any) {
+	for i := 0; i < r.Group.N(); i++ {
+		if i != r.Group.Self {
+			r.Env.Send(r.Group.Addr(i), msg)
+		}
+	}
+}
+
+// executeThrough executes log entries (leader: as they arrive;
+// followers: at sync) up to opNum.
+func (r *Replica) executeThrough(opNum uint64) {
+	for r.executed < opNum && r.executed < uint64(len(r.log)) {
+		e := r.log[r.executed]
+		r.executed++
+		if e.NoOp {
+			continue
+		}
+		pkt := e.Pkt
+		// At-most-once dedup runs at EVERY replica during execution,
+		// not just the leader: a client retry is a second log entry
+		// (the sequencer cannot deduplicate), and if followers applied
+		// it while the leader's client table skipped it, their states
+		// would diverge whenever the duplicate lands after a newer
+		// write to the same object. Executing the same log with the
+		// same table yields identical decisions everywhere.
+		execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
+		if !execute {
+			if r.IsLeader() && cached != nil {
+				r.Env.SendSwitch(cached.Clone())
+			}
+			continue
+		}
+		if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
+			// Session changes can leave a higher-seq write applied
+			// before an abandoned old-session entry surfaces; the
+			// in-order guard drops it.
+			continue
+		}
+		r.WritesExecuted++
+		rep := r.WriteReply(pkt, false)
+		r.CT.Complete(pkt.ClientID, pkt.ReqID, rep)
+		if r.IsLeader() {
+			r.Env.SendSwitch(rep)
+		}
+	}
+}
+
+// --- gap handling ---
+
+func (r *Replica) recvGapRequest(m gapRequest) {
+	if !r.IsLeader() {
+		return
+	}
+	// The leader resolves slots it does not have yet as NO-OPs (its
+	// own gap handling), then answers from its log.
+	if m.To > uint64(len(r.log)) {
+		if m.To > r.sessBase {
+			r.leaderFillGaps(m.To - r.sessBase + 1)
+		}
+	}
+	if m.From > uint64(len(r.log)) || m.From == 0 {
+		return
+	}
+	to := m.To
+	if to > uint64(len(r.log)) {
+		to = uint64(len(r.log))
+	}
+	ents := append([]entry(nil), r.log[m.From-1:to]...)
+	r.Env.Send(r.Group.Addr(m.Replica), gapReply{First: m.From, Entries: ents})
+}
+
+func (r *Replica) recvGapReply(m gapReply) {
+	for i, e := range m.Entries {
+		op := m.First + uint64(i)
+		if op != uint64(len(r.log))+1 {
+			continue // already have it (or still out of order)
+		}
+		if !e.NoOp {
+			if !r.sessionCheck(e.Pkt.Seq.Epoch) {
+				continue
+			}
+			r.log = append(r.log, e)
+			r.lastMsg = e.Pkt.Seq.N
+		} else {
+			r.log = append(r.log, e)
+			r.lastMsg++
+			r.NoOps++
+		}
+	}
+	r.drainPending()
+}
+
+func (r *Replica) recvGapCommit(m gapCommit) {
+	if !r.sessionCheck(m.Epoch) {
+		return
+	}
+	switch {
+	case m.OpNum == uint64(len(r.log))+1:
+		r.log = append(r.log, entry{NoOp: true})
+		r.lastMsg++
+		r.NoOps++
+		r.drainPending()
+	case m.OpNum <= uint64(len(r.log)):
+		// The leader declared this slot a NO-OP; replace a real entry
+		// if it is not yet executed (executed entries can only differ
+		// if the sync protocol misfired, which would be a bug).
+		if m.OpNum > r.executed {
+			r.log[m.OpNum-1] = entry{NoOp: true}
+		}
+	default:
+		// Future slot: note it in pending as a NO-OP via log growth
+		// when preceding entries arrive. Simplest: ignore; the next
+		// sync or gap request will reconcile.
+	}
+}
+
+// --- synchronization (§7.3 completion source) ---
+
+func (r *Replica) syncTick() {
+	if r.IsLeader() {
+		r.ForceSync()
+		r.syncTimer = r.Env.After(r.opts.SyncEvery, r.syncTick)
+	}
+}
+
+// ForceSync starts a synchronization round at the leader for its
+// current log length.
+func (r *Replica) ForceSync() {
+	if !r.IsLeader() {
+		return
+	}
+	op := uint64(len(r.log))
+	if op <= r.syncPoint || op == r.lastSyncSent {
+		return
+	}
+	r.lastSyncSent = op
+	r.syncAcks[op] = map[int]uint64{0: r.syncPoint}
+	r.broadcast(syncPrepare{OpNum: op})
+	r.maybeCommitSync(op) // single-replica group
+}
+
+// noopsIn returns the committed NO-OP positions in (lo, hi].
+func (r *Replica) noopsIn(lo, hi uint64) []uint64 {
+	var out []uint64
+	for _, p := range r.noopPos {
+		if p > lo && p <= hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *Replica) recvSyncPrepare(m syncPrepare) {
+	if r.IsLeader() {
+		return
+	}
+	if uint64(len(r.log)) < m.OpNum {
+		// Missing tail: fetch it first; ack after the gap reply via
+		// the next sync round.
+		r.Env.Send(r.leaderAddr(), gapRequest{
+			From: uint64(len(r.log)) + 1, To: m.OpNum, Replica: r.Group.Self,
+		})
+		return
+	}
+	r.Env.Send(r.leaderAddr(), syncAck{OpNum: m.OpNum, Replica: r.Group.Self, SyncPoint: r.syncPoint})
+}
+
+func (r *Replica) recvSyncAck(m syncAck) {
+	if !r.IsLeader() {
+		return
+	}
+	acks, ok := r.syncAcks[m.OpNum]
+	if !ok {
+		// The round already committed (or never existed): answer the
+		// late acker directly so it does not have to wait for the
+		// next round.
+		if m.OpNum <= r.syncPoint {
+			r.Env.Send(r.Group.Addr(m.Replica),
+				syncCommit{OpNum: m.OpNum, NoOps: r.noopsIn(m.SyncPoint, m.OpNum)})
+		}
+		return
+	}
+	acks[m.Replica] = m.SyncPoint
+	r.maybeCommitSync(m.OpNum)
+}
+
+func (r *Replica) maybeCommitSync(op uint64) {
+	acks, ok := r.syncAcks[op]
+	if !ok || len(acks) < r.Group.Quorum() || op <= r.syncPoint {
+		return
+	}
+	delete(r.syncAcks, op)
+	r.Syncs++
+	prev := r.syncPoint
+	r.syncPoint = op
+	// Unicast the commit with per-replica NO-OP reconciliation lists:
+	// each follower needs exactly the NO-OPs between its own sync
+	// point and this round's target (its gapCommits may have been
+	// dropped).
+	for i := 0; i < r.Group.N(); i++ {
+		if i == r.Group.Self {
+			continue
+		}
+		from, acked := acks[i]
+		if !acked {
+			continue // lagging replica catches the next round
+		}
+		r.Env.Send(r.Group.Addr(i), syncCommit{OpNum: op, NoOps: r.noopsIn(from, op)})
+	}
+	// §7.3: upon completion of a synchronization the leader sends
+	// WRITE-COMPLETIONs for all objects affected in the synced range,
+	// each carrying the object's newest sequenced write so the dirty
+	// set entry clears only when no newer write is pending.
+	latest := make(map[wire.ObjectID]wire.Seq)
+	var order []wire.ObjectID
+	for i := prev; i < op; i++ {
+		e := r.log[i]
+		if e.NoOp {
+			continue
+		}
+		if _, seen := latest[e.Pkt.ObjID]; !seen {
+			order = append(order, e.Pkt.ObjID)
+		}
+		if latest[e.Pkt.ObjID].Less(e.Pkt.Seq) {
+			latest[e.Pkt.ObjID] = e.Pkt.Seq
+		}
+	}
+	for _, obj := range order {
+		r.Env.SendSwitch(r.Completion(obj, latest[obj]))
+	}
+	r.completedOp = op
+}
+
+func (r *Replica) recvSyncCommit(m syncCommit) {
+	if uint64(len(r.log)) < m.OpNum {
+		// Shouldn't normally happen (we ack only when covered), but a
+		// commit can outrun a gap fill; fetch and let the next round
+		// settle.
+		r.Env.Send(r.leaderAddr(), gapRequest{
+			From: uint64(len(r.log)) + 1, To: m.OpNum, Replica: r.Group.Self,
+		})
+		return
+	}
+	if m.OpNum <= r.syncPoint {
+		return // stale or duplicate round
+	}
+	// Reconcile NO-OP slots the leader committed but whose gapCommits
+	// we may have missed; these are all beyond our executed prefix
+	// (we only execute synchronized slots, and the list covers
+	// (ourSyncPoint, OpNum]).
+	for _, op := range m.NoOps {
+		if op > r.executed && op <= uint64(len(r.log)) && !r.log[op-1].NoOp {
+			r.log[op-1] = entry{NoOp: true}
+			r.NoOps++
+		}
+	}
+	r.syncPoint = m.OpNum
+	r.executeThrough(m.OpNum)
+}

@@ -1,0 +1,239 @@
+// Package protocol holds the machinery shared by all replication
+// protocol implementations: the environment abstraction replicas run
+// against, group configuration, the client table for at-most-once
+// semantics, the switch-lease gate, and the shim-layer helpers that
+// implement the paper's §7 fast-path read checks.
+package protocol
+
+import (
+	"math/rand"
+	"time"
+
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// Env is the world a replica interacts with. The cluster harness wires
+// it to the simulated network; nothing in the protocols depends on
+// simulation specifics beyond this interface.
+type Env interface {
+	// ID returns this replica's network address.
+	ID() simnet.NodeID
+	// Send delivers a protocol-internal message to a peer.
+	Send(to simnet.NodeID, msg any)
+	// SendSwitch puts a client-facing Harmonia packet (reply or
+	// write-completion) onto the data path through the switch.
+	SendSwitch(pkt *wire.Packet)
+	// After schedules fn after d of simulated time; the returned timer
+	// can be cancelled.
+	After(d time.Duration, fn func()) *sim.Timer
+	// Now returns the current simulated time.
+	Now() sim.Time
+	// Rand returns the deterministic random source.
+	Rand() *rand.Rand
+}
+
+// GroupConfig describes a replica group.
+type GroupConfig struct {
+	// Replicas lists member addresses; a member's index is its replica
+	// number (chain position, VR replica index, …).
+	Replicas []simnet.NodeID
+	// Self is this node's index in Replicas.
+	Self int
+	// F is the number of tolerated failures for quorum protocols
+	// (len(Replicas) = 2F+1 there).
+	F int
+}
+
+// N returns the group size.
+func (g GroupConfig) N() int { return len(g.Replicas) }
+
+// Quorum returns the majority size F+1.
+func (g GroupConfig) Quorum() int { return g.F + 1 }
+
+// Addr returns the address of replica i.
+func (g GroupConfig) Addr(i int) simnet.NodeID { return g.Replicas[i] }
+
+// SelfAddr returns this replica's address.
+func (g GroupConfig) SelfAddr() simnet.NodeID { return g.Replicas[g.Self] }
+
+// CostClass buckets messages by how much server CPU handling them
+// costs; the cluster's processor model translates classes into service
+// times calibrated to the paper's single-server Redis numbers.
+type CostClass int
+
+const (
+	// CostControl is a small protocol message (ack, commit notice).
+	CostControl CostClass = iota
+	// CostRead is a full read execution against the store.
+	CostRead
+	// CostWrite is a full write application.
+	CostWrite
+)
+
+// Costed lets protocol-internal messages declare their cost class.
+// Messages that do not implement it default to CostControl.
+type Costed interface{ CostClass() CostClass }
+
+// ClassOf returns the cost class for any message: Harmonia packets by
+// op, protocol messages via Costed, and CostControl otherwise.
+func ClassOf(msg any) CostClass {
+	switch m := msg.(type) {
+	case *wire.Packet:
+		switch m.Op {
+		case wire.OpRead:
+			return CostRead
+		case wire.OpWrite:
+			return CostWrite
+		default:
+			return CostControl
+		}
+	case Costed:
+		return m.CostClass()
+	default:
+		return CostControl
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client table (at-most-once semantics)
+
+type clientEntry struct {
+	reqID uint64
+	reply *wire.Packet // nil while the request is still in progress
+}
+
+// ClientTable filters duplicate client writes, as in Viewstamped
+// Replication: each client has at most one outstanding request, and a
+// retransmission of the latest request is answered from the cache
+// rather than re-executed.
+type ClientTable struct {
+	m map[uint32]clientEntry
+}
+
+// NewClientTable returns an empty table.
+func NewClientTable() *ClientTable { return &ClientTable{m: make(map[uint32]clientEntry)} }
+
+// Admit decides what to do with request (clientID, reqID):
+//
+//   - fresh requests are admitted (execute=true) and recorded as in
+//     progress;
+//   - a retransmission of the in-progress request is suppressed
+//     (execute=false, cached=nil — the eventual reply will serve it);
+//   - a retransmission of the completed request returns the cached
+//     reply;
+//   - anything older is ignored.
+func (t *ClientTable) Admit(clientID uint32, reqID uint64) (execute bool, cached *wire.Packet) {
+	e, ok := t.m[clientID]
+	if !ok || reqID > e.reqID {
+		t.m[clientID] = clientEntry{reqID: reqID}
+		return true, nil
+	}
+	if reqID == e.reqID {
+		return false, e.reply // may be nil: still in progress
+	}
+	return false, nil
+}
+
+// Complete records the reply for the client's current request. A
+// completion for a request the table has not seen (possible at a chain
+// tail, where admission happens at the head) registers it directly;
+// completions older than the tracked request are dropped.
+func (t *ClientTable) Complete(clientID uint32, reqID uint64, reply *wire.Packet) {
+	if e, ok := t.m[clientID]; ok && reqID < e.reqID {
+		return
+	}
+	t.m[clientID] = clientEntry{reqID: reqID, reply: reply}
+}
+
+// Cached returns the stored reply for (clientID, reqID) without
+// mutating the table, or nil.
+func (t *ClientTable) Cached(clientID uint32, reqID uint64) *wire.Packet {
+	if e, ok := t.m[clientID]; ok && e.reqID == reqID {
+		return e.reply
+	}
+	return nil
+}
+
+// Snapshot and Restore support state transfer.
+func (t *ClientTable) Snapshot() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(t.m))
+	for c, e := range t.m {
+		out[c] = e.reqID
+	}
+	return out
+}
+
+// Restore merges a snapshot, keeping the newer reqID per client.
+func (t *ClientTable) Restore(snap map[uint32]uint64) {
+	for c, r := range snap {
+		if e, ok := t.m[c]; !ok || r > e.reqID {
+			t.m[c] = clientEntry{reqID: r}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Switch lease (§5.3)
+
+// SwitchLease gates fast-path reads per switch incarnation. The
+// replication protocol "periodically agrees to allow single-replica
+// reads from the current switch for a time period"; granting a lease
+// for epoch E implicitly refuses all epochs < E, and a replacement
+// switch's writes are only admitted after the old lease was revoked or
+// expired.
+type SwitchLease struct {
+	epoch  uint32
+	expiry sim.Time
+}
+
+// Grant installs a lease for epoch until expiry. Grants never move the
+// epoch backwards.
+func (l *SwitchLease) Grant(epoch uint32, expiry sim.Time) {
+	if epoch < l.epoch {
+		return
+	}
+	if epoch > l.epoch || expiry > l.expiry {
+		l.epoch, l.expiry = epoch, expiry
+	}
+}
+
+// Revoke immediately ends the lease of every epoch ≤ epoch ("all
+// replicas agree to cut it short").
+func (l *SwitchLease) Revoke(epoch uint32) {
+	if epoch >= l.epoch {
+		l.epoch, l.expiry = epoch, 0
+	}
+}
+
+// Allows reports whether a fast-path read from the given switch epoch
+// may be served locally at time now.
+func (l *SwitchLease) Allows(epoch uint32, now sim.Time) bool {
+	return epoch == l.epoch && now < l.expiry
+}
+
+// Epoch returns the currently leased epoch.
+func (l *SwitchLease) Epoch() uint32 { return l.epoch }
+
+// ---------------------------------------------------------------------
+// §7 fast-path read checks (the shim layer)
+
+// ReadAheadAccept is the §7.2 integrity check for read-ahead protocols
+// (primary-backup, chain replication): a replica may answer a
+// fast-path read locally only when the last-committed point stamped by
+// the switch is at least the sequence number of the latest write it
+// has applied to the object — which proves every applied write to this
+// object had committed when the switch forwarded the read.
+func ReadAheadAccept(stamped, objSeq wire.Seq) bool {
+	return objSeq.LessEq(stamped)
+}
+
+// ReadBehindAccept is the §7.3 visibility check for read-behind
+// protocols (VR, NOPaxos): a replica may answer locally only when it
+// has executed at least up to the stamped last-committed point —
+// otherwise a write the switch already saw complete might be missing
+// here.
+func ReadBehindAccept(stamped, lastExecuted wire.Seq) bool {
+	return stamped.LessEq(lastExecuted)
+}

@@ -1,0 +1,151 @@
+// Package ptest provides a lightweight in-memory harness for unit
+// testing protocol replicas without the full cluster assembly: messages
+// are delivered instantly (or manually), timers run on a real sim
+// engine, and every switch-bound packet is captured for inspection.
+package ptest
+
+import (
+	"math/rand"
+	"time"
+
+	"harmonia/internal/protocol"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// Handler mirrors simnet.Handler for registered replicas.
+type Handler interface {
+	Recv(from simnet.NodeID, msg simnet.Message)
+}
+
+// Env is a fake protocol.Env. All replicas in one Harness share a sim
+// engine; Send delivers either immediately (synchronous) or via the
+// engine with a fixed delay.
+type Env struct {
+	h    *Harness
+	id   simnet.NodeID
+	self int
+}
+
+var _ protocol.Env = (*Env)(nil)
+
+// ID implements protocol.Env.
+func (e *Env) ID() simnet.NodeID { return e.id }
+
+// Send implements protocol.Env.
+func (e *Env) Send(to simnet.NodeID, msg any) {
+	if e.h.Delay > 0 {
+		from := e.id
+		e.h.Eng.After(e.h.Delay, func() { e.h.deliver(from, to, msg) })
+		return
+	}
+	e.h.deliver(e.id, to, msg)
+}
+
+// SendSwitch implements protocol.Env: packets to the switch are
+// captured in order. Dead nodes' packets are swallowed.
+func (e *Env) SendSwitch(pkt *wire.Packet) {
+	if e.h.Dead[e.id] {
+		return
+	}
+	e.h.ToSwitch = append(e.h.ToSwitch, SwitchPacket{From: e.id, Pkt: pkt})
+}
+
+// After implements protocol.Env.
+func (e *Env) After(d time.Duration, fn func()) *sim.Timer { return e.h.Eng.After(d, fn) }
+
+// Now implements protocol.Env.
+func (e *Env) Now() sim.Time { return e.h.Eng.Now() }
+
+// Rand implements protocol.Env.
+func (e *Env) Rand() *rand.Rand { return e.h.Eng.Rand() }
+
+// SwitchPacket is a captured switch-bound packet.
+type SwitchPacket struct {
+	From simnet.NodeID
+	Pkt  *wire.Packet
+}
+
+// Harness hosts a set of replicas with direct delivery.
+type Harness struct {
+	Eng      *sim.Engine
+	Delay    time.Duration // 0 = synchronous delivery
+	handlers map[simnet.NodeID]Handler
+
+	// ToSwitch records every SendSwitch call in order.
+	ToSwitch []SwitchPacket
+	// Dropped counts sends to unknown nodes.
+	Dropped int
+	// Blackhole, when set, swallows protocol messages to these nodes.
+	Blackhole map[simnet.NodeID]bool
+	// Dead nodes neither receive nor send anything (crash model).
+	Dead map[simnet.NodeID]bool
+}
+
+// NewHarness builds an empty harness.
+func NewHarness(seed int64) *Harness {
+	return &Harness{
+		Eng:       sim.NewEngine(seed),
+		handlers:  make(map[simnet.NodeID]Handler),
+		Blackhole: make(map[simnet.NodeID]bool),
+		Dead:      make(map[simnet.NodeID]bool),
+	}
+}
+
+// Env creates the environment for a replica at address id with group
+// index self.
+func (h *Harness) Env(id simnet.NodeID, self int) *Env {
+	return &Env{h: h, id: id, self: self}
+}
+
+// Register attaches a handler to an address.
+func (h *Harness) Register(id simnet.NodeID, hd Handler) { h.handlers[id] = hd }
+
+func (h *Harness) deliver(from, to simnet.NodeID, msg any) {
+	if h.Blackhole[to] || h.Dead[to] || h.Dead[from] {
+		h.Dropped++
+		return
+	}
+	hd, ok := h.handlers[to]
+	if !ok {
+		h.Dropped++
+		return
+	}
+	hd.Recv(from, msg)
+}
+
+// Inject delivers a message to a node as if from "from".
+func (h *Harness) Inject(from, to simnet.NodeID, msg any) { h.deliver(from, to, msg) }
+
+// Run advances simulated time (drives timers and delayed sends).
+func (h *Harness) Run(d time.Duration) { h.Eng.RunFor(d) }
+
+// LastToSwitch returns the most recent switch-bound packet, or nil.
+func (h *Harness) LastToSwitch() *wire.Packet {
+	if len(h.ToSwitch) == 0 {
+		return nil
+	}
+	return h.ToSwitch[len(h.ToSwitch)-1].Pkt
+}
+
+// SwitchPacketsOf filters captured packets by op.
+func (h *Harness) SwitchPacketsOf(op wire.Op) []*wire.Packet {
+	var out []*wire.Packet
+	for _, sp := range h.ToSwitch {
+		if sp.Pkt.Op == op {
+			out = append(out, sp.Pkt)
+		}
+	}
+	return out
+}
+
+// Grant gives every registered replica a fast-read lease for epoch
+// lasting d from now, via the control-plane message path.
+func (h *Harness) Grant(epoch uint32, d time.Duration) {
+	expiry := h.Eng.Now() + sim.Time(d)
+	for id, hd := range h.handlers {
+		_ = id
+		hd.Recv(0, protocol.LeaseGrant{Epoch: epoch, Expiry: expiry})
+	}
+}

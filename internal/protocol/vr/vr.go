@@ -1,0 +1,739 @@
+// Package vr implements Viewstamped Replication (Oki & Liskov, PODC
+// 1988; Liskov & Cowling's "VR Revisited" formulation) with the
+// Harmonia adaptations of §7.3.
+//
+// VR is a leader-based quorum protocol equivalent to Multi-Paxos: the
+// leader of the current view assigns op numbers, replicates via
+// PREPARE/PREPARE-OK, commits at a majority, and executes committed
+// operations in order. It is read-behind: replicas execute only
+// committed writes, so fast-path reads need the visibility check — a
+// replica answers locally only when it has executed at least up to the
+// read's stamped last-committed point.
+//
+// Harmonia adds one phase: concurrently with replying to the client,
+// the leader distributes the commit point; replicas acknowledge with
+// COMMIT-ACK once they have executed it, and only when a quorum has
+// acknowledged an operation does the leader send the WRITE-COMPLETION
+// for it (delaying completions this way reduces rejected fast reads).
+package vr
+
+import (
+	"time"
+
+	"harmonia/internal/protocol"
+	"harmonia/internal/sim"
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+type status int
+
+const (
+	statusNormal status = iota
+	statusViewChange
+)
+
+// logEntry is one slot in the replicated log.
+type logEntry struct {
+	Pkt *wire.Packet
+}
+
+// --- protocol messages ---
+
+type prepare struct {
+	View      uint64
+	OpNum     uint64
+	Entry     logEntry
+	CommitNum uint64
+}
+
+// CostClass charges log append + eventual execution as a write.
+func (prepare) CostClass() protocol.CostClass { return protocol.CostWrite }
+
+type prepareOK struct {
+	View    uint64
+	OpNum   uint64
+	Replica int
+}
+
+// CostClass marks the ack as control traffic.
+func (prepareOK) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type commitMsg struct {
+	View      uint64
+	CommitNum uint64
+}
+
+// CostClass marks the commit notice as control traffic.
+func (commitMsg) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// commitAck is the Harmonia extra phase (§7.3): the replica has
+// executed everything up to ExecutedNum.
+type commitAck struct {
+	View        uint64
+	ExecutedNum uint64
+	Replica     int
+}
+
+// CostClass marks the ack as control traffic.
+func (commitAck) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type startViewChange struct {
+	View    uint64
+	Replica int
+}
+
+// CostClass marks view-change traffic as control.
+func (startViewChange) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type doViewChange struct {
+	View           uint64
+	Log            []logEntry
+	LastNormalView uint64
+	OpNum          uint64
+	CommitNum      uint64
+	Replica        int
+}
+
+// CostClass marks view-change traffic as control.
+func (doViewChange) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type startView struct {
+	View      uint64
+	Log       []logEntry
+	OpNum     uint64
+	CommitNum uint64
+}
+
+// CostClass marks view-change traffic as control.
+func (startView) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type getState struct {
+	View    uint64
+	OpNum   uint64
+	Replica int
+}
+
+// CostClass marks state transfer as control traffic.
+func (getState) CostClass() protocol.CostClass { return protocol.CostControl }
+
+type newState struct {
+	View      uint64
+	FirstOp   uint64 // op number of Log[0]
+	Log       []logEntry
+	OpNum     uint64
+	CommitNum uint64
+}
+
+// CostClass marks state transfer as control traffic.
+func (newState) CostClass() protocol.CostClass { return protocol.CostControl }
+
+// Options tune timers and the Harmonia completion policy.
+type Options struct {
+	// HeartbeatEvery is the leader's idle COMMIT cadence.
+	HeartbeatEvery time.Duration
+	// ViewChangeTimeout fires a view change when no leader traffic
+	// arrives for this long. Zero disables automatic view changes
+	// (benchmarks use a static, healthy group).
+	ViewChangeTimeout time.Duration
+	// EagerCompletions is the §7.3 ablation: send WRITE-COMPLETIONs at
+	// commit time instead of waiting for a quorum of COMMIT-ACKs.
+	EagerCompletions bool
+}
+
+// DefaultOptions returns sensible simulation timers.
+func DefaultOptions() Options {
+	return Options{HeartbeatEvery: 5 * time.Millisecond, ViewChangeTimeout: 25 * time.Millisecond}
+}
+
+// Replica is one VR group member.
+type Replica struct {
+	*protocol.Base
+	opts Options
+
+	view      uint64
+	status    status
+	log       []logEntry
+	opNum     uint64
+	commitNum uint64 // committed and (here) executed prefix
+
+	lastSwitchSeq wire.Seq // §5.2 in-order guard at the leader
+
+	// Leader bookkeeping.
+	okAcks    map[uint64]map[int]bool // opNum → replicas that prepared
+	execPoint []uint64                // per-replica executed op number (from commitAcks)
+	completed uint64                  // ops for which WRITE-COMPLETION was sent
+	dead      []bool                  // replicas excluded from the completion wait
+
+	// View-change bookkeeping.
+	svcVotes       map[uint64]map[int]bool
+	dvcMsgs        map[uint64]map[int]doViewChange
+	lastNormalView uint64
+
+	// Timers.
+	hbTimer *sim.Timer
+	vcTimer *sim.Timer
+
+	// OnViewChange, when set, is invoked after this replica enters a
+	// new view in normal status (control-plane hook used by the
+	// cluster to retarget the switch).
+	OnViewChange func(view uint64, leader int)
+
+	// Stats
+	WritesCommitted uint64
+	ReadsServed     uint64
+	ViewChanges     uint64
+}
+
+// New builds a VR replica. The group must have 2F+1 members.
+func New(env protocol.Env, g protocol.GroupConfig, shards int, opts Options) *Replica {
+	r := &Replica{
+		Base:      protocol.NewBase(env, g, protocol.ReadBehind, shards),
+		opts:      opts,
+		okAcks:    make(map[uint64]map[int]bool),
+		execPoint: make([]uint64, g.N()),
+		dead:      make([]bool, g.N()),
+		svcVotes:  make(map[uint64]map[int]bool),
+		dvcMsgs:   make(map[uint64]map[int]doViewChange),
+	}
+	r.armTimers()
+	return r
+}
+
+// Leader returns the current view's leader index.
+func (r *Replica) Leader() int { return int(r.view % uint64(r.Group.N())) }
+
+// IsLeader reports whether this replica leads the current view.
+func (r *Replica) IsLeader() bool { return r.Leader() == r.Group.Self }
+
+// View returns the current view number (tests).
+func (r *Replica) View() uint64 { return r.view }
+
+// CommitNum returns the executed prefix length (tests).
+func (r *Replica) CommitNum() uint64 { return r.commitNum }
+
+func (r *Replica) leaderAddr() simnet.NodeID { return r.Group.Addr(r.Leader()) }
+
+func (r *Replica) armTimers() {
+	if r.opts.HeartbeatEvery > 0 && r.IsLeader() {
+		r.hbTimer = r.Env.After(r.opts.HeartbeatEvery, r.heartbeat)
+	}
+	if r.opts.ViewChangeTimeout > 0 && !r.IsLeader() {
+		r.vcTimer = r.Env.After(r.opts.ViewChangeTimeout, r.leaderTimeout)
+	}
+}
+
+func (r *Replica) heartbeat() {
+	if r.status == statusNormal && r.IsLeader() {
+		r.broadcast(commitMsg{View: r.view, CommitNum: r.commitNum})
+	}
+	if r.opts.HeartbeatEvery > 0 && r.IsLeader() {
+		r.hbTimer = r.Env.After(r.opts.HeartbeatEvery, r.heartbeat)
+	}
+}
+
+// touchLeader resets the view-change timeout on live leader traffic.
+func (r *Replica) touchLeader() {
+	if r.vcTimer != nil {
+		r.vcTimer.Stop()
+	}
+	if r.opts.ViewChangeTimeout > 0 && !r.IsLeader() {
+		r.vcTimer = r.Env.After(r.opts.ViewChangeTimeout, r.leaderTimeout)
+	}
+}
+
+func (r *Replica) leaderTimeout() {
+	if r.IsLeader() {
+		return
+	}
+	r.startViewChange(r.view + 1)
+}
+
+func (r *Replica) broadcast(msg any) {
+	for i := 0; i < r.Group.N(); i++ {
+		if i != r.Group.Self {
+			r.Env.Send(r.Group.Addr(i), msg)
+		}
+	}
+}
+
+// Recv implements simnet.Handler.
+func (r *Replica) Recv(from simnet.NodeID, msg simnet.Message) {
+	if r.HandleControl(msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Packet:
+		r.recvPacket(m)
+	case prepare:
+		r.recvPrepare(m)
+	case prepareOK:
+		r.recvPrepareOK(m)
+	case commitMsg:
+		r.recvCommit(m)
+	case commitAck:
+		r.recvCommitAck(m)
+	case startViewChange:
+		r.recvStartViewChange(m)
+	case doViewChange:
+		r.recvDoViewChange(m)
+	case startView:
+		r.recvStartView(m)
+	case getState:
+		r.recvGetState(m)
+	case newState:
+		r.recvNewState(m)
+	}
+}
+
+// --- client requests ---
+
+func (r *Replica) recvPacket(pkt *wire.Packet) {
+	switch pkt.Op {
+	case wire.OpWrite:
+		if r.status != statusNormal {
+			return // client retries after the view change settles
+		}
+		if !r.IsLeader() {
+			r.Env.Send(r.leaderAddr(), pkt)
+			return
+		}
+		r.leaderWrite(pkt)
+	case wire.OpRead:
+		if pkt.Flags&wire.FlagFastPath != 0 {
+			target := protocol.Target(r.leaderAddr())
+			if r.IsLeader() {
+				target = protocol.TargetSelf()
+			}
+			if r.HandleFastRead(pkt, target) {
+				r.leaderRead(pkt)
+			}
+			return
+		}
+		if r.status != statusNormal {
+			return
+		}
+		if !r.IsLeader() {
+			r.Env.Send(r.leaderAddr(), pkt)
+			return
+		}
+		r.leaderRead(pkt)
+	}
+}
+
+func (r *Replica) leaderWrite(pkt *wire.Packet) {
+	execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
+	if !execute {
+		if cached != nil {
+			r.Env.SendSwitch(cached.Clone())
+		}
+		return
+	}
+	// §5.2 write-order requirement, enforced at log entry.
+	if !r.lastSwitchSeq.Less(pkt.Seq) {
+		return
+	}
+	r.lastSwitchSeq = pkt.Seq
+	r.opNum++
+	r.log = append(r.log, logEntry{Pkt: pkt})
+	r.okAcks[r.opNum] = map[int]bool{r.Group.Self: true}
+	r.broadcast(prepare{View: r.view, OpNum: r.opNum, Entry: logEntry{Pkt: pkt}, CommitNum: r.commitNum})
+	r.maybeCommit(r.opNum) // 1-replica group commits immediately
+}
+
+// leaderRead serves a normal-path read from executed (committed) state
+// under the leader lease.
+func (r *Replica) leaderRead(pkt *wire.Packet) {
+	r.ReadsServed++
+	r.Env.SendSwitch(r.ReadReply(pkt))
+}
+
+// --- normal-case replication ---
+
+func (r *Replica) recvPrepare(m prepare) {
+	if m.View < r.view || r.status != statusNormal {
+		return
+	}
+	if m.View > r.view {
+		r.stateTransfer(m.View, m.OpNum)
+		return
+	}
+	r.touchLeader()
+	switch {
+	case m.OpNum == r.opNum+1:
+		r.opNum++
+		r.log = append(r.log, m.Entry)
+		r.Env.Send(r.leaderAddr(), prepareOK{View: r.view, OpNum: r.opNum, Replica: r.Group.Self})
+	case m.OpNum > r.opNum+1:
+		// Missed entries: fetch them rather than acknowledging a gap.
+		r.stateTransfer(r.view, m.OpNum)
+		return
+	default:
+		// Duplicate of an entry we have; re-ack it.
+		r.Env.Send(r.leaderAddr(), prepareOK{View: r.view, OpNum: m.OpNum, Replica: r.Group.Self})
+	}
+	r.executeUpTo(m.CommitNum)
+}
+
+func (r *Replica) recvPrepareOK(m prepareOK) {
+	if m.View != r.view || !r.IsLeader() {
+		return
+	}
+	acks, ok := r.okAcks[m.OpNum]
+	if !ok {
+		return
+	}
+	acks[m.Replica] = true
+	r.maybeCommit(m.OpNum)
+}
+
+func (r *Replica) maybeCommit(opNum uint64) {
+	if opNum != r.commitNum+1 {
+		// Commit strictly in order; a quorum for a later op implies
+		// earlier ones were prepared at those replicas too, but we
+		// advance one at a time for clarity — earlier acks arrive
+		// first in practice and the loop below re-drives.
+		opNum = r.commitNum + 1
+	}
+	for opNum <= r.opNum {
+		acks := r.okAcks[opNum]
+		if len(acks) < r.Group.Quorum() {
+			return
+		}
+		r.commitNum = opNum
+		delete(r.okAcks, opNum)
+		r.executeOne(opNum)
+		entry := r.log[opNum-1]
+		rep := r.WriteReply(entry.Pkt, false) // completions are separate in read-behind
+		r.CT.Complete(entry.Pkt.ClientID, entry.Pkt.ReqID, rep)
+		r.Env.SendSwitch(rep)
+		r.WritesCommitted++
+		r.execPoint[r.Group.Self] = r.commitNum
+		if r.opts.EagerCompletions {
+			r.Env.SendSwitch(r.Completion(entry.Pkt.ObjID, entry.Pkt.Seq))
+			r.completed = r.commitNum
+		}
+		r.broadcast(commitMsg{View: r.view, CommitNum: r.commitNum})
+		r.advanceCompletions()
+		opNum++
+	}
+}
+
+// executeOne applies the op at opNum to the store.
+func (r *Replica) executeOne(opNum uint64) {
+	pkt := r.log[opNum-1].Pkt
+	// Apply can only fail on sequence regression, which cannot happen
+	// for a log executed in order with leader-enforced seq monotony;
+	// a failure here would be a protocol bug, so surface it loudly.
+	if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
+		panic("vr: out-of-order execution: " + err.Error())
+	}
+	// Keep the client table warm at every replica so any future
+	// leader can answer duplicates.
+	if !r.IsLeader() {
+		r.CT.Complete(pkt.ClientID, pkt.ReqID, r.WriteReply(pkt, false))
+	}
+}
+
+// executeUpTo executes committed ops at a backup and sends the
+// Harmonia COMMIT-ACK for its new execution point.
+func (r *Replica) executeUpTo(commitNum uint64) {
+	if commitNum > r.opNum {
+		commitNum = r.opNum
+	}
+	advanced := false
+	for r.commitNum < commitNum {
+		r.commitNum++
+		r.executeOne(r.commitNum)
+		advanced = true
+	}
+	if advanced && !r.IsLeader() {
+		r.Env.Send(r.leaderAddr(), commitAck{View: r.view, ExecutedNum: r.commitNum, Replica: r.Group.Self})
+	}
+}
+
+func (r *Replica) recvCommit(m commitMsg) {
+	if m.View != r.view || r.status != statusNormal {
+		if m.View > r.view {
+			r.stateTransfer(m.View, m.CommitNum)
+		}
+		return
+	}
+	r.touchLeader()
+	if m.CommitNum > r.opNum {
+		r.stateTransfer(r.view, m.CommitNum)
+		return
+	}
+	before := r.commitNum
+	r.executeUpTo(m.CommitNum)
+	// Liveness: when an idle heartbeat repeats a stale commit point
+	// while we hold uncommitted suffix entries, our PREPARE-OKs were
+	// probably lost — re-ack them. Restricting this to non-advancing
+	// heartbeats keeps the leader from drowning in redundant acks
+	// during normal pipelined operation.
+	if r.commitNum == before && r.opNum > r.commitNum {
+		for op := r.commitNum + 1; op <= r.opNum; op++ {
+			r.Env.Send(r.leaderAddr(), prepareOK{View: r.view, OpNum: op, Replica: r.Group.Self})
+		}
+	}
+}
+
+// recvCommitAck advances the completion point: once a quorum of
+// replicas (including the leader) has executed op n, its
+// WRITE-COMPLETION is released to the switch (§7.3).
+func (r *Replica) recvCommitAck(m commitAck) {
+	if m.View != r.view || !r.IsLeader() {
+		return
+	}
+	if m.ExecutedNum > r.execPoint[m.Replica] {
+		r.execPoint[m.Replica] = m.ExecutedNum
+	}
+	r.advanceCompletions()
+}
+
+// completionPoint returns the highest op executed by every live
+// replica. §7.3 delays WRITE-COMPLETIONs "until the write has likely
+// been executed on all replicas" — releasing them at a mere quorum
+// leaves the minority chronically behind the commit stamp, so the
+// switch's fast-path reads bounce off it and pile onto the leader.
+// Crashed replicas are excluded via MarkDead so completions (and with
+// them the fast path) survive failures.
+func (r *Replica) completionPoint() uint64 {
+	min := ^uint64(0)
+	live := 0
+	for i, p := range r.execPoint {
+		if r.dead[i] {
+			continue
+		}
+		live++
+		if p < min {
+			min = p
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	return min
+}
+
+// MarkDead excludes a crashed replica from the completion wait (§5.3
+// server-failure handling; the cluster controller invokes it alongside
+// removing the replica from the switch's address set).
+func (r *Replica) MarkDead(i int) {
+	if i >= 0 && i < len(r.dead) {
+		r.dead[i] = true
+		r.advanceCompletions()
+	}
+}
+
+func (r *Replica) advanceCompletions() {
+	if r.opts.EagerCompletions {
+		return
+	}
+	target := r.completionPoint()
+	for r.completed < target {
+		r.completed++
+		pkt := r.log[r.completed-1].Pkt
+		r.Env.SendSwitch(r.Completion(pkt.ObjID, pkt.Seq))
+	}
+}
+
+// --- state transfer ---
+
+func (r *Replica) stateTransfer(view, hint uint64) {
+	_ = hint
+	r.Env.Send(r.leaderFor(view), getState{View: view, OpNum: r.opNum, Replica: r.Group.Self})
+}
+
+func (r *Replica) leaderFor(view uint64) simnet.NodeID {
+	return r.Group.Addr(int(view % uint64(r.Group.N())))
+}
+
+func (r *Replica) recvGetState(m getState) {
+	if m.View != r.view || r.status != statusNormal || !r.IsLeader() {
+		return
+	}
+	first := m.OpNum + 1
+	var suffix []logEntry
+	if first <= r.opNum {
+		suffix = append(suffix, r.log[first-1:]...)
+	}
+	r.Env.Send(r.Group.Addr(m.Replica), newState{
+		View: r.view, FirstOp: first, Log: suffix, OpNum: r.opNum, CommitNum: r.commitNum,
+	})
+}
+
+func (r *Replica) recvNewState(m newState) {
+	if m.View < r.view {
+		return
+	}
+	if m.View > r.view {
+		r.enterView(m.View)
+	}
+	if m.FirstOp != r.opNum+1 {
+		return // stale response; a newer transfer is in flight
+	}
+	r.log = append(r.log, m.Log...)
+	r.opNum = m.OpNum
+	r.executeUpTo(m.CommitNum)
+	r.touchLeader()
+}
+
+// --- view changes ---
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view {
+		return
+	}
+	if r.status == statusNormal {
+		r.lastNormalView = r.view
+	}
+	r.view = newView
+	r.status = statusViewChange
+	r.ViewChanges++
+	r.voteSVC(newView, r.Group.Self)
+	r.broadcast(startViewChange{View: newView, Replica: r.Group.Self})
+	// Re-arm the timeout: if this view change stalls, try the next.
+	if r.vcTimer != nil {
+		r.vcTimer.Stop()
+	}
+	if r.opts.ViewChangeTimeout > 0 {
+		r.vcTimer = r.Env.After(r.opts.ViewChangeTimeout, func() {
+			if r.status == statusViewChange {
+				r.startViewChange(r.view + 1)
+			}
+		})
+	}
+}
+
+func (r *Replica) voteSVC(view uint64, replica int) bool {
+	votes, ok := r.svcVotes[view]
+	if !ok {
+		votes = make(map[int]bool)
+		r.svcVotes[view] = votes
+	}
+	votes[replica] = true
+	return len(votes) >= r.Group.Quorum()
+}
+
+func (r *Replica) recvStartViewChange(m startViewChange) {
+	if m.View < r.view {
+		return
+	}
+	if m.View > r.view {
+		r.startViewChange(m.View)
+	}
+	if r.voteSVC(m.View, m.Replica) && r.status == statusViewChange {
+		// Send DO-VIEW-CHANGE to the new leader once a quorum agrees.
+		lead := int(m.View % uint64(r.Group.N()))
+		dvc := doViewChange{
+			View: m.View, Log: append([]logEntry(nil), r.log...),
+			LastNormalView: r.lastNormalView, OpNum: r.opNum,
+			CommitNum: r.commitNum, Replica: r.Group.Self,
+		}
+		if lead == r.Group.Self {
+			r.recvDoViewChange(dvc)
+		} else {
+			r.Env.Send(r.Group.Addr(lead), dvc)
+		}
+	}
+}
+
+func (r *Replica) recvDoViewChange(m doViewChange) {
+	if m.View < r.view {
+		return
+	}
+	if m.View > r.view {
+		r.startViewChange(m.View)
+	}
+	if int(m.View%uint64(r.Group.N())) != r.Group.Self {
+		return
+	}
+	msgs, ok := r.dvcMsgs[m.View]
+	if !ok {
+		msgs = make(map[int]doViewChange)
+		r.dvcMsgs[m.View] = msgs
+	}
+	msgs[m.Replica] = m
+	if len(msgs) < r.Group.Quorum() || r.status != statusViewChange {
+		return
+	}
+	// Choose the log from the replica with the largest
+	// (lastNormalView, opNum).
+	best := m
+	for _, cand := range msgs {
+		if cand.LastNormalView > best.LastNormalView ||
+			(cand.LastNormalView == best.LastNormalView && cand.OpNum > best.OpNum) {
+			best = cand
+		}
+	}
+	maxCommit := uint64(0)
+	for _, cand := range msgs {
+		if cand.CommitNum > maxCommit {
+			maxCommit = cand.CommitNum
+		}
+	}
+	r.adoptLog(best.Log, best.OpNum)
+	r.status = statusNormal
+	delete(r.dvcMsgs, m.View)
+	r.broadcast(startView{View: r.view, Log: append([]logEntry(nil), r.log...), OpNum: r.opNum, CommitNum: maxCommit})
+	// Re-prepare uncommitted suffix bookkeeping.
+	for op := maxCommit + 1; op <= r.opNum; op++ {
+		r.okAcks[op] = map[int]bool{r.Group.Self: true}
+	}
+	r.executeUpTo(maxCommit)
+	r.execPoint[r.Group.Self] = r.commitNum
+	r.armTimers()
+	if r.OnViewChange != nil {
+		r.OnViewChange(r.view, r.Group.Self)
+	}
+	// Drive commits for the re-prepared suffix (others will ack).
+	r.maybeCommit(r.commitNum + 1)
+}
+
+func (r *Replica) recvStartView(m startView) {
+	if m.View < r.view {
+		return
+	}
+	r.view = m.View
+	r.adoptLog(m.Log, m.OpNum)
+	r.status = statusNormal
+	r.lastNormalView = m.View
+	// Acknowledge the uncommitted suffix to the new leader.
+	for op := m.CommitNum + 1; op <= r.opNum; op++ {
+		r.Env.Send(r.leaderAddr(), prepareOK{View: r.view, OpNum: op, Replica: r.Group.Self})
+	}
+	r.executeUpTo(m.CommitNum)
+	r.armTimers()
+	r.touchLeader()
+	if r.OnViewChange != nil {
+		r.OnViewChange(r.view, r.Leader())
+	}
+}
+
+// adoptLog installs a log from a view change, re-executing nothing:
+// execution state is preserved because commitNum only moves forward
+// and logs agree on committed prefixes.
+func (r *Replica) adoptLog(log []logEntry, opNum uint64) {
+	r.log = append(r.log[:0], log...)
+	r.opNum = opNum
+	if r.opNum > 0 {
+		// Restore the switch-seq guard from the log tail.
+		r.lastSwitchSeq = r.log[r.opNum-1].Pkt.Seq
+	}
+	r.enterViewBookkeeping()
+}
+
+func (r *Replica) enterView(view uint64) {
+	r.view = view
+	r.status = statusNormal
+	r.lastNormalView = view
+	r.enterViewBookkeeping()
+	r.armTimers()
+}
+
+func (r *Replica) enterViewBookkeeping() {
+	for k := range r.okAcks {
+		delete(r.okAcks, k)
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components (network links, server processors, protocol
+// timers) schedule closures on a shared Engine. Events execute in
+// timestamp order; ties break by scheduling order, so a run with a fixed
+// RNG seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It is
+// deliberately the same representation as time.Duration so callers can
+// use the time package's constants (time.Microsecond etc.).
+type Duration = time.Duration
+
+// event is a scheduled closure.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	idx  int // heap index, -1 when popped or cancelled
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle for a scheduled event that can be cancelled.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet
+// fired (and therefore was prevented from firing).
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	return true
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+//
+// Engine is not safe for concurrent use: the simulation model is
+// single-threaded by design, which is what makes runs deterministic.
+type Engine struct {
+	now    Time
+	nextID uint64
+	pq     eventHeap
+	rng    *rand.Rand
+
+	// Processed counts executed events, for diagnostics.
+	Processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose
+// randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at the absolute simulated time t. Scheduling
+// in the past is clamped to "now" (the event runs before the clock
+// advances further).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.nextID, fn: fn}
+	e.nextID++
+	heap.Push(&e.pq, ev)
+	return &Timer{e: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	return e.At(e.now+Time(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.dead {
+			continue
+		}
+		ev.dead = true
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or the clock would pass
+// until. The clock is left at min(until, time of last executed event);
+// events scheduled after until remain pending.
+func (e *Engine) Run(until Time) {
+	for e.pq.Len() > 0 {
+		// Peek without popping dead events permanently out of order.
+		ev := e.pq[0]
+		if ev.dead {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		ev.dead = true
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.Run(e.now + Time(d)) }
+
+// Drain runs all pending events regardless of time, up to a safety
+// limit of maxEvents (0 means no limit). It reports whether the queue
+// fully drained.
+func (e *Engine) Drain(maxEvents uint64) bool {
+	var n uint64
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			return e.pq.Len() == 0
+		}
+	}
+	return true
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pq {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

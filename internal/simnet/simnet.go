@@ -1,0 +1,294 @@
+// Package simnet simulates a rack-scale network on top of the
+// discrete-event engine in internal/sim.
+//
+// Each node is an endpoint with a handler and a processor model: k
+// workers that each serve one message at a time, with a per-message
+// service cost supplied by the node's owner. Messages travel over links
+// with configurable latency, jitter, drop, duplication, and reordering.
+// The processor model is what turns protocol structure into throughput:
+// a chain-replication tail saturates when its workers are busy full
+// time, exactly like the Redis backends in the paper's testbed.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harmonia/internal/sim"
+)
+
+// NodeID identifies an endpoint. Cluster assembly assigns stable IDs:
+// clients, switch, replicas.
+type NodeID int32
+
+// Broadcast is a reserved pseudo-address; the network does not route
+// it, but components use it to mean "all replicas" in their own logic.
+const Broadcast NodeID = -1
+
+// Message is anything deliverable to a node. Protocol-internal
+// messages are plain Go values; client-facing traffic is *wire.Packet.
+type Message any
+
+// Handler consumes delivered messages. Handlers run to completion on
+// the simulation's single thread; they may send messages and set
+// timers but must not block.
+type Handler interface {
+	Recv(from NodeID, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, msg Message)
+
+// Recv implements Handler.
+func (f HandlerFunc) Recv(from NodeID, msg Message) { f(from, msg) }
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Latency is the one-way propagation + switching delay.
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each message.
+	Jitter time.Duration
+	// DropProb drops a message with this probability.
+	DropProb float64
+	// DropFilter, when set, restricts DropProb to messages it matches;
+	// everything else passes untouched. Used to inject targeted loss
+	// (e.g. only write-completions).
+	DropFilter func(msg Message) bool
+	// DupProb delivers a duplicate copy with this probability.
+	DupProb float64
+	// ReorderProb delays a message by an extra uniform [0,
+	// ReorderDelay) with this probability, letting later messages pass
+	// it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+}
+
+// ProcConfig describes a node's processing capacity.
+type ProcConfig struct {
+	// Workers is the number of parallel servers (e.g. 8 Redis shards
+	// per storage node in the paper's prototype). Workers == 0 models
+	// a line-rate device: messages are handled at arrival with zero
+	// service time and no queueing, which is how the Tofino switch
+	// behaves relative to server-scale load.
+	Workers int
+	// Cost returns the service time for a message. Only consulted when
+	// Workers > 0. A nil Cost means zero service time.
+	Cost func(msg Message) time.Duration
+	// QueueLimit bounds the wait queue; excess arrivals are dropped.
+	// 0 means unbounded.
+	QueueLimit int
+}
+
+type queued struct {
+	from NodeID
+	msg  Message
+}
+
+// Node is a simulated endpoint.
+type Node struct {
+	id      NodeID
+	net     *Network
+	handler Handler
+	cfg     ProcConfig
+
+	down bool
+	idle int // idle workers
+	q    []queued
+
+	// Stats
+	Delivered uint64 // messages handed to the handler
+	Dropped   uint64 // messages dropped (down node or full queue)
+	BusyTime  time.Duration
+}
+
+// Network owns the nodes and links.
+type Network struct {
+	eng         *sim.Engine
+	rng         *rand.Rand
+	nodes       map[NodeID]*Node
+	defaultLink LinkConfig
+	links       map[[2]NodeID]LinkConfig
+
+	// Sent counts every Send call, delivered or not.
+	Sent uint64
+}
+
+// New creates a network on eng with the given default link config.
+func New(eng *sim.Engine, def LinkConfig) *Network {
+	return &Network{
+		eng:         eng,
+		rng:         eng.Rand(),
+		nodes:       make(map[NodeID]*Node),
+		defaultLink: def,
+		links:       make(map[[2]NodeID]LinkConfig),
+	}
+}
+
+// Engine exposes the underlying event engine (for timers).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Now returns the current simulated time.
+func (n *Network) Now() sim.Time { return n.eng.Now() }
+
+// AddNode registers a node. Panics on duplicate IDs: topology is fixed
+// at assembly time and a duplicate is a harness bug.
+func (n *Network) AddNode(id NodeID, h Handler, cfg ProcConfig) *Node {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %d", id))
+	}
+	nd := &Node{id: id, net: n, handler: h, cfg: cfg, idle: cfg.Workers}
+	n.nodes[id] = nd
+	return nd
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// SetLink overrides the link config for the directed pair (from, to).
+func (n *Network) SetLink(from, to NodeID, cfg LinkConfig) {
+	n.links[[2]NodeID{from, to}] = cfg
+}
+
+// SetLinkBoth overrides both directions.
+func (n *Network) SetLinkBoth(a, b NodeID, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+func (n *Network) linkFor(from, to NodeID) LinkConfig {
+	if cfg, ok := n.links[[2]NodeID{from, to}]; ok {
+		return cfg
+	}
+	return n.defaultLink
+}
+
+// Send transmits msg from one node to another, applying the link's
+// loss/latency model and then the destination's processor model. A
+// down sender is silenced: its timers may still fire in the simulation
+// but nothing it emits reaches the network, which is observationally
+// equivalent to a crashed process.
+func (n *Network) Send(from, to NodeID, msg Message) {
+	n.Sent++
+	if src, ok := n.nodes[from]; ok && src.down {
+		return
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		return // destination never existed; silently dropped like UDP
+	}
+	cfg := n.linkFor(from, to)
+	n.transmit(cfg, from, dst, msg)
+	if cfg.DupProb > 0 && n.rng.Float64() < cfg.DupProb {
+		n.transmit(cfg, from, dst, msg)
+	}
+}
+
+func (n *Network) transmit(cfg LinkConfig, from NodeID, dst *Node, msg Message) {
+	if cfg.DropProb > 0 && (cfg.DropFilter == nil || cfg.DropFilter(msg)) &&
+		n.rng.Float64() < cfg.DropProb {
+		return
+	}
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+	}
+	if cfg.ReorderProb > 0 && n.rng.Float64() < cfg.ReorderProb && cfg.ReorderDelay > 0 {
+		d += time.Duration(n.rng.Int63n(int64(cfg.ReorderDelay)))
+	}
+	n.eng.After(d, func() { dst.arrive(from, msg) })
+}
+
+// SetDown marks a node failed (true) or recovered (false). A down node
+// drops all arrivals and loses its queued messages, matching a crashed
+// process or a switch that stops forwarding.
+func (n *Network) SetDown(id NodeID, down bool) {
+	nd := n.nodes[id]
+	if nd == nil {
+		return
+	}
+	nd.down = down
+	if down {
+		nd.Dropped += uint64(len(nd.q))
+		nd.q = nil
+		// In-service work is abandoned; workers become idle on
+		// recovery. We reset immediately: completions for abandoned
+		// work are suppressed by the down check in complete().
+		nd.idle = nd.cfg.Workers
+	}
+}
+
+// IsDown reports the node's failure state.
+func (n *Network) IsDown(id NodeID) bool {
+	nd := n.nodes[id]
+	return nd != nil && nd.down
+}
+
+// arrive runs at message delivery time (after the link delay).
+func (nd *Node) arrive(from NodeID, msg Message) {
+	if nd.down {
+		nd.Dropped++
+		return
+	}
+	if nd.cfg.Workers == 0 {
+		// Line-rate device: no queueing, no service delay.
+		nd.Delivered++
+		nd.handler.Recv(from, msg)
+		return
+	}
+	if nd.idle > 0 {
+		nd.idle--
+		nd.serve(from, msg)
+		return
+	}
+	if nd.cfg.QueueLimit > 0 && len(nd.q) >= nd.cfg.QueueLimit {
+		nd.Dropped++
+		return
+	}
+	nd.q = append(nd.q, queued{from, msg})
+}
+
+// serve begins service for a message on a (now busy) worker.
+func (nd *Node) serve(from NodeID, msg Message) {
+	var cost time.Duration
+	if nd.cfg.Cost != nil {
+		cost = nd.cfg.Cost(msg)
+	}
+	nd.BusyTime += cost
+	nd.net.eng.After(cost, func() { nd.complete(from, msg) })
+}
+
+// complete runs when service finishes: the handler executes and the
+// worker picks up the next queued message, if any.
+func (nd *Node) complete(from NodeID, msg Message) {
+	if nd.down {
+		return // abandoned in-flight work
+	}
+	nd.Delivered++
+	nd.handler.Recv(from, msg)
+	if len(nd.q) > 0 {
+		next := nd.q[0]
+		// Pop front; amortize by shifting (queues stay short relative
+		// to volume because service is fast).
+		copy(nd.q, nd.q[1:])
+		nd.q = nd.q[:len(nd.q)-1]
+		nd.serve(next.from, next.msg)
+		return
+	}
+	nd.idle++
+}
+
+// QueueLen returns the number of waiting (not in-service) messages.
+func (nd *Node) QueueLen() int { return len(nd.q) }
+
+// Utilization returns busy-time / (workers × elapsed), a 0..1 load
+// factor, for the elapsed duration since the run started.
+func (nd *Node) Utilization(elapsed time.Duration) float64 {
+	if nd.cfg.Workers == 0 || elapsed <= 0 {
+		return 0
+	}
+	return float64(nd.BusyTime) / (float64(nd.cfg.Workers) * float64(elapsed))
+}
+
+// ID returns the node's ID.
+func (nd *Node) ID() NodeID { return nd.id }

@@ -1,0 +1,157 @@
+// Package store provides the in-memory storage backend the replicas
+// run — the stand-in for Redis in the paper's prototype.
+//
+// Beyond a plain map, the store keeps the switch-assigned sequence
+// number of the last write applied to each object, which is exactly the
+// state the Harmonia shim layer needs for the §7 fast-path read checks
+// (R.obj.seq in the paper's proof notation), and it enforces the §5.2
+// write-order requirement: writes must be applied in strictly
+// increasing sequence-number order.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"harmonia/internal/wire"
+)
+
+// Object is a stored value plus the sequence number of the write that
+// produced it.
+type Object struct {
+	Value []byte
+	Seq   wire.Seq
+}
+
+// ErrOutOfOrder reports an attempt to apply a write whose sequence
+// number does not exceed the last applied one.
+var ErrOutOfOrder = errors.New("store: write out of sequence order")
+
+// Store is a sharded key-value store. Shards model the paper's eight
+// Redis processes per server; the simulation charges service time at
+// the node level, so shards here are only about bookkeeping fidelity,
+// not Go-level parallelism (the simulator is single-threaded).
+type Store struct {
+	shards []map[wire.ObjectID]Object
+	nshard uint32
+
+	// lastApplied is the sequence number of the most recent write
+	// applied to any object (R.seq in the paper's proof), used by
+	// read-behind protocols' visibility check.
+	lastApplied wire.Seq
+
+	applied uint64 // total applied writes
+}
+
+// New creates a store with the given shard count (minimum 1).
+func New(shards int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Store{shards: make([]map[wire.ObjectID]Object, shards), nshard: uint32(shards)}
+	for i := range s.shards {
+		s.shards[i] = make(map[wire.ObjectID]Object)
+	}
+	return s
+}
+
+func (s *Store) shard(id wire.ObjectID) map[wire.ObjectID]Object {
+	return s.shards[uint32(id)%s.nshard]
+}
+
+// Apply installs a write. It returns ErrOutOfOrder if seq does not
+// strictly exceed the last applied sequence number — the §5.2
+// requirement that lets the switch keep only one entry per contended
+// object. delete removes the object instead of updating it.
+func (s *Store) Apply(id wire.ObjectID, value []byte, seq wire.Seq, del bool) error {
+	if !s.lastApplied.Less(seq) {
+		return ErrOutOfOrder
+	}
+	s.lastApplied = seq
+	s.applied++
+	sh := s.shard(id)
+	if del {
+		delete(sh, id)
+		return nil
+	}
+	sh[id] = Object{Value: value, Seq: seq}
+	return nil
+}
+
+// Seed installs an object without the order check, for warming a
+// replica before it serves traffic (e.g. preloading a key space).
+// lastApplied only ever moves forward.
+func (s *Store) Seed(id wire.ObjectID, value []byte, seq wire.Seq) {
+	s.shard(id)[id] = Object{Value: value, Seq: seq}
+	if s.lastApplied.Less(seq) {
+		s.lastApplied = seq
+	}
+}
+
+// Get returns the object and whether it exists.
+func (s *Store) Get(id wire.ObjectID) (Object, bool) {
+	o, ok := s.shard(id)[id]
+	return o, ok
+}
+
+// ObjectSeq returns the sequence number of the last write applied to
+// id (zero if the object has never been written or was deleted — a
+// deleted object's tombstone semantics are captured by lastApplied
+// ordering, since deletes also advance it).
+func (s *Store) ObjectSeq(id wire.ObjectID) wire.Seq {
+	if o, ok := s.Get(id); ok {
+		return o.Seq
+	}
+	return wire.ZeroSeq
+}
+
+// LastApplied returns the sequence number of the most recent applied
+// write (R.seq).
+func (s *Store) LastApplied() wire.Seq { return s.lastApplied }
+
+// AppliedCount returns the number of writes applied over the store's
+// lifetime.
+func (s *Store) AppliedCount() uint64 { return s.applied }
+
+// Len returns the number of live objects.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+// Snapshot copies the full state, used for state transfer when a
+// replica falls behind or a new replica joins.
+type Snapshot struct {
+	Objects     map[wire.ObjectID]Object
+	LastApplied wire.Seq
+}
+
+// Snapshot captures the current state.
+func (s *Store) Snapshot() Snapshot {
+	snap := Snapshot{Objects: make(map[wire.ObjectID]Object, s.Len()), LastApplied: s.lastApplied}
+	for _, sh := range s.shards {
+		for k, v := range sh {
+			snap.Objects[k] = v
+		}
+	}
+	return snap
+}
+
+// Restore replaces the store contents with snap.
+func (s *Store) Restore(snap Snapshot) {
+	for i := range s.shards {
+		s.shards[i] = make(map[wire.ObjectID]Object)
+	}
+	for k, v := range snap.Objects {
+		s.shard(k)[k] = v
+	}
+	s.lastApplied = snap.LastApplied
+}
+
+// String summarizes the store for diagnostics.
+func (s *Store) String() string {
+	return fmt.Sprintf("store{objects=%d lastApplied=%s}", s.Len(), s.lastApplied)
+}

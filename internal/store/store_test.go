@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/wire"
+)
+
+func seq(n uint64) wire.Seq { return wire.Seq{Epoch: 1, N: n} }
+
+func TestApplyGet(t *testing.T) {
+	s := New(8)
+	if err := s.Apply(1, []byte("v1"), seq(1), false); err != nil {
+		t.Fatal(err)
+	}
+	o, ok := s.Get(1)
+	if !ok || !bytes.Equal(o.Value, []byte("v1")) || o.Seq != seq(1) {
+		t.Fatalf("Get = %+v, %v", o, ok)
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("phantom object")
+	}
+}
+
+func TestApplyOutOfOrderRejected(t *testing.T) {
+	s := New(4)
+	if err := s.Apply(1, []byte("a"), seq(5), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(2, []byte("b"), seq(5), false); err != ErrOutOfOrder {
+		t.Fatalf("equal seq accepted: %v", err)
+	}
+	if err := s.Apply(2, []byte("b"), seq(3), false); err != ErrOutOfOrder {
+		t.Fatalf("lower seq accepted: %v", err)
+	}
+	// State must be unchanged by rejected writes.
+	if _, ok := s.Get(2); ok {
+		t.Fatal("rejected write mutated state")
+	}
+	if s.LastApplied() != seq(5) {
+		t.Fatal("rejected write advanced lastApplied")
+	}
+}
+
+func TestApplyEpochOrdering(t *testing.T) {
+	s := New(4)
+	_ = s.Apply(1, []byte("old"), wire.Seq{Epoch: 1, N: 100}, false)
+	// A new-epoch write with a smaller counter is still "later".
+	if err := s.Apply(1, []byte("new"), wire.Seq{Epoch: 2, N: 1}, false); err != nil {
+		t.Fatalf("new-epoch write rejected: %v", err)
+	}
+	// An old-epoch straggler must be rejected.
+	if err := s.Apply(1, []byte("stale"), wire.Seq{Epoch: 1, N: 101}, false); err != ErrOutOfOrder {
+		t.Fatalf("old-epoch write accepted: %v", err)
+	}
+	o, _ := s.Get(1)
+	if string(o.Value) != "new" {
+		t.Fatalf("value = %q", o.Value)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(4)
+	_ = s.Apply(1, []byte("x"), seq(1), false)
+	if err := s.Apply(1, nil, seq(2), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("object survived delete")
+	}
+	if s.LastApplied() != seq(2) {
+		t.Fatal("delete did not advance lastApplied")
+	}
+	if s.ObjectSeq(1) != wire.ZeroSeq {
+		t.Fatal("deleted object has nonzero seq")
+	}
+}
+
+func TestObjectSeqAndLastApplied(t *testing.T) {
+	s := New(4)
+	_ = s.Apply(10, []byte("a"), seq(1), false)
+	_ = s.Apply(20, []byte("b"), seq(2), false)
+	if s.ObjectSeq(10) != seq(1) || s.ObjectSeq(20) != seq(2) {
+		t.Fatal("per-object seq wrong")
+	}
+	if s.LastApplied() != seq(2) {
+		t.Fatal("lastApplied wrong")
+	}
+}
+
+func TestLenAndAppliedCount(t *testing.T) {
+	s := New(4)
+	for i := uint64(1); i <= 10; i++ {
+		_ = s.Apply(wire.ObjectID(i%3), []byte("v"), seq(i), false)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.AppliedCount() != 10 {
+		t.Fatalf("AppliedCount = %d", s.AppliedCount())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New(8)
+	for i := uint64(1); i <= 50; i++ {
+		_ = s.Apply(wire.ObjectID(i), []byte{byte(i)}, seq(i), false)
+	}
+	snap := s.Snapshot()
+
+	fresh := New(2) // different shard count must not matter
+	fresh.Restore(snap)
+	if fresh.Len() != 50 || fresh.LastApplied() != seq(50) {
+		t.Fatalf("restore: len=%d last=%v", fresh.Len(), fresh.LastApplied())
+	}
+	for i := uint64(1); i <= 50; i++ {
+		o, ok := fresh.Get(wire.ObjectID(i))
+		if !ok || o.Value[0] != byte(i) || o.Seq != seq(i) {
+			t.Fatalf("object %d wrong after restore: %+v %v", i, o, ok)
+		}
+	}
+	// Snapshot must be a copy: mutating the restored store must not
+	// affect the source.
+	_ = fresh.Apply(1, []byte("zz"), seq(99), false)
+	if o, _ := s.Get(1); o.Value[0] != 1 {
+		t.Fatal("snapshot aliases source store")
+	}
+}
+
+func TestMinShardCount(t *testing.T) {
+	s := New(0)
+	if err := s.Apply(1, []byte("x"), seq(1), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the store agrees with a model map for any in-order write
+// sequence with random keys/deletes.
+func TestStoreMatchesModel(t *testing.T) {
+	f := func(sd int64) bool {
+		rng := rand.New(rand.NewSource(sd))
+		s := New(8)
+		model := map[wire.ObjectID][]byte{}
+		for i := uint64(1); i <= 500; i++ {
+			id := wire.ObjectID(rng.Intn(40))
+			if rng.Intn(5) == 0 {
+				if s.Apply(id, nil, seq(i), true) != nil {
+					return false
+				}
+				delete(model, id)
+			} else {
+				v := []byte{byte(rng.Intn(256))}
+				if s.Apply(id, v, seq(i), false) != nil {
+					return false
+				}
+				model[id] = v
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			o, ok := s.Get(k)
+			if !ok || !bytes.Equal(o.Value, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lastApplied is always the max applied seq, and per-object
+// seqs never exceed it.
+func TestSeqInvariants(t *testing.T) {
+	f := func(sd int64) bool {
+		rng := rand.New(rand.NewSource(sd))
+		s := New(4)
+		var max wire.Seq
+		for i := 0; i < 300; i++ {
+			sq := wire.Seq{Epoch: uint32(rng.Intn(3)), N: uint64(rng.Intn(1000))}
+			id := wire.ObjectID(rng.Intn(20))
+			err := s.Apply(id, []byte("v"), sq, false)
+			if max.Less(sq) {
+				if err != nil {
+					return false
+				}
+				max = sq
+			} else if err != ErrOutOfOrder {
+				return false
+			}
+			if s.LastApplied() != max {
+				return false
+			}
+			if s.LastApplied().Less(s.ObjectSeq(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package wire defines the Harmonia packet formats exchanged between
+// clients, the in-network request scheduler, and storage servers.
+//
+// The client library exposes two header fields to the switch (§4 of the
+// paper): the operation type and the affected object ID. Writes
+// additionally carry the switch-assigned sequence number, and fast-path
+// reads carry the switch's last-committed point. Sequence numbers are
+// augmented with the switch's unique ID ("epoch" here) and ordered
+// lexicographically, epoch first (§5.3), so that no two writes issued by
+// different switch incarnations share a sequence number.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Op is the operation type carried in the Harmonia header.
+type Op uint8
+
+const (
+	// OpRead is a client GET. The switch either forwards it along the
+	// normal protocol path or, when the object is not in the dirty set,
+	// stamps it with the last-committed point and sends it to a single
+	// random replica (the fast path).
+	OpRead Op = iota + 1
+	// OpWrite is a client SET or DEL. The switch assigns it a sequence
+	// number and inserts the object into the dirty set.
+	OpWrite
+	// OpWriteCompletion notifies the switch that a write has been fully
+	// committed by the replication protocol. It is usually piggybacked
+	// on the write reply that traverses the switch on its way back to
+	// the client.
+	OpWriteCompletion
+	// OpReadReply and OpWriteReply are responses to the client.
+	OpReadReply
+	OpWriteReply
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteCompletion:
+		return "WRITE-COMPLETION"
+	case OpReadReply:
+		return "READ-REPLY"
+	case OpWriteReply:
+		return "WRITE-REPLY"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// ObjectID is the fixed-length (32-bit) object identifier tracked by
+// the switch. Variable-length application keys are hashed down to an
+// ObjectID by the client library (§6.1); collisions can only cause the
+// switch to believe a key is contended, never the reverse, so they
+// affect performance but not consistency.
+type ObjectID uint32
+
+// HashKey maps a variable-length key to its fixed-length ObjectID.
+func HashKey(key string) ObjectID {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return ObjectID(h.Sum32())
+}
+
+// Seq is an epoch-tagged sequence number. Epoch is the unique ID of the
+// switch incarnation that assigned it; N is the per-switch counter.
+// Ordering is lexicographic with the epoch considered first.
+type Seq struct {
+	Epoch uint32
+	N     uint64
+}
+
+// Zero is the bottom sequence number, smaller than any assigned one.
+var ZeroSeq = Seq{}
+
+// Less reports whether s orders strictly before o.
+func (s Seq) Less(o Seq) bool {
+	if s.Epoch != o.Epoch {
+		return s.Epoch < o.Epoch
+	}
+	return s.N < o.N
+}
+
+// LessEq reports s ≤ o in the lexicographic order.
+func (s Seq) LessEq(o Seq) bool { return !o.Less(s) }
+
+// IsZero reports whether s is the bottom element.
+func (s Seq) IsZero() bool { return s == Seq{} }
+
+// Max returns the larger of s and o.
+func (s Seq) Max(o Seq) Seq {
+	if s.Less(o) {
+		return o
+	}
+	return s
+}
+
+// String renders "epoch:n".
+func (s Seq) String() string { return fmt.Sprintf("%d:%d", s.Epoch, s.N) }
+
+// Flags on a packet.
+type Flags uint8
+
+const (
+	// FlagFastPath marks a read the switch scheduled directly to a
+	// single replica; the replica may answer it locally only after the
+	// §7 visibility/integrity check passes.
+	FlagFastPath Flags = 1 << iota
+	// FlagForwarded marks a fast-path read a replica rejected and
+	// forwarded into the normal protocol path; it must not be
+	// re-examined by the switch's dirty set (it is already on the slow
+	// path).
+	FlagForwarded
+	// FlagDelete marks a write as a deletion rather than an update.
+	FlagDelete
+	// FlagNotFound marks a read reply for a missing object.
+	FlagNotFound
+	// FlagDropped marks a write reply synthesized by the switch when
+	// the dirty set had no free slot and the write was dropped (§6.1:
+	// "The write is dropped if no slot is available"). Clients retry.
+	FlagDropped
+)
+
+// Packet is the Harmonia request/reply unit. One struct covers all five
+// ops; unused fields are zero. In the simulated network packets travel
+// by pointer, but Encode/Decode define the byte-level format used by
+// tests and by any real transport.
+type Packet struct {
+	Op    Op
+	Flags Flags
+
+	// ObjID is the fixed-length object identifier.
+	ObjID ObjectID
+
+	// Seq is the switch-assigned sequence number (writes,
+	// write-completions, and replies that piggyback completions).
+	Seq Seq
+
+	// LastCommitted is the switch's last-committed point, stamped into
+	// fast-path reads (and used by replicas for the §7 checks).
+	LastCommitted Seq
+
+	// ClientID and ReqID identify the request for at-most-once
+	// semantics and reply matching.
+	ClientID uint32
+	ReqID    uint64
+
+	// Key is the original variable-length key (carried in the payload;
+	// the switch looks only at ObjID).
+	Key string
+	// Value is the write payload or read result.
+	Value []byte
+}
+
+// header layout (fixed 40 bytes) followed by key and value, each
+// length-prefixed with uint16/uint32.
+const headerSize = 1 + 1 + 4 + (4 + 8) + (4 + 8) + 4 + 8 // = 42
+
+// MaxKeyLen bounds encoded key length.
+const MaxKeyLen = 1<<16 - 1
+
+var (
+	// ErrShortPacket reports a truncated encoding.
+	ErrShortPacket = errors.New("wire: short packet")
+	// ErrBadOp reports an out-of-range op code.
+	ErrBadOp = errors.New("wire: bad op")
+	// ErrKeyTooLong reports a key exceeding MaxKeyLen.
+	ErrKeyTooLong = errors.New("wire: key too long")
+)
+
+// Encode appends the wire form of p to buf and returns the result.
+func (p *Packet) Encode(buf []byte) ([]byte, error) {
+	if len(p.Key) > MaxKeyLen {
+		return nil, ErrKeyTooLong
+	}
+	if p.Op < OpRead || p.Op > OpWriteReply {
+		return nil, ErrBadOp
+	}
+	var hdr [headerSize]byte
+	hdr[0] = byte(p.Op)
+	hdr[1] = byte(p.Flags)
+	binary.BigEndian.PutUint32(hdr[2:], uint32(p.ObjID))
+	binary.BigEndian.PutUint32(hdr[6:], p.Seq.Epoch)
+	binary.BigEndian.PutUint64(hdr[10:], p.Seq.N)
+	binary.BigEndian.PutUint32(hdr[18:], p.LastCommitted.Epoch)
+	binary.BigEndian.PutUint64(hdr[22:], p.LastCommitted.N)
+	binary.BigEndian.PutUint32(hdr[30:], p.ClientID)
+	binary.BigEndian.PutUint64(hdr[34:], p.ReqID)
+	buf = append(buf, hdr[:]...)
+	var klen [2]byte
+	binary.BigEndian.PutUint16(klen[:], uint16(len(p.Key)))
+	buf = append(buf, klen[:]...)
+	buf = append(buf, p.Key...)
+	var vlen [4]byte
+	binary.BigEndian.PutUint32(vlen[:], uint32(len(p.Value)))
+	buf = append(buf, vlen[:]...)
+	buf = append(buf, p.Value...)
+	return buf, nil
+}
+
+// Decode parses a packet from b, returning the packet and the number of
+// bytes consumed.
+func Decode(b []byte) (*Packet, int, error) {
+	if len(b) < headerSize+2+4 {
+		return nil, 0, ErrShortPacket
+	}
+	p := &Packet{
+		Op:    Op(b[0]),
+		Flags: Flags(b[1]),
+		ObjID: ObjectID(binary.BigEndian.Uint32(b[2:])),
+		Seq: Seq{
+			Epoch: binary.BigEndian.Uint32(b[6:]),
+			N:     binary.BigEndian.Uint64(b[10:]),
+		},
+		LastCommitted: Seq{
+			Epoch: binary.BigEndian.Uint32(b[18:]),
+			N:     binary.BigEndian.Uint64(b[22:]),
+		},
+		ClientID: binary.BigEndian.Uint32(b[30:]),
+		ReqID:    binary.BigEndian.Uint64(b[34:]),
+	}
+	if p.Op < OpRead || p.Op > OpWriteReply {
+		return nil, 0, ErrBadOp
+	}
+	off := headerSize
+	klen := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+klen+4 {
+		return nil, 0, ErrShortPacket
+	}
+	p.Key = string(b[off : off+klen])
+	off += klen
+	vlen := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+vlen {
+		return nil, 0, ErrShortPacket
+	}
+	if vlen > 0 {
+		p.Value = append([]byte(nil), b[off:off+vlen]...)
+	}
+	off += vlen
+	return p, off, nil
+}
+
+// Clone returns a deep copy of p. The simulated network clones packets
+// on duplication so that receivers cannot alias each other's payloads.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Value != nil {
+		q.Value = append([]byte(nil), p.Value...)
+	}
+	return &q
+}
+
+// IsReply reports whether the packet is a client-bound response.
+func (p *Packet) IsReply() bool { return p.Op == OpReadReply || p.Op == OpWriteReply }
+
+// String renders a compact human-readable form for logs and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("{%s obj=%d seq=%s lc=%s c=%d r=%d f=%02x}",
+		p.Op, p.ObjID, p.Seq, p.LastCommitted, p.ClientID, p.ReqID, uint8(p.Flags))
+}

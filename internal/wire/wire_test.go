@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Seq
+		less bool
+	}{
+		{Seq{1, 1}, Seq{1, 2}, true},
+		{Seq{1, 2}, Seq{1, 1}, false},
+		{Seq{1, 99}, Seq{2, 1}, true}, // epoch dominates
+		{Seq{2, 1}, Seq{1, 99}, false},
+		{Seq{1, 1}, Seq{1, 1}, false},
+		{ZeroSeq, Seq{1, 1}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestSeqLessEqReflexive(t *testing.T) {
+	s := Seq{3, 7}
+	if !s.LessEq(s) {
+		t.Fatal("LessEq not reflexive")
+	}
+}
+
+func TestSeqMax(t *testing.T) {
+	a, b := Seq{1, 5}, Seq{2, 1}
+	if a.Max(b) != b || b.Max(a) != b {
+		t.Fatal("Max wrong")
+	}
+}
+
+// Property: Less is a strict total order consistent with LessEq.
+func TestSeqOrderProperty(t *testing.T) {
+	f := func(e1 uint32, n1 uint64, e2 uint32, n2 uint64) bool {
+		a, b := Seq{e1, n1}, Seq{e2, n2}
+		// exactly one of a<b, b<a, a==b
+		cnt := 0
+		if a.Less(b) {
+			cnt++
+		}
+		if b.Less(a) {
+			cnt++
+		}
+		if a == b {
+			cnt++
+		}
+		if cnt != 1 {
+			return false
+		}
+		return a.LessEq(b) == !b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqOrderTransitive(t *testing.T) {
+	f := func(e1 uint32, n1 uint64, e2 uint32, n2 uint64, e3 uint32, n3 uint64) bool {
+		a, b, c := Seq{e1, n1}, Seq{e2, n2}, Seq{e3, n3}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashKeyStable(t *testing.T) {
+	if HashKey("user:1001") != HashKey("user:1001") {
+		t.Fatal("HashKey not deterministic")
+	}
+	if HashKey("a") == HashKey("b") {
+		t.Fatal("trivially distinct keys collide")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Op:            OpWrite,
+		Flags:         FlagDelete | FlagFastPath,
+		ObjID:         0xDEADBEEF,
+		Seq:           Seq{3, 1234567},
+		LastCommitted: Seq{2, 99},
+		ClientID:      17,
+		ReqID:         0xABCDEF,
+		Key:           "some-key",
+		Value:         []byte("hello world"),
+	}
+	b, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, n, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	if q.Op != p.Op || q.Flags != p.Flags || q.ObjID != p.ObjID ||
+		q.Seq != p.Seq || q.LastCommitted != p.LastCommitted ||
+		q.ClientID != p.ClientID || q.ReqID != p.ReqID ||
+		q.Key != p.Key || !bytes.Equal(q.Value, p.Value) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", p, q)
+	}
+}
+
+func TestEncodeDecodeEmptyFields(t *testing.T) {
+	p := &Packet{Op: OpRead, ObjID: 1}
+	b, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Key != "" || q.Value != nil {
+		t.Fatalf("empty fields not preserved: %+v", q)
+	}
+}
+
+// Property: Encode/Decode is the identity for arbitrary packets.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, flags uint8, obj uint32, se uint32, sn uint64,
+		le uint32, ln uint64, cid uint32, rid uint64, key string, val []byte) bool {
+		p := &Packet{
+			Op:            Op(op%5 + 1),
+			Flags:         Flags(flags),
+			ObjID:         ObjectID(obj),
+			Seq:           Seq{se, sn},
+			LastCommitted: Seq{le, ln},
+			ClientID:      cid,
+			ReqID:         rid,
+			Key:           key,
+			Value:         val,
+		}
+		b, err := p.Encode(nil)
+		if err != nil {
+			return len(key) > MaxKeyLen
+		}
+		q, n, err := Decode(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		if len(val) == 0 && q.Value != nil {
+			return false
+		}
+		return q.Op == p.Op && q.Flags == p.Flags && q.ObjID == p.ObjID &&
+			q.Seq == p.Seq && q.LastCommitted == p.LastCommitted &&
+			q.ClientID == p.ClientID && q.ReqID == p.ReqID &&
+			q.Key == p.Key && bytes.Equal(q.Value, p.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short input accepted")
+	}
+	p := &Packet{Op: OpRead, Key: "k", Value: []byte("v")}
+	b, _ := p.Encode(nil)
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := Decode(b[:len(b)-cut]); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	b[0] = 0 // invalid op
+	if _, _, err := Decode(b); err != ErrBadOp {
+		t.Fatalf("bad op error = %v", err)
+	}
+}
+
+func TestEncodeBadOp(t *testing.T) {
+	p := &Packet{Op: 0}
+	if _, err := p.Encode(nil); err != ErrBadOp {
+		t.Fatalf("err = %v, want ErrBadOp", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := &Packet{Op: OpWrite, Value: []byte{1, 2, 3}}
+	q := p.Clone()
+	q.Value[0] = 9
+	if p.Value[0] != 1 {
+		t.Fatal("Clone aliases Value")
+	}
+}
+
+func TestIsReply(t *testing.T) {
+	if (&Packet{Op: OpRead}).IsReply() || !(&Packet{Op: OpReadReply}).IsReply() {
+		t.Fatal("IsReply wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := OpRead; op <= OpWriteReply; op++ {
+		if op.String() == "" {
+			t.Fatalf("empty string for op %d", op)
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown op string")
+	}
+}

@@ -1,0 +1,147 @@
+// Package workload generates the key-access patterns used by the
+// paper's evaluation: uniform and zipfian (θ = 0.9) distributions over
+// a fixed key space, mixed with a configurable write ratio (§9.1: one
+// million objects, 5% writes by default).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator yields object indexes in [0, N).
+type Generator interface {
+	// Next returns the next key index.
+	Next() int
+	// N returns the key-space size.
+	N() int
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform builds a uniform generator over n keys.
+func NewUniform(n int, rng *rand.Rand) *Uniform {
+	if n <= 0 {
+		panic("workload: key space must be positive")
+	}
+	return &Uniform{n: n, rng: rng}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// N implements Generator.
+func (u *Uniform) N() int { return u.n }
+
+// Zipfian is a YCSB-style scrambled zipfian generator. Unlike
+// math/rand's Zipf (which requires s > 1), it supports the θ < 1
+// exponents used by storage benchmarks — the paper's skewed workload
+// is zipf-0.9.
+//
+// The construction follows Gray et al.'s "Quickly Generating
+// Billion-Record Synthetic Databases" rejection-free method, then
+// scrambles rank order with an FNV-style hash so that popular keys are
+// spread across the key space.
+type Zipfian struct {
+	n        int
+	theta    float64
+	alpha    float64
+	zetan    float64
+	eta      float64
+	zeta2    float64
+	rng      *rand.Rand
+	scramble bool
+}
+
+// NewZipfian builds a zipfian generator over n keys with exponent
+// theta in (0, 1).
+func NewZipfian(n int, theta float64, rng *rand.Rand) *Zipfian {
+	if n <= 0 {
+		panic("workload: key space must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipfian theta %v out of (0,1)", theta))
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rng, scramble: true}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	if !z.scramble {
+		return rank
+	}
+	// Scramble rank → key with a splitmix64 finalizer so hot keys are
+	// spread over the key space (YCSB's "scrambled zipfian").
+	h := uint64(rank) + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(z.n))
+}
+
+// N implements Generator.
+func (z *Zipfian) N() int { return z.n }
+
+// Op is one generated operation.
+type Op struct {
+	Key     int
+	IsWrite bool
+}
+
+// Mix couples a key generator with a read/write ratio.
+type Mix struct {
+	Keys       Generator
+	WriteRatio float64 // fraction of operations that are writes
+	rng        *rand.Rand
+}
+
+// NewMix builds an operation mix.
+func NewMix(keys Generator, writeRatio float64, rng *rand.Rand) *Mix {
+	if writeRatio < 0 || writeRatio > 1 {
+		panic("workload: write ratio out of [0,1]")
+	}
+	return &Mix{Keys: keys, WriteRatio: writeRatio, rng: rng}
+}
+
+// Next returns the next operation.
+func (m *Mix) Next() Op {
+	return Op{Key: m.Keys.Next(), IsWrite: m.rng.Float64() < m.WriteRatio}
+}
+
+// KeyName formats a key index as the canonical string key used by the
+// client library ("obj%08d"), so a key space maps onto distinct
+// 32-bit object IDs with negligible collision probability.
+func KeyName(i int) string { return fmt.Sprintf("obj%08d", i) }

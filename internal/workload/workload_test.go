@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUniformCoversSpace(t *testing.T) {
+	g := NewUniform(100, rand.New(rand.NewSource(1)))
+	seen := make([]bool, 100)
+	for i := 0; i < 10000; i++ {
+		k := g.Next()
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	for k, s := range seen {
+		if !s {
+			t.Fatalf("key %d never drawn in 10k samples", k)
+		}
+	}
+}
+
+func TestUniformIsRoughlyFlat(t *testing.T) {
+	g := NewUniform(10, rand.New(rand.NewSource(2)))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("key %d frequency %v, want ~0.1", k, frac)
+		}
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	g := NewZipfian(1000, 0.9, rand.New(rand.NewSource(3)))
+	for i := 0; i < 10000; i++ {
+		k := g.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	// With θ=0.9 the most popular key should take a large share and
+	// the distribution must be far from flat.
+	g := NewZipfian(1000, 0.9, rand.New(rand.NewSource(4)))
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := float64(freqs[0]) / n
+	if top < 0.05 {
+		t.Fatalf("hottest key has share %v, want ≥ 5%% under zipf-0.9", top)
+	}
+	// Top-10 share should dominate a uniform draw's 1%.
+	top10 := 0
+	for i := 0; i < 10 && i < len(freqs); i++ {
+		top10 += freqs[i]
+	}
+	if share := float64(top10) / n; share < 0.2 {
+		t.Fatalf("top-10 share %v, want ≥ 20%%", share)
+	}
+}
+
+func TestZipfianScrambleSpreadsHotKeys(t *testing.T) {
+	// The hottest keys must not be clustered at small indexes.
+	g := NewZipfian(1000, 0.9, rand.New(rand.NewSource(5)))
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[g.Next()]++
+	}
+	hottest, hc := 0, 0
+	for k, c := range counts {
+		if c > hc {
+			hottest, hc = k, c
+		}
+	}
+	if hottest == 0 {
+		t.Fatal("hottest key at index 0 suggests unscrambled ranks")
+	}
+}
+
+func TestZetaMatchesDirectSum(t *testing.T) {
+	want := 1 + 1/math.Pow(2, 0.9) + 1/math.Pow(3, 0.9)
+	if got := zeta(3, 0.9); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zeta = %v, want %v", got, want)
+	}
+}
+
+func TestMixWriteRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMix(NewUniform(10, rng), 0.05, rng)
+	writes := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Next().IsWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.04 || frac > 0.06 {
+		t.Fatalf("write fraction %v, want ~0.05", frac)
+	}
+}
+
+func TestMixExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m0 := NewMix(NewUniform(10, rng), 0, rng)
+	m1 := NewMix(NewUniform(10, rng), 1, rng)
+	for i := 0; i < 1000; i++ {
+		if m0.Next().IsWrite {
+			t.Fatal("write in read-only mix")
+		}
+		if !m1.Next().IsWrite {
+			t.Fatal("read in write-only mix")
+		}
+	}
+}
+
+func TestKeyNameDistinct(t *testing.T) {
+	if KeyName(1) == KeyName(2) {
+		t.Fatal("key names collide")
+	}
+	if KeyName(42) != "obj00000042" {
+		t.Fatalf("KeyName(42) = %q", KeyName(42))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewUniform(0, rand.New(rand.NewSource(1))) },
+		func() { NewZipfian(0, 0.9, rand.New(rand.NewSource(1))) },
+		func() { NewZipfian(10, 1.5, rand.New(rand.NewSource(1))) },
+		func() { NewMix(NewUniform(1, rand.New(rand.NewSource(1))), 2, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
