@@ -1,0 +1,75 @@
+// Table-driven coverage for the public Config surface plus a smoke
+// test that a short Run populates every Report and SwitchStats field.
+package harmonia
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidationTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"defaults", Config{}, false},
+		{"chain harmonia", Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true}, false},
+		{"vr pair", Config{Protocol: ViewstampedReplication, Replicas: 2}, false},
+		{"sharded", Config{Protocol: ChainReplication, Groups: 4, UseHarmonia: true}, false},
+		{"max groups", Config{Protocol: ChainReplication, Groups: MaxGroups}, false},
+		{"protocol below range", Config{Protocol: Protocol(-1)}, true},
+		{"protocol above range", Config{Protocol: Protocol(99)}, true},
+		{"craq with harmonia", Config{Protocol: CRAQ, UseHarmonia: true}, true},
+		{"negative replicas", Config{Replicas: -1}, true},
+		{"vr singleton", Config{Protocol: ViewstampedReplication, Replicas: 1}, true},
+		{"negative stages", Config{Stages: -1}, true},
+		{"negative slots", Config{SlotsPerStage: -5}, true},
+		{"negative groups", Config{Groups: -1}, true},
+		{"too many groups", Config{Groups: MaxGroups + 1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%+v) err = %v, wantErr %v", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReportAndSwitchStatsPopulated(t *testing.T) {
+	c, err := New(Config{Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run(LoadSpec{
+		Clients: 32, Duration: 15 * time.Millisecond, Warmup: 2 * time.Millisecond,
+		WriteRatio: 0.1, Keys: 2000,
+	})
+	if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 {
+		t.Fatalf("counts empty: %+v", rep)
+	}
+	if rep.Ops != rep.Reads+rep.Writes {
+		t.Fatalf("ops %d != reads %d + writes %d", rep.Ops, rep.Reads, rep.Writes)
+	}
+	if rep.Throughput <= 0 || rep.ReadThroughput <= 0 || rep.WriteThroughput <= 0 {
+		t.Fatalf("throughputs empty: %+v", rep)
+	}
+	if rep.MeanLatency <= 0 || rep.P50Latency <= 0 || rep.P99Latency < rep.P50Latency {
+		t.Fatalf("latency stats inconsistent: %+v", rep)
+	}
+	if len(rep.GroupOps) != 1 || rep.GroupOps[0] != rep.Ops {
+		t.Fatalf("single-group GroupOps wrong: %v vs ops %d", rep.GroupOps, rep.Ops)
+	}
+	st := c.SwitchStats()
+	if st.Writes == 0 || st.FastReads == 0 || st.Completions == 0 {
+		t.Fatalf("switch stats empty: %+v", st)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", st.Epoch)
+	}
+	if c.Groups() != 1 {
+		t.Fatalf("Groups() = %d, want 1", c.Groups())
+	}
+}

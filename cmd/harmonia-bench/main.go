@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|ablations]
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|ablations]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window multiplier (lower = faster, noisier)")
-	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 ablations all)")
+	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 S ablations all)")
 	flag.Parse()
 	s := experiments.Scale(*scale)
 
@@ -57,6 +57,9 @@ func main() {
 		{"10", "Figure 10: throughput during switch stop/reactivate (ms, 1000:1 compressed)",
 			"time (ms)", "throughput (MRPS)",
 			func() []experiments.Series { return []experiments.Series{experiments.Fig10(s)} }},
+		{"S", "Figure S: aggregate throughput vs replica-group count (sharded, 5% writes, zipf-0.9)",
+			"groups", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.FigS(s) }},
 		{"ablations", "Ablations (DESIGN.md §6)",
 			"-", "see series names",
 			func() []experiments.Series {

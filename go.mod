@@ -1,0 +1,3 @@
+module harmonia
+
+go 1.24

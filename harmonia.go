@@ -87,6 +87,15 @@ type Config struct {
 	// the unmodified protocol as a baseline.
 	UseHarmonia bool
 
+	// Groups shards the key space across this many replica groups
+	// behind the one switch (§6.1): each group runs its own protocol
+	// instance over Replicas members and its own scheduler partition
+	// (sequence number, dirty set, last-committed point). Aggregate
+	// throughput scales with the group count because groups share
+	// nothing but the switch ASIC. Default 1, the classic single-group
+	// rack; at most MaxGroups.
+	Groups int
+
 	// Stages and SlotsPerStage size the switch's dirty-set hash table.
 	Stages, SlotsPerStage int
 
@@ -105,6 +114,9 @@ type Config struct {
 	Seed int64
 }
 
+// MaxGroups bounds Config.Groups.
+const MaxGroups = cluster.MaxGroups
+
 // Cluster is an assembled simulated rack.
 type Cluster struct {
 	c *cluster.Cluster
@@ -118,13 +130,20 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Protocol == CRAQ && cfg.UseHarmonia {
 		return nil, fmt.Errorf("harmonia: CRAQ is the protocol-level baseline and does not take switch assistance")
 	}
-	if cfg.Replicas < 0 || cfg.Replicas == 1 && cfg.Protocol == ViewstampedReplication {
+	if cfg.Replicas < 0 || (cfg.Replicas == 1 && cfg.Protocol == ViewstampedReplication) {
 		return nil, fmt.Errorf("harmonia: invalid replica count %d", cfg.Replicas)
+	}
+	if cfg.Stages < 0 || cfg.SlotsPerStage < 0 {
+		return nil, fmt.Errorf("harmonia: invalid dirty-set shape %d×%d", cfg.Stages, cfg.SlotsPerStage)
+	}
+	if cfg.Groups < 0 || cfg.Groups > MaxGroups {
+		return nil, fmt.Errorf("harmonia: invalid group count %d (max %d)", cfg.Groups, MaxGroups)
 	}
 	c := cluster.New(cluster.Config{
 		Protocol:      cfg.Protocol.internal(),
 		Replicas:      cfg.Replicas,
 		UseHarmonia:   cfg.UseHarmonia,
+		Groups:        cfg.Groups,
 		Stages:        cfg.Stages,
 		SlotsPerStage: cfg.SlotsPerStage,
 		DropProb:      cfg.DropProb,
@@ -181,6 +200,14 @@ type LoadSpec struct {
 	Keys       int     // key-space size (default 100k)
 	Dist       Dist
 
+	// PinGroups shards the closed-loop client pool the way the data is
+	// sharded: Clients are split evenly across the replica groups and
+	// each sub-pool draws keys only from its group's slice of the key
+	// space, so shards saturate independently. Per-group completions
+	// land in Report.GroupOps. Ignored for open-loop runs and
+	// single-group clusters.
+	PinGroups bool
+
 	// Bucket > 0 additionally collects a completion-rate time series
 	// (the Fig. 10 visualization).
 	Bucket time.Duration
@@ -198,6 +225,10 @@ type Report struct {
 	P99Latency      time.Duration
 	Retries         uint64
 	Series          []SeriesPoint
+	// GroupOps counts completed operations per replica group (index =
+	// group). Always length Config.Groups; a single-group cluster puts
+	// everything in GroupOps[0].
+	GroupOps []uint64
 }
 
 // SeriesPoint is one time-series bucket.
@@ -221,6 +252,7 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 		WriteRatio: spec.WriteRatio,
 		Keys:       spec.Keys,
 		Dist:       cluster.Dist(spec.Dist),
+		PinGroups:  spec.PinGroups,
 		Bucket:     spec.Bucket,
 	})
 	out := Report{
@@ -232,6 +264,7 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 		P50Latency:      rep.Latency.Quantile(0.5),
 		P99Latency:      rep.Latency.Quantile(0.99),
 		Retries:         rep.Retries,
+		GroupOps:        rep.GroupOps,
 	}
 	if rep.Series != nil {
 		for _, p := range rep.Series.Points() {
@@ -255,9 +288,21 @@ func (cl *Cluster) StopSwitch() { cl.c.StopSwitch() }
 // runs the §5.3 agreement before it may serve.
 func (cl *Cluster) ReactivateSwitch() { cl.c.ReactivateSwitch() }
 
-// CrashReplica fails replica i and reconfigures the protocol around it
-// where supported.
+// CrashReplica fails replica i of group 0 and reconfigures the
+// protocol around it where supported — the whole story for
+// single-group clusters. Sharded clusters use CrashReplicaInGroup.
 func (cl *Cluster) CrashReplica(i int) error { return cl.c.CrashReplica(i) }
+
+// CrashReplicaInGroup fails replica i of group g. Only that group
+// reconfigures; the other shards keep serving undisturbed.
+func (cl *Cluster) CrashReplicaInGroup(g, i int) error { return cl.c.CrashReplicaIn(g, i) }
+
+// Groups returns the replica-group count.
+func (cl *Cluster) Groups() int { return cl.c.Groups() }
+
+// GroupOf returns the replica group that owns key — the same mapping
+// the clients and the switch front-end use.
+func (cl *Cluster) GroupOf(key string) int { return cl.c.GroupOf(key) }
 
 // SwitchStats reports the scheduler's decision counters.
 type SwitchStats struct {
@@ -271,9 +316,30 @@ type SwitchStats struct {
 	Epoch         uint32 // active switch incarnation
 }
 
-// SwitchStats snapshots the active switch's counters.
+// SwitchStats snapshots the switch's counters summed over every
+// scheduler partition (for a single-group cluster this is exactly
+// group 0's view).
 func (cl *Cluster) SwitchStats() SwitchStats {
-	s := cl.c.Scheduler()
+	var out SwitchStats
+	for g := 0; g < cl.c.Groups(); g++ {
+		st := cl.GroupSwitchStats(g)
+		out.Writes += st.Writes
+		out.WritesDropped += st.WritesDropped
+		out.FastReads += st.FastReads
+		out.NormalReads += st.NormalReads
+		out.DirtyHits += st.DirtyHits
+		out.Completions += st.Completions
+		out.DirtySetSize += st.DirtySetSize
+		if g == 0 {
+			out.Epoch = st.Epoch
+		}
+	}
+	return out
+}
+
+// GroupSwitchStats snapshots group g's scheduler partition.
+func (cl *Cluster) GroupSwitchStats(g int) SwitchStats {
+	s := cl.c.GroupScheduler(g)
 	st := s.Stats
 	return SwitchStats{
 		Writes: st.Writes, WritesDropped: st.WritesDropped,
@@ -297,6 +363,15 @@ type CheckResult struct {
 // checkable values.
 func (cl *Cluster) CheckLinearizability() CheckResult {
 	res := cl.c.CheckLinearizability()
+	return CheckResult{Ok: res.Ok, Decided: res.Decided, Reason: res.Reason}
+}
+
+// CheckLinearizabilityGroup verifies group g's slice of the recorded
+// history. The key space is partitioned and linearizability is
+// compositional, so sharded runs are checked shard by shard — each
+// verdict stands on its own and the per-group searches stay small.
+func (cl *Cluster) CheckLinearizabilityGroup(g int) CheckResult {
+	res := cl.c.CheckLinearizabilityGroup(g)
 	return CheckResult{Ok: res.Ok, Decided: res.Decided, Reason: res.Reason}
 }
 

@@ -42,6 +42,15 @@ type LoadSpec struct {
 	WriteRatio float64
 	Keys       int
 	Dist       Dist
+	// PinGroups shards the closed-loop client pool the way the data is
+	// sharded: the Clients are split evenly across the replica groups
+	// and each sub-pool draws keys only from its group's slice of the
+	// key space. This is the sharded load-generation mode — groups
+	// saturate independently instead of the whole fleet throttling on
+	// the slowest shard — and the per-group completions land in
+	// Report.GroupOps. Ignored for open-loop runs and single-group
+	// clusters.
+	PinGroups bool
 	// Bucket, when > 0, also collects a completion time series
 	// (Fig. 10).
 	Bucket time.Duration
@@ -77,6 +86,10 @@ type Report struct {
 	Retries         uint64
 	Unanswered      uint64 // open-loop ops with no reply by run end
 	Series          *metrics.TimeSeries
+	// GroupOps counts completions per replica group (index = group);
+	// the aggregate load generator's view of how the shards shared the
+	// work. Always length Config.Groups.
+	GroupOps []uint64
 }
 
 // opState tracks one in-flight logical operation.
@@ -115,6 +128,16 @@ type opGen struct {
 
 type keyGen interface{ Next() int }
 
+// pinnedGen confines a generator to one group's shard of the key
+// space: inner draws a shard-local rank, owned maps it to the global
+// key index.
+type pinnedGen struct {
+	owned []int
+	inner keyGen
+}
+
+func (p *pinnedGen) Next() int { return p.owned[p.inner.Next()] }
+
 func (g *opGen) next() (key string, write bool) {
 	k := g.keys.Next()
 	return keyName(k), g.c.eng.Rand().Float64() < g.ratio
@@ -129,17 +152,21 @@ type measurement struct {
 	reads      uint64
 	writes     uint64
 	retriesCnt uint64
+	groupOps   []uint64
 	lat        *metrics.Histogram
 	rlat       *metrics.Histogram
 	wlat       *metrics.Histogram
 	series     *metrics.TimeSeries
 }
 
-func (m *measurement) observe(write bool, d time.Duration, at sim.Time) {
+func (m *measurement) observe(write bool, group int, d time.Duration, at sim.Time) {
 	if !m.collect {
 		return
 	}
 	m.ops++
+	if group >= 0 && group < len(m.groupOps) {
+		m.groupOps[group]++
+	}
 	m.lat.Observe(d)
 	if write {
 		m.writes++
@@ -169,7 +196,7 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 	}
 	now := v.c.eng.Now()
 	isWrite := st.pkt.Op == wire.OpWrite
-	v.measuring.observe(isWrite, time.Duration(now-st.firstInvoke), now)
+	v.measuring.observe(isWrite, int(pkt.Group), time.Duration(now-st.firstInvoke), now)
 	if st.histIdx >= 0 {
 		var observed int64
 		if pkt.Op == wire.OpReadReply && pkt.Flags&wire.FlagNotFound == 0 {
@@ -202,6 +229,7 @@ func (v *vclient) issue(key string, write bool) {
 		ClientID: v.id,
 		ReqID:    req,
 	}
+	pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(v.c.groups)))
 	st := &opState{pkt: pkt, firstInvoke: v.c.eng.Now(), histIdx: -1}
 	if write {
 		pkt.Op = wire.OpWrite
@@ -270,25 +298,48 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 	for gi := range specs {
 		spec := specs[gi]
 		meas := &measurement{
-			c:    c,
-			lat:  metrics.NewHistogram(),
-			rlat: metrics.NewHistogram(),
-			wlat: metrics.NewHistogram(),
+			c:        c,
+			groupOps: make([]uint64, len(c.groups)),
+			lat:      metrics.NewHistogram(),
+			rlat:     metrics.NewHistogram(),
+			wlat:     metrics.NewHistogram(),
 		}
 		if spec.Bucket > 0 {
 			meas.series = metrics.NewTimeSeries(spec.Bucket)
 		}
-		newKeys := func() keyGen {
+		newKeysN := func(n int) keyGen {
 			if spec.Dist == Zipf09 {
-				return newZipfGen(spec.Keys, c.eng.Rand())
+				return newZipfGen(n, c.eng.Rand())
 			}
-			return newUniformGen(spec.Keys, c.eng.Rand())
+			return newUniformGen(n, c.eng.Rand())
 		}
+		newKeys := func() keyGen { return newKeysN(spec.Keys) }
 		var clients []*vclient
 		if spec.Mode == Closed {
-			clients = make([]*vclient, spec.Clients)
-			for i := range clients {
-				clients[i] = c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, true)
+			if spec.PinGroups && len(c.groups) > 1 {
+				// Sharded load generation: an even share of the pool
+				// per group, each sub-pool confined to its group's
+				// slice of the key space (shard-local ranks keep the
+				// distribution's shape within the slice).
+				owned := c.ownedKeyIndices(spec.Keys)
+				for g, idxs := range owned {
+					n := spec.Clients / len(c.groups)
+					if g < spec.Clients%len(c.groups) {
+						n++
+					}
+					if len(idxs) == 0 {
+						continue // degenerate: shard owns no keys
+					}
+					for i := 0; i < n; i++ {
+						gen := &opGen{c: c, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
+						clients = append(clients, c.newVClient(meas, gen, true))
+					}
+				}
+			} else {
+				clients = make([]*vclient, spec.Clients)
+				for i := range clients {
+					clients[i] = c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, true)
+				}
 			}
 			for _, v := range clients {
 				v.issueNext()
@@ -331,8 +382,9 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			ReadThroughput:  float64(g.meas.reads) / window.Seconds(),
 			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
 			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
-			Retries: g.meas.retriesCnt,
-			Series:  g.meas.series,
+			Retries:  g.meas.retriesCnt,
+			Series:   g.meas.series,
+			GroupOps: g.meas.groupOps,
 		}
 		// Tear down: detach clients so the next run starts clean.
 		for _, v := range g.clients {

@@ -1,6 +1,7 @@
 // Package cluster assembles a complete simulated Harmonia rack: the
-// in-switch request scheduler, a replica group running one of the five
-// supported protocols, a controller for the §5.3 lease/failover
+// in-switch request scheduler (partitioned across one or more replica
+// groups behind a single switch front-end), the protocol instances
+// running on the replicas, a controller for the §5.3 lease/failover
 // agreements, and load-generating clients. It is the substrate every
 // end-to-end test, example, and benchmark runs on.
 package cluster
@@ -55,13 +56,24 @@ func (p Protocol) String() string {
 // ReadBehind reports whether the protocol's §7 class is read-behind.
 func (p Protocol) ReadBehind() bool { return p == VR || p == NOPaxos }
 
-// Node addressing scheme.
+// Node addressing scheme. Each replica group owns a groupStride-wide
+// window of the replica address space; clients sit far above it.
 const (
 	switchAddr     simnet.NodeID = 1
 	controllerAddr simnet.NodeID = 2
 	replicaBase    simnet.NodeID = 10
-	clientBase     simnet.NodeID = 1000
+	groupStride    simnet.NodeID = 1024
+	clientBase     simnet.NodeID = 1 << 20
 )
+
+// MaxGroups bounds Config.Groups so replica addresses never collide
+// with the client address space.
+const MaxGroups = 256
+
+// groupReplicaAddr returns the network address of replica i of group g.
+func groupReplicaAddr(g, i int) simnet.NodeID {
+	return replicaBase + simnet.NodeID(g)*groupStride + simnet.NodeID(i)
+}
 
 // Config parameterizes a cluster.
 type Config struct {
@@ -69,7 +81,14 @@ type Config struct {
 	Replicas    int
 	UseHarmonia bool
 
+	// Groups shards the key space across this many replica groups
+	// behind the one switch (§6.1). Each group runs its own protocol
+	// instance over Replicas members and its own scheduler partition.
+	// Default 1: the classic single-group rack.
+	Groups int
+
 	// Switch dirty-set sizing (defaults: 3 × 64000, the prototype's).
+	// Each group's partition gets a table of this size.
 	Stages        int
 	SlotsPerStage int
 
@@ -111,6 +130,14 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.Replicas <= 0 {
 		c.Replicas = 3
+	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
+	if c.Groups > MaxGroups {
+		// Beyond this the replica address windows would collide with
+		// the client address space; clamp rather than misroute.
+		c.Groups = MaxGroups
 	}
 	if c.Stages <= 0 {
 		c.Stages = 3
@@ -158,16 +185,38 @@ type ReplicaHandle interface {
 	Preload(id wire.ObjectID, value []byte, seq wire.Seq)
 }
 
+// replicaGroup is one replica group: a partition of the key space with
+// its own protocol instance and scheduler state behind the shared
+// switch.
+type replicaGroup struct {
+	idx      int
+	n        int // group size (== Config.Replicas)
+	sched    *core.Scheduler
+	replicas []ReplicaHandle
+	raw      any // protocol-specific slice for reconfiguration
+}
+
+// addrs lists the group's replica addresses in index order.
+func (g *replicaGroup) addrs() []simnet.NodeID {
+	out := make([]simnet.NodeID, g.n)
+	for i := range out {
+		out[i] = groupReplicaAddr(g.idx, i)
+	}
+	return out
+}
+
 // Cluster is an assembled simulated rack.
 type Cluster struct {
 	cfg Config
 	eng *sim.Engine
 	net *simnet.Network
 
-	swWrap   *switchWrapper
-	sched    *core.Scheduler
+	front  *core.Frontend
+	groups []*replicaGroup
+
+	// replicas is the flattened, group-major view of every replica —
+	// the convenient shape for stats sweeps and single-group tests.
 	replicas []ReplicaHandle
-	raw      any // protocol-specific slice for reconfiguration
 
 	ctl *controller
 
@@ -177,19 +226,6 @@ type Cluster struct {
 	valueCtr int64
 
 	epoch uint32
-}
-
-// switchWrapper lets the cluster swap the scheduler on switch
-// replacement (a rebooted switch runs a fresh program instance).
-type switchWrapper struct {
-	inner simnet.Handler // nil = booting: drop everything
-}
-
-// Recv implements simnet.Handler.
-func (w *switchWrapper) Recv(from simnet.NodeID, msg simnet.Message) {
-	if w.inner != nil {
-		w.inner.Recv(from, msg)
-	}
 }
 
 // New assembles and primes a cluster.
@@ -206,18 +242,25 @@ func New(cfg Config) *Cluster {
 		DropProb: cfg.DropProb, ReorderProb: cfg.ReorderProb, ReorderDelay: cfg.ReorderDelay,
 	})
 
-	// Switch: line-rate node wrapping the scheduler.
-	c.swWrap = &switchWrapper{}
-	c.net.AddNode(switchAddr, c.swWrap, simnet.ProcConfig{Workers: 0})
-	c.sched = c.newScheduler(c.epoch)
-	c.swWrap.inner = c.sched
+	// Switch: one line-rate node hosting a scheduler partition per
+	// group behind the hashing front-end.
+	c.front = core.NewFrontend(cfg.Groups)
+	c.net.AddNode(switchAddr, c.front, simnet.ProcConfig{Workers: 0})
 
 	// Controller.
 	c.ctl = newController(c)
 	c.net.AddNode(controllerAddr, c.ctl, simnet.ProcConfig{Workers: 0})
 
-	// Replicas.
-	c.buildReplicas()
+	// Replica groups: scheduler partition + protocol instance each.
+	c.groups = make([]*replicaGroup, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		grp := &replicaGroup{idx: g, n: cfg.Replicas}
+		c.groups[g] = grp
+		grp.sched = c.newScheduler(g, c.epoch)
+		c.front.SetGroup(g, grp.sched)
+		c.buildGroupReplicas(grp)
+		c.replicas = append(c.replicas, grp.replicas...)
+	}
 
 	// Replica↔replica and controller channels model TCP: reliable and
 	// FIFO (chain replication and primary-backup are only correct
@@ -226,18 +269,24 @@ func New(cfg Config) *Cluster {
 	// invariant the §7.2 check relies on). Loss and reordering apply
 	// to the client↔switch↔replica packet path, which is where
 	// Harmonia's own recovery mechanisms (client retries, stray
-	// dirty-set entries, OUM gap handling) operate.
+	// dirty-set entries, OUM gap handling) operate. Groups never talk
+	// to each other: the key space is partitioned.
 	reliable := simnet.LinkConfig{Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter}
-	addrs := c.replicaAddrs()
-	for i, a := range addrs {
-		for _, b := range addrs[i+1:] {
-			c.net.SetLinkBoth(a, b, reliable)
+	for _, grp := range c.groups {
+		addrs := grp.addrs()
+		for i, a := range addrs {
+			for _, b := range addrs[i+1:] {
+				c.net.SetLinkBoth(a, b, reliable)
+			}
+			c.net.SetLinkBoth(a, controllerAddr, reliable)
 		}
-		c.net.SetLinkBoth(a, controllerAddr, reliable)
 	}
 
-	// Initial lease and priming write so the switch becomes ready.
-	c.ctl.grantLeases(c.epoch)
+	// Initial leases and one priming write per group so every
+	// scheduler partition becomes ready.
+	for _, grp := range c.groups {
+		c.ctl.grantGroupLeases(grp.idx, c.epoch)
+	}
 	c.prime()
 	return c
 }
@@ -248,50 +297,55 @@ func (c *Cluster) Engine() *sim.Engine { return c.eng }
 // Network exposes the simulated network (tests).
 func (c *Cluster) Network() *simnet.Network { return c.net }
 
-// Scheduler exposes the active switch program (tests and stats).
-func (c *Cluster) Scheduler() *core.Scheduler { return c.sched }
+// Scheduler exposes group 0's active switch program — the whole switch
+// state for single-group clusters (tests and stats).
+func (c *Cluster) Scheduler() *core.Scheduler { return c.groups[0].sched }
+
+// GroupScheduler exposes group g's active scheduler partition.
+func (c *Cluster) GroupScheduler(g int) *core.Scheduler { return c.groups[g].sched }
+
+// Groups returns the replica-group count.
+func (c *Cluster) Groups() int { return len(c.groups) }
+
+// GroupOf returns the replica group that owns key.
+func (c *Cluster) GroupOf(key string) int {
+	return wire.GroupOf(wire.HashKey(key), len(c.groups))
+}
 
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// replicaAddrs lists the replica addresses in index order.
-func (c *Cluster) replicaAddrs() []simnet.NodeID {
-	out := make([]simnet.NodeID, c.cfg.Replicas)
-	for i := range out {
-		out[i] = replicaBase + simnet.NodeID(i)
-	}
-	return out
-}
-
-// writeDst and readDst give the normal-path entry points per protocol.
-func (c *Cluster) writeDst() simnet.NodeID {
+// writeDst and readDst give the normal-path entry points per protocol
+// within group g.
+func (c *Cluster) writeDst(g int) simnet.NodeID {
 	switch c.cfg.Protocol {
 	case Chain, CRAQ:
-		return replicaBase // head
+		return groupReplicaAddr(g, 0) // head
 	default:
-		return replicaBase // primary / leader (index 0 at start)
+		return groupReplicaAddr(g, 0) // primary / leader (index 0 at start)
 	}
 }
 
-func (c *Cluster) readDst() simnet.NodeID {
+func (c *Cluster) readDst(g int) simnet.NodeID {
 	switch c.cfg.Protocol {
 	case Chain:
-		return replicaBase + simnet.NodeID(c.cfg.Replicas-1) // tail
+		return groupReplicaAddr(g, c.cfg.Replicas-1) // tail
 	case CRAQ:
-		return replicaBase // unused: RandomReads mode
+		return groupReplicaAddr(g, 0) // unused: RandomReads mode
 	default:
-		return replicaBase // primary / leader
+		return groupReplicaAddr(g, 0) // primary / leader
 	}
 }
 
-func (c *Cluster) newScheduler(epoch uint32) *core.Scheduler {
+func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
+	addrs := c.groups[g].addrs()
 	return core.New(core.Config{
 		Epoch:              epoch,
 		Stages:             c.cfg.Stages,
 		SlotsPerStage:      c.cfg.SlotsPerStage,
-		Replicas:           c.replicaAddrs(),
-		WriteDst:           c.writeDst(),
-		ReadDst:            c.readDst(),
+		Replicas:           addrs,
+		WriteDst:           c.writeDst(g),
+		ReadDst:            c.readDst(g),
 		MulticastWrites:    c.cfg.Protocol == NOPaxos,
 		ClientBase:         clientBase,
 		DisableFastReads:   !c.cfg.UseHarmonia,
@@ -321,10 +375,10 @@ func (e *replicaEnv) After(d time.Duration, fn func()) *sim.Timer { return e.c.e
 func (e *replicaEnv) Now() sim.Time                               { return e.c.eng.Now() }
 func (e *replicaEnv) Rand() *rand.Rand                            { return e.c.eng.Rand() }
 
-// buildReplicas constructs the protocol replica set and registers the
-// nodes with the calibrated processor model.
-func (c *Cluster) buildReplicas() {
-	addrs := c.replicaAddrs()
+// buildGroupReplicas constructs one group's protocol replica set and
+// registers the nodes with the calibrated processor model.
+func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
+	addrs := grp.addrs()
 	cost := func(msg simnet.Message) time.Duration {
 		switch protocol.ClassOf(msg) {
 		case protocol.CostRead:
@@ -339,88 +393,110 @@ func (c *Cluster) buildReplicas() {
 
 	n := c.cfg.Replicas
 	f := (n - 1) / 2
-	c.replicas = make([]ReplicaHandle, n)
+	gid := grp.idx
+	grp.replicas = make([]ReplicaHandle, n)
 	switch c.cfg.Protocol {
 	case PB:
 		rs := make([]*pb.Replica, n)
 		for i := 0; i < n; i++ {
-			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
 			rs[i] = pb.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
-			c.replicas[i] = pbHandle{rs[i]}
-			c.net.AddNode(addrs[i], c.replicas[i], proc)
+			grp.replicas[i] = pbHandle{rs[i]}
+			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
-		c.raw = rs
+		grp.raw = rs
 	case Chain:
 		rs := make([]*chain.Replica, n)
 		for i := 0; i < n; i++ {
-			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
 			rs[i] = chain.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
-			c.replicas[i] = chainHandle{rs[i]}
-			c.net.AddNode(addrs[i], c.replicas[i], proc)
+			grp.replicas[i] = chainHandle{rs[i]}
+			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
-		c.raw = rs
+		grp.raw = rs
 	case CRAQ:
 		rs := make([]*craq.Replica, n)
 		for i := 0; i < n; i++ {
-			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
 			rs[i] = craq.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
-			c.replicas[i] = craqHandle{rs[i]}
-			c.net.AddNode(addrs[i], c.replicas[i], proc)
+			grp.replicas[i] = craqHandle{rs[i]}
+			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
-		c.raw = rs
+		grp.raw = rs
 	case VR:
 		rs := make([]*vr.Replica, n)
 		opts := vr.DefaultOptions()
 		opts.EagerCompletions = c.cfg.EagerCompletions
 		for i := 0; i < n; i++ {
-			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
 			rs[i] = vr.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards, opts)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
-			rs[i].OnViewChange = c.onViewChange
-			c.replicas[i] = vrHandle{rs[i]}
-			c.net.AddNode(addrs[i], c.replicas[i], proc)
+			rs[i].OnViewChange = c.viewChangeHook(gid)
+			grp.replicas[i] = vrHandle{rs[i]}
+			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
-		c.raw = rs
+		grp.raw = rs
 	case NOPaxos:
 		rs := make([]*nopaxos.Replica, n)
 		for i := 0; i < n; i++ {
-			g := protocol.GroupConfig{Replicas: addrs, Self: i, F: f}
+			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
 			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards,
 				nopaxos.Options{SyncEvery: c.cfg.SyncEvery})
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
-			c.replicas[i] = nopaxosHandle{rs[i]}
-			c.net.AddNode(addrs[i], c.replicas[i], proc)
+			grp.replicas[i] = nopaxosHandle{rs[i]}
+			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
-		c.raw = rs
+		grp.raw = rs
 	default:
 		panic("cluster: unknown protocol")
 	}
 }
 
-// onViewChange retargets the switch at a new VR leader.
-func (c *Cluster) onViewChange(view uint64, leader int) {
-	dst := replicaBase + simnet.NodeID(leader)
-	c.sched.SetTargets(dst, dst)
+// viewChangeHook retargets group g's scheduler partition at a new VR
+// leader.
+func (c *Cluster) viewChangeHook(g int) func(view uint64, leader int) {
+	return func(view uint64, leader int) {
+		dst := groupReplicaAddr(g, leader)
+		c.groups[g].sched.SetTargets(dst, dst)
+	}
 }
 
-// prime issues one write end-to-end so the switch observes its first
-// WRITE-COMPLETION and enables single-replica reads (§5.3 applies to
-// cold boots exactly as to replacements).
-func (c *Cluster) prime() {
-	pkt := &wire.Packet{
-		Op: wire.OpWrite, ObjID: wire.HashKey("__prime__"), Key: "__prime__",
-		ClientID: 0, ReqID: 1, Value: []byte{1},
+// primeKey returns a key owned by group g. Single-group clusters keep
+// the historical "__prime__" key; sharded ones search a deterministic
+// suffix until the hash lands in the right partition.
+func primeKey(g, groups int) string {
+	if groups == 1 {
+		return "__prime__"
 	}
-	c.net.Send(clientBase, switchAddr, pkt)
-	// Drive the write (and for NOPaxos, a sync round) to completion.
+	for t := 0; ; t++ {
+		k := fmt.Sprintf("__prime__%d_%d", g, t)
+		if wire.GroupOf(wire.HashKey(k), groups) == g {
+			return k
+		}
+	}
+}
+
+// prime issues one write per group end-to-end so every scheduler
+// partition observes its first WRITE-COMPLETION and enables
+// single-replica reads (§5.3 applies to cold boots exactly as to
+// replacements).
+func (c *Cluster) prime() {
+	for g := range c.groups {
+		key := primeKey(g, len(c.groups))
+		pkt := &wire.Packet{
+			Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+			Group: uint16(g), ClientID: 0, ReqID: uint64(g + 1), Value: []byte{1},
+		}
+		c.net.Send(clientBase, switchAddr, pkt)
+	}
+	// Drive the writes (and for NOPaxos, a sync round) to completion.
 	c.eng.RunFor(20 * time.Millisecond)
 }
 
-// Preload installs n objects across all replicas without going
-// through the protocol, and returns the value ids used (for history
-// seeding).
+// Preload installs n objects into their owning groups without going
+// through the protocol, and records them for history seeding.
 func (c *Cluster) Preload(n int) {
 	for i := 0; i < n; i++ {
 		key := keyName(i)
@@ -428,7 +504,8 @@ func (c *Cluster) Preload(n int) {
 		c.valueCtr++
 		val := encodeValue(c.valueCtr)
 		seq := wire.Seq{Epoch: 0, N: uint64(i + 1)}
-		for _, r := range c.replicas {
+		grp := c.groups[wire.GroupOf(id, len(c.groups))]
+		for _, r := range grp.replicas {
 			r.Preload(id, val, seq)
 		}
 		if c.cfg.RecordHistory {
@@ -437,45 +514,70 @@ func (c *Cluster) Preload(n int) {
 	}
 }
 
+// ownedKeyIndices partitions the workload's key indices [0, keys) by
+// owning group — the load generator's view of the shard map.
+func (c *Cluster) ownedKeyIndices(keys int) [][]int {
+	out := make([][]int, len(c.groups))
+	for i := 0; i < keys; i++ {
+		g := wire.GroupOf(wire.HashKey(keyName(i)), len(c.groups))
+		out[g] = append(out[g], i)
+	}
+	return out
+}
+
 // RunFor advances simulated time.
 func (c *Cluster) RunFor(d time.Duration) { c.eng.RunFor(d) }
 
 // --- failure injection ---
 
-// StopSwitch halts the switch (it stops forwarding entirely, as in
-// §9.6's experiment).
+// StopSwitch halts the switch (it stops forwarding entirely for every
+// group, as in §9.6's experiment).
 func (c *Cluster) StopSwitch() {
 	c.net.SetDown(switchAddr, true)
 }
 
 // ReactivateSwitch brings up a replacement switch with a fresh epoch
-// and empty register state, then runs the §5.3 agreement: replicas
-// revoke the old lease before the new switch may forward writes, and
-// fast-path reads resume only after the first new-epoch
-// WRITE-COMPLETION reaches the switch.
+// and empty register state, then runs the §5.3 agreement per group:
+// a group's replicas revoke the old lease before the new switch may
+// forward that group's writes, and its fast-path reads resume only
+// after the first new-epoch WRITE-COMPLETION reaches the partition.
+// Groups recover independently — a slow group does not hold back the
+// rest of the rack.
 func (c *Cluster) ReactivateSwitch() {
 	c.net.SetDown(switchAddr, false)
 	c.epoch++
-	next := c.newScheduler(c.epoch)
-	c.swWrap.inner = nil // booting: drops traffic until agreement done
-	c.ctl.revokeThen(c.epoch-1, func() {
-		c.swWrap.inner = next
-		c.sched = next
-		c.ctl.grantLeases(c.epoch)
-	})
+	c.front.Reboot() // booting: drops traffic until agreement done
+	for _, grp := range c.groups {
+		grp := grp
+		next := c.newScheduler(grp.idx, c.epoch)
+		c.ctl.revokeThen(grp.idx, c.epoch-1, func() {
+			c.front.SetGroup(grp.idx, next)
+			grp.sched = next
+			c.ctl.grantGroupLeases(grp.idx, c.epoch)
+		})
+	}
 }
 
-// CrashReplica fails replica i: its node drops all traffic and the
-// protocol reconfigures around it where supported (§5.3 server
-// failures). The switch stops scheduling fast-path reads to it.
-func (c *Cluster) CrashReplica(i int) error {
+// CrashReplica fails replica i of group 0 — the whole story for
+// single-group clusters. Sharded clusters use CrashReplicaIn.
+func (c *Cluster) CrashReplica(i int) error { return c.CrashReplicaIn(0, i) }
+
+// CrashReplicaIn fails replica i of group g: its node drops all
+// traffic and the group's protocol instance reconfigures around it
+// where supported (§5.3 server failures). The switch stops scheduling
+// that group's fast-path reads to it; other groups are untouched.
+func (c *Cluster) CrashReplicaIn(g, i int) error {
+	if g < 0 || g >= len(c.groups) {
+		return fmt.Errorf("cluster: group %d out of range", g)
+	}
 	if i < 0 || i >= c.cfg.Replicas {
 		return fmt.Errorf("cluster: replica %d out of range", i)
 	}
-	addr := replicaBase + simnet.NodeID(i)
+	grp := c.groups[g]
+	addr := groupReplicaAddr(g, i)
 	c.net.SetDown(addr, true)
-	c.sched.RemoveReplica(addr)
-	switch rs := c.raw.(type) {
+	grp.sched.RemoveReplica(addr)
+	switch rs := grp.raw.(type) {
 	case []*chain.Replica:
 		for j, r := range rs {
 			if j != i {
@@ -496,7 +598,7 @@ func (c *Cluster) CrashReplica(i int) error {
 			}
 		}
 		if head >= 0 && tail >= 0 {
-			c.sched.SetTargets(replicaBase+simnet.NodeID(head), replicaBase+simnet.NodeID(tail))
+			grp.sched.SetTargets(groupReplicaAddr(g, head), groupReplicaAddr(g, tail))
 		}
 	case []*pb.Replica:
 		if i == 0 {
@@ -529,32 +631,39 @@ func (c *Cluster) CrashReplica(i int) error {
 // SwitchAddr returns the switch's network address (experiment hooks).
 func (c *Cluster) SwitchAddr() simnet.NodeID { return switchAddr }
 
-// ReplicaAddr returns replica i's network address (experiment hooks).
-func (c *Cluster) ReplicaAddr(i int) simnet.NodeID { return replicaBase + simnet.NodeID(i) }
+// ReplicaAddr returns replica i of group 0's network address
+// (experiment hooks; see GroupReplicaAddr for sharded clusters).
+func (c *Cluster) ReplicaAddr(i int) simnet.NodeID { return groupReplicaAddr(0, i) }
 
-// ShimStats sums the replicas' fast-path shim counters.
+// GroupReplicaAddr returns replica i of group g's network address.
+func (c *Cluster) GroupReplicaAddr(g, i int) simnet.NodeID { return groupReplicaAddr(g, i) }
+
+// ShimStats sums the replicas' fast-path shim counters across all
+// groups.
 func (c *Cluster) ShimStats() (served, rejected, leaseRejected uint64) {
 	add := func(b *protocol.Base) {
 		served += b.FastServed
 		rejected += b.FastRejected
 		leaseRejected += b.LeaseRejected
 	}
-	switch rs := c.raw.(type) {
-	case []*pb.Replica:
-		for _, r := range rs {
-			add(r.Base)
-		}
-	case []*chain.Replica:
-		for _, r := range rs {
-			add(r.Base)
-		}
-	case []*vr.Replica:
-		for _, r := range rs {
-			add(r.Base)
-		}
-	case []*nopaxos.Replica:
-		for _, r := range rs {
-			add(r.Base)
+	for _, grp := range c.groups {
+		switch rs := grp.raw.(type) {
+		case []*pb.Replica:
+			for _, r := range rs {
+				add(r.Base)
+			}
+		case []*chain.Replica:
+			for _, r := range rs {
+				add(r.Base)
+			}
+		case []*vr.Replica:
+			for _, r := range rs {
+				add(r.Base)
+			}
+		case []*nopaxos.Replica:
+			for _, r := range rs {
+				add(r.Base)
+			}
 		}
 	}
 	return

@@ -10,8 +10,10 @@ import (
 // or ZooKeeper plays in a real deployment, and the control plane of
 // §5.3): it periodically grants the fast-read lease for the active
 // switch epoch and orchestrates the agreement on switch replacement —
-// every replica must acknowledge revocation of the old epoch before
-// the new switch may forward writes.
+// every replica of a group must acknowledge revocation of the old
+// epoch before the new switch may forward that group's writes. With a
+// sharded cluster the agreement is group-scoped: each replica group
+// revokes, acknowledges, and resumes independently.
 type controller struct {
 	c *Cluster
 
@@ -47,37 +49,38 @@ func (ct *controller) Recv(from simnet.NodeID, msg simnet.Message) {
 	}
 }
 
-// grantLeases issues (and keeps renewing) the fast-read lease for
-// epoch to every replica. Renewal stops automatically when a newer
-// epoch takes over.
-func (ct *controller) grantLeases(epoch uint32) {
+// grantGroupLeases issues (and keeps renewing) the fast-read lease for
+// epoch to every replica of group g. Renewal stops automatically when
+// a newer epoch takes over.
+func (ct *controller) grantGroupLeases(g int, epoch uint32) {
 	if epoch != ct.c.epoch {
 		return // superseded
 	}
 	d := ct.c.cfg.LeaseDuration
 	expiry := ct.c.eng.Now() + sim.Time(d)
-	for _, addr := range ct.c.replicaAddrs() {
+	for _, addr := range ct.c.groups[g].addrs() {
 		ct.c.net.Send(controllerAddr, addr, protocol.LeaseGrant{Epoch: epoch, Expiry: expiry})
 	}
-	ct.c.eng.After(d/2, func() { ct.grantLeases(epoch) })
+	ct.c.eng.After(d/2, func() { ct.grantGroupLeases(g, epoch) })
 }
 
-// revokeThen demands revocation of every lease ≤ epoch from all
-// replicas and calls done once all live replicas acknowledged. Crashed
+// revokeThen demands revocation of every lease ≤ epoch from group g's
+// replicas and calls done once all live members acknowledged. Crashed
 // replicas are excluded: their leases expire on their own and they
 // cannot serve reads anyway.
-func (ct *controller) revokeThen(epoch uint32, done func()) {
+func (ct *controller) revokeThen(g int, epoch uint32, done func()) {
 	ct.nextRevokeID++
 	id := ct.nextRevokeID
+	addrs := ct.c.groups[g].addrs()
 	live := 0
-	for _, addr := range ct.c.replicaAddrs() {
+	for _, addr := range addrs {
 		if !ct.c.net.IsDown(addr) {
 			live++
 		}
 	}
 	rev := &revocation{acked: make(map[int]bool), need: live, done: done}
 	ct.pending[id] = rev
-	for _, addr := range ct.c.replicaAddrs() {
+	for _, addr := range addrs {
 		if !ct.c.net.IsDown(addr) {
 			ct.c.net.Send(controllerAddr, addr, protocol.LeaseRevoke{
 				Epoch: epoch, AckTo: controllerAddr, ID: id,

@@ -1,9 +1,12 @@
 package cluster
 
 import (
-	"harmonia/internal/lincheck"
-	"harmonia/internal/workload"
+	"fmt"
 	"math/rand"
+
+	"harmonia/internal/lincheck"
+	"harmonia/internal/wire"
+	"harmonia/internal/workload"
 )
 
 // recorder captures the operation history for linearizability
@@ -45,6 +48,23 @@ func (c *Cluster) History() []lincheck.Op {
 // CheckLinearizability verifies the recorded history.
 func (c *Cluster) CheckLinearizability() lincheck.Result {
 	return lincheck.Check(c.hist.ops)
+}
+
+// CheckLinearizabilityGroup verifies the slice of the recorded history
+// owned by replica group g. Because the key space is partitioned and
+// linearizability is compositional, each group's history stands on its
+// own — this is the per-shard verdict a sharded deployment monitors.
+func (c *Cluster) CheckLinearizabilityGroup(g int) lincheck.Result {
+	if g < 0 || g >= len(c.groups) {
+		return lincheck.Result{Reason: fmt.Sprintf("group %d out of range", g)}
+	}
+	var ops []lincheck.Op
+	for _, op := range c.hist.ops {
+		if wire.GroupOf(wire.ObjectID(op.Key), len(c.groups)) == g {
+			ops = append(ops, op)
+		}
+	}
+	return lincheck.Check(ops)
 }
 
 // --- key generators (thin adapters over internal/workload) ---

@@ -53,6 +53,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 		ClientID: s.v.id,
 		ReqID:    req,
 	}
+	pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(s.c.groups)))
 	st := &opState{pkt: pkt, firstInvoke: s.c.eng.Now(), histIdx: -1}
 	if write {
 		pkt.Op = wire.OpWrite

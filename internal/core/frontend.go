@@ -1,0 +1,78 @@
+package core
+
+import (
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// Frontend is the multi-group switch front-end (§6.1): one physical
+// switch whose register state is partitioned into n independent
+// scheduler instances, one per replica group. The front-end hashes
+// each client request's object ID to its group and dispatches to that
+// group's scheduler, stamping the group ID into the header; packets
+// originating at replicas (replies, write-completions, forwarded
+// reads) already carry the group ID and are routed by it. Algorithm 1
+// runs unmodified within each partition.
+//
+// A nil partition slot models a group whose §5.3 replacement agreement
+// has not completed yet: its traffic is dropped, exactly as a booting
+// switch drops everything.
+type Frontend struct {
+	groups []*Scheduler
+}
+
+// NewFrontend builds a front-end with n (initially empty) partitions.
+func NewFrontend(n int) *Frontend {
+	if n <= 0 {
+		n = 1
+	}
+	return &Frontend{groups: make([]*Scheduler, n)}
+}
+
+// Groups returns the partition count.
+func (f *Frontend) Groups() int { return len(f.groups) }
+
+// Group returns partition g's scheduler (nil while booting).
+func (f *Frontend) Group(g int) *Scheduler { return f.groups[g] }
+
+// SetGroup installs (or, with nil, clears) partition g's scheduler.
+// The cluster controller calls it as each group's §5.3 agreement
+// completes.
+func (f *Frontend) SetGroup(g int, s *Scheduler) { f.groups[g] = s }
+
+// Reboot clears every partition: a replacement switch starts with
+// empty register state and must not forward anything until the
+// per-group agreements reinstall schedulers.
+func (f *Frontend) Reboot() {
+	for g := range f.groups {
+		f.groups[g] = nil
+	}
+}
+
+// Recv implements simnet.Handler: every packet to or from any replica
+// group traverses this one switch.
+func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok {
+		// Non-Harmonia traffic is not examined here; the cluster
+		// routes protocol-internal messages directly.
+		return
+	}
+	switch pkt.Op {
+	case wire.OpRead, wire.OpWrite:
+		// Client-originated (or client-retried) packets: the switch
+		// owns the ObjectID → group mapping. Forwarded reads bounced
+		// off a replica keep the group they already carry — it is the
+		// same value, GroupOf is deterministic.
+		pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(f.groups)))
+	default:
+		// Replica-originated packets are trusted to carry their
+		// group; an out-of-range value is a corrupt packet.
+		if int(pkt.Group) >= len(f.groups) {
+			return
+		}
+	}
+	if s := f.groups[pkt.Group]; s != nil {
+		s.Process(pkt)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// frontendFixture builds a 3-group front-end whose schedulers all
+// share one capturing sender.
+func frontendFixture(t *testing.T) (*Frontend, *capture) {
+	t.Helper()
+	cap := &capture{}
+	f := NewFrontend(3)
+	for g := 0; g < 3; g++ {
+		f.SetGroup(g, New(Config{
+			Epoch: 1, Stages: 1, SlotsPerStage: 8,
+			Replicas: []simnet.NodeID{simnet.NodeID(10 + 3*g), simnet.NodeID(11 + 3*g)},
+			WriteDst: simnet.NodeID(10 + 3*g), ReadDst: simnet.NodeID(11 + 3*g),
+			ClientBase: 1000,
+			Rand:       rand.New(rand.NewSource(int64(g) + 1)),
+		}, cap))
+	}
+	return f, cap
+}
+
+// objInGroup finds an ObjectID hashing to group g of n.
+func objInGroup(g, n int) wire.ObjectID {
+	for id := uint32(1); ; id++ {
+		if wire.GroupOf(wire.ObjectID(id), n) == g {
+			return wire.ObjectID(id)
+		}
+	}
+}
+
+func TestFrontendHashesClientPacketsToGroups(t *testing.T) {
+	f, _ := frontendFixture(t)
+	for g := 0; g < 3; g++ {
+		obj := objInGroup(g, 3)
+		pkt := &wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: uint64(g + 1)}
+		f.Recv(1000, pkt)
+		if int(pkt.Group) != g {
+			t.Fatalf("obj %d stamped group %d, want %d", obj, pkt.Group, g)
+		}
+		if f.Group(g).Stats.Writes != 1 {
+			t.Fatalf("group %d scheduler saw %d writes", g, f.Group(g).Stats.Writes)
+		}
+	}
+}
+
+func TestFrontendRoutesCompletionsByHeaderGroup(t *testing.T) {
+	f, _ := frontendFixture(t)
+	obj := objInGroup(2, 3)
+	// Sequence a write through group 2 so its partition has seq state.
+	f.Recv(1000, &wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: 1})
+	seq := wire.Seq{Epoch: 1, N: 1}
+	f.Recv(10, &wire.Packet{Op: wire.OpWriteCompletion, ObjID: obj, Group: 2, Seq: seq})
+	if got := f.Group(2).Stats.Completions; got != 1 {
+		t.Fatalf("group 2 completions = %d", got)
+	}
+	if f.Group(0).Stats.Completions != 0 || f.Group(1).Stats.Completions != 0 {
+		t.Fatal("completion leaked into another partition")
+	}
+	if !f.Group(2).Ready() {
+		t.Fatal("group 2 not ready after own-epoch completion")
+	}
+}
+
+func TestFrontendDropsOutOfRangeGroup(t *testing.T) {
+	f, _ := frontendFixture(t)
+	// Corrupt header group on a replica-originated packet: dropped, no
+	// panic, no partition touched.
+	f.Recv(10, &wire.Packet{Op: wire.OpWriteCompletion, ObjID: 1, Group: 99, Seq: wire.Seq{Epoch: 1, N: 1}})
+	for g := 0; g < 3; g++ {
+		if f.Group(g).Stats.Completions != 0 {
+			t.Fatalf("group %d processed a corrupt packet", g)
+		}
+	}
+}
+
+func TestFrontendNilSlotDropsTraffic(t *testing.T) {
+	f, cap := frontendFixture(t)
+	obj := objInGroup(1, 3)
+	f.SetGroup(1, nil) // group 1 booting: its traffic vanishes
+	before := len(cap.out)
+	f.Recv(1000, &wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: 1})
+	if len(cap.out) != before {
+		t.Fatal("booting partition forwarded a packet")
+	}
+	// Other groups unaffected.
+	f.Recv(1000, &wire.Packet{Op: wire.OpWrite, ObjID: objInGroup(0, 3), ClientID: 1, ReqID: 2})
+	if len(cap.out) != before+1 {
+		t.Fatal("healthy partition did not forward")
+	}
+}
+
+func TestFrontendRebootClearsEverySlot(t *testing.T) {
+	f, _ := frontendFixture(t)
+	f.Reboot()
+	for g := 0; g < 3; g++ {
+		if f.Group(g) != nil {
+			t.Fatalf("group %d survived reboot", g)
+		}
+	}
+}
+
+func TestFrontendIgnoresNonPacketTraffic(t *testing.T) {
+	f, cap := frontendFixture(t)
+	f.Recv(10, "not a packet")
+	if len(cap.out) != 0 {
+		t.Fatal("non-packet message forwarded")
+	}
+}
+
+func TestGroupOfCoversAllGroupsEvenly(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		g := wire.GroupOf(wire.ObjectID(uint32(i)*2654435761+7), n)
+		if g < 0 || g >= n {
+			t.Fatalf("GroupOf out of range: %d", g)
+		}
+		counts[g]++
+	}
+	for g, c := range counts {
+		if c < 100000/n/2 || c > 100000/n*2 {
+			t.Fatalf("group %d badly unbalanced: %d of 100000", g, c)
+		}
+	}
+	if wire.GroupOf(12345, 1) != 0 || wire.GroupOf(12345, 0) != 0 {
+		t.Fatal("degenerate group counts must map to 0")
+	}
+}

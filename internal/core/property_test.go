@@ -24,8 +24,8 @@ func TestFastPathCoverageInvariant(t *testing.T) {
 		cap := &capture{}
 		sched := New(Config{
 			Epoch: 1, Stages: 2, SlotsPerStage: 8,
-			Replicas:   []simnet.NodeID{1, 2, 3},
-			WriteDst:   1, ReadDst: 3, ClientBase: 1000,
+			Replicas: []simnet.NodeID{1, 2, 3},
+			WriteDst: 1, ReadDst: 3, ClientBase: 1000,
 			Rand: rand.New(rand.NewSource(seed + 1)),
 		}, SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
 			cap.Send(to, pkt)

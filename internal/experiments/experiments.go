@@ -275,6 +275,39 @@ func Fig10(s Scale) Series {
 	return Series{Name: "Harmonia (switch stop/reactivate)", Points: pts}
 }
 
+// FigS is the sharding experiment (§6.1, beyond the paper's testbed):
+// aggregate saturated throughput as the replica-group count grows, one
+// switch front-end over N groups of 3 chain replicas, 5% writes,
+// zipf-0.9 per shard. The client pool is sharded with the data
+// (PinGroups) so each group saturates independently; the second series
+// is the ideal N × single-group line for comparison.
+func FigS(s Scale) []Series {
+	window := s.win(20 * time.Millisecond)
+	counts := []int{1, 2, 4, 8}
+	var measured, ideal []Point
+	base := 0.0
+	for _, g := range counts {
+		c := cluster.New(cluster.Config{
+			Protocol: cluster.Chain, Replicas: 3, UseHarmonia: true,
+			Groups: g, Seed: int64(g)*13 + 41,
+		})
+		rep := c.RunLoad(cluster.LoadSpec{
+			Mode: cluster.Closed, Clients: 128 * g, Duration: window, Warmup: warmup,
+			WriteRatio: 0.05, Keys: defaultKeys, Dist: cluster.Zipf09, PinGroups: true,
+		})
+		y := rep.Throughput / 1e6
+		if g == 1 {
+			base = y
+		}
+		measured = append(measured, Point{X: float64(g), Y: y})
+		ideal = append(ideal, Point{X: float64(g), Y: base * float64(g)})
+	}
+	return []Series{
+		{Name: "Harmonia(CR) sharded", Points: measured},
+		{Name: "ideal linear", Points: ideal},
+	}
+}
+
 // AblationEagerCompletions compares VR's delayed write-completions
 // (§7.3) with completions released at commit time. Eager completions
 // let the commit stamp outrun replicas that have not yet executed, so

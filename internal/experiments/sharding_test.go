@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestFigSShape(t *testing.T) {
+	series := FigS(tiny)
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	m := series[0]
+	if len(m.Points) != 4 {
+		t.Fatalf("measured series has %d points", len(m.Points))
+	}
+	for _, p := range m.Points {
+		if p.Y <= 0 {
+			t.Fatalf("nonpositive throughput at %v groups", p.X)
+		}
+	}
+	// 4 groups ≥ 3× one group, 8 groups ≥ 5× — near-linear aggregate
+	// scaling along the system-size axis, with slack for tiny windows.
+	one, four, eight := m.Points[0].Y, m.Points[2].Y, m.Points[3].Y
+	if four < 3*one {
+		t.Fatalf("4 groups only %.2fx of one group", four/one)
+	}
+	if eight < 5*one {
+		t.Fatalf("8 groups only %.2fx of one group", eight/one)
+	}
+}

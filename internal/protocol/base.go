@@ -62,6 +62,7 @@ func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
 	rep := &wire.Packet{
 		Op:       wire.OpReadReply,
 		ObjID:    pkt.ObjID,
+		Group:    pkt.Group,
 		ClientID: pkt.ClientID,
 		ReqID:    pkt.ReqID,
 		Key:      pkt.Key,
@@ -86,6 +87,7 @@ func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
 	rep := &wire.Packet{
 		Op:       wire.OpWriteReply,
 		ObjID:    pkt.ObjID,
+		Group:    pkt.Group,
 		ClientID: pkt.ClientID,
 		ReqID:    pkt.ReqID,
 		Key:      pkt.Key,
@@ -99,7 +101,10 @@ func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
 // Completion builds a standalone WRITE-COMPLETION notification for the
 // switch.
 func (b *Base) Completion(objID wire.ObjectID, seq wire.Seq) *wire.Packet {
-	return &wire.Packet{Op: wire.OpWriteCompletion, ObjID: objID, Seq: seq}
+	return &wire.Packet{
+		Op: wire.OpWriteCompletion, ObjID: objID,
+		Group: uint16(b.Group.ID), Seq: seq,
+	}
 }
 
 // HandleFastRead runs the shim-layer check for a fast-path read. When

@@ -195,7 +195,7 @@ func (r *Replica) headWrite(pkt *wire.Packet) {
 		// package chain).
 		r.env.Send(r.group.Addr(r.group.N()-1), versionQuery{
 			ObjID: pkt.ObjID, From: r.env.ID(),
-			Pkt: &wire.Packet{Op: wire.OpWrite, ClientID: pkt.ClientID, ReqID: pkt.ReqID},
+			Pkt: &wire.Packet{Op: wire.OpWrite, Group: pkt.Group, ClientID: pkt.ClientID, ReqID: pkt.ReqID},
 		})
 		return
 	}
@@ -230,7 +230,7 @@ func (r *Replica) commitAtTail(pkt *wire.Packet, o *object) {
 	o.commitUpTo(pkt.Seq.N)
 	r.WritesCommitted++
 	rep := &wire.Packet{
-		Op: wire.OpWriteReply, ObjID: pkt.ObjID,
+		Op: wire.OpWriteReply, ObjID: pkt.ObjID, Group: pkt.Group,
 		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
 	}
 	r.ct.Complete(pkt.ClientID, pkt.ReqID, rep)
@@ -324,7 +324,7 @@ func (r *Replica) recvVersionReply(m versionReply) {
 
 func (r *Replica) replyWith(pkt *wire.Packet, v *version) *wire.Packet {
 	rep := &wire.Packet{
-		Op: wire.OpReadReply, ObjID: pkt.ObjID,
+		Op: wire.OpReadReply, ObjID: pkt.ObjID, Group: pkt.Group,
 		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
 	}
 	if v.del {
@@ -337,7 +337,7 @@ func (r *Replica) replyWith(pkt *wire.Packet, v *version) *wire.Packet {
 
 func (r *Replica) notFound(pkt *wire.Packet) *wire.Packet {
 	return &wire.Packet{
-		Op: wire.OpReadReply, ObjID: pkt.ObjID, Flags: wire.FlagNotFound,
+		Op: wire.OpReadReply, ObjID: pkt.ObjID, Group: pkt.Group, Flags: wire.FlagNotFound,
 		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
 	}
 }

@@ -36,6 +36,11 @@ type Env interface {
 
 // GroupConfig describes a replica group.
 type GroupConfig struct {
+	// ID is this group's index in the sharded cluster (§6.1). Replicas
+	// stamp it into standalone write-completions so the switch
+	// front-end credits the right scheduler partition; single-group
+	// clusters use 0.
+	ID int
 	// Replicas lists member addresses; a member's index is its replica
 	// number (chain position, VR replica index, …).
 	Replicas []simnet.NodeID

@@ -71,6 +71,19 @@ func HashKey(key string) ObjectID {
 	return ObjectID(h.Sum32())
 }
 
+// GroupOf maps an object to one of n replica groups (§6.1: storage
+// systems shard the key space across replication groups behind one
+// switch). Clients and the switch front-end must agree on this
+// function, so it lives next to HashKey. The golden-ratio multiply
+// decorrelates group assignment from the dirty-set stage hashes, which
+// also mix the raw ObjectID bits.
+func GroupOf(id ObjectID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint32(id) * 0x9E3779B1 >> 8) % uint32(n))
+}
+
 // Seq is an epoch-tagged sequence number. Epoch is the unique ID of the
 // switch incarnation that assigned it; N is the per-switch counter.
 // Ordering is lexicographic with the epoch considered first.
@@ -141,6 +154,12 @@ type Packet struct {
 	// ObjID is the fixed-length object identifier.
 	ObjID ObjectID
 
+	// Group is the replica group serving this object. Clients stamp it
+	// with GroupOf so their routing matches the switch front-end's;
+	// replicas echo it into replies and write-completions so the switch
+	// credits the right scheduler partition.
+	Group uint16
+
 	// Seq is the switch-assigned sequence number (writes,
 	// write-completions, and replies that piggyback completions).
 	Seq Seq
@@ -161,9 +180,9 @@ type Packet struct {
 	Value []byte
 }
 
-// header layout (fixed 40 bytes) followed by key and value, each
+// header layout (fixed 44 bytes) followed by key and value, each
 // length-prefixed with uint16/uint32.
-const headerSize = 1 + 1 + 4 + (4 + 8) + (4 + 8) + 4 + 8 // = 42
+const headerSize = 1 + 1 + 4 + 2 + (4 + 8) + (4 + 8) + 4 + 8 // = 44
 
 // MaxKeyLen bounds encoded key length.
 const MaxKeyLen = 1<<16 - 1
@@ -189,12 +208,13 @@ func (p *Packet) Encode(buf []byte) ([]byte, error) {
 	hdr[0] = byte(p.Op)
 	hdr[1] = byte(p.Flags)
 	binary.BigEndian.PutUint32(hdr[2:], uint32(p.ObjID))
-	binary.BigEndian.PutUint32(hdr[6:], p.Seq.Epoch)
-	binary.BigEndian.PutUint64(hdr[10:], p.Seq.N)
-	binary.BigEndian.PutUint32(hdr[18:], p.LastCommitted.Epoch)
-	binary.BigEndian.PutUint64(hdr[22:], p.LastCommitted.N)
-	binary.BigEndian.PutUint32(hdr[30:], p.ClientID)
-	binary.BigEndian.PutUint64(hdr[34:], p.ReqID)
+	binary.BigEndian.PutUint16(hdr[6:], p.Group)
+	binary.BigEndian.PutUint32(hdr[8:], p.Seq.Epoch)
+	binary.BigEndian.PutUint64(hdr[12:], p.Seq.N)
+	binary.BigEndian.PutUint32(hdr[20:], p.LastCommitted.Epoch)
+	binary.BigEndian.PutUint64(hdr[24:], p.LastCommitted.N)
+	binary.BigEndian.PutUint32(hdr[32:], p.ClientID)
+	binary.BigEndian.PutUint64(hdr[36:], p.ReqID)
 	buf = append(buf, hdr[:]...)
 	var klen [2]byte
 	binary.BigEndian.PutUint16(klen[:], uint16(len(p.Key)))
@@ -217,16 +237,17 @@ func Decode(b []byte) (*Packet, int, error) {
 		Op:    Op(b[0]),
 		Flags: Flags(b[1]),
 		ObjID: ObjectID(binary.BigEndian.Uint32(b[2:])),
+		Group: binary.BigEndian.Uint16(b[6:]),
 		Seq: Seq{
-			Epoch: binary.BigEndian.Uint32(b[6:]),
-			N:     binary.BigEndian.Uint64(b[10:]),
+			Epoch: binary.BigEndian.Uint32(b[8:]),
+			N:     binary.BigEndian.Uint64(b[12:]),
 		},
 		LastCommitted: Seq{
-			Epoch: binary.BigEndian.Uint32(b[18:]),
-			N:     binary.BigEndian.Uint64(b[22:]),
+			Epoch: binary.BigEndian.Uint32(b[20:]),
+			N:     binary.BigEndian.Uint64(b[24:]),
 		},
-		ClientID: binary.BigEndian.Uint32(b[30:]),
-		ReqID:    binary.BigEndian.Uint64(b[34:]),
+		ClientID: binary.BigEndian.Uint32(b[32:]),
+		ReqID:    binary.BigEndian.Uint64(b[36:]),
 	}
 	if p.Op < OpRead || p.Op > OpWriteReply {
 		return nil, 0, ErrBadOp
@@ -266,6 +287,6 @@ func (p *Packet) IsReply() bool { return p.Op == OpReadReply || p.Op == OpWriteR
 
 // String renders a compact human-readable form for logs and tests.
 func (p *Packet) String() string {
-	return fmt.Sprintf("{%s obj=%d seq=%s lc=%s c=%d r=%d f=%02x}",
-		p.Op, p.ObjID, p.Seq, p.LastCommitted, p.ClientID, p.ReqID, uint8(p.Flags))
+	return fmt.Sprintf("{%s obj=%d g=%d seq=%s lc=%s c=%d r=%d f=%02x}",
+		p.Op, p.ObjID, p.Group, p.Seq, p.LastCommitted, p.ClientID, p.ReqID, uint8(p.Flags))
 }

@@ -1,0 +1,21 @@
+package harmonia
+
+import (
+	"testing"
+
+	"harmonia/internal/experiments"
+)
+
+// BenchmarkFigSGroupScaling regenerates the sharding experiment: one
+// switch, N replica groups, near-linear aggregate scaling along the
+// system-size axis.
+func BenchmarkFigSGroupScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.FigS(benchScale)
+		m := series[0].Points
+		b.ReportMetric(m[0].Y, "one_group_MRPS")
+		b.ReportMetric(m[2].Y, "four_groups_MRPS")
+		b.ReportMetric(m[len(m)-1].Y, "eight_groups_MRPS")
+		b.ReportMetric(m[2].Y/m[0].Y, "x_speedup_at_4_groups")
+	}
+}

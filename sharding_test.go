@@ -1,0 +1,240 @@
+// Tests for the multi-group sharded clusters (§6.1): one switch, N
+// replica groups, near-linear aggregate scaling along the system-size
+// axis.
+package harmonia
+
+import (
+	"testing"
+	"time"
+)
+
+// shardedSaturate measures closed-loop saturation throughput for a
+// Harmonia(CR) cluster with the given group count at 5% writes under
+// the zipf-0.9 workload.
+func shardedSaturate(t testing.TB, groups, clientsPerGroup int) Report {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: groups, Seed: int64(groups)*13 + 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Run(LoadSpec{
+		Clients: clientsPerGroup * groups, Duration: 20 * time.Millisecond,
+		Warmup: 4 * time.Millisecond, WriteRatio: 0.05, Keys: 100000, Dist: Zipf09,
+		PinGroups: true,
+	})
+}
+
+func TestShardedAggregateThroughputScales(t *testing.T) {
+	// The acceptance bar for the sharding refactor: 4 groups deliver at
+	// least 3× one group's aggregate throughput at 5% writes under
+	// zipf-0.9 (perfect sharing-nothing scaling would be 4×; hash
+	// imbalance across shards costs a little).
+	one := shardedSaturate(t, 1, 128)
+	four := shardedSaturate(t, 4, 128)
+	if four.Throughput < 3*one.Throughput {
+		t.Fatalf("sharding does not scale: 1 group %.0f ops/s, 4 groups %.0f ops/s (%.2fx)",
+			one.Throughput, four.Throughput, four.Throughput/one.Throughput)
+	}
+	// Every shard must have carried real load.
+	if len(four.GroupOps) != 4 {
+		t.Fatalf("GroupOps has %d entries, want 4", len(four.GroupOps))
+	}
+	for g, n := range four.GroupOps {
+		if n == 0 {
+			t.Fatalf("group %d completed nothing", g)
+		}
+	}
+}
+
+func TestShardedLinearizabilityPerGroup(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: 4, RecordHistory: true, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run(LoadSpec{
+		Clients: 8, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+		WriteRatio: 0.3, Keys: 48, Dist: Zipf09,
+	})
+	if rep.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	c.AdvanceTime(15 * time.Millisecond) // settle in-flight ops
+	for g := 0; g < c.Groups(); g++ {
+		res := c.CheckLinearizabilityGroup(g)
+		if !res.Decided {
+			t.Fatalf("group %d undecided: %s", g, res.Reason)
+		}
+		if !res.Ok {
+			t.Fatalf("group %d violated linearizability: %s", g, res.Reason)
+		}
+	}
+	// The whole-history verdict must agree (linearizability composes).
+	if res := c.CheckLinearizability(); !res.Decided || !res.Ok {
+		t.Fatalf("combined history: %+v", res)
+	}
+}
+
+func TestShardedGroupStatsAndRouting(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	for _, k := range keys {
+		if err := cl.Set(k, []byte(k)); err != nil {
+			t.Fatalf("Set %q: %v", k, err)
+		}
+		if v, ok, err := cl.Get(k); err != nil || !ok || string(v) != k {
+			t.Fatalf("Get %q = %q %v %v", k, v, ok, err)
+		}
+	}
+	// Per-group write counters must account exactly for the writes the
+	// owning groups saw (plus one priming write each).
+	perKey := make(map[int]uint64)
+	for _, k := range keys {
+		perKey[c.GroupOf(k)]++
+	}
+	var agg SwitchStats
+	for g := 0; g < c.Groups(); g++ {
+		st := c.GroupSwitchStats(g)
+		if want := perKey[g] + 1; st.Writes != want {
+			t.Fatalf("group %d writes = %d, want %d", g, st.Writes, want)
+		}
+		if st.Epoch != 1 {
+			t.Fatalf("group %d epoch = %d", g, st.Epoch)
+		}
+		agg.Writes += st.Writes
+	}
+	if total := c.SwitchStats().Writes; total != agg.Writes {
+		t.Fatalf("aggregate writes %d != sum of groups %d", total, agg.Writes)
+	}
+}
+
+func TestShardedFailureInjectionIsGroupScoped(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashReplicaInGroup(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashReplicaInGroup(3, 0); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	if err := c.CrashReplicaInGroup(-1, 0); err == nil {
+		t.Fatal("negative group accepted")
+	}
+	if err := c.CrashReplicaInGroup(0, 99); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+	// Every shard, including the degraded one, keeps serving.
+	rep := c.Run(LoadSpec{
+		Clients: 24, Duration: 15 * time.Millisecond, Warmup: 2 * time.Millisecond,
+		WriteRatio: 0.1, Keys: 300,
+	})
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("cluster stalled after group-scoped crash: %+v", rep)
+	}
+	for g, n := range rep.GroupOps {
+		if n == 0 {
+			t.Fatalf("group %d served nothing after crash in group 1", g)
+		}
+	}
+}
+
+func TestShardedSwitchFailoverRecoversAllGroups(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: 4, RecordHistory: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		if err := cl.Set(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.StopSwitch()
+	c.ReactivateSwitch()
+	c.AdvanceTime(10 * time.Millisecond)
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		if _, _, err := cl.Get(k); err != nil {
+			t.Fatalf("read %q after failover: %v", k, err)
+		}
+	}
+	for g := 0; g < c.Groups(); g++ {
+		if e := c.GroupSwitchStats(g).Epoch; e != 2 {
+			t.Fatalf("group %d epoch = %d after failover, want 2", g, e)
+		}
+	}
+	for g := 0; g < c.Groups(); g++ {
+		if res := c.CheckLinearizabilityGroup(g); !res.Decided || !res.Ok {
+			t.Fatalf("group %d after failover: %+v", g, res)
+		}
+	}
+}
+
+func TestGroupsOneMatchesDefault(t *testing.T) {
+	// Groups: 1 must be the old single-group behavior, identical to
+	// leaving Groups unset — the deterministic simulation makes this
+	// an exact equality.
+	run := func(groups int) (uint64, uint64) {
+		c, err := New(Config{
+			Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+			Groups: groups, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.Run(LoadSpec{
+			Clients: 32, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+			WriteRatio: 0.1, Keys: 500,
+		})
+		return rep.Ops, rep.Retries
+	}
+	o0, r0 := run(0)
+	o1, r1 := run(1)
+	if o0 != o1 || r0 != r1 {
+		t.Fatalf("Groups:1 diverges from default: (%d,%d) vs (%d,%d)", o1, r1, o0, r0)
+	}
+}
+
+func TestShardedAllProtocols(t *testing.T) {
+	// Every protocol must serve a sharded cluster; sharding is
+	// protocol-agnostic (the partitioned scheduler wraps Algorithm 1
+	// unchanged).
+	for _, p := range []Protocol{PrimaryBackup, ChainReplication, CRAQ, ViewstampedReplication, NOPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			c, err := New(Config{Protocol: p, Replicas: 3, UseHarmonia: p != CRAQ, Groups: 2, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := c.Run(LoadSpec{
+				Clients: 16, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+				WriteRatio: 0.1, Keys: 64,
+			})
+			if rep.Ops == 0 || rep.Reads == 0 || rep.Writes == 0 {
+				t.Fatalf("sharded %s idle: %+v", p, rep)
+			}
+			for g, n := range rep.GroupOps {
+				if n == 0 {
+					t.Fatalf("sharded %s: group %d idle", p, g)
+				}
+			}
+		})
+	}
+}
