@@ -60,6 +60,9 @@ func main() {
 		{"S", "Figure S: aggregate throughput vs replica-group count (sharded, 5% writes, zipf-0.9)",
 			"groups", "throughput (MRPS)",
 			func() []experiments.Series { return experiments.FigS(s) }},
+		{"R", "Figure R: throughput while a pinned hot spot's slots migrate off the hot group (online rebalance)",
+			"time (ms)", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.FigR(s) }},
 		{"ablations", "Ablations (DESIGN.md §6)",
 			"-", "see series names",
 			func() []experiments.Series {

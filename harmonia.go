@@ -39,6 +39,7 @@ import (
 	"harmonia/internal/dataplane"
 	"harmonia/internal/lincheck"
 	"harmonia/internal/metrics"
+	"harmonia/internal/wire"
 )
 
 // Protocol selects the replication protocol running on the replicas.
@@ -224,7 +225,11 @@ type Report struct {
 	P50Latency      time.Duration
 	P99Latency      time.Duration
 	Retries         uint64
-	Series          []SeriesPoint
+	// Dropped counts writes the switch rejected with FlagDropped
+	// replies (dirty set full), each reissued immediately by the
+	// client — distinct from the timeout-driven Retries.
+	Dropped uint64
+	Series  []SeriesPoint
 	// GroupOps counts completed operations per replica group (index =
 	// group). Always length Config.Groups; a single-group cluster puts
 	// everything in GroupOps[0].
@@ -264,6 +269,7 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 		P50Latency:      rep.Latency.Quantile(0.5),
 		P99Latency:      rep.Latency.Quantile(0.99),
 		Retries:         rep.Retries,
+		Dropped:         rep.Dropped,
 		GroupOps:        rep.GroupOps,
 	}
 	if rep.Series != nil {
@@ -300,25 +306,55 @@ func (cl *Cluster) CrashReplicaInGroup(g, i int) error { return cl.c.CrashReplic
 // Groups returns the replica-group count.
 func (cl *Cluster) Groups() int { return cl.c.Groups() }
 
-// GroupOf returns the replica group that owns key — the same mapping
-// the clients and the switch front-end use.
+// GroupOf returns the replica group that currently owns key, per the
+// switch front-end's slot table — the routing authority the clients
+// follow.
 func (cl *Cluster) GroupOf(key string) int { return cl.c.GroupOf(key) }
+
+// NumSlots is the fixed routing-slot count: every key hashes to one of
+// these slots, and the switch front-end maps each slot to the replica
+// group serving it. Slots are the unit of online rebalancing.
+const NumSlots = wire.NumSlots
+
+// SlotOfKey returns key's routing slot.
+func (cl *Cluster) SlotOfKey(key string) int { return cl.c.SlotOfKey(key) }
+
+// SlotTable returns a copy of the switch front-end's slot → group
+// table. Index s holds the group currently serving slot s.
+func (cl *Cluster) SlotTable() []int { return cl.c.SlotTable() }
+
+// MigrateSlot moves one routing slot to another replica group online
+// — the §5.3 handoff applied to a slot: the front-end freezes the
+// slot (its requests are dropped and retried by clients, as with a
+// booting switch), the source group drains until its dirty set holds
+// nothing for the slot, the slot's objects are copied to the
+// destination replicas, and the route flips before the slot thaws.
+// The call drives the simulation until the handoff completes; load
+// started concurrently (via Engine timers or between Run calls) keeps
+// being served throughout, except for the frozen slot's own keys.
+func (cl *Cluster) MigrateSlot(slot, toGroup int) error { return cl.c.MigrateSlot(slot, toGroup) }
 
 // SwitchStats reports the scheduler's decision counters.
 type SwitchStats struct {
-	Writes        uint64 // writes sequenced
-	WritesDropped uint64 // dirty set full
-	FastReads     uint64 // single-replica reads
-	NormalReads   uint64 // reads on the protocol path
-	DirtyHits     uint64 // reads that found their object contended
-	Completions   uint64 // write-completions processed
-	DirtySetSize  int    // current contended-object count
-	Epoch         uint32 // active switch incarnation
+	Writes          uint64 // writes sequenced
+	WritesDropped   uint64 // dirty set full (clients got FlagDropped replies)
+	FastReads       uint64 // single-replica reads
+	NormalReads     uint64 // reads on the protocol path
+	DirtyHits       uint64 // reads that found their object contended
+	Completions     uint64 // write-completions processed
+	StaleCompletion uint64 // completions ignored (older switch epoch)
+	LazyCleanups    uint64 // stray dirty entries reclaimed on the read path
+	ForwardedReads  uint64 // replica-rejected fast reads sent down the normal path
+	SweptStale      uint64 // stray dirty entries reclaimed by the periodic sweep
+	FrozenDrops     uint64 // client packets dropped on migrating (frozen) slots; aggregate view only
+	DirtySetSize    int    // current contended-object count
+	Epoch           uint32 // active switch incarnation
 }
 
 // SwitchStats snapshots the switch's counters summed over every
 // scheduler partition (for a single-group cluster this is exactly
-// group 0's view).
+// group 0's view), plus the front-end's own counters — FrozenDrops
+// happens before any partition is chosen, so it appears only here.
 func (cl *Cluster) SwitchStats() SwitchStats {
 	var out SwitchStats
 	for g := 0; g < cl.c.Groups(); g++ {
@@ -329,11 +365,16 @@ func (cl *Cluster) SwitchStats() SwitchStats {
 		out.NormalReads += st.NormalReads
 		out.DirtyHits += st.DirtyHits
 		out.Completions += st.Completions
+		out.StaleCompletion += st.StaleCompletion
+		out.LazyCleanups += st.LazyCleanups
+		out.ForwardedReads += st.ForwardedReads
+		out.SweptStale += st.SweptStale
 		out.DirtySetSize += st.DirtySetSize
 		if g == 0 {
 			out.Epoch = st.Epoch
 		}
 	}
+	out.FrozenDrops = cl.c.Frontend().Stats.FrozenDrops
 	return out
 }
 
@@ -345,6 +386,8 @@ func (cl *Cluster) GroupSwitchStats(g int) SwitchStats {
 		Writes: st.Writes, WritesDropped: st.WritesDropped,
 		FastReads: st.FastReads, NormalReads: st.NormalReads,
 		DirtyHits: st.DirtyHits, Completions: st.Completions,
+		StaleCompletion: st.StaleCompletion, LazyCleanups: st.LazyCleanups,
+		ForwardedReads: st.ForwardedReads, SweptStale: st.SweptStale,
 		DirtySetSize: s.DirtyCount(), Epoch: s.Epoch(),
 	}
 }

@@ -84,8 +84,13 @@ type Report struct {
 	ReadLatency     *metrics.Histogram
 	WriteLatency    *metrics.Histogram
 	Retries         uint64
-	Unanswered      uint64 // open-loop ops with no reply by run end
-	Series          *metrics.TimeSeries
+	// Dropped counts writes the switch rejected with a FlagDropped
+	// reply (dirty set full); each was immediately reissued by the
+	// client without waiting for RetryTimeout. Distinct from Retries,
+	// which counts timeout-driven resends.
+	Dropped    uint64
+	Unanswered uint64 // open-loop ops with no reply by run end
+	Series     *metrics.TimeSeries
 	// GroupOps counts completions per replica group (index = group);
 	// the aggregate load generator's view of how the shards shared the
 	// work. Always length Config.Groups.
@@ -114,6 +119,11 @@ type vclient struct {
 
 	measuring  *measurement
 	closedLoop bool
+
+	// drops counts FlagDropped write rejections over the client's
+	// lifetime (SyncClient surfaces it regardless of any measurement
+	// window).
+	drops uint64
 
 	// onReply, when set, observes every matched reply (SyncClient).
 	onReply func(pkt *wire.Packet)
@@ -152,6 +162,7 @@ type measurement struct {
 	reads      uint64
 	writes     uint64
 	retriesCnt uint64
+	droppedCnt uint64
 	groupOps   []uint64
 	lat        *metrics.Histogram
 	rlat       *metrics.Histogram
@@ -189,6 +200,21 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 	st, ok := v.pending[pkt.ReqID]
 	if !ok {
 		return // late duplicate of an already-completed op
+	}
+	if pkt.Op == wire.OpWriteReply && pkt.Flags&wire.FlagDropped != 0 {
+		// The switch dropped this write (dirty set full) and said so:
+		// the op is not complete. Reissue it immediately — the reply
+		// already cost a round trip, so there is no point burning the
+		// rest of a RetryTimeout — and leave the pending entry (same
+		// ReqID, same value: one logical op) in place. SyncClients
+		// drive their own retry timer; don't disturb it.
+		v.drops++
+		v.measuring.noteDropped()
+		if v.closedLoop && st.timer != nil {
+			st.timer.Stop()
+		}
+		v.send(st)
+		return
 	}
 	delete(v.pending, pkt.ReqID)
 	if st.timer != nil {
@@ -229,7 +255,10 @@ func (v *vclient) issue(key string, write bool) {
 		ClientID: v.id,
 		ReqID:    req,
 	}
-	pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(v.c.groups)))
+	// A routing guess from the client's view of the slot table; the
+	// switch front-end overrides it from its authoritative table, so a
+	// stale guess costs nothing.
+	pkt.Group = uint16(v.c.routeObj(pkt.ObjID))
 	st := &opState{pkt: pkt, firstInvoke: v.c.eng.Now(), histIdx: -1}
 	if write {
 		pkt.Op = wire.OpWrite
@@ -264,6 +293,12 @@ func (v *vclient) retry(st *opState) {
 func (m *measurement) noteRetry() {
 	if m.collect {
 		m.retriesCnt++
+	}
+}
+
+func (m *measurement) noteDropped() {
+	if m.collect {
+		m.droppedCnt++
 	}
 }
 
@@ -383,6 +418,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
 			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
 			Retries:  g.meas.retriesCnt,
+			Dropped:  g.meas.droppedCnt,
 			Series:   g.meas.series,
 			GroupOps: g.meas.groupOps,
 		}

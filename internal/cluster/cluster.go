@@ -20,6 +20,7 @@ import (
 	"harmonia/internal/protocol/vr"
 	"harmonia/internal/sim"
 	"harmonia/internal/simnet"
+	"harmonia/internal/store"
 	"harmonia/internal/wire"
 )
 
@@ -110,6 +111,15 @@ type Config struct {
 	// Lease management (§5.3). The controller renews at half-life.
 	LeaseDuration time.Duration
 
+	// SweepInterval is the cadence of the §5.2 periodic stray-entry
+	// sweep, run per scheduler partition (strays accumulate when
+	// WRITE-COMPLETIONs are lost and the object is never read again;
+	// the read-path lazy cleanup cannot reach them). 0 selects the
+	// 10ms default — unless DisableLazyCleanup is set, which disables
+	// the sweep too (it is the "no reclamation" ablation). Negative
+	// disables the sweep explicitly.
+	SweepInterval time.Duration
+
 	// Client behavior.
 	RetryTimeout time.Duration
 
@@ -167,6 +177,13 @@ func (c *Config) fillDefaults() {
 	if c.LeaseDuration <= 0 {
 		c.LeaseDuration = 50 * time.Millisecond
 	}
+	if c.SweepInterval == 0 {
+		if c.DisableLazyCleanup {
+			c.SweepInterval = -1
+		} else {
+			c.SweepInterval = 10 * time.Millisecond
+		}
+	}
 	if c.RetryTimeout <= 0 {
 		c.RetryTimeout = 2 * time.Millisecond
 	}
@@ -183,6 +200,15 @@ type ReplicaHandle interface {
 	simnet.Handler
 	// Preload installs an object directly (cluster warm-up).
 	Preload(id wire.ObjectID, value []byte, seq wire.Seq)
+	// ExtractSlot copies the replica's live objects in one routing
+	// slot (migration source side).
+	ExtractSlot(slot int) map[wire.ObjectID]store.Object
+	// InstallSlot installs migrated objects (migration destination
+	// side). Sequence numbers must already be neutered to epoch 0 so
+	// the destination's write-order guard is untouched.
+	InstallSlot(objs map[wire.ObjectID]store.Object)
+	// DropSlot removes the slot's objects (migration source cleanup).
+	DropSlot(slot int) int
 }
 
 // replicaGroup is one replica group: a partition of the key space with
@@ -226,16 +252,22 @@ type Cluster struct {
 	valueCtr int64
 
 	epoch uint32
+
+	// migrations tracks in-flight slot handoffs by slot.
+	migrations map[int]*Migration
+	// flushCtr numbers the drain protocol's flush writes.
+	flushCtr uint64
 }
 
 // New assembles and primes a cluster.
 func New(cfg Config) *Cluster {
 	cfg.fillDefaults()
 	c := &Cluster{
-		cfg:   cfg,
-		eng:   sim.NewEngine(cfg.Seed),
-		hist:  newRecorder(),
-		epoch: 1,
+		cfg:        cfg,
+		eng:        sim.NewEngine(cfg.Seed),
+		hist:       newRecorder(),
+		epoch:      1,
+		migrations: make(map[int]*Migration),
 	}
 	c.net = simnet.New(c.eng, simnet.LinkConfig{
 		Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter,
@@ -287,8 +319,30 @@ func New(cfg Config) *Cluster {
 	for _, grp := range c.groups {
 		c.ctl.grantGroupLeases(grp.idx, c.epoch)
 	}
+	c.startSweeps()
 	c.prime()
 	return c
+}
+
+// startSweeps arms the periodic §5.2 stray-entry sweep, one recurring
+// timer per scheduler partition. The closure re-reads grp.sched each
+// tick so the sweep follows a replacement switch's new scheduler.
+func (c *Cluster) startSweeps() {
+	iv := c.cfg.SweepInterval
+	if iv <= 0 {
+		return
+	}
+	for _, grp := range c.groups {
+		grp := grp
+		var tick func()
+		tick = func() {
+			if s := grp.sched; s != nil && s.DirtyCount() > 0 {
+				s.SweepStale()
+			}
+			c.eng.After(iv, tick)
+		}
+		c.eng.After(iv, tick)
+	}
 }
 
 // Engine exposes the simulation engine (tests and harnesses).
@@ -307,10 +361,26 @@ func (c *Cluster) GroupScheduler(g int) *core.Scheduler { return c.groups[g].sch
 // Groups returns the replica-group count.
 func (c *Cluster) Groups() int { return len(c.groups) }
 
-// GroupOf returns the replica group that owns key.
+// Frontend exposes the switch front-end (tests and stats).
+func (c *Cluster) Frontend() *core.Frontend { return c.front }
+
+// routeObj returns the group currently serving id, per the switch
+// front-end's slot table — the routing authority.
+func (c *Cluster) routeObj(id wire.ObjectID) int { return c.front.RouteObj(id) }
+
+// GroupOf returns the replica group that currently owns key.
 func (c *Cluster) GroupOf(key string) int {
-	return wire.GroupOf(wire.HashKey(key), len(c.groups))
+	return c.routeObj(wire.HashKey(key))
 }
+
+// SlotOfKey returns key's routing slot.
+func (c *Cluster) SlotOfKey(key string) int {
+	return wire.SlotOf(wire.HashKey(key))
+}
+
+// SlotTable returns a copy of the switch front-end's slot → group
+// table.
+func (c *Cluster) SlotTable() []int { return c.front.SlotTable() }
 
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -465,17 +535,42 @@ func (c *Cluster) viewChangeHook(g int) func(view uint64, leader int) {
 
 // primeKey returns a key owned by group g. Single-group clusters keep
 // the historical "__prime__" key; sharded ones search a deterministic
-// suffix until the hash lands in the right partition.
-func primeKey(g, groups int) string {
-	if groups == 1 {
+// suffix until the route lands in the right partition.
+func (c *Cluster) primeKey(g int) string {
+	if len(c.groups) == 1 {
 		return "__prime__"
 	}
-	for t := 0; ; t++ {
-		k := fmt.Sprintf("__prime__%d_%d", g, t)
-		if wire.GroupOf(wire.HashKey(k), groups) == g {
-			return k
+	k, ok := c.keyInGroup(g, fmt.Sprintf("__prime__%d_", g), -1)
+	if !ok {
+		// At boot the default striping guarantees every group owns
+		// slots (MaxGroups == wire.NumSlots), so the search cannot
+		// fail there.
+		panic(fmt.Sprintf("cluster: no prime key for group %d", g))
+	}
+	return k
+}
+
+// keyInGroup searches the deterministic key family prefix0, prefix1, …
+// for one the front-end currently routes to group g through a slot
+// that is neither avoidSlot (pass -1 to accept any) nor frozen. Used
+// for priming writes and for the migration drain's flush writes, which
+// must not land in the frozen slot they are trying to drain — or in
+// any other slot mid-migration, whose packets the front-end drops. The
+// search is bounded: a group can legitimately own no eligible slot
+// (every slot migrated away, or its remaining slots all frozen), in
+// which case ok is false.
+func (c *Cluster) keyInGroup(g int, prefix string, avoidSlot int) (key string, ok bool) {
+	// ~16 deterministic probes per slot of the table: ample to hit
+	// every eligible slot, while still terminating when none exists.
+	for t := 0; t < 16*wire.NumSlots; t++ {
+		k := fmt.Sprintf("%s%d", prefix, t)
+		id := wire.HashKey(k)
+		slot := wire.SlotOf(id)
+		if c.routeObj(id) == g && slot != avoidSlot && !c.front.Frozen(slot) {
+			return k, true
 		}
 	}
+	return "", false
 }
 
 // prime issues one write per group end-to-end so every scheduler
@@ -484,7 +579,7 @@ func primeKey(g, groups int) string {
 // replacements).
 func (c *Cluster) prime() {
 	for g := range c.groups {
-		key := primeKey(g, len(c.groups))
+		key := c.primeKey(g)
 		pkt := &wire.Packet{
 			Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 			Group: uint16(g), ClientID: 0, ReqID: uint64(g + 1), Value: []byte{1},
@@ -504,7 +599,7 @@ func (c *Cluster) Preload(n int) {
 		c.valueCtr++
 		val := encodeValue(c.valueCtr)
 		seq := wire.Seq{Epoch: 0, N: uint64(i + 1)}
-		grp := c.groups[wire.GroupOf(id, len(c.groups))]
+		grp := c.groups[c.routeObj(id)]
 		for _, r := range grp.replicas {
 			r.Preload(id, val, seq)
 		}
@@ -519,7 +614,7 @@ func (c *Cluster) Preload(n int) {
 func (c *Cluster) ownedKeyIndices(keys int) [][]int {
 	out := make([][]int, len(c.groups))
 	for i := 0; i < keys; i++ {
-		g := wire.GroupOf(wire.HashKey(keyName(i)), len(c.groups))
+		g := c.routeObj(wire.HashKey(keyName(i)))
 		out[g] = append(out[g], i)
 	}
 	return out

@@ -325,8 +325,13 @@ func TestSmallDirtySetDropsWritesUnderLoad(t *testing.T) {
 	if c.Scheduler().Stats.WritesDropped == 0 {
 		t.Fatal("tiny dirty set never dropped a write")
 	}
-	if rep.Retries == 0 {
-		t.Fatal("dropped writes never retried")
+	// Drops are no longer silent: the switch's FlagDropped reply drives
+	// an immediate reissue, counted distinctly from timeout retries.
+	if rep.Dropped == 0 {
+		t.Fatal("dropped writes never surfaced to the clients")
+	}
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("cluster stalled under write drops: %+v", rep)
 	}
 }
 

@@ -7,12 +7,15 @@ import (
 	"harmonia/internal/protocol/pb"
 	"harmonia/internal/protocol/vr"
 	"harmonia/internal/simnet"
+	"harmonia/internal/store"
 	"harmonia/internal/wire"
 )
 
 // The handle adapters give the cluster a uniform view of the five
-// replica types: message delivery plus the preload hook used to warm
-// the key space without driving millions of protocol writes.
+// replica types: message delivery, the preload hook used to warm the
+// key space without driving millions of protocol writes, and the
+// slot-scoped extract/install/drop operations the migration controller
+// uses for a group handoff.
 
 type pbHandle struct{ r *pb.Replica }
 
@@ -20,6 +23,11 @@ func (h pbHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, 
 func (h pbHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 	h.r.Store.Seed(id, value, seq)
 }
+func (h pbHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
+	return h.r.Store.ExtractSlot(slot)
+}
+func (h pbHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
+func (h pbHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
 
 type chainHandle struct{ r *chain.Replica }
 
@@ -27,6 +35,11 @@ func (h chainHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(fro
 func (h chainHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 	h.r.Store.Seed(id, value, seq)
 }
+func (h chainHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
+	return h.r.Store.ExtractSlot(slot)
+}
+func (h chainHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
+func (h chainHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
 
 type craqHandle struct{ r *craq.Replica }
 
@@ -34,6 +47,22 @@ func (h craqHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from
 func (h craqHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 	h.r.PreloadClean(id, value, 0)
 }
+func (h craqHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
+	out := make(map[wire.ObjectID]store.Object)
+	for id, v := range h.r.ExtractSlotClean(slot) {
+		out[id] = store.Object{Value: v.Value, Seq: wire.Seq{N: v.N}}
+	}
+	return out
+}
+func (h craqHandle) InstallSlot(objs map[wire.ObjectID]store.Object) {
+	// Version 0 keeps the destination's in-order apply guard (lastVer)
+	// untouched, mirroring the epoch-0 neutering of the store-backed
+	// protocols.
+	for id, o := range objs {
+		h.r.PreloadClean(id, o.Value, 0)
+	}
+}
+func (h craqHandle) DropSlot(slot int) int { return h.r.DropSlot(slot) }
 
 type vrHandle struct{ r *vr.Replica }
 
@@ -41,6 +70,11 @@ func (h vrHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(from, 
 func (h vrHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 	h.r.Store.Seed(id, value, seq)
 }
+func (h vrHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
+	return h.r.Store.ExtractSlot(slot)
+}
+func (h vrHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
+func (h vrHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
 
 type nopaxosHandle struct{ r *nopaxos.Replica }
 
@@ -48,3 +82,8 @@ func (h nopaxosHandle) Recv(from simnet.NodeID, msg simnet.Message) { h.r.Recv(f
 func (h nopaxosHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 	h.r.Store.Seed(id, value, seq)
 }
+func (h nopaxosHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
+	return h.r.Store.ExtractSlot(slot)
+}
+func (h nopaxosHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
+func (h nopaxosHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }

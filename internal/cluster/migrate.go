@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"harmonia/internal/sim"
+	"harmonia/internal/store"
+	"harmonia/internal/wire"
+)
+
+// Online slot migration (group rebalancing). The handoff follows the
+// §5.3 playbook, applied to one routing slot instead of a whole
+// switch:
+//
+//  1. freeze — the front-end drops the slot's client reads and writes,
+//     exactly as a booting switch drops everything; client timeouts
+//     handle retry. Replica-originated traffic (replies, completions)
+//     still flows, which is what lets the source drain.
+//  2. drain — poll until the source scheduler's dirty set holds no
+//     entry for the slot. In-order write processing (§5.2) makes this
+//     the full quiescence signal: every write the switch sequenced for
+//     the slot has either committed everywhere or can never apply.
+//     Stray entries (lost WRITE-COMPLETIONs) are swept as the
+//     commit point passes them; if the group is otherwise idle, the
+//     controller nudges the commit point forward with flush writes to
+//     a different slot of the same group.
+//  3. copy — extract the slot's objects from every source replica,
+//     keep the newest version of each, and install them into the
+//     destination replicas with epoch-0 sequence numbers (each group's
+//     scheduler counts in its own sequence space; importing a foreign
+//     high-water mark would wedge the destination's write-order
+//     guard).
+//  4. flip & thaw — point the slot's route at the destination, drop
+//     the source copies, and unfreeze. The next retry of any dropped
+//     request lands on the new owner, which has everything.
+const (
+	// migratePollInterval paces the drain check.
+	migratePollInterval = 100 * time.Microsecond
+	// migrateFlushEvery is how many empty polls pass between flush
+	// writes nudging an idle source group's commit point forward.
+	migrateFlushEvery = 5
+	// migratePerObjectCost models the state-transfer time per copied
+	// object (on top of one round trip).
+	migratePerObjectCost = 200 * time.Nanosecond
+	// migrateDeadline bounds the blocking MigrateSlot call.
+	migrateDeadline = 500 * time.Millisecond
+)
+
+// Migration tracks one online slot handoff.
+type Migration struct {
+	Slot int
+	From int
+	To   int
+
+	c       *Cluster
+	polls   int
+	objects int
+	copying bool
+	done    bool
+	aborted bool
+}
+
+// Done reports whether the handoff completed (route flipped, slot
+// thawed).
+func (m *Migration) Done() bool { return m.done }
+
+// Aborted reports whether the handoff was cancelled before the copy
+// started (slot thawed on its original group, nothing moved).
+func (m *Migration) Aborted() bool { return m.aborted }
+
+// Objects returns the number of objects copied (valid once Done).
+func (m *Migration) Objects() int { return m.objects }
+
+// Abort cancels a handoff that has not reached the copy stage: the
+// slot thaws on its original group and the slot becomes migratable
+// again. It reports whether the cancellation took effect — once the
+// copy is in flight the handoff is moments from completing and can no
+// longer be abandoned (the route will flip).
+func (m *Migration) Abort() bool {
+	if m.done || m.aborted || m.copying {
+		return false
+	}
+	m.aborted = true
+	m.c.front.UnfreezeSlot(m.Slot)
+	delete(m.c.migrations, m.Slot)
+	return true
+}
+
+// StartSlotMigration begins an online handoff of slot to group "to"
+// and returns immediately; the protocol advances on simulation timers
+// so load keeps running while the slot migrates. A migration to the
+// slot's current owner completes instantly. At most one migration per
+// slot may be in flight; different slots migrate concurrently.
+func (c *Cluster) StartSlotMigration(slot, to int) (*Migration, error) {
+	if slot < 0 || slot >= wire.NumSlots {
+		return nil, fmt.Errorf("cluster: slot %d out of range [0, %d)", slot, wire.NumSlots)
+	}
+	if to < 0 || to >= len(c.groups) {
+		return nil, fmt.Errorf("cluster: destination group %d out of range", to)
+	}
+	if _, busy := c.migrations[slot]; busy {
+		return nil, fmt.Errorf("cluster: slot %d is already migrating", slot)
+	}
+	from := c.front.RouteOf(slot)
+	m := &Migration{Slot: slot, From: from, To: to, c: c}
+	if from == to {
+		m.done = true
+		return m, nil
+	}
+	c.migrations[slot] = m
+	c.front.FreezeSlot(slot)
+	c.eng.After(migratePollInterval, m.poll)
+	return m, nil
+}
+
+// MigrateSlot is the blocking convenience form: it starts the handoff
+// and drives the simulation until it completes. If a generous deadline
+// expires first (e.g. the source group can no longer commit anything,
+// so its dirty set never drains), the handoff is aborted — the slot
+// thaws on its original group and stays fully available — and an
+// error is returned.
+func (c *Cluster) MigrateSlot(slot, to int) error {
+	m, err := c.StartSlotMigration(slot, to)
+	if err != nil {
+		return err
+	}
+	deadline := c.eng.Now() + sim.Time(migrateDeadline)
+	for !m.done && c.eng.Now() < deadline {
+		if !c.eng.Step() {
+			break
+		}
+	}
+	if !m.done {
+		if !m.Abort() {
+			// The copy was already in flight: let it finish.
+			for !m.done && c.eng.Step() {
+			}
+			if m.done {
+				return nil
+			}
+		}
+		return fmt.Errorf("cluster: migration of slot %d to group %d did not complete (aborted, slot stays on group %d)", slot, to, m.From)
+	}
+	return nil
+}
+
+// poll is the drain check (step 2).
+func (m *Migration) poll() {
+	if m.aborted {
+		return
+	}
+	c := m.c
+	sched := c.groups[m.From].sched
+	if sched != nil {
+		// Reclaim strays the commit point has passed, then test
+		// quiescence. DirtyCount is a cheap occupancy counter gating
+		// both register scans.
+		if sched.DirtyCount() > 0 {
+			sched.SweepStale()
+		}
+		if sched.DirtyCount() == 0 || sched.DirtyInSlot(m.Slot) == 0 {
+			m.copyAndFlip()
+			return
+		}
+		m.polls++
+		if m.polls%migrateFlushEvery == 0 {
+			// The slot still looks busy and nothing has cleared it: the
+			// group may be idle with a stray entry whose completion was
+			// lost. A write to a *different* slot of the same group
+			// advances the commit point past the stray so the next
+			// sweep reclaims it.
+			c.flushWrite(m.From, m.Slot)
+		}
+	}
+	c.eng.After(migratePollInterval, m.poll)
+}
+
+// copyAndFlip runs steps 3 and 4.
+func (m *Migration) copyAndFlip() {
+	m.copying = true
+	c := m.c
+	// Newest version of each object across the source replicas. After
+	// the drain, replicas agree on every committed write of the slot;
+	// the max-merge additionally covers a replica that lags in apply.
+	merged := make(map[wire.ObjectID]store.Object)
+	for _, r := range c.groups[m.From].replicas {
+		for id, o := range r.ExtractSlot(m.Slot) {
+			if cur, ok := merged[id]; !ok || cur.Seq.Less(o.Seq) {
+				merged[id] = o
+			}
+		}
+	}
+	m.objects = len(merged)
+	install := make(map[wire.ObjectID]store.Object, len(merged))
+	for id, o := range merged {
+		install[id] = store.Object{Value: o.Value, Seq: wire.Seq{Epoch: 0, N: o.Seq.N}}
+	}
+	// One control round trip plus a per-object transfer cost; the slot
+	// stays frozen while the copy is in flight.
+	delay := 2*c.cfg.LinkLatency + time.Duration(len(install))*migratePerObjectCost
+	c.eng.After(delay, func() {
+		for _, r := range c.groups[m.To].replicas {
+			r.InstallSlot(install)
+		}
+		for _, r := range c.groups[m.From].replicas {
+			r.DropSlot(m.Slot)
+		}
+		c.front.SetRoute(m.Slot, m.To)
+		c.front.UnfreezeSlot(m.Slot)
+		delete(c.migrations, m.Slot)
+		m.done = true
+	})
+}
+
+// flushWrite issues one control-plane write to group g, steering clear
+// of avoidSlot and of frozen slots, so the group's last-committed
+// point advances even when client load is idle. It uses the priming
+// client identity (ClientID 0) with a request ID range of its own. If
+// the group currently owns no eligible slot the nudge is skipped — the
+// drain then waits on client traffic or an abort.
+func (c *Cluster) flushWrite(g, avoidSlot int) {
+	key, ok := c.keyInGroup(g, fmt.Sprintf("__flush__%d_", g), avoidSlot)
+	if !ok {
+		return
+	}
+	c.flushCtr++
+	pkt := &wire.Packet{
+		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+		Group: uint16(g), ClientID: 0, ReqID: 1<<32 + c.flushCtr, Value: []byte{1},
+	}
+	c.net.Send(clientBase, switchAddr, pkt)
+}

@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// keysInSlotOwnedBy collects key indices from [0, keys) whose slot the
+// front-end currently routes to group g, grouped by slot.
+func keysInSlotOwnedBy(c *Cluster, keys, g int) map[int][]int {
+	out := make(map[int][]int)
+	for i := 0; i < keys; i++ {
+		id := wire.HashKey(keyName(i))
+		if c.routeObj(id) == g {
+			out[wire.SlotOf(id)] = append(out[wire.SlotOf(id)], i)
+		}
+	}
+	return out
+}
+
+func TestMigrateSlotMovesKeysAndData(t *testing.T) {
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 21,
+	})
+	cl := c.NewSyncClient()
+
+	// Write through a handful of keys in one slot of group 0.
+	slots := keysInSlotOwnedBy(c, 64, 0)
+	var slot int
+	var idxs []int
+	for s, ii := range slots {
+		if len(ii) >= 2 {
+			slot, idxs = s, ii
+			break
+		}
+	}
+	if len(idxs) < 2 {
+		t.Fatal("no slot with two keys found")
+	}
+	for _, i := range idxs {
+		if err := cl.Set(keyName(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+
+	if err := c.MigrateSlot(slot, 2); err != nil {
+		t.Fatalf("MigrateSlot: %v", err)
+	}
+	if got := c.SlotTable()[slot]; got != 2 {
+		t.Fatalf("slot %d routed to %d after migration, want 2", slot, got)
+	}
+	if c.Frontend().Frozen(slot) {
+		t.Fatal("slot still frozen after migration")
+	}
+
+	// Every key now reads its value from the new group, observably.
+	for _, i := range idxs {
+		v, ok, err := cl.Get(keyName(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) after migration = %q %v %v", keyName(i), v, ok, err)
+		}
+		if g := cl.LastGroup(); g != 2 {
+			t.Fatalf("key %s served by group %d, want 2", keyName(i), g)
+		}
+	}
+
+	// The source replicas no longer hold the slot's objects.
+	for _, r := range c.groups[0].replicas {
+		if n := len(r.ExtractSlot(slot)); n != 0 {
+			t.Fatalf("source replica still holds %d objects of slot %d", n, slot)
+		}
+	}
+
+	// Writes to migrated keys keep working (the destination store's
+	// write-order guard must not have been wedged by imported seqs).
+	for _, i := range idxs {
+		if err := cl.Set(keyName(i), []byte("post")); err != nil {
+			t.Fatalf("post-migration Set: %v", err)
+		}
+		if v, ok, err := cl.Get(keyName(i)); err != nil || !ok || string(v) != "post" {
+			t.Fatalf("post-migration Get = %q %v %v", v, ok, err)
+		}
+	}
+}
+
+func TestMigrateSlotValidation(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 5})
+	if _, err := c.StartSlotMigration(-1, 0); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, err := c.StartSlotMigration(wire.NumSlots, 0); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := c.StartSlotMigration(0, 2); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	// Self-migration completes instantly and leaves nothing frozen.
+	from := c.SlotTable()[7]
+	m, err := c.StartSlotMigration(7, from)
+	if err != nil || !m.Done() {
+		t.Fatalf("self-migration: %v, done=%v", err, m.Done())
+	}
+	if c.Frontend().Frozen(7) {
+		t.Fatal("self-migration froze the slot")
+	}
+	// Double migration of one slot is rejected while in flight.
+	if _, err := c.StartSlotMigration(3, 1-c.SlotTable()[3]); err != nil {
+		t.Fatalf("first migration: %v", err)
+	}
+	if _, err := c.StartSlotMigration(3, 0); err == nil {
+		t.Fatal("concurrent migration of one slot accepted")
+	}
+}
+
+// TestMigrateSlotUnderChaos runs several migrations in the middle of a
+// live load window with packet loss and reordering on the client
+// paths, then requires every group's history slice to linearize — the
+// acceptance bar for the handoff protocol. CRAQ rides along because
+// its drain signal works differently (write replies piggyback the
+// completions that empty the dirty set).
+func TestMigrateSlotUnderChaos(t *testing.T) {
+	for _, p := range []Protocol{Chain, CRAQ} {
+		t.Run(p.String(), func(t *testing.T) { migrateUnderChaos(t, p) })
+	}
+}
+
+func migrateUnderChaos(t *testing.T, p Protocol) {
+	c := New(Config{
+		Protocol: p, Replicas: 3, UseHarmonia: p != CRAQ, Groups: 3,
+		DropProb: 0.01, ReorderProb: 0.02, ReorderDelay: 30 * time.Microsecond,
+		RecordHistory: true, Seed: 33,
+	})
+	const keys = 96
+
+	// Pick up to three slots of group 0 that own workload keys, and
+	// spread them over the other two groups mid-window.
+	var moves []*Migration
+	var slots []int
+	for s, ii := range keysInSlotOwnedBy(c, keys, 0) {
+		if len(ii) > 0 {
+			slots = append(slots, s)
+		}
+		if len(slots) == 3 {
+			break
+		}
+	}
+	if len(slots) == 0 {
+		t.Fatal("no migratable slots")
+	}
+	c.Engine().After(8*time.Millisecond, func() {
+		for i, s := range slots {
+			m, err := c.StartSlotMigration(s, 1+i%2)
+			if err != nil {
+				t.Errorf("StartSlotMigration(%d): %v", s, err)
+				continue
+			}
+			moves = append(moves, m)
+		}
+	})
+
+	rep := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 12, Duration: 12 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Zipf09,
+	})
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("no load completed: %+v", rep)
+	}
+	c.RunFor(20 * time.Millisecond) // settle in-flight ops and handoffs
+
+	for _, m := range moves {
+		if !m.Done() {
+			t.Fatalf("migration of slot %d stuck (from %d to %d)", m.Slot, m.From, m.To)
+		}
+		if got := c.SlotTable()[m.Slot]; got != m.To {
+			t.Fatalf("slot %d routed to %d, want %d", m.Slot, got, m.To)
+		}
+	}
+	if len(moves) == 0 {
+		t.Fatal("migrations never started")
+	}
+	for g := 0; g < c.Groups(); g++ {
+		res := c.CheckLinearizabilityGroup(g)
+		if !res.Decided {
+			t.Fatalf("group %d undecided: %s", g, res.Reason)
+		}
+		if !res.Ok {
+			t.Fatalf("group %d violated linearizability across the migration: %s", g, res.Reason)
+		}
+	}
+}
+
+// TestMigrateSlotAllProtocols exercises the handoff under every
+// replication protocol, including CRAQ's bespoke versioned store.
+func TestMigrateSlotAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{PB, Chain, CRAQ, VR, NOPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := New(Config{
+				Protocol: p, Replicas: 3, UseHarmonia: p != CRAQ, Groups: 2, Seed: 9,
+			})
+			cl := c.NewSyncClient()
+			slots := keysInSlotOwnedBy(c, 32, 0)
+			var slot int
+			var idxs []int
+			for s, ii := range slots {
+				slot, idxs = s, ii
+				break
+			}
+			for _, i := range idxs {
+				if err := cl.Set(keyName(i), []byte("x")); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+			}
+			if err := c.MigrateSlot(slot, 1); err != nil {
+				t.Fatalf("MigrateSlot: %v", err)
+			}
+			for _, i := range idxs {
+				v, ok, err := cl.Get(keyName(i))
+				if err != nil || !ok || string(v) != "x" {
+					t.Fatalf("Get after migration = %q %v %v", v, ok, err)
+				}
+				if g := cl.LastGroup(); g != 1 {
+					t.Fatalf("served by group %d, want 1", g)
+				}
+				if err := cl.Set(keyName(i), []byte("y")); err != nil {
+					t.Fatalf("post-migration Set: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestMigrateSlotAbortsWhenSourceCannotDrain wedges the source group
+// (a sequenced write to the slot whose destination is down never
+// completes, so the dirty entry never clears and the commit point
+// never passes it), and requires the blocking MigrateSlot to give up,
+// thaw the slot on its original owner, and leave it migratable once
+// the group recovers.
+func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2,
+		Stages: 1, SlotsPerStage: 64, Seed: 25,
+	})
+	cl := c.NewSyncClient()
+	key, ok := c.keyInGroup(0, "wedge_", -1)
+	if !ok {
+		t.Fatal("no key in group 0")
+	}
+	if err := cl.Set(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	slot := c.SlotOfKey(key)
+
+	// Take the whole source chain down, then sequence a write for the
+	// slot: the dirty entry sticks and nothing can ever advance the
+	// commit point past it.
+	for i := 0; i < 3; i++ {
+		c.net.SetDown(c.GroupReplicaAddr(0, i), true)
+	}
+	c.front.Recv(clientBase, &wire.Packet{
+		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+		ClientID: 0, ReqID: 999, Value: []byte{2},
+	})
+	if c.GroupScheduler(0).DirtyInSlot(slot) == 0 {
+		t.Fatal("wedge write not tracked")
+	}
+
+	if err := c.MigrateSlot(slot, 1); err == nil {
+		t.Fatal("migration completed despite an undrainable source")
+	}
+	if c.front.Frozen(slot) {
+		t.Fatal("aborted migration left the slot frozen")
+	}
+	if got := c.SlotTable()[slot]; got != 0 {
+		t.Fatalf("aborted migration flipped the route to %d", got)
+	}
+
+	// Recover the group; the slot serves again and a retried migration
+	// succeeds.
+	for i := 0; i < 3; i++ {
+		c.net.SetDown(c.GroupReplicaAddr(0, i), false)
+	}
+	c.RunFor(5 * time.Millisecond)
+	if v, k2, err := cl.Get(key); err != nil || !k2 || len(v) == 0 {
+		t.Fatalf("slot unavailable after aborted migration: %q %v %v", v, k2, err)
+	}
+	if err := c.MigrateSlot(slot, 1); err != nil {
+		t.Fatalf("retried migration after recovery: %v", err)
+	}
+	if v, k2, err := cl.Get(key); err != nil || !k2 {
+		t.Fatalf("Get after retried migration: %q %v %v", v, k2, err)
+	}
+}
+
+// TestKeyInGroupBoundedWhenGroupEmptied drains group 1 of every slot
+// and checks the deterministic key search reports failure instead of
+// spinning forever (the flush-write path skips its nudge then).
+func TestKeyInGroupBoundedWhenGroupEmptied(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 3})
+	for s := 0; s < wire.NumSlots; s++ {
+		if c.SlotTable()[s] != 1 {
+			continue
+		}
+		if err := c.MigrateSlot(s, 0); err != nil {
+			t.Fatalf("migrate slot %d: %v", s, err)
+		}
+	}
+	if _, ok := c.keyInGroup(1, "none_", -1); ok {
+		t.Fatal("keyInGroup found a key in a group that owns no slots")
+	}
+	if _, ok := c.keyInGroup(0, "all_", -1); !ok {
+		t.Fatal("keyInGroup failed on the group owning every slot")
+	}
+}
+
+// TestFrozenSlotDropsAndRecovers verifies the freeze window behaves
+// like a booting switch for the slot: requests are dropped (counted by
+// the front-end) and the clients' own retries succeed once the slot
+// thaws on the new group.
+func TestFrozenSlotDropsAndRecovers(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 13})
+	cl := c.NewSyncClient()
+	key, ok := c.keyInGroup(0, "frozen_", -1)
+	if !ok {
+		t.Fatal("no key in group 0")
+	}
+	if err := cl.Set(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	slot := c.SlotOfKey(key)
+	c.front.FreezeSlot(slot)
+	before := c.front.Stats.FrozenDrops
+	// The synchronous client retries on its timeout; thaw the slot
+	// shortly after so one of the retries lands.
+	c.eng.After(5*time.Millisecond, func() { c.front.UnfreezeSlot(slot) })
+	v, ok, err := cl.Get(key)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get across freeze window = %q %v %v", v, ok, err)
+	}
+	if c.front.Stats.FrozenDrops == before {
+		t.Fatal("freeze window dropped nothing")
+	}
+}
+
+// TestSweepReclaimsStraysWithoutReads drops a fraction of the
+// replica→switch completion traffic under a write-only load, then
+// lets the periodic sweep reclaim the stray dirty entries — no read
+// ever probes them, so the read-path lazy cleanup cannot help.
+func TestSweepReclaimsStraysWithoutReads(t *testing.T) {
+	dropCompletions := func(msg simnet.Message) bool {
+		pkt, ok := msg.(*wire.Packet)
+		return ok && (pkt.Op == wire.OpWriteReply || pkt.Op == wire.OpWriteCompletion)
+	}
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true,
+		Stages: 1, SlotsPerStage: 512, Seed: 29,
+		SweepInterval: 2 * time.Millisecond,
+	})
+	for r := 0; r < 3; r++ {
+		c.Network().SetLink(c.ReplicaAddr(r), c.SwitchAddr(), simnet.LinkConfig{
+			Latency: 5 * time.Microsecond, DropProb: 0.3, DropFilter: dropCompletions,
+		})
+	}
+	rep := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 32, Duration: 20 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 1, Keys: 400,
+	})
+	if rep.Writes == 0 {
+		t.Fatal("no writes completed")
+	}
+	// Settle: in-flight writes finish (or are lost for good), then the
+	// sweeps run with the cluster idle.
+	c.RunFor(20 * time.Millisecond)
+	st := c.Scheduler().Stats
+	if st.SweptStale == 0 {
+		t.Fatal("periodic sweep reclaimed nothing despite dropped completions")
+	}
+	if st.LazyCleanups != 0 {
+		t.Fatalf("write-only load still saw %d read-path cleanups", st.LazyCleanups)
+	}
+	if n := c.Scheduler().DirtyCount(); n != 0 {
+		t.Fatalf("%d stray entries survived the sweep", n)
+	}
+}
+
+// TestDroppedWriteRepliesDriveImmediateRetry pins the FlagDropped
+// regression at cluster level: with a one-slot dirty set, concurrent
+// writes collide, the switch answers the losers with synthesized
+// FlagDropped replies, and the clients reissue immediately — the run
+// makes progress and reports the drops distinctly from timeout
+// retries.
+func TestDroppedWriteRepliesDriveImmediateRetry(t *testing.T) {
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true,
+		Stages: 1, SlotsPerStage: 1, Seed: 41,
+	})
+	rep := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 8, Duration: 10 * time.Millisecond,
+		Warmup: time.Millisecond, WriteRatio: 1, Keys: 64,
+	})
+	if c.Scheduler().Stats.WritesDropped == 0 {
+		t.Fatal("one-slot dirty set never rejected a write (test lost its trigger)")
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("write drops were not surfaced in Report.Dropped")
+	}
+	if rep.Writes == 0 {
+		t.Fatalf("no write ever completed: %+v", rep)
+	}
+	// With the synthesized replies the clients never need the timeout
+	// for dropped writes; any residual retries come from the timeout
+	// path and must be rarer than the drops they replaced.
+	if rep.Retries > rep.Dropped {
+		t.Fatalf("timeout retries (%d) exceed drop-driven reissues (%d)", rep.Retries, rep.Dropped)
+	}
+	// A synchronous client still completes operations afterwards.
+	cl := c.NewSyncClient()
+	if err := cl.Set("after", []byte("v")); err != nil {
+		t.Fatalf("Set after drop storm: %v", err)
+	}
+	if v, ok, err := cl.Get("after"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+}

@@ -54,13 +54,17 @@ func (c *Cluster) CheckLinearizability() lincheck.Result {
 // owned by replica group g. Because the key space is partitioned and
 // linearizability is compositional, each group's history stands on its
 // own — this is the per-shard verdict a sharded deployment monitors.
+// Ownership follows the front-end's current slot table, so a migrated
+// key's entire history (including operations served by its old group
+// before the handoff) is checked as one piece in its new group's
+// slice, never split across verdicts.
 func (c *Cluster) CheckLinearizabilityGroup(g int) lincheck.Result {
 	if g < 0 || g >= len(c.groups) {
 		return lincheck.Result{Reason: fmt.Sprintf("group %d out of range", g)}
 	}
 	var ops []lincheck.Op
 	for _, op := range c.hist.ops {
-		if wire.GroupOf(wire.ObjectID(op.Key), len(c.groups)) == g {
+		if c.routeObj(wire.ObjectID(op.Key)) == g {
 			ops = append(ops, op)
 		}
 	}

@@ -53,7 +53,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 		ClientID: s.v.id,
 		ReqID:    req,
 	}
-	pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(s.c.groups)))
+	pkt.Group = uint16(s.c.routeObj(pkt.ObjID))
 	st := &opState{pkt: pkt, firstInvoke: s.c.eng.Now(), histIdx: -1}
 	if write {
 		pkt.Op = wire.OpWrite
@@ -138,3 +138,20 @@ func (s *SyncClient) Delete(key string) error {
 // completed operation's issue-to-reply interval... simplest proxy: the
 // current simulated clock, exposed for examples that report timings.
 func (s *SyncClient) Now() time.Duration { return time.Duration(s.c.eng.Now()) }
+
+// Drops reports how many of this client's writes the switch rejected
+// with a FlagDropped reply (dirty set full) over the client's
+// lifetime. Each rejection was retried automatically; a persistently
+// full dirty set eventually surfaces as ErrTimeout.
+func (s *SyncClient) Drops() uint64 { return s.v.drops }
+
+// LastGroup returns the replica group that served the last completed
+// operation, as stamped into the reply by the switch — the observable
+// counterpart of the front-end's slot table (rebalancing tests check
+// the two agree).
+func (s *SyncClient) LastGroup() int {
+	if s.reply == nil {
+		return -1
+	}
+	return int(s.reply.Group)
+}

@@ -1,32 +1,59 @@
 package core
 
 import (
+	"fmt"
+
 	"harmonia/internal/simnet"
 	"harmonia/internal/wire"
 )
 
+// FrontendStats counts routing decisions the front-end makes before a
+// packet reaches any scheduler partition.
+type FrontendStats struct {
+	// FrozenDrops counts client-originated packets dropped because
+	// their routing slot was frozen mid-migration. Clients recover by
+	// timeout, exactly as with a booting switch.
+	FrozenDrops uint64
+}
+
 // Frontend is the multi-group switch front-end (§6.1): one physical
 // switch whose register state is partitioned into n independent
-// scheduler instances, one per replica group. The front-end hashes
-// each client request's object ID to its group and dispatches to that
-// group's scheduler, stamping the group ID into the header; packets
-// originating at replicas (replies, write-completions, forwarded
-// reads) already carry the group ID and are routed by it. Algorithm 1
-// runs unmodified within each partition.
+// scheduler instances, one per replica group. The front-end is the
+// routing authority: it owns a slot → group table (wire.NumSlots
+// entries, initialized to the default striping) consulted on every
+// client-originated packet. Clients stamp a group guess, but the
+// front-end always overrides it from the table, so a client holding a
+// stale table can never reach the wrong group. Packets originating at
+// replicas (replies, write-completions) already carry their group and
+// are routed by it. Algorithm 1 runs unmodified within each partition.
 //
-// A nil partition slot models a group whose §5.3 replacement agreement
-// has not completed yet: its traffic is dropped, exactly as a booting
+// A slot may be frozen during an online migration (§5.3 applied to a
+// handoff): its client reads and writes are dropped — exactly as a
+// booting switch drops everything — while the source group drains and
+// the objects are copied, and the route flips before the slot thaws.
+//
+// A nil partition models a group whose §5.3 replacement agreement has
+// not completed yet: its traffic is dropped, exactly as a booting
 // switch drops everything.
 type Frontend struct {
 	groups []*Scheduler
+	route  [wire.NumSlots]uint16
+	frozen [wire.NumSlots]bool
+
+	Stats FrontendStats
 }
 
-// NewFrontend builds a front-end with n (initially empty) partitions.
+// NewFrontend builds a front-end with n (initially empty) partitions
+// and the default slot striping.
 func NewFrontend(n int) *Frontend {
 	if n <= 0 {
 		n = 1
 	}
-	return &Frontend{groups: make([]*Scheduler, n)}
+	f := &Frontend{groups: make([]*Scheduler, n)}
+	for s := range f.route {
+		f.route[s] = uint16(wire.DefaultGroupOfSlot(s, n))
+	}
+	return f
 }
 
 // Groups returns the partition count.
@@ -40,9 +67,44 @@ func (f *Frontend) Group(g int) *Scheduler { return f.groups[g] }
 // completes.
 func (f *Frontend) SetGroup(g int, s *Scheduler) { f.groups[g] = s }
 
+// RouteOf returns the group currently serving slot.
+func (f *Frontend) RouteOf(slot int) int { return int(f.route[slot]) }
+
+// RouteObj returns the group currently serving id's slot.
+func (f *Frontend) RouteObj(id wire.ObjectID) int { return int(f.route[wire.SlotOf(id)]) }
+
+// SetRoute points slot at group g. The migration controller flips a
+// route only after the slot has drained and its objects were copied.
+func (f *Frontend) SetRoute(slot, g int) {
+	if g < 0 || g >= len(f.groups) {
+		panic(fmt.Sprintf("core: route for slot %d to out-of-range group %d", slot, g))
+	}
+	f.route[slot] = uint16(g)
+}
+
+// SlotTable returns a copy of the slot → group table.
+func (f *Frontend) SlotTable() []int {
+	out := make([]int, wire.NumSlots)
+	for s := range f.route {
+		out[s] = int(f.route[s])
+	}
+	return out
+}
+
+// FreezeSlot starts dropping slot's client traffic (migration window).
+func (f *Frontend) FreezeSlot(slot int) { f.frozen[slot] = true }
+
+// UnfreezeSlot resumes slot's client traffic.
+func (f *Frontend) UnfreezeSlot(slot int) { f.frozen[slot] = false }
+
+// Frozen reports whether slot is mid-migration.
+func (f *Frontend) Frozen(slot int) bool { return f.frozen[slot] }
+
 // Reboot clears every partition: a replacement switch starts with
 // empty register state and must not forward anything until the
-// per-group agreements reinstall schedulers.
+// per-group agreements reinstall schedulers. The slot table and frozen
+// flags survive — they are control-plane configuration the controller
+// reinstalls on a replacement switch, not soft register state.
 func (f *Frontend) Reboot() {
 	for g := range f.groups {
 		f.groups[g] = nil
@@ -60,14 +122,21 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 	}
 	switch pkt.Op {
 	case wire.OpRead, wire.OpWrite:
-		// Client-originated (or client-retried) packets: the switch
-		// owns the ObjectID → group mapping. Forwarded reads bounced
-		// off a replica keep the group they already carry — it is the
-		// same value, GroupOf is deterministic.
-		pkt.Group = uint16(wire.GroupOf(pkt.ObjID, len(f.groups)))
+		// Client-originated (or client-retried, or replica-forwarded)
+		// packets: the switch owns the routing. A frozen slot drops
+		// them — the client's timeout handles retry — so no request
+		// can land on either group mid-handoff.
+		slot := wire.SlotOf(pkt.ObjID)
+		if f.frozen[slot] {
+			f.Stats.FrozenDrops++
+			return
+		}
+		pkt.Group = f.route[slot]
 	default:
 		// Replica-originated packets are trusted to carry their
-		// group; an out-of-range value is a corrupt packet.
+		// group; an out-of-range value is a corrupt packet. They pass
+		// frozen slots untouched — a draining source group still needs
+		// its completions and replies.
 		if int(pkt.Group) >= len(f.groups) {
 			return
 		}

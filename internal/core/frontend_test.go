@@ -114,6 +114,132 @@ func TestFrontendIgnoresNonPacketTraffic(t *testing.T) {
 	}
 }
 
+// objInSlot finds an ObjectID hashing to the given routing slot.
+func objInSlot(slot int) wire.ObjectID {
+	for id := uint32(1); ; id++ {
+		if wire.SlotOf(wire.ObjectID(id)) == slot {
+			return wire.ObjectID(id)
+		}
+	}
+}
+
+// TestFrontendRoutingTable is the table-driven contract of the slot
+// routing table: default striping, client-stamp override, route
+// flips, freezes, and the replica-path exemption.
+func TestFrontendRoutingTable(t *testing.T) {
+	obj := objInSlot(10) // default route in a 3-group front-end: 10 % 3 = 1
+	cases := []struct {
+		name   string
+		setup  func(f *Frontend)
+		pkt    wire.Packet
+		want   int  // group whose scheduler must process the packet; -1 = dropped
+		stamp  int  // expected pkt.Group after Recv (client ops only); -1 = skip
+		frozen bool // expect a FrozenDrops increment
+	}{
+		{
+			name: "default striping routes by slot",
+			pkt:  wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: 1},
+			want: 1, stamp: 1,
+		},
+		{
+			name: "stale client stamp is overridden",
+			pkt:  wire.Packet{Op: wire.OpWrite, ObjID: obj, Group: 2, ClientID: 1, ReqID: 1},
+			want: 1, stamp: 1,
+		},
+		{
+			name:  "flipped route wins over the default",
+			setup: func(f *Frontend) { f.SetRoute(10, 2) },
+			pkt:   wire.Packet{Op: wire.OpRead, ObjID: obj, ClientID: 1, ReqID: 1},
+			want:  2, stamp: 2,
+		},
+		{
+			name:  "stale stamp cannot reach the old group after a flip",
+			setup: func(f *Frontend) { f.SetRoute(10, 0) },
+			pkt:   wire.Packet{Op: wire.OpWrite, ObjID: obj, Group: 1, ClientID: 1, ReqID: 1},
+			want:  0, stamp: 0,
+		},
+		{
+			name:  "frozen slot drops client writes",
+			setup: func(f *Frontend) { f.FreezeSlot(10) },
+			pkt:   wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: 1},
+			want:  -1, stamp: -1, frozen: true,
+		},
+		{
+			name:  "frozen slot drops client reads",
+			setup: func(f *Frontend) { f.FreezeSlot(10) },
+			pkt:   wire.Packet{Op: wire.OpRead, ObjID: obj, ClientID: 1, ReqID: 1},
+			want:  -1, stamp: -1, frozen: true,
+		},
+		{
+			name:  "thawed slot serves again",
+			setup: func(f *Frontend) { f.FreezeSlot(10); f.UnfreezeSlot(10) },
+			pkt:   wire.Packet{Op: wire.OpWrite, ObjID: obj, ClientID: 1, ReqID: 1},
+			want:  1, stamp: 1,
+		},
+		{
+			name:  "replica completions pass a frozen slot by header group",
+			setup: func(f *Frontend) { f.FreezeSlot(10) },
+			pkt: wire.Packet{Op: wire.OpWriteCompletion, ObjID: obj, Group: 1,
+				Seq: wire.Seq{Epoch: 1, N: 1}},
+			want: 1, stamp: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, _ := frontendFixture(t)
+			if tc.setup != nil {
+				tc.setup(f)
+			}
+			pkt := tc.pkt
+			before := f.Stats.FrozenDrops
+			f.Recv(1000, &pkt)
+			for g := 0; g < 3; g++ {
+				st := f.Group(g).Stats
+				processed := st.Writes + st.FastReads + st.NormalReads + st.Completions
+				if g == tc.want && processed == 0 {
+					t.Fatalf("group %d did not process the packet", g)
+				}
+				if g != tc.want && processed != 0 {
+					t.Fatalf("group %d processed a packet routed elsewhere", g)
+				}
+			}
+			if tc.stamp >= 0 && int(pkt.Group) != tc.stamp {
+				t.Fatalf("packet stamped group %d, want %d", pkt.Group, tc.stamp)
+			}
+			if got := f.Stats.FrozenDrops - before; (got != 0) != tc.frozen {
+				t.Fatalf("FrozenDrops delta = %d, frozen case = %v", got, tc.frozen)
+			}
+		})
+	}
+}
+
+func TestFrontendSlotTableDefaultsAndCopy(t *testing.T) {
+	f := NewFrontend(3)
+	tab := f.SlotTable()
+	if len(tab) != wire.NumSlots {
+		t.Fatalf("slot table has %d entries", len(tab))
+	}
+	for s, g := range tab {
+		if g != wire.DefaultGroupOfSlot(s, 3) {
+			t.Fatalf("slot %d defaults to group %d, want %d", s, g, wire.DefaultGroupOfSlot(s, 3))
+		}
+	}
+	tab[0] = 2 // mutating the copy must not touch the live table
+	if f.RouteOf(0) != 0 {
+		t.Fatal("SlotTable returned the live table, not a copy")
+	}
+}
+
+func TestFrontendRebootKeepsRoutes(t *testing.T) {
+	f := NewFrontend(3)
+	f.SetRoute(5, 2)
+	f.FreezeSlot(6)
+	f.Reboot()
+	if f.RouteOf(5) != 2 || !f.Frozen(6) {
+		t.Fatal("reboot lost control-plane routing state")
+	}
+}
+
 func TestGroupOfCoversAllGroupsEvenly(t *testing.T) {
 	const n = 8
 	counts := make([]int, n)

@@ -110,11 +110,19 @@ func TestSequencingMonotoneProperty(t *testing.T) {
 			sched.Process(&wire.Packet{Op: wire.OpWrite, ObjID: obj})
 			issued++
 			if len(cap.out) > before {
-				seq := cap.out[len(cap.out)-1].pkt.Seq
-				if seq.Epoch != 1 || seq.N <= lastSeq || seq.N > issued {
+				out := cap.out[len(cap.out)-1].pkt
+				if out.Op == wire.OpWrite {
+					// Forwarded: the sequence number must be fresh.
+					seq := out.Seq
+					if seq.Epoch != 1 || seq.N <= lastSeq || seq.N > issued {
+						return false
+					}
+					lastSeq = seq.N
+				} else if out.Op != wire.OpWriteReply || out.Flags&wire.FlagDropped == 0 {
+					// The only non-forwarded outcome of a write is the
+					// synthesized FlagDropped reply.
 					return false
 				}
-				lastSeq = seq.N
 			}
 			if rng.Intn(3) == 0 { // drain an entry occasionally
 				sched.Process(&wire.Packet{Op: wire.OpWriteCompletion, ObjID: obj,

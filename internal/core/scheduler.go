@@ -110,6 +110,7 @@ type Stats struct {
 	StaleCompletion uint64 // completions ignored (older epoch)
 	LazyCleanups    uint64 // stray entries reclaimed on the read path
 	ForwardedReads  uint64 // replica-rejected reads passed to normal path
+	SweptStale      uint64 // stray entries reclaimed by periodic sweeps
 }
 
 // Scheduler is the in-switch request scheduler. It is driven entirely
@@ -210,8 +211,16 @@ func (s *Scheduler) processWrite(pkt *wire.Packet) {
 	pkt.Seq = wire.Seq{Epoch: s.cfg.Epoch, N: s.seqN}
 	if err := s.dirty.Insert(uint32(pkt.ObjID), s.seqN); err != nil {
 		// No slot available in any stage: the switch drops the write
-		// (§6.1). The client's timeout handles retry.
+		// (§6.1) and synthesizes a FlagDropped reply so the client
+		// learns immediately instead of burning a retry timeout (and
+		// so open-loop writers, which never retry on their own, are
+		// not left hanging forever).
 		s.Stats.WritesDropped++
+		s.toClient(&wire.Packet{
+			Op: wire.OpWriteReply, Flags: wire.FlagDropped,
+			ObjID: pkt.ObjID, Group: pkt.Group,
+			ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
+		})
 		return
 	}
 	s.Stats.Writes++
@@ -329,10 +338,30 @@ func (s *Scheduler) SetTargets(writeDst, readDst simnet.NodeID) {
 
 // SweepStale periodically reclaims all stray dirty-set entries at or
 // below the last-committed point (§5.2's "can also be done
-// periodically").
+// periodically"). The cluster wires it to a per-partition timer so
+// strays for never-again-read objects are reclaimed without waiting
+// for a read probe.
 func (s *Scheduler) SweepStale() int {
 	if s.last.Epoch != s.cfg.Epoch {
 		return 0
 	}
-	return s.dirty.SweepStale(s.last.N)
+	n := s.dirty.SweepStale(s.last.N)
+	s.Stats.SweptStale += uint64(n)
+	return n
+}
+
+// DirtyInSlot counts dirty-set entries whose object hashes to the
+// given routing slot. The migration controller polls it to decide when
+// a frozen slot has drained: in-order write processing (§5.2) means
+// that once the set holds nothing for the slot, every write the switch
+// sequenced for it has either committed or can never apply, so the
+// replicas' stores are the complete picture.
+func (s *Scheduler) DirtyInSlot(slot int) int {
+	n := 0
+	s.dirty.Scan(func(key uint32, _ uint64) {
+		if wire.SlotOf(wire.ObjectID(key)) == slot {
+			n++
+		}
+	})
+	return n
 }

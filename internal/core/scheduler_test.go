@@ -182,12 +182,32 @@ func TestWriteDroppedWhenTableFull(t *testing.T) {
 	before := len(c.out)
 	// Find an object that collides in the single slot: with one slot
 	// every object collides.
-	s.Process(&wire.Packet{Op: wire.OpWrite, ObjID: 2})
-	if len(c.out) != before {
-		t.Fatal("colliding write was forwarded, want drop")
+	s.Process(&wire.Packet{Op: wire.OpWrite, ObjID: 2, ClientID: 7, ReqID: 42, Key: "k"})
+	if len(c.out) != before+1 {
+		t.Fatalf("dropped write produced %d packets, want exactly the synthesized reply", len(c.out)-before)
+	}
+	// The write itself must not be forwarded; the switch instead
+	// answers the client with a FlagDropped write reply so it can
+	// retry immediately instead of waiting out its timeout.
+	got := c.last()
+	if got.to != 1007 {
+		t.Fatalf("drop reply routed to %d, want client 1007", got.to)
+	}
+	rep := got.pkt
+	if rep.Op != wire.OpWriteReply || rep.Flags&wire.FlagDropped == 0 {
+		t.Fatalf("drop reply = %v, want WRITE-REPLY with FlagDropped", rep)
+	}
+	if rep.ReqID != 42 || rep.ObjID != 2 || rep.Key != "k" {
+		t.Fatalf("drop reply lost request identity: %v", rep)
+	}
+	if !rep.Seq.IsZero() {
+		t.Fatalf("drop reply carries seq %v; it must not look like a completion", rep.Seq)
 	}
 	if s.Stats.WritesDropped != 1 {
 		t.Fatalf("WritesDropped = %d", s.Stats.WritesDropped)
+	}
+	if s.DirtyCount() != 1 {
+		t.Fatalf("dirty count = %d after drop, want 1", s.DirtyCount())
 	}
 }
 

@@ -229,6 +229,21 @@ func (t *Table) SweepStale(commit uint64) int {
 	return removed
 }
 
+// Scan visits every live entry (key, seq). The control plane uses it
+// to answer "does the dirty set still hold anything for this routing
+// slot?" during a slot handoff — it reads register state the way a
+// switch-local CPU would, off the packet path.
+func (t *Table) Scan(fn func(key uint32, seq uint64)) {
+	for i := range t.stages {
+		arr := t.stages[i].arr
+		for j := range arr.slots {
+			if sl := &arr.slots[j]; sl.used {
+				fn(sl.key, sl.val)
+			}
+		}
+	}
+}
+
 // CleanSlotIfStale implements the per-read incremental variant of
 // stray-entry removal: given a key that a read probed and found, clear
 // it when its sequence number is ≤ commit. Returns true if cleared.

@@ -280,3 +280,25 @@ func BenchmarkTableLookup(b *testing.B) {
 		tb.Lookup(uint32(i) % 2000)
 	}
 }
+
+func TestScanVisitsLiveEntries(t *testing.T) {
+	tbl := NewTable(2, 8)
+	want := map[uint32]uint64{3: 1, 9: 2, 27: 3}
+	for k, v := range want {
+		if err := tbl.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Delete(9, 2)
+	delete(want, 9)
+	got := make(map[uint32]uint64)
+	tbl.Scan(func(k uint32, v uint64) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("Scan saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Scan[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}

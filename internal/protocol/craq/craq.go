@@ -229,9 +229,16 @@ func (r *Replica) applyDirty(pkt *wire.Packet) {
 func (r *Replica) commitAtTail(pkt *wire.Packet, o *object) {
 	o.commitUpTo(pkt.Seq.N)
 	r.WritesCommitted++
+	// The reply carries the write's sequence number so the switch on
+	// the return path clears the object from its dirty set. CRAQ takes
+	// no read assistance from the switch, but the switch still
+	// sequences CRAQ's writes (the version numbers used here), and the
+	// dirty set is the quiescence signal slot migration drains on — a
+	// reply without the piggyback would leave entries nothing clears.
 	rep := &wire.Packet{
 		Op: wire.OpWriteReply, ObjID: pkt.ObjID, Group: pkt.Group,
 		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
+		Seq: pkt.Seq,
 	}
 	r.ct.Complete(pkt.ClientID, pkt.ReqID, rep)
 	r.env.SendSwitch(rep)
@@ -350,6 +357,48 @@ func (r *Replica) PreloadClean(id wire.ObjectID, value []byte, verN uint64) {
 	if verN > r.lastVer {
 		r.lastVer = verN
 	}
+}
+
+// ExtractSlotClean returns the newest committed (clean) version of
+// every live object in the given routing slot: value plus version
+// number, with deleted objects omitted. Dirty versions are skipped —
+// a slot handoff runs only after the slot drained, at which point the
+// latest version of each of its objects is committed everywhere.
+func (r *Replica) ExtractSlotClean(slot int) map[wire.ObjectID]struct {
+	Value []byte
+	N     uint64
+} {
+	out := make(map[wire.ObjectID]struct {
+		Value []byte
+		N     uint64
+	})
+	for id, o := range r.objects {
+		if wire.SlotOf(id) != slot || len(o.versions) == 0 {
+			continue
+		}
+		v := o.latest()
+		if v.del {
+			continue
+		}
+		out[id] = struct {
+			Value []byte
+			N     uint64
+		}{Value: v.value, N: v.n}
+	}
+	return out
+}
+
+// DropSlot removes every object in the routing slot (handoff source
+// cleanup after the route flipped), returning the count.
+func (r *Replica) DropSlot(slot int) int {
+	n := 0
+	for id := range r.objects {
+		if wire.SlotOf(id) == slot {
+			delete(r.objects, id)
+			n++
+		}
+	}
+	return n
 }
 
 // VersionCount reports the number of retained versions for an object

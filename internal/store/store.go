@@ -151,6 +151,50 @@ func (s *Store) Restore(snap Snapshot) {
 	s.lastApplied = snap.LastApplied
 }
 
+// ExtractSlot copies every live object whose ID hashes to the given
+// routing slot — the unit of state a group handoff transfers.
+func (s *Store) ExtractSlot(slot int) map[wire.ObjectID]Object {
+	out := make(map[wire.ObjectID]Object)
+	for _, sh := range s.shards {
+		for id, o := range sh {
+			if wire.SlotOf(id) == slot {
+				out[id] = o
+			}
+		}
+	}
+	return out
+}
+
+// InstallSlot installs migrated objects with Seed semantics: no
+// write-order check, and lastApplied only ever moves forward. Callers
+// migrating between groups must neuter the incoming sequence numbers
+// (epoch 0) first — each group's scheduler counts in its own sequence
+// space, and importing a foreign high-water mark into lastApplied
+// would make this store reject its own group's subsequent writes as
+// out of order.
+func (s *Store) InstallSlot(objs map[wire.ObjectID]Object) {
+	for id, o := range objs {
+		s.Seed(id, o.Value, o.Seq)
+	}
+}
+
+// DropSlot removes every object in the routing slot, returning the
+// count. The handoff source calls it after the route flipped: the
+// slot's reads can no longer reach this group, and keeping the copies
+// would only shadow the now-authoritative destination.
+func (s *Store) DropSlot(slot int) int {
+	n := 0
+	for _, sh := range s.shards {
+		for id := range sh {
+			if wire.SlotOf(id) == slot {
+				delete(sh, id)
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // String summarizes the store for diagnostics.
 func (s *Store) String() string {
 	return fmt.Sprintf("store{objects=%d lastApplied=%s}", s.Len(), s.lastApplied)

@@ -207,3 +207,71 @@ func TestSeqInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExtractInstallDropSlot(t *testing.T) {
+	src := New(4)
+	var inSlot, elsewhere []wire.ObjectID
+	for id := wire.ObjectID(1); len(inSlot) < 3 || len(elsewhere) < 2; id++ {
+		if wire.SlotOf(id) == 5 {
+			inSlot = append(inSlot, id)
+		} else {
+			elsewhere = append(elsewhere, id)
+		}
+	}
+	seq := uint64(0)
+	for _, id := range append(append([]wire.ObjectID{}, inSlot...), elsewhere...) {
+		seq++
+		if err := src.Apply(id, []byte{byte(seq)}, wire.Seq{Epoch: 1, N: seq}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := src.ExtractSlot(5)
+	if len(got) != len(inSlot) {
+		t.Fatalf("ExtractSlot(5) returned %d objects, want %d", len(got), len(inSlot))
+	}
+	for _, id := range inSlot {
+		if _, ok := got[id]; !ok {
+			t.Fatalf("object %d missing from extract", id)
+		}
+	}
+
+	// Install into a destination already ahead in its own sequence
+	// space, with neutered (epoch-0) seqs: the destination must keep
+	// accepting its own writes afterwards.
+	dst := New(4)
+	if err := dst.Apply(elsewhere[0], []byte("d"), wire.Seq{Epoch: 1, N: 100}, false); err != nil {
+		t.Fatal(err)
+	}
+	install := make(map[wire.ObjectID]Object, len(got))
+	for id, o := range got {
+		install[id] = Object{Value: o.Value, Seq: wire.Seq{Epoch: 0, N: o.Seq.N}}
+	}
+	dst.InstallSlot(install)
+	for _, id := range inSlot {
+		if o, ok := dst.Get(id); !ok || o.Seq.Epoch != 0 {
+			t.Fatalf("installed object %d = %+v, %v", id, o, ok)
+		}
+	}
+	if got := dst.LastApplied(); got != (wire.Seq{Epoch: 1, N: 100}) {
+		t.Fatalf("install moved lastApplied to %v", got)
+	}
+	if err := dst.Apply(elsewhere[1], []byte("e"), wire.Seq{Epoch: 1, N: 101}, false); err != nil {
+		t.Fatalf("destination rejects its own writes after install: %v", err)
+	}
+
+	// Drop removes exactly the slot's objects from the source.
+	if n := src.DropSlot(5); n != len(inSlot) {
+		t.Fatalf("DropSlot removed %d, want %d", n, len(inSlot))
+	}
+	for _, id := range inSlot {
+		if _, ok := src.Get(id); ok {
+			t.Fatalf("object %d survived DropSlot", id)
+		}
+	}
+	for _, id := range elsewhere {
+		if _, ok := src.Get(id); !ok {
+			t.Fatalf("DropSlot removed out-of-slot object %d", id)
+		}
+	}
+}

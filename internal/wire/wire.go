@@ -71,17 +71,40 @@ func HashKey(key string) ObjectID {
 	return ObjectID(h.Sum32())
 }
 
-// GroupOf maps an object to one of n replica groups (§6.1: storage
-// systems shard the key space across replication groups behind one
-// switch). Clients and the switch front-end must agree on this
-// function, so it lives next to HashKey. The golden-ratio multiply
-// decorrelates group assignment from the dirty-set stage hashes, which
-// also mix the raw ObjectID bits.
-func GroupOf(id ObjectID, n int) int {
+// NumSlots is the fixed, power-of-two routing-slot count. Every object
+// hashes to exactly one slot via SlotOf; the switch front-end owns a
+// slot → replica-group table consulted on every client-originated
+// packet, which is what makes group rebalancing an online routine
+// operation (move a slot's route, not a hash function). 256 slots give
+// the rebalancer fine-grained units while the table still fits in a
+// handful of switch registers.
+const NumSlots = 256
+
+// SlotOf maps an object to its routing slot. The golden-ratio multiply
+// decorrelates slot assignment from the dirty-set stage hashes, which
+// also mix the raw ObjectID bits. Clients may cache a slot table to
+// guess the owning group, but the switch front-end's table is the
+// routing authority — a stale client guess is overridden in-network.
+func SlotOf(id ObjectID) int {
+	return int((uint32(id) * 0x9E3779B1 >> 8) % NumSlots)
+}
+
+// DefaultGroupOfSlot is the boot-time slot → group assignment: slots
+// are striped across the n groups. The front-end's table starts out
+// exactly like this and diverges only through explicit migrations.
+func DefaultGroupOfSlot(slot, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return int((uint32(id) * 0x9E3779B1 >> 8) % uint32(n))
+	return slot % n
+}
+
+// GroupOf composes SlotOf with the default slot striping — the static
+// mapping used before any rebalancing, kept for boot-time setup and
+// for single-table tests. Live routing goes through the switch
+// front-end's slot table, which starts equal to this function.
+func GroupOf(id ObjectID, n int) int {
+	return DefaultGroupOfSlot(SlotOf(id), n)
 }
 
 // Seq is an epoch-tagged sequence number. Epoch is the unique ID of the

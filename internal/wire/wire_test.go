@@ -220,3 +220,45 @@ func TestOpString(t *testing.T) {
 		t.Fatal("unknown op string")
 	}
 }
+
+func TestSlotOfRangeAndStability(t *testing.T) {
+	for i := 0; i < 100000; i++ {
+		id := ObjectID(uint32(i) * 2654435761)
+		s := SlotOf(id)
+		if s < 0 || s >= NumSlots {
+			t.Fatalf("SlotOf(%d) = %d out of range", id, s)
+		}
+		if SlotOf(id) != s {
+			t.Fatal("SlotOf not deterministic")
+		}
+	}
+}
+
+func TestSlotOfCoversAllSlots(t *testing.T) {
+	seen := make([]bool, NumSlots)
+	for i := 0; i < 200000; i++ {
+		seen[SlotOf(ObjectID(uint32(i)*2654435761+7))] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("slot %d never hit", s)
+		}
+	}
+}
+
+func TestGroupOfComposesSlotRouting(t *testing.T) {
+	// The static mapping must be exactly the slot hash composed with
+	// the default striping — the invariant that makes a fresh slot
+	// table behave identically to the pre-rebalancing static hash.
+	for i := 0; i < 10000; i++ {
+		id := ObjectID(uint32(i) * 2654435761)
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			if got, want := GroupOf(id, n), DefaultGroupOfSlot(SlotOf(id), n); got != want {
+				t.Fatalf("GroupOf(%d, %d) = %d, want %d", id, n, got, want)
+			}
+		}
+	}
+	if DefaultGroupOfSlot(17, 0) != 0 || DefaultGroupOfSlot(17, 1) != 0 {
+		t.Fatal("degenerate group counts must map to 0")
+	}
+}

@@ -103,13 +103,20 @@ func (z *Zipfian) Next() int {
 	if !z.scramble {
 		return rank
 	}
-	// Scramble rank → key with a splitmix64 finalizer so hot keys are
-	// spread over the key space (YCSB's "scrambled zipfian").
+	return ZipfKeyOfRank(z.n, rank)
+}
+
+// ZipfKeyOfRank returns the key index a scrambled zipfian over n keys
+// emits for popularity rank r (rank 0 is the hottest). The scramble is
+// a fixed splitmix64 finalizer — YCSB's "scrambled zipfian" — so the
+// hot keys of a key space are deterministic and independent of the RNG
+// seed, which is what lets a rebalancer predict where the heat is.
+func ZipfKeyOfRank(n, rank int) int {
 	h := uint64(rank) + 0x9e3779b97f4a7c15
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
 	h ^= h >> 31
-	return int(h % uint64(z.n))
+	return int(h % uint64(n))
 }
 
 // N implements Generator.

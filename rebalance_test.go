@@ -1,0 +1,129 @@
+// Tests for the slot routing table and online group rebalancing: the
+// switch front-end owns a slot → group table, and MigrateSlot moves a
+// slot between replica groups while the cluster serves load.
+package harmonia
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlotTableDefaultsMatchGroupOf(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := c.SlotTable()
+	if len(tab) != NumSlots {
+		t.Fatalf("slot table has %d entries, want %d", len(tab), NumSlots)
+	}
+	for _, key := range []string{"alpha", "bravo", "charlie", "obj00000042"} {
+		slot := c.SlotOfKey(key)
+		if slot < 0 || slot >= NumSlots {
+			t.Fatalf("SlotOfKey(%q) = %d out of range", key, slot)
+		}
+		if got := c.GroupOf(key); got != tab[slot] {
+			t.Fatalf("GroupOf(%q) = %d but slot %d routes to %d", key, got, slot, tab[slot])
+		}
+	}
+}
+
+func TestMigrateSlotPublicAPI(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	const key = "hot-customer"
+	if err := cl.Set(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	slot := c.SlotOfKey(key)
+	from := c.GroupOf(key)
+	to := (from + 1) % c.Groups()
+
+	if err := c.MigrateSlot(slot, to); err != nil {
+		t.Fatalf("MigrateSlot: %v", err)
+	}
+	if got := c.SlotTable()[slot]; got != to {
+		t.Fatalf("slot %d routes to %d after migration, want %d", slot, got, to)
+	}
+	if got := c.GroupOf(key); got != to {
+		t.Fatalf("GroupOf(%q) = %d after migration, want %d", key, got, to)
+	}
+	// Data survived the move, and writes keep working on the new owner.
+	if v, ok, err := cl.Get(key); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get after migration = %q %v %v", v, ok, err)
+	}
+	if err := cl.Set(key, []byte("v2")); err != nil {
+		t.Fatalf("Set after migration: %v", err)
+	}
+	if v, ok, err := cl.Get(key); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("second Get = %q %v %v", v, ok, err)
+	}
+
+	// Validation errors surface.
+	if err := c.MigrateSlot(-1, 0); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if err := c.MigrateSlot(0, c.Groups()); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestSwitchStatsCompletePlumbing(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(LoadSpec{
+		Clients: 16, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+		WriteRatio: 0.2, Keys: 200,
+	})
+	var sum SwitchStats
+	for g := 0; g < c.Groups(); g++ {
+		st := c.GroupSwitchStats(g)
+		sum.StaleCompletion += st.StaleCompletion
+		sum.LazyCleanups += st.LazyCleanups
+		sum.ForwardedReads += st.ForwardedReads
+		sum.SweptStale += st.SweptStale
+	}
+	agg := c.SwitchStats()
+	if agg.StaleCompletion != sum.StaleCompletion || agg.LazyCleanups != sum.LazyCleanups ||
+		agg.ForwardedReads != sum.ForwardedReads || agg.SweptStale != sum.SweptStale {
+		t.Fatalf("aggregate %+v does not sum the groups %+v", agg, sum)
+	}
+	if agg.FrozenDrops != 0 {
+		t.Fatalf("FrozenDrops = %d with no migration", agg.FrozenDrops)
+	}
+}
+
+func TestReportDroppedDistinctFromRetries(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Stages: 1, SlotsPerStage: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run(LoadSpec{
+		Clients: 8, Duration: 10 * time.Millisecond, Warmup: time.Millisecond,
+		WriteRatio: 1, Keys: 64,
+	})
+	st := c.SwitchStats()
+	if st.WritesDropped == 0 {
+		t.Fatal("one-slot dirty set dropped nothing")
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("Report.Dropped empty despite switch drops")
+	}
+	if rep.Writes == 0 {
+		t.Fatal("no writes completed under drops")
+	}
+}

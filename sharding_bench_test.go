@@ -19,3 +19,16 @@ func BenchmarkFigSGroupScaling(b *testing.B) {
 		b.ReportMetric(m[2].Y/m[0].Y, "x_speedup_at_4_groups")
 	}
 }
+
+// BenchmarkFigRRebalance regenerates the online group-rebalancing
+// experiment: a pinned zipf hot spot collapses the aggregate onto one
+// group, then its hottest slots migrate away mid-run and the aggregate
+// recovers.
+func BenchmarkFigRRebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res := experiments.FigRDetail(benchScale)
+		b.ReportMetric(res.PreThroughput/1e6, "hotspot_MRPS")
+		b.ReportMetric(res.PostThroughput/1e6, "rebalanced_MRPS")
+		b.ReportMetric(res.PostThroughput/res.PreThroughput, "x_recovery")
+	}
+}
