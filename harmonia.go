@@ -39,6 +39,7 @@ import (
 	"harmonia/internal/dataplane"
 	"harmonia/internal/lincheck"
 	"harmonia/internal/metrics"
+	"harmonia/internal/rebalance"
 	"harmonia/internal/wire"
 )
 
@@ -108,11 +109,41 @@ type Config struct {
 	ReorderDelay time.Duration
 	LinkJitter   time.Duration
 
+	// AutoRebalance arms the autonomous rebalancer: the switch
+	// front-end's per-slot heat counters (register arrays, the §4–5
+	// trick applied to load) feed a control loop that detects
+	// per-group imbalance and migrates batches of hot slots on its own
+	// — thresholds, hysteresis, a move-cost veto, and a cool-down keep
+	// it from thrashing. No offline workload knowledge is involved.
+	AutoRebalance bool
+
+	// RebalancePolicy tunes the rebalancer; zero fields select the
+	// defaults (trigger at 1.5× the fair share, re-arm below 1.25×,
+	// sample every 1ms of simulated time, ≤8 slots per round).
+	RebalancePolicy RebalancePolicy
+
 	// RecordHistory captures all operations for CheckLinearizability.
 	RecordHistory bool
 
 	// Seed makes runs reproducible (default 1).
 	Seed int64
+}
+
+// RebalancePolicy tunes the autonomous rebalancer's control loop.
+type RebalancePolicy struct {
+	// Threshold is the hottest-group-to-mean load ratio that triggers
+	// a rebalancing round (default 1.5).
+	Threshold float64
+	// Hysteresis widens the re-arm band: after a round fires, no new
+	// round triggers until imbalance falls below Threshold−Hysteresis
+	// (default 0.25). This is what prevents ping-pong when two groups
+	// oscillate around the threshold.
+	Hysteresis float64
+	// Interval is the sampling cadence, which is also the heat
+	// counters' EWMA decay period (default 1ms of simulated time).
+	Interval time.Duration
+	// MaxSlotsPerRound bounds one round's batch migration (default 8).
+	MaxSlotsPerRound int
 }
 
 // MaxGroups bounds Config.Groups.
@@ -140,6 +171,21 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Groups < 0 || cfg.Groups > MaxGroups {
 		return nil, fmt.Errorf("harmonia: invalid group count %d (max %d)", cfg.Groups, MaxGroups)
 	}
+	rp := cfg.RebalancePolicy
+	if rp.Threshold < 0 || rp.Hysteresis < 0 || rp.Interval < 0 || rp.MaxSlotsPerRound < 0 {
+		return nil, fmt.Errorf("harmonia: invalid rebalance policy %+v", rp)
+	}
+	// Compare against the EFFECTIVE threshold (zero selects the 1.5
+	// default): a hysteresis at or above it makes the re-arm level
+	// unreachable, so the loop would fire at most once and then go
+	// silent forever.
+	effThreshold := rp.Threshold
+	if effThreshold == 0 {
+		effThreshold = 1.5
+	}
+	if rp.Hysteresis >= effThreshold {
+		return nil, fmt.Errorf("harmonia: rebalance hysteresis %.2f must stay below the effective threshold %.2f", rp.Hysteresis, effThreshold)
+	}
 	c := cluster.New(cluster.Config{
 		Protocol:      cfg.Protocol.internal(),
 		Replicas:      cfg.Replicas,
@@ -151,6 +197,13 @@ func New(cfg Config) (*Cluster, error) {
 		ReorderProb:   cfg.ReorderProb,
 		ReorderDelay:  cfg.ReorderDelay,
 		LinkJitter:    cfg.LinkJitter,
+		AutoRebalance: cfg.AutoRebalance,
+		Rebalance: rebalance.Config{
+			Threshold:        rp.Threshold,
+			Hysteresis:       rp.Hysteresis,
+			Interval:         rp.Interval,
+			MaxSlotsPerRound: rp.MaxSlotsPerRound,
+		},
 		RecordHistory: cfg.RecordHistory,
 		Seed:          cfg.Seed,
 	})
@@ -181,10 +234,12 @@ func (c *Client) Delete(key string) error { return c.s.Delete(key) }
 // Dist selects a key popularity distribution for load generation.
 type Dist int
 
-// Distributions from the paper's methodology (§9.1).
+// Distributions from the paper's methodology (§9.1), plus the
+// heavy-tailed variant the rebalancing experiments use.
 const (
 	Uniform Dist = iota
 	Zipf09       // zipfian, θ = 0.9
+	Zipf12       // zipfian, θ = 1.2 (heavy-tailed hot spot)
 )
 
 // LoadSpec describes a load-generation run.
@@ -229,7 +284,10 @@ type Report struct {
 	// replies (dirty set full), each reissued immediately by the
 	// client — distinct from the timeout-driven Retries.
 	Dropped uint64
-	Series  []SeriesPoint
+	// Rebalances counts slot moves the autonomous rebalancer completed
+	// during the measurement window (0 unless Config.AutoRebalance).
+	Rebalances uint64
+	Series     []SeriesPoint
 	// GroupOps counts completed operations per replica group (index =
 	// group). Always length Config.Groups; a single-group cluster puts
 	// everything in GroupOps[0].
@@ -270,6 +328,7 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 		P99Latency:      rep.Latency.Quantile(0.99),
 		Retries:         rep.Retries,
 		Dropped:         rep.Dropped,
+		Rebalances:      rep.Rebalances,
 		GroupOps:        rep.GroupOps,
 	}
 	if rep.Series != nil {
@@ -333,6 +392,53 @@ func (cl *Cluster) SlotTable() []int { return cl.c.SlotTable() }
 // started concurrently (via Engine timers or between Run calls) keeps
 // being served throughout, except for the frozen slot's own keys.
 func (cl *Cluster) MigrateSlot(slot, toGroup int) error { return cl.c.MigrateSlot(slot, toGroup) }
+
+// MigrateSlots moves a set of routing slots to toGroup as batch
+// handoffs: the slots are grouped by their current owner and each
+// owner's share pays ONE freeze window, one drain, one bulk copy, and
+// one route flip — amortizing the per-slot costs MigrateSlot pays
+// individually. Slots already owned by toGroup are no-op successes.
+func (cl *Cluster) MigrateSlots(slots []int, toGroup int) error {
+	return cl.c.MigrateSlots(slots, toGroup)
+}
+
+// SwapSlots exchanges two slot sets between their owning groups (each
+// set must be non-empty and uniformly owned, with distinct owners), so
+// a hot slot can trade places with a cold one without changing either
+// group's slot occupancy. Both directions run as concurrent batch
+// handoffs.
+func (cl *Cluster) SwapSlots(slotsA, slotsB []int) error {
+	return cl.c.SwapSlots(slotsA, slotsB)
+}
+
+// SlotHeat is one routing slot's recent operation counters, sampled
+// from the switch front-end's per-slot register arrays. With the
+// rebalancer's periodic EWMA decay the counters track a recent window;
+// without it they accumulate since boot.
+type SlotHeat struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total is the slot's combined operation count.
+func (h SlotHeat) Total() uint64 { return h.Reads + h.Writes }
+
+// SlotHeat returns a copy of the per-slot heat counters — the signal
+// the autonomous rebalancer ranks slots by, exposed for inspection and
+// for custom placement tooling.
+func (cl *Cluster) SlotHeat() []SlotHeat {
+	raw := cl.c.SlotHeat()
+	out := make([]SlotHeat, len(raw))
+	for s, h := range raw {
+		out[s] = SlotHeat{Reads: h.Reads, Writes: h.Writes}
+	}
+	return out
+}
+
+// Rebalances returns the total slot moves the autonomous rebalancer
+// has completed over the cluster's lifetime (0 unless
+// Config.AutoRebalance).
+func (cl *Cluster) Rebalances() uint64 { return cl.c.Rebalances() }
 
 // SwitchStats reports the scheduler's decision counters.
 type SwitchStats struct {

@@ -16,6 +16,7 @@ type Dist int
 const (
 	Uniform Dist = iota
 	Zipf09       // zipf, θ = 0.9 (the paper's skewed workload)
+	Zipf12       // zipf, θ = 1.2 (heavy-tailed hot-spot workload)
 )
 
 // Mode selects the load-generation discipline.
@@ -90,6 +91,9 @@ type Report struct {
 	// which counts timeout-driven resends.
 	Dropped    uint64
 	Unanswered uint64 // open-loop ops with no reply by run end
+	// Rebalances counts slot moves the autonomous rebalancer completed
+	// during the measurement window (0 unless Config.AutoRebalance).
+	Rebalances uint64
 	Series     *metrics.TimeSeries
 	// GroupOps counts completions per replica group (index = group);
 	// the aggregate load generator's view of how the shards shared the
@@ -158,6 +162,7 @@ type measurement struct {
 	c          *Cluster
 	start      sim.Time
 	collect    bool
+	rebal0     uint64 // cluster rebalance counter at window start
 	ops        uint64
 	reads      uint64
 	writes     uint64
@@ -343,10 +348,14 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			meas.series = metrics.NewTimeSeries(spec.Bucket)
 		}
 		newKeysN := func(n int) keyGen {
-			if spec.Dist == Zipf09 {
-				return newZipfGen(n, c.eng.Rand())
+			switch spec.Dist {
+			case Zipf09:
+				return newZipfGen(n, 0.9, c.eng.Rand())
+			case Zipf12:
+				return newZipfGen(n, 1.2, c.eng.Rand())
+			default:
+				return newUniformGen(n, c.eng.Rand())
 			}
-			return newUniformGen(n, c.eng.Rand())
 		}
 		newKeys := func() keyGen { return newKeysN(spec.Keys) }
 		var clients []*vclient
@@ -405,6 +414,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 	for _, g := range groups {
 		g.meas.start = c.eng.Now()
 		g.meas.collect = true
+		g.meas.rebal0 = c.rebalanced
 	}
 	c.eng.RunFor(window)
 	out := make([]Report, len(groups))
@@ -417,10 +427,11 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			ReadThroughput:  float64(g.meas.reads) / window.Seconds(),
 			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
 			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
-			Retries:  g.meas.retriesCnt,
-			Dropped:  g.meas.droppedCnt,
-			Series:   g.meas.series,
-			GroupOps: g.meas.groupOps,
+			Retries:    g.meas.retriesCnt,
+			Dropped:    g.meas.droppedCnt,
+			Rebalances: c.rebalanced - g.meas.rebal0,
+			Series:     g.meas.series,
+			GroupOps:   g.meas.groupOps,
 		}
 		// Tear down: detach clients so the next run starts clean.
 		for _, v := range g.clients {

@@ -18,6 +18,7 @@ import (
 	"harmonia/internal/protocol/nopaxos"
 	"harmonia/internal/protocol/pb"
 	"harmonia/internal/protocol/vr"
+	"harmonia/internal/rebalance"
 	"harmonia/internal/sim"
 	"harmonia/internal/simnet"
 	"harmonia/internal/store"
@@ -130,6 +131,18 @@ type Config struct {
 	EagerCompletions   bool          // VR: completions at commit, not after COMMIT-ACKs
 	SyncEvery          time.Duration // NOPaxos sync cadence
 
+	// AutoRebalance arms the autonomous rebalancer: a control loop
+	// that samples the front-end's per-slot heat counters every policy
+	// interval (decaying them afterwards, so they track a recent
+	// window), plans moves under the threshold/hysteresis/cost model
+	// of internal/rebalance, and executes them as batch slot
+	// migrations — no offline workload knowledge involved.
+	AutoRebalance bool
+
+	// Rebalance tunes the rebalancer policy; zero fields select the
+	// package defaults. Ignored unless AutoRebalance is set.
+	Rebalance rebalance.Config
+
 	// RecordHistory captures every operation for linearizability
 	// checking (costs memory; off for throughput runs).
 	RecordHistory bool
@@ -209,6 +222,13 @@ type ReplicaHandle interface {
 	InstallSlot(objs map[wire.ObjectID]store.Object)
 	// DropSlot removes the slot's objects (migration source cleanup).
 	DropSlot(slot int) int
+	// ExportClients copies the replica's at-most-once client table;
+	// MergeClients installs exported records (newer request per client
+	// wins). A handoff moves the table with the objects: without it the
+	// destination would re-execute a write whose reply was lost, and
+	// the duplicate could clobber a newer committed value.
+	ExportClients() map[uint32]protocol.ClientRecord
+	MergeClients(recs map[uint32]protocol.ClientRecord)
 }
 
 // replicaGroup is one replica group: a partition of the key space with
@@ -257,6 +277,13 @@ type Cluster struct {
 	migrations map[int]*Migration
 	// flushCtr numbers the drain protocol's flush writes.
 	flushCtr uint64
+
+	// policy is the autonomous rebalancer (nil unless AutoRebalance).
+	policy *rebalance.Policy
+	// rebalanced counts slot moves completed by the rebalancer;
+	// rebalanceRounds counts its completed batch handoffs.
+	rebalanced      uint64
+	rebalanceRounds uint64
 }
 
 // New assembles and primes a cluster.
@@ -321,8 +348,83 @@ func New(cfg Config) *Cluster {
 	}
 	c.startSweeps()
 	c.prime()
+	if cfg.AutoRebalance {
+		c.startRebalancer()
+	}
 	return c
 }
+
+// startRebalancer arms the autonomous rebalancing loop: every policy
+// interval it samples the front-end's heat registers and routing
+// table, asks the policy for a batch of moves, starts them as
+// non-blocking batch migrations (so the loop never stalls the
+// simulation), and then decays the heat counters — the EWMA round that
+// keeps the sample tracking recent traffic.
+func (c *Cluster) startRebalancer() {
+	c.policy = rebalance.New(c.cfg.Rebalance, func() time.Duration {
+		return time.Duration(c.eng.Now())
+	})
+	iv := c.policy.Config().Interval
+	var tick func()
+	tick = func() {
+		c.rebalanceTick()
+		c.eng.After(iv, tick)
+	}
+	c.eng.After(iv, tick)
+}
+
+// rebalanceTick runs one control-loop round.
+func (c *Cluster) rebalanceTick() {
+	raw := c.front.SlotHeat()
+	heat := make([]rebalance.Heat, len(raw))
+	for s, h := range raw {
+		heat[s] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
+	}
+	// Per-slot object counts are not sampled here: a store scan per
+	// tick is exactly the kind of heavy probe the switch-side counters
+	// exist to avoid, so the live loop charges the flat MoveCost per
+	// slot and leaves ObjectCost to callers with offline knowledge.
+	// Slots still mid-handoff from a previous round are reported busy
+	// so the policy plans around them (and does not burn its trigger
+	// on a round that could start nothing).
+	busy := func(slot int) bool {
+		_, b := c.migrations[slot]
+		return b || c.front.Frozen(slot)
+	}
+	moves := c.policy.Plan(heat, c.front.SlotTable(), nil, len(c.groups), busy)
+	// Group the moves into batches by (source, destination) pair,
+	// preserving plan order so runs stay deterministic.
+	type pair struct{ from, to int }
+	var order []pair
+	batches := make(map[pair][]int)
+	for _, mv := range moves {
+		p := pair{mv.From, mv.To}
+		if _, ok := batches[p]; !ok {
+			order = append(order, p)
+		}
+		batches[p] = append(batches[p], mv.Slot)
+	}
+	for _, p := range order {
+		m, err := c.StartBatchMigration(batches[p], p.to)
+		if err != nil {
+			continue // e.g. a route changed under us; next tick re-plans
+		}
+		m.auto = true
+	}
+	c.front.DecayHeat()
+}
+
+// SlotHeat returns a copy of the switch front-end's per-slot heat
+// counters.
+func (c *Cluster) SlotHeat() []core.SlotHeat { return c.front.SlotHeat() }
+
+// Rebalances returns the total slot moves completed by the autonomous
+// rebalancer over the cluster's lifetime.
+func (c *Cluster) Rebalances() uint64 { return c.rebalanced }
+
+// RebalanceRounds returns the number of completed rebalancer batch
+// handoffs.
+func (c *Cluster) RebalanceRounds() uint64 { return c.rebalanceRounds }
 
 // startSweeps arms the periodic §5.2 stray-entry sweep, one recurring
 // timer per scheduler partition. The closure re-reads grp.sched each

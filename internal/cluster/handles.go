@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"harmonia/internal/protocol"
 	"harmonia/internal/protocol/chain"
 	"harmonia/internal/protocol/craq"
 	"harmonia/internal/protocol/nopaxos"
@@ -26,8 +27,10 @@ func (h pbHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 func (h pbHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
 	return h.r.Store.ExtractSlot(slot)
 }
-func (h pbHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
-func (h pbHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
+func (h pbHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Store.InstallSlot(objs) }
+func (h pbHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
+func (h pbHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
+func (h pbHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 
 type chainHandle struct{ r *chain.Replica }
 
@@ -38,8 +41,10 @@ func (h chainHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 func (h chainHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
 	return h.r.Store.ExtractSlot(slot)
 }
-func (h chainHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
-func (h chainHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
+func (h chainHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Store.InstallSlot(objs) }
+func (h chainHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
+func (h chainHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
+func (h chainHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 
 type craqHandle struct{ r *craq.Replica }
 
@@ -63,6 +68,12 @@ func (h craqHandle) InstallSlot(objs map[wire.ObjectID]store.Object) {
 	}
 }
 func (h craqHandle) DropSlot(slot int) int { return h.r.DropSlot(slot) }
+func (h craqHandle) ExportClients() map[uint32]protocol.ClientRecord {
+	return h.r.ClientTable().Export()
+}
+func (h craqHandle) MergeClients(recs map[uint32]protocol.ClientRecord) {
+	h.r.ClientTable().Merge(recs)
+}
 
 type vrHandle struct{ r *vr.Replica }
 
@@ -73,8 +84,10 @@ func (h vrHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 func (h vrHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
 	return h.r.Store.ExtractSlot(slot)
 }
-func (h vrHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
-func (h vrHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
+func (h vrHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Store.InstallSlot(objs) }
+func (h vrHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
+func (h vrHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
+func (h vrHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 
 type nopaxosHandle struct{ r *nopaxos.Replica }
 
@@ -85,5 +98,7 @@ func (h nopaxosHandle) Preload(id wire.ObjectID, value []byte, seq wire.Seq) {
 func (h nopaxosHandle) ExtractSlot(slot int) map[wire.ObjectID]store.Object {
 	return h.r.Store.ExtractSlot(slot)
 }
-func (h nopaxosHandle) InstallSlot(objs map[wire.ObjectID]store.Object) { h.r.Store.InstallSlot(objs) }
-func (h nopaxosHandle) DropSlot(slot int) int                           { return h.r.Store.DropSlot(slot) }
+func (h nopaxosHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Store.InstallSlot(objs) }
+func (h nopaxosHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
+func (h nopaxosHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
+func (h nopaxosHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }

@@ -116,71 +116,149 @@ func TestMigrateSlotValidation(t *testing.T) {
 	}
 }
 
-// TestMigrateSlotUnderChaos runs several migrations in the middle of a
-// live load window with packet loss and reordering on the client
-// paths, then requires every group's history slice to linearize — the
-// acceptance bar for the handoff protocol. CRAQ rides along because
-// its drain signal works differently (write replies piggyback the
-// completions that empty the dirty set).
-func TestMigrateSlotUnderChaos(t *testing.T) {
-	for _, p := range []Protocol{Chain, CRAQ} {
-		t.Run(p.String(), func(t *testing.T) { migrateUnderChaos(t, p) })
+// slotsOwnedBy lists (in slot order, for determinism) the routing
+// slots currently owned by group g that contain at least one of the
+// first `keys` workload keys.
+func slotsOwnedBy(c *Cluster, keys, g int) []int {
+	bySlot := keysInSlotOwnedBy(c, keys, g)
+	var out []int
+	for s := 0; s < wire.NumSlots; s++ {
+		if len(bySlot[s]) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func takeSlots(t *testing.T, slots []int, n int) []int {
+	t.Helper()
+	if len(slots) < n {
+		t.Fatalf("only %d migratable slots, need %d", len(slots), n)
+	}
+	return slots[:n]
+}
+
+// TestMigrateChaosMatrix is the migration hardening matrix: every
+// replication protocol × a chaos mode (packet drops, reordering, or a
+// source-group replica crash mid-handoff) × a handoff shape
+// (single-slot, batch, two-way swap), each run in the middle of a live
+// load window. The acceptance bar per cell: the handoffs complete, the
+// routes land where requested with nothing left frozen, and every
+// group's history slice linearizes. CRAQ rides along where it can (its
+// drain signal works differently: write replies piggyback the
+// completions that empty the dirty set) but skips the crash column —
+// its reconfiguration is not modeled.
+func TestMigrateChaosMatrix(t *testing.T) {
+	protocols := []Protocol{PB, Chain, CRAQ, VR, NOPaxos}
+	chaosModes := []string{"drops", "reorder", "crash"}
+	kinds := []string{"single", "batch", "swap"}
+	for _, p := range protocols {
+		for _, chaos := range chaosModes {
+			for _, kind := range kinds {
+				p, chaos, kind := p, chaos, kind
+				t.Run(fmt.Sprintf("%s/%s/%s", p, chaos, kind), func(t *testing.T) {
+					migrateChaosCase(t, p, chaos, kind)
+				})
+			}
+		}
 	}
 }
 
-func migrateUnderChaos(t *testing.T, p Protocol) {
-	c := New(Config{
+func migrateChaosCase(t *testing.T, p Protocol, chaos, kind string) {
+	if p == CRAQ && chaos == "crash" {
+		t.Skip("CRAQ reconfiguration not modeled")
+	}
+	cfg := Config{
 		Protocol: p, Replicas: 3, UseHarmonia: p != CRAQ, Groups: 3,
-		DropProb: 0.01, ReorderProb: 0.02, ReorderDelay: 30 * time.Microsecond,
-		RecordHistory: true, Seed: 33,
-	})
+		RecordHistory: true, Seed: 33 + int64(p)*7,
+	}
+	switch chaos {
+	case "drops":
+		cfg.DropProb = 0.01
+	case "reorder":
+		cfg.ReorderProb = 0.02
+		cfg.ReorderDelay = 30 * time.Microsecond
+	}
+	c := New(cfg)
 	const keys = 96
 
-	// Pick up to three slots of group 0 that own workload keys, and
-	// spread them over the other two groups mid-window.
+	g0 := slotsOwnedBy(c, keys, 0)
+	g1 := slotsOwnedBy(c, keys, 1)
+
 	var moves []*Migration
-	var slots []int
-	for s, ii := range keysInSlotOwnedBy(c, keys, 0) {
-		if len(ii) > 0 {
-			slots = append(slots, s)
-		}
-		if len(slots) == 3 {
-			break
-		}
-	}
-	if len(slots) == 0 {
-		t.Fatal("no migratable slots")
-	}
-	c.Engine().After(8*time.Millisecond, func() {
-		for i, s := range slots {
-			m, err := c.StartSlotMigration(s, 1+i%2)
+	c.Engine().After(4*time.Millisecond, func() {
+		start := func(m *Migration, err error) {
 			if err != nil {
-				t.Errorf("StartSlotMigration(%d): %v", s, err)
-				continue
+				t.Errorf("start %s handoff: %v", kind, err)
+				return
 			}
 			moves = append(moves, m)
 		}
+		switch kind {
+		case "single":
+			for i, s := range takeSlots(t, g0, 2) {
+				start(c.StartSlotMigration(s, 1+i%2))
+			}
+		case "batch":
+			start(c.StartBatchMigration(takeSlots(t, g0, 3), 2))
+		case "swap":
+			ma, mb, err := c.StartSwapSlots(takeSlots(t, g0, 2), takeSlots(t, g1, 2))
+			start(ma, err)
+			if err == nil {
+				start(mb, nil)
+			}
+		}
 	})
+	if chaos == "crash" {
+		// Fail a source-group replica moments into the handoff, while
+		// the drain is (or may still be) in progress.
+		c.Engine().After(4*time.Millisecond+200*time.Microsecond, func() {
+			if err := c.CrashReplicaIn(0, 1); err != nil {
+				t.Errorf("CrashReplicaIn: %v", err)
+			}
+		})
+	}
 
+	// Uniform keys keep every per-key history inside the checker's
+	// budget; the skew dimension is Fig A's job, not this matrix's.
 	rep := c.RunLoad(LoadSpec{
-		Mode: Closed, Clients: 12, Duration: 12 * time.Millisecond,
-		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Zipf09,
+		Mode: Closed, Clients: 12, Duration: 10 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Uniform,
 	})
 	if rep.Ops == 0 || rep.Writes == 0 {
 		t.Fatalf("no load completed: %+v", rep)
 	}
-	c.RunFor(20 * time.Millisecond) // settle in-flight ops and handoffs
+	c.RunFor(25 * time.Millisecond) // settle in-flight ops and handoffs
 
-	for _, m := range moves {
-		if !m.Done() {
-			t.Fatalf("migration of slot %d stuck (from %d to %d)", m.Slot, m.From, m.To)
-		}
-		if got := c.SlotTable()[m.Slot]; got != m.To {
-			t.Fatalf("slot %d routed to %d, want %d", m.Slot, got, m.To)
-		}
-	}
 	if len(moves) == 0 {
-		t.Fatal("migrations never started")
+		t.Fatal("handoffs never started")
+	}
+	for _, m := range moves {
+		if m.Aborted() {
+			// An aborted handoff must always thaw its slots on their
+			// original owner — mid-run aborts are legal, lost slots are
+			// not.
+			for _, s := range m.Slots {
+				if c.Frontend().Frozen(s) {
+					t.Fatalf("aborted handoff left slot %d frozen", s)
+				}
+				if got := c.SlotTable()[s]; got != m.From {
+					t.Fatalf("aborted handoff moved slot %d to %d", s, got)
+				}
+			}
+			continue
+		}
+		if !m.Done() {
+			t.Fatalf("handoff of slots %v stuck (from %d to %d)", m.Slots, m.From, m.To)
+		}
+		for _, s := range m.Slots {
+			if got := c.SlotTable()[s]; got != m.To {
+				t.Fatalf("slot %d routed to %d, want %d", s, got, m.To)
+			}
+			if c.Frontend().Frozen(s) {
+				t.Fatalf("slot %d still frozen after handoff", s)
+			}
+		}
 	}
 	for g := 0; g < c.Groups(); g++ {
 		res := c.CheckLinearizabilityGroup(g)
@@ -188,7 +266,7 @@ func migrateUnderChaos(t *testing.T, p Protocol) {
 			t.Fatalf("group %d undecided: %s", g, res.Reason)
 		}
 		if !res.Ok {
-			t.Fatalf("group %d violated linearizability across the migration: %s", g, res.Reason)
+			t.Fatalf("group %d violated linearizability across the handoff: %s", g, res.Reason)
 		}
 	}
 }
@@ -236,13 +314,84 @@ func TestMigrateSlotAllProtocols(t *testing.T) {
 // TestMigrateSlotAbortsWhenSourceCannotDrain wedges the source group
 // (a sequenced write to the slot whose destination is down never
 // completes, so the dirty entry never clears and the commit point
-// never passes it), and requires the blocking MigrateSlot to give up,
-// thaw the slot on its original owner, and leave it migratable once
-// the group recovers.
+// never passes it), and requires the blocking MigrateSlot to give up
+// and thaw the slot on its original owner — under every replication
+// protocol, since the abort path is the safety net the chaos matrix
+// leans on. For chain (where recovery of a fully-downed group is
+// modeled cleanly) the test additionally recovers the group and
+// retries the migration to completion.
 func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
+	for _, p := range []Protocol{PB, Chain, CRAQ, VR, NOPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := New(Config{
+				Protocol: p, Replicas: 3, UseHarmonia: p != CRAQ, Groups: 2,
+				Stages: 1, SlotsPerStage: 64, Seed: 25 + int64(p),
+			})
+			cl := c.NewSyncClient()
+			key, ok := c.keyInGroup(0, "wedge_", -1)
+			if !ok {
+				t.Fatal("no key in group 0")
+			}
+			if err := cl.Set(key, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			slot := c.SlotOfKey(key)
+
+			// Take the whole source group down, then sequence a write
+			// for the slot: the dirty entry sticks and nothing can ever
+			// advance the commit point past it.
+			for i := 0; i < 3; i++ {
+				c.net.SetDown(c.GroupReplicaAddr(0, i), true)
+			}
+			c.front.Recv(clientBase, &wire.Packet{
+				Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+				ClientID: 0, ReqID: 999, Value: []byte{2},
+			})
+			if c.GroupScheduler(0).DirtyInSlot(slot) == 0 {
+				t.Fatal("wedge write not tracked")
+			}
+
+			if err := c.MigrateSlot(slot, 1); err == nil {
+				t.Fatal("migration completed despite an undrainable source")
+			}
+			if c.front.Frozen(slot) {
+				t.Fatal("aborted migration left the slot frozen")
+			}
+			if got := c.SlotTable()[slot]; got != 0 {
+				t.Fatalf("aborted migration flipped the route to %d", got)
+			}
+			if p != Chain {
+				return
+			}
+
+			// Recover the group; the slot serves again and a retried
+			// migration succeeds.
+			for i := 0; i < 3; i++ {
+				c.net.SetDown(c.GroupReplicaAddr(0, i), false)
+			}
+			c.RunFor(5 * time.Millisecond)
+			if v, k2, err := cl.Get(key); err != nil || !k2 || len(v) == 0 {
+				t.Fatalf("slot unavailable after aborted migration: %q %v %v", v, k2, err)
+			}
+			if err := c.MigrateSlot(slot, 1); err != nil {
+				t.Fatalf("retried migration after recovery: %v", err)
+			}
+			if v, k2, err := cl.Get(key); err != nil || !k2 {
+				t.Fatalf("Get after retried migration: %q %v %v", v, k2, err)
+			}
+		})
+	}
+}
+
+// TestMigrateNonBlockingAbortsAtDeadline wedges the source group and
+// starts a NON-blocking handoff — the rebalancer's path, where no
+// caller drives the simulation or aborts on its behalf. The drain
+// deadline must thaw the slot on its own; without it, the hottest
+// slots of the cluster would stay frozen forever.
+func TestMigrateNonBlockingAbortsAtDeadline(t *testing.T) {
 	c := New(Config{
 		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2,
-		Stages: 1, SlotsPerStage: 64, Seed: 25,
+		Stages: 1, SlotsPerStage: 64, Seed: 83,
 	})
 	cl := c.NewSyncClient()
 	key, ok := c.keyInGroup(0, "wedge_", -1)
@@ -253,10 +402,6 @@ func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	slot := c.SlotOfKey(key)
-
-	// Take the whole source chain down, then sequence a write for the
-	// slot: the dirty entry sticks and nothing can ever advance the
-	// commit point past it.
 	for i := 0; i < 3; i++ {
 		c.net.SetDown(c.GroupReplicaAddr(0, i), true)
 	}
@@ -264,34 +409,238 @@ func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
 		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 		ClientID: 0, ReqID: 999, Value: []byte{2},
 	})
-	if c.GroupScheduler(0).DirtyInSlot(slot) == 0 {
-		t.Fatal("wedge write not tracked")
+	m, err := c.StartSlotMigration(slot, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	if err := c.MigrateSlot(slot, 1); err == nil {
-		t.Fatal("migration completed despite an undrainable source")
+	c.RunFor(600 * time.Millisecond) // past the drain deadline
+	if !m.Aborted() || m.Done() {
+		t.Fatalf("undrainable non-blocking handoff: aborted=%v done=%v", m.Aborted(), m.Done())
 	}
 	if c.front.Frozen(slot) {
-		t.Fatal("aborted migration left the slot frozen")
+		t.Fatal("deadline abort left the slot frozen")
 	}
 	if got := c.SlotTable()[slot]; got != 0 {
-		t.Fatalf("aborted migration flipped the route to %d", got)
+		t.Fatalf("deadline abort flipped the route to %d", got)
 	}
-
-	// Recover the group; the slot serves again and a retried migration
-	// succeeds.
+	if len(c.migrations) != 0 {
+		t.Fatalf("%d handoffs still registered after the abort", len(c.migrations))
+	}
+	// Recover and migrate for real.
 	for i := 0; i < 3; i++ {
 		c.net.SetDown(c.GroupReplicaAddr(0, i), false)
 	}
 	c.RunFor(5 * time.Millisecond)
-	if v, k2, err := cl.Get(key); err != nil || !k2 || len(v) == 0 {
-		t.Fatalf("slot unavailable after aborted migration: %q %v %v", v, k2, err)
-	}
 	if err := c.MigrateSlot(slot, 1); err != nil {
 		t.Fatalf("retried migration after recovery: %v", err)
 	}
 	if v, k2, err := cl.Get(key); err != nil || !k2 {
 		t.Fatalf("Get after retried migration: %q %v %v", v, k2, err)
+	}
+}
+
+// TestMigrateToCurrentGroupIsNoop pins the regression: migrating slots
+// to their current owner — in the single-slot, batch, and blocking
+// forms — must succeed instantly without freezing the slot, copying
+// any objects, or registering a handoff, rather than freezing and
+// copying a slot onto itself.
+func TestMigrateToCurrentGroupIsNoop(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 51})
+	cl := c.NewSyncClient()
+	key, ok := c.keyInGroup(1, "noop_", -1)
+	if !ok {
+		t.Fatal("no key in group 1")
+	}
+	if err := cl.Set(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	slot := c.SlotOfKey(key)
+	drops := c.front.Stats.FrozenDrops
+
+	m, err := c.StartSlotMigration(slot, 1)
+	if err != nil || !m.Done() || m.Aborted() {
+		t.Fatalf("self-migration: err=%v done=%v aborted=%v", err, m.Done(), m.Aborted())
+	}
+	if m.Objects() != 0 {
+		t.Fatalf("self-migration copied %d objects", m.Objects())
+	}
+	if c.front.Frozen(slot) {
+		t.Fatal("self-migration froze the slot")
+	}
+	if len(c.migrations) != 0 {
+		t.Fatalf("self-migration left %d handoffs registered", len(c.migrations))
+	}
+
+	// Batch form: a mix of no-op and real slots only moves the real
+	// ones; an all-no-op batch moves nothing.
+	m, err = c.StartBatchMigration([]int{slot}, 1)
+	if err != nil || !m.Done() || len(m.Slots) != 0 {
+		t.Fatalf("all-noop batch: err=%v done=%v slots=%v", err, m.Done(), m.Slots)
+	}
+	other := -1
+	for s := 0; s < wire.NumSlots; s++ {
+		if c.SlotTable()[s] == 0 {
+			other = s
+			break
+		}
+	}
+	if err := c.MigrateSlots([]int{slot, other}, 1); err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	if got := c.SlotTable()[other]; got != 1 {
+		t.Fatalf("real slot of the mixed batch routed to %d, want 1", got)
+	}
+	if got := c.SlotTable()[slot]; got != 1 {
+		t.Fatalf("no-op slot rerouted to %d", got)
+	}
+
+	// Blocking form, and the data is untouched throughout.
+	if err := c.MigrateSlot(slot, 1); err != nil {
+		t.Fatalf("blocking self-migration: %v", err)
+	}
+	if c.front.Stats.FrozenDrops != drops {
+		t.Fatal("a no-op migration dropped client traffic")
+	}
+	if v, k2, err := cl.Get(key); err != nil || !k2 || string(v) != "v" {
+		t.Fatalf("Get after no-op migrations = %q %v %v", v, k2, err)
+	}
+	if g := cl.LastGroup(); g != 1 {
+		t.Fatalf("key served by group %d, want 1", g)
+	}
+}
+
+// TestMigrateSwapSlotsExchangesOwners swaps a slot set between two groups and
+// verifies both directions moved, occupancy is conserved, and the data
+// survived on both sides.
+func TestMigrateSwapSlotsExchangesOwners(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 57})
+	cl := c.NewSyncClient()
+	const keys = 96
+	a := takeSlots(t, slotsOwnedBy(c, keys, 0), 2)
+	b := takeSlots(t, slotsOwnedBy(c, keys, 2), 2)
+	write := func(slots []int, g int) map[int]string {
+		vals := map[int]string{}
+		for _, i := range keysInGroupSlots(c, keys, g, slots) {
+			v := fmt.Sprintf("v%d", i)
+			if err := cl.Set(keyName(i), []byte(v)); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			vals[i] = v
+		}
+		return vals
+	}
+	va := write(a, 0)
+	vb := write(b, 2)
+
+	occBefore := occupancy(c)
+	if err := c.SwapSlots(a, b); err != nil {
+		t.Fatalf("SwapSlots: %v", err)
+	}
+	for _, s := range a {
+		if got := c.SlotTable()[s]; got != 2 {
+			t.Fatalf("slot %d routed to %d after swap, want 2", s, got)
+		}
+	}
+	for _, s := range b {
+		if got := c.SlotTable()[s]; got != 0 {
+			t.Fatalf("slot %d routed to %d after swap, want 0", s, got)
+		}
+	}
+	if occAfter := occupancy(c); occAfter != occBefore {
+		t.Fatalf("swap changed slot occupancy: %v != %v", occAfter, occBefore)
+	}
+	check := func(vals map[int]string, wantGroup int) {
+		for i, v := range vals {
+			got, ok, err := cl.Get(keyName(i))
+			if err != nil || !ok || string(got) != v {
+				t.Fatalf("Get(%s) after swap = %q %v %v", keyName(i), got, ok, err)
+			}
+			if g := cl.LastGroup(); g != wantGroup {
+				t.Fatalf("key %s served by group %d, want %d", keyName(i), g, wantGroup)
+			}
+		}
+	}
+	check(va, 2)
+	check(vb, 0)
+
+	// Validation: sets spanning owners, empty sets, shared owner.
+	if err := c.SwapSlots(nil, b); err == nil {
+		t.Fatal("empty swap set accepted")
+	}
+	if err := c.SwapSlots(a, a); err == nil {
+		t.Fatal("same-owner swap accepted")
+	}
+	mixed := []int{a[0], b[0]}
+	if err := c.SwapSlots(mixed, []int{a[1]}); err == nil {
+		t.Fatal("owner-spanning swap set accepted")
+	}
+}
+
+// keysInGroupSlots lists key indices of [0, keys) living in the given
+// slots of group g, in index order.
+func keysInGroupSlots(c *Cluster, keys, g int, slots []int) []int {
+	in := map[int]bool{}
+	for _, s := range slots {
+		in[s] = true
+	}
+	var out []int
+	for i := 0; i < keys; i++ {
+		id := wire.HashKey(keyName(i))
+		if c.routeObj(id) == g && in[wire.SlotOf(id)] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// occupancy summarizes the slot table as a per-group slot count.
+func occupancy(c *Cluster) [8]int {
+	var counts [8]int
+	for _, g := range c.SlotTable() {
+		counts[g]++
+	}
+	return counts
+}
+
+// TestMigrateClientTableTravels pins the cross-group duplicate
+// regression the chaos matrix first exposed: under a skewed workload
+// with packet drops, a write the source group executed whose reply was
+// lost keeps being retried by its client; after the handoff the retry
+// lands on the destination, and without the migrated client-table
+// records the destination re-executes it — which can resurrect an old
+// value over a newer committed write (a decided linearizability
+// violation), while a record folded into the main table instead of the
+// exact-match overlay makes lagging replicas suppress writes their
+// leader applied (stale fast reads of unrelated keys). NOPaxos's
+// sync-lagged followers are the most sensitive detector, so it anchors
+// the sweep.
+func TestMigrateClientTableTravels(t *testing.T) {
+	for seed := int64(60); seed < 70; seed++ {
+		c := New(Config{
+			Protocol: NOPaxos, Replicas: 3, UseHarmonia: true, Groups: 3,
+			RecordHistory: true, Seed: seed, DropProb: 0.01,
+		})
+		const keys = 96
+		g1 := slotsOwnedBy(c, keys, 1)
+		c.Engine().After(4*time.Millisecond, func() {
+			if _, err := c.StartBatchMigration(takeSlots(t, g1, 2), 0); err != nil {
+				t.Errorf("seed %d: start: %v", seed, err)
+			}
+		})
+		c.RunLoad(LoadSpec{
+			Mode: Closed, Clients: 8, Duration: 10 * time.Millisecond,
+			Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Zipf09,
+		})
+		c.RunFor(25 * time.Millisecond)
+		for g := 0; g < c.Groups(); g++ {
+			res := c.CheckLinearizabilityGroup(g)
+			if !res.Decided {
+				t.Fatalf("seed %d group %d undecided: %s", seed, g, res.Reason)
+			}
+			if !res.Ok {
+				t.Fatalf("seed %d group %d violated linearizability: %s", seed, g, res.Reason)
+			}
+		}
 	}
 }
 

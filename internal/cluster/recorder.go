@@ -75,4 +75,6 @@ func (c *Cluster) CheckLinearizabilityGroup(g int) lincheck.Result {
 
 func newUniformGen(n int, rng *rand.Rand) keyGen { return workload.NewUniform(n, rng) }
 
-func newZipfGen(n int, rng *rand.Rand) keyGen { return workload.NewZipfian(n, 0.9, rng) }
+func newZipfGen(n int, theta float64, rng *rand.Rand) keyGen {
+	return workload.NewZipfianTheta(n, theta, rng)
+}

@@ -14,7 +14,24 @@ type FrontendStats struct {
 	// their routing slot was frozen mid-migration. Clients recover by
 	// timeout, exactly as with a booting switch.
 	FrozenDrops uint64
+	// HeatDecays counts EWMA decay rounds applied to the per-slot heat
+	// counters.
+	HeatDecays uint64
 }
+
+// SlotHeat is one routing slot's operation counters: the same
+// register-array trick §5 uses for conflict state, applied to load.
+// Reads and writes are counted separately so a policy can weight them
+// (a write costs the group more than a fast-path read). With periodic
+// DecayHeat calls the counters become an exponentially weighted window
+// over recent traffic rather than an all-time total.
+type SlotHeat struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total is the slot's combined operation count.
+func (h SlotHeat) Total() uint64 { return h.Reads + h.Writes }
 
 // Frontend is the multi-group switch front-end (§6.1): one physical
 // switch whose register state is partitioned into n independent
@@ -39,6 +56,12 @@ type Frontend struct {
 	groups []*Scheduler
 	route  [wire.NumSlots]uint16
 	frozen [wire.NumSlots]bool
+
+	// heat is the per-slot op-counter register array. It is indexed by
+	// the slot the front-end itself computes from the object ID — never
+	// by the client's group stamp — so stale or corrupt client guesses
+	// cannot skew the ranking.
+	heat [wire.NumSlots]SlotHeat
 
 	Stats FrontendStats
 }
@@ -91,6 +114,30 @@ func (f *Frontend) SlotTable() []int {
 	return out
 }
 
+// SlotHeat returns a copy of the per-slot heat register array.
+func (f *Frontend) SlotHeat() []SlotHeat {
+	out := make([]SlotHeat, wire.NumSlots)
+	copy(out, f.heat[:])
+	return out
+}
+
+// HeatOf returns slot's current heat counters.
+func (f *Frontend) HeatOf(slot int) SlotHeat { return f.heat[slot] }
+
+// DecayHeat halves every heat counter — one EWMA round. Called
+// periodically (the switch control plane would run this on a timer),
+// it turns the counters into an exponentially weighted window whose
+// half-life is the decay interval, so rankings track recent traffic
+// rather than all history. Halving is the register-friendly decay: a
+// single right-shift per counter, no floating point in the data plane.
+func (f *Frontend) DecayHeat() {
+	for s := range f.heat {
+		f.heat[s].Reads >>= 1
+		f.heat[s].Writes >>= 1
+	}
+	f.Stats.HeatDecays++
+}
+
 // FreezeSlot starts dropping slot's client traffic (migration window).
 func (f *Frontend) FreezeSlot(slot int) { f.frozen[slot] = true }
 
@@ -104,11 +151,15 @@ func (f *Frontend) Frozen(slot int) bool { return f.frozen[slot] }
 // empty register state and must not forward anything until the
 // per-group agreements reinstall schedulers. The slot table and frozen
 // flags survive — they are control-plane configuration the controller
-// reinstalls on a replacement switch, not soft register state.
+// reinstalls on a replacement switch, not soft register state. The
+// heat counters do NOT survive: they are soft register state like the
+// dirty set, and a rebalancer simply re-learns the ranking within a
+// few decay intervals.
 func (f *Frontend) Reboot() {
 	for g := range f.groups {
 		f.groups[g] = nil
 	}
+	f.heat = [wire.NumSlots]SlotHeat{}
 }
 
 // Recv implements simnet.Handler: every packet to or from any replica
@@ -127,6 +178,17 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 		// them — the client's timeout handles retry — so no request
 		// can land on either group mid-handoff.
 		slot := wire.SlotOf(pkt.ObjID)
+		// Heat is counted on offered load, before the frozen check, so
+		// a slot stays ranked hot while it migrates. Replica-forwarded
+		// re-entries (a fast read a replica bounced back) are skipped:
+		// the op was already counted on its first traversal.
+		if pkt.Flags&wire.FlagForwarded == 0 {
+			if pkt.Op == wire.OpWrite {
+				f.heat[slot].Writes++
+			} else {
+				f.heat[slot].Reads++
+			}
+		}
 		if f.frozen[slot] {
 			f.Stats.FrozenDrops++
 			return

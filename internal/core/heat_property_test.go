@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// The heat registers' accounting obligations: (1) before any decay,
+// the counters sum exactly to the client-originated operations the
+// front-end saw — nothing double-counted, nothing missed, reads and
+// writes in their own columns; (2) the counters are indexed by the
+// slot the front-end computes from the object ID, so a client's group
+// stamp — stale, random, or hostile — can never skew the ranking; (3)
+// decay is monotone (every counter shrinks to exactly half, so
+// relative rankings survive a round).
+func TestSlotHeatAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f4 := NewFrontend(4) // nil partitions: packets drop after routing, heat still counts
+		var (
+			total      uint64
+			wantReads  [wire.NumSlots]uint64
+			wantWrites [wire.NumSlots]uint64
+		)
+		for i := 0; i < 500; i++ {
+			id := wire.ObjectID(rng.Uint32())
+			slot := wire.SlotOf(id)
+			pkt := &wire.Packet{
+				ObjID: id,
+				// The group stamp is an arbitrary guess; the front-end
+				// must ignore it for heat indexing (and overriding it is
+				// its routing job anyway).
+				Group: uint16(rng.Intn(8)),
+			}
+			switch rng.Intn(4) {
+			case 0:
+				pkt.Op = wire.OpWrite
+				wantWrites[slot]++
+				total++
+			case 1:
+				pkt.Op = wire.OpRead
+				wantReads[slot]++
+				total++
+			case 2:
+				// Replica-forwarded re-entry of a fast read: already
+				// counted on its first traversal, must not count again.
+				pkt.Op = wire.OpRead
+				pkt.Flags |= wire.FlagForwarded
+				pkt.Group = 0
+			default:
+				// Replica-originated traffic never touches heat.
+				pkt.Op = wire.OpWriteReply
+				pkt.Group = 0
+			}
+			// Occasionally freeze the slot first: offered load counts
+			// even when the packet is dropped mid-migration.
+			frozen := rng.Intn(8) == 0 && pkt.Op != wire.OpWriteReply
+			if frozen {
+				f4.FreezeSlot(slot)
+			}
+			f4.Recv(simnet.NodeID(1), pkt)
+			if frozen {
+				f4.UnfreezeSlot(slot)
+			}
+		}
+		heat := f4.SlotHeat()
+		var sum uint64
+		for s, h := range heat {
+			if h.Reads != wantReads[s] || h.Writes != wantWrites[s] {
+				return false
+			}
+			sum += h.Total()
+		}
+		if sum != total {
+			return false
+		}
+		// Decay: exactly half, per counter, monotone.
+		f4.DecayHeat()
+		for s, h := range f4.SlotHeat() {
+			if h.Reads != heat[s].Reads/2 || h.Writes != heat[s].Writes/2 {
+				return false
+			}
+			if h.Reads > heat[s].Reads || h.Writes > heat[s].Writes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Repeated decay drives every counter to zero (no sticky residue), and
+// a rebooted front-end starts with cold registers.
+func TestSlotHeatDecayAndReboot(t *testing.T) {
+	f := NewFrontend(2)
+	f.Recv(1, &wire.Packet{Op: wire.OpWrite, ObjID: 7})
+	f.Recv(1, &wire.Packet{Op: wire.OpRead, ObjID: 7})
+	slot := wire.SlotOf(7)
+	if h := f.HeatOf(slot); h.Reads != 1 || h.Writes != 1 {
+		t.Fatalf("heat = %+v, want 1 read + 1 write", h)
+	}
+	for i := 0; i < 64; i++ {
+		f.DecayHeat()
+	}
+	for s, h := range f.SlotHeat() {
+		if h.Total() != 0 {
+			t.Fatalf("slot %d heat %+v after full decay", s, h)
+		}
+	}
+	if f.Stats.HeatDecays != 64 {
+		t.Fatalf("HeatDecays = %d, want 64", f.Stats.HeatDecays)
+	}
+	f.Recv(1, &wire.Packet{Op: wire.OpWrite, ObjID: 7})
+	f.Reboot()
+	if h := f.HeatOf(slot); h.Total() != 0 {
+		t.Fatalf("heat %+v survived a reboot (soft register state must not)", h)
+	}
+}

@@ -357,9 +357,20 @@ func (s *Scheduler) SweepStale() int {
 // sequenced for it has either committed or can never apply, so the
 // replicas' stores are the complete picture.
 func (s *Scheduler) DirtyInSlot(slot int) int {
+	return s.DirtyInSlots([]int{slot})
+}
+
+// DirtyInSlots counts dirty-set entries across a set of routing slots
+// in one register scan — the drain probe for batch migrations, which
+// freeze many slots but want a single quiescence signal.
+func (s *Scheduler) DirtyInSlots(slots []int) int {
+	var want [wire.NumSlots]bool
+	for _, sl := range slots {
+		want[sl] = true
+	}
 	n := 0
 	s.dirty.Scan(func(key uint32, _ uint64) {
-		if wire.SlotOf(wire.ObjectID(key)) == slot {
+		if want[wire.SlotOf(wire.ObjectID(key))] {
 			n++
 		}
 	})

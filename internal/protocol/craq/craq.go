@@ -129,6 +129,10 @@ type Replica struct {
 	DirtyReads      uint64 // reads that needed a tail version query
 }
 
+// ClientTable exposes the at-most-once table for state transfer
+// (migration handoffs move it with the objects).
+func (r *Replica) ClientTable() *protocol.ClientTable { return r.ct }
+
 // New builds a CRAQ node.
 func New(env protocol.Env, g protocol.GroupConfig, _ int) *Replica {
 	r := &Replica{

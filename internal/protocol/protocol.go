@@ -113,12 +113,30 @@ type clientEntry struct {
 // Replication: each client has at most one outstanding request, and a
 // retransmission of the latest request is answered from the cache
 // rather than re-executed.
+//
+// Alongside the protocol-managed table, migrated records (Merge) are
+// kept in a separate overlay matched ONLY on the exact request ID.
+// The separation is a correctness requirement, not bookkeeping: the
+// main table is derived deterministically from the protocol's own
+// admission/execution order, and replicas replaying a log (NOPaxos
+// followers at sync, VR backups at commit) must reach the decisions
+// the leader reached. A foreign record folded into the main table
+// would also suppress OLDER requests of the same client — requests the
+// leader may already have executed before the records arrived — and
+// the replicas' stores would silently diverge. An exact-match overlay
+// suppresses precisely the one cross-group duplicate it was exported
+// for and nothing else.
 type ClientTable struct {
 	m map[uint32]clientEntry
+	// migrated holds records imported by slot handoffs, keyed by
+	// client, matched only on exact request ID.
+	migrated map[uint32]clientEntry
 }
 
 // NewClientTable returns an empty table.
-func NewClientTable() *ClientTable { return &ClientTable{m: make(map[uint32]clientEntry)} }
+func NewClientTable() *ClientTable {
+	return &ClientTable{m: make(map[uint32]clientEntry), migrated: make(map[uint32]clientEntry)}
+}
 
 // Admit decides what to do with request (clientID, reqID):
 //
@@ -130,6 +148,18 @@ func NewClientTable() *ClientTable { return &ClientTable{m: make(map[uint32]clie
 //     reply;
 //   - anything older is ignored.
 func (t *ClientTable) Admit(clientID uint32, reqID uint64) (execute bool, cached *wire.Packet) {
+	if mig, ok := t.migrated[clientID]; ok {
+		if reqID == mig.reqID {
+			// The cross-group duplicate a slot handoff exported this
+			// record for: suppress it and replay the cached reply.
+			return false, mig.reply
+		}
+		if reqID > mig.reqID {
+			// The client moved on; the migrated record can never match
+			// again.
+			delete(t.migrated, clientID)
+		}
+	}
 	e, ok := t.m[clientID]
 	if !ok || reqID > e.reqID {
 		t.m[clientID] = clientEntry{reqID: reqID}
@@ -153,12 +183,75 @@ func (t *ClientTable) Complete(clientID uint32, reqID uint64, reply *wire.Packet
 }
 
 // Cached returns the stored reply for (clientID, reqID) without
-// mutating the table, or nil.
+// mutating the table, or nil. Migrated records answer too: a chain
+// tail asked to re-reply a cross-group duplicate has the reply only in
+// its overlay.
 func (t *ClientTable) Cached(clientID uint32, reqID uint64) *wire.Packet {
-	if e, ok := t.m[clientID]; ok && e.reqID == reqID {
+	if e, ok := t.m[clientID]; ok && e.reqID == reqID && e.reply != nil {
 		return e.reply
 	}
+	if mig, ok := t.migrated[clientID]; ok && mig.reqID == reqID {
+		return mig.reply
+	}
 	return nil
+}
+
+// ClientRecord is one exported client-table entry, carried with a
+// slot handoff: the client's latest request ID and, when the request
+// completed, the cached reply (nil while still in progress).
+type ClientRecord struct {
+	ReqID uint64
+	Reply *wire.Packet
+}
+
+// Export copies the table's COMPLETED records for state transfer. A
+// migration moves the records with the objects: without them, a
+// destination group would re-execute a write whose reply was lost in
+// flight — the source already applied it, so the duplicate could
+// resurrect an old value over a newer committed write (at-most-once is
+// per table, and the retry now hashes to a different group's table).
+//
+// In-progress records (no cached reply) are deliberately NOT exported:
+// an exact-match hit on one would suppress the client's retry at the
+// destination with nothing to answer it, wedging the client forever.
+// A completed-nowhere write is also safe to re-execute — it never
+// applied at the source (a drained slot's writes either committed,
+// caching a reply at whichever replica executed them, or can never
+// apply), so no resurrection hazard exists for it.
+func (t *ClientTable) Export() map[uint32]ClientRecord {
+	out := make(map[uint32]ClientRecord, len(t.m))
+	for c, e := range t.m {
+		if e.reply != nil {
+			out[c] = ClientRecord{ReqID: e.reqID, Reply: e.reply}
+		}
+	}
+	// Records a previous inbound handoff parked here may still be the
+	// only copy of a reply a client is retrying for; pass them along
+	// unless the protocol-managed entry is newer and completed.
+	for c, mig := range t.migrated {
+		if mig.reply == nil {
+			continue
+		}
+		if cur, ok := out[c]; !ok || mig.reqID > cur.ReqID {
+			out[c] = ClientRecord{ReqID: mig.reqID, Reply: mig.reply}
+		}
+	}
+	return out
+}
+
+// Merge installs exported records into the migrated-record overlay,
+// keeping the newer request per client; on a tie, an entry carrying a
+// cached reply wins over an in-progress one (so the destination can
+// answer the retry instead of suppressing it forever). The main table
+// is never touched — see the type comment for why that would corrupt
+// log replay.
+func (t *ClientTable) Merge(recs map[uint32]ClientRecord) {
+	for c, rec := range recs {
+		e, ok := t.migrated[c]
+		if !ok || rec.ReqID > e.reqID || (rec.ReqID == e.reqID && e.reply == nil && rec.Reply != nil) {
+			t.migrated[c] = clientEntry{reqID: rec.ReqID, reply: rec.Reply}
+		}
+	}
 }
 
 // Snapshot and Restore support state transfer.

@@ -87,6 +87,52 @@ func TestClientTableSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestClientTableExportMergeOverlay(t *testing.T) {
+	src := NewClientTable()
+	rep := &wire.Packet{Op: wire.OpWriteReply, ClientID: 1, ReqID: 5}
+	src.Admit(1, 5)
+	src.Complete(1, 5, rep)
+	src.Admit(2, 7) // in progress: no reply, must NOT export
+
+	recs := src.Export()
+	if _, ok := recs[2]; ok {
+		t.Fatal("in-progress record exported (would wedge the client's retry)")
+	}
+	if r, ok := recs[1]; !ok || r.ReqID != 5 || r.Reply == nil {
+		t.Fatalf("completed record missing or incomplete: %+v", r)
+	}
+
+	dst := NewClientTable()
+	// Simulate the destination's replay divergence hazard: the leader
+	// executed (1, 3) before the merge; a lagging replica executes it
+	// after. The overlay must NOT suppress it.
+	dst.Merge(recs)
+	if exec, _ := dst.Admit(1, 3); !exec {
+		t.Fatal("merged record suppressed an OLDER request (log-replay divergence)")
+	}
+	// The exact cross-group duplicate is suppressed, with the reply.
+	if exec, cached := dst.Admit(1, 5); exec || cached == nil {
+		t.Fatalf("exact duplicate: exec=%v cached=%v", exec, cached)
+	}
+	if got := dst.Cached(1, 5); got == nil {
+		t.Fatal("Cached does not see the overlay (chain tail re-reply path)")
+	}
+	// Once the client moves on, the record retires.
+	if exec, _ := dst.Admit(1, 6); !exec {
+		t.Fatal("newer request blocked by the overlay")
+	}
+	if exec, cached := dst.Admit(1, 5); exec || cached != nil {
+		t.Fatalf("retired overlay record still answered: exec=%v cached=%v", exec, cached)
+	}
+	// Re-exporting from the destination forwards overlay records for
+	// chained handoffs.
+	dst2 := NewClientTable()
+	dst2.Merge(recs)
+	if r, ok := dst2.Export()[1]; !ok || r.ReqID != 5 || r.Reply == nil {
+		t.Fatalf("overlay record not re-exported: %+v", r)
+	}
+}
+
 func TestSwitchLease(t *testing.T) {
 	var l SwitchLease
 	if l.Allows(0, 0) {

@@ -1,0 +1,307 @@
+// Package rebalance implements the autonomous rebalancing control
+// loop: it samples the switch front-end's per-slot heat counters and
+// the slot → group routing table, computes per-group load imbalance,
+// and plans batch slot moves under a threshold + hysteresis + move-cost
+// model. The policy is deliberately pure decision logic over injected
+// inputs (heat sample, routing table, clock) so it unit-tests without a
+// cluster; the cluster wires it to real switch state and executes the
+// planned moves as batch migrations.
+//
+// The design follows "Cheap Recovery: A Key to Self-Managing State"
+// (Huang & Fox): because a slot handoff is cheap and always-safe
+// (abort thaws the slot on its old owner), moving state can be a
+// routine loop instead of an operator ritual — the policy's only job
+// is to not thrash, which is what the hysteresis band, the cool-down,
+// and the per-slot cost veto are for.
+package rebalance
+
+import "time"
+
+// Heat is one routing slot's recent operation counters, as sampled
+// from the switch front-end's register array (after EWMA decay the
+// counters approximate an exponentially weighted recent window).
+type Heat struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total is the slot's combined operation count.
+func (h Heat) Total() uint64 { return h.Reads + h.Writes }
+
+// Config parameterizes the control loop. The zero value of every field
+// selects a default tuned for the simulated rack's millisecond
+// timescale.
+type Config struct {
+	// Threshold is the hottest-group-to-mean load ratio at which a
+	// rebalancing round fires (default 1.5: the hottest group carries
+	// ≥1.5× its fair share).
+	Threshold float64
+
+	// Hysteresis widens the re-arm band: after a round fires, no new
+	// round may fire until imbalance has fallen below
+	// Threshold−Hysteresis (default 0.25). Without the band, two
+	// groups oscillating around the threshold would trade the same
+	// slots back and forth forever.
+	Hysteresis float64
+
+	// Interval is the sampling cadence of the loop; it is also the
+	// heat counters' EWMA decay period (default 1ms of simulated
+	// time — the simulation compresses seconds to milliseconds).
+	Interval time.Duration
+
+	// Cooldown is the minimum time between rounds, regardless of
+	// re-arming (default 3×Interval): a round's migrations must land
+	// and the heat window refill before the imbalance reading means
+	// anything again.
+	Cooldown time.Duration
+
+	// MaxSlotsPerRound bounds one round's batch (default 8): smaller
+	// rounds converge over a few intervals instead of freezing a large
+	// slice of the key space at once.
+	MaxSlotsPerRound int
+
+	// MinOps is the minimum total heat in the sample below which the
+	// policy does nothing (default 128): at boot, or on an idle
+	// cluster, a handful of ops is noise, not imbalance.
+	MinOps uint64
+
+	// MoveCost is the modeled cost of migrating one slot, in
+	// sample-window ops: the traffic the freeze window drops plus the
+	// handoff's control work (default 48). A slot moves only when its
+	// projected gain exceeds its cost.
+	MoveCost float64
+
+	// ObjectCost is the additional per-copied-object cost in the same
+	// unit (default 1): a slot dense with objects drains a longer bulk
+	// copy, so it needs a larger gain to be worth moving.
+	ObjectCost float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 1.5
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.25
+	}
+	if c.Hysteresis >= c.Threshold {
+		// A band at or above the threshold makes the re-arm level
+		// unreachable (the loop would fire once and disarm forever);
+		// clamp to half the threshold. The public API rejects such
+		// configs up front — this guards direct internal users.
+		c.Hysteresis = c.Threshold / 2
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * c.Interval
+	}
+	if c.MaxSlotsPerRound <= 0 {
+		c.MaxSlotsPerRound = 8
+	}
+	if c.MinOps == 0 {
+		c.MinOps = 128
+	}
+	if c.MoveCost <= 0 {
+		c.MoveCost = 48
+	}
+	if c.ObjectCost <= 0 {
+		c.ObjectCost = 1
+	}
+}
+
+// Move is one planned slot migration.
+type Move struct {
+	Slot int
+	From int
+	To   int
+}
+
+// Policy is the control loop's decision state. It is not safe for
+// concurrent use; the cluster drives it from the single-threaded
+// simulation.
+type Policy struct {
+	cfg Config
+	now func() time.Duration
+
+	armed     bool
+	everFired bool
+	lastRound time.Duration
+
+	rounds     int
+	slotsMoved int
+}
+
+// New builds a policy with cfg (zero fields defaulted) reading the
+// injected clock. The clock makes the loop deterministic under the
+// simulation and trivially fakeable in unit tests.
+func New(cfg Config, now func() time.Duration) *Policy {
+	cfg.fillDefaults()
+	return &Policy{cfg: cfg, now: now, armed: true}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Rounds returns how many rebalancing rounds have fired.
+func (p *Policy) Rounds() int { return p.rounds }
+
+// SlotsMoved returns the total number of slot moves planned across all
+// rounds.
+func (p *Policy) SlotsMoved() int { return p.slotsMoved }
+
+// Plan runs one control-loop tick: given the per-slot heat sample, the
+// current slot → group table, optional per-slot object counts (nil if
+// unknown; the cost model then charges MoveCost alone), the group
+// count, and an optional busy predicate (slots currently mid-handoff,
+// which cannot be moved again yet), it returns the batch of moves to
+// execute now — nil when the loop should hold still. Firing re-arms
+// only after imbalance falls below Threshold−Hysteresis, and never
+// within Cooldown of the last round. A tick whose every candidate is
+// busy or vetoed plans nothing AND commits nothing — the trigger stays
+// armed and no cool-down is burned, so the loop retries as soon as the
+// situation becomes movable instead of disarming itself forever.
+func (p *Policy) Plan(heat []Heat, table []int, objects []int, groups int, busy func(slot int) bool) []Move {
+	if groups < 2 || len(heat) == 0 || len(table) != len(heat) {
+		return nil
+	}
+	load := make([]float64, groups)
+	var total uint64
+	for s, h := range heat {
+		g := table[s]
+		if g < 0 || g >= groups {
+			continue
+		}
+		load[g] += float64(h.Total())
+		total += h.Total()
+	}
+	if total < p.cfg.MinOps {
+		return nil
+	}
+	mean := float64(total) / float64(groups)
+	if mean <= 0 {
+		return nil
+	}
+	imb := load[hottest(load)] / mean
+
+	// Hysteresis: once a round fires the trigger disarms, and only a
+	// reading inside the calm band re-arms it. A reading that hovers
+	// between the two thresholds keeps the loop quiet in BOTH
+	// directions — no firing, no re-arming — which is what prevents
+	// ping-pong when two groups oscillate around the threshold.
+	if !p.armed && imb < p.cfg.Threshold-p.cfg.Hysteresis {
+		p.armed = true
+	}
+	if !p.armed || imb < p.cfg.Threshold {
+		return nil
+	}
+	if p.everFired && p.now()-p.lastRound < p.cfg.Cooldown {
+		return nil
+	}
+
+	moves := p.plan(heat, table, objects, load, busy)
+	if len(moves) == 0 {
+		// Nothing movable (indivisible hot slot, or every candidate
+		// vetoed by the cost model): stay armed, don't burn the
+		// cooldown — the situation may become movable as heat decays.
+		return nil
+	}
+	p.armed = false
+	p.everFired = true
+	p.lastRound = p.now()
+	p.rounds++
+	p.slotsMoved += len(moves)
+	return moves
+}
+
+// plan greedily drains the projected-hottest group into the
+// projected-coolest, hottest slot first, until the projected imbalance
+// re-enters the calm band, the per-round budget is spent, or no
+// remaining candidate both improves the balance and survives the cost
+// veto.
+func (p *Policy) plan(heat []Heat, table []int, objects []int, load []float64, busy func(slot int) bool) []Move {
+	proj := append([]float64(nil), load...)
+	mean := 0.0
+	for _, l := range proj {
+		mean += l
+	}
+	mean /= float64(len(proj))
+	calm := mean * (p.cfg.Threshold - p.cfg.Hysteresis)
+
+	moved := make(map[int]bool)
+	var moves []Move
+	for len(moves) < p.cfg.MaxSlotsPerRound {
+		src := hottest(proj)
+		if proj[src] <= calm {
+			break // projected balance is back inside the calm band
+		}
+		dst := coolest(proj)
+		best, bestHeat := -1, uint64(0)
+		for s, h := range heat {
+			if table[s] != src || moved[s] || h.Total() == 0 {
+				continue
+			}
+			if busy != nil && busy(s) {
+				continue
+			}
+			if h.Total() > bestHeat {
+				// The hottest unmoved slot of the source that still
+				// improves the balance: after the move the destination
+				// must stay cooler than the source was, or the move
+				// just relocates the hot spot (ping-pong fuel).
+				if proj[dst]+float64(h.Total()) >= proj[src] {
+					continue
+				}
+				if !p.worthMoving(h, s, objects, proj[src], proj[dst]) {
+					continue
+				}
+				best, bestHeat = s, h.Total()
+			}
+		}
+		if best < 0 {
+			break
+		}
+		moves = append(moves, Move{Slot: best, From: src, To: dst})
+		moved[best] = true
+		proj[src] -= float64(bestHeat)
+		proj[dst] += float64(bestHeat)
+	}
+	return moves
+}
+
+// worthMoving is the cost-model veto: a slot moves only when the
+// projected per-window gain (how much the hottest group sheds toward
+// the destination, capped by the gap it closes) exceeds the modeled
+// drain cost of the handoff.
+func (p *Policy) worthMoving(h Heat, slot int, objects []int, srcLoad, dstLoad float64) bool {
+	gain := float64(h.Total())
+	if gap := (srcLoad - dstLoad) / 2; gap < gain {
+		gain = gap
+	}
+	cost := p.cfg.MoveCost
+	if objects != nil && slot < len(objects) {
+		cost += p.cfg.ObjectCost * float64(objects[slot])
+	}
+	return gain > cost
+}
+
+func hottest(load []float64) int {
+	best := 0
+	for g, l := range load {
+		if l > load[best] {
+			best = g
+		}
+	}
+	return best
+}
+
+func coolest(load []float64) int {
+	best := 0
+	for g, l := range load {
+		if l < load[best] {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,344 @@
+package rebalance
+
+import (
+	"testing"
+	"time"
+
+	"harmonia/internal/wire"
+)
+
+// fakeWorld is a deterministic policy harness: a hand-set clock, a
+// synthetic heat sample, and a routing table — no cluster, no
+// simulation.
+type fakeWorld struct {
+	now   time.Duration
+	heat  []Heat
+	table []int
+	objs  []int
+}
+
+func newFakeWorld(groups int) *fakeWorld {
+	w := &fakeWorld{
+		heat:  make([]Heat, wire.NumSlots),
+		table: make([]int, wire.NumSlots),
+	}
+	for s := range w.table {
+		w.table[s] = s % groups
+	}
+	return w
+}
+
+func (w *fakeWorld) clock() time.Duration { return w.now }
+
+func (w *fakeWorld) plan(p *Policy, groups int) []Move {
+	return p.Plan(w.heat, w.table, w.objs, groups, nil)
+}
+
+// apply executes planned moves against the fake routing table, the way
+// the cluster's migrations would.
+func (w *fakeWorld) apply(moves []Move) {
+	for _, m := range moves {
+		w.table[m.Slot] = m.To
+	}
+}
+
+var testCfg = Config{
+	Threshold: 1.5, Hysteresis: 0.25, Interval: time.Millisecond,
+	Cooldown: 3 * time.Millisecond, MaxSlotsPerRound: 4,
+	MinOps: 100, MoveCost: 10, ObjectCost: 1,
+}
+
+func TestRebalancePolicyThresholdCrossing(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+
+	// Balanced load: group 0 and 1 each carry 500 — no trigger.
+	w.heat[0] = Heat{Reads: 400, Writes: 100} // slot 0 → group 0
+	w.heat[1] = Heat{Reads: 400, Writes: 100} // slot 1 → group 1
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("balanced load planned %v", moves)
+	}
+
+	// Skew group 0 to 3× its fair share across two slots.
+	w.heat[0] = Heat{Reads: 1500}
+	w.heat[2] = Heat{Reads: 1500} // slot 2 → group 0
+	moves := w.plan(p, 2)
+	if len(moves) == 0 {
+		t.Fatal("3x imbalance triggered nothing")
+	}
+	for _, m := range moves {
+		if m.From != 0 || m.To != 1 {
+			t.Fatalf("move %+v does not drain the hot group into the cool one", m)
+		}
+		if m.Slot != 0 && m.Slot != 2 {
+			t.Fatalf("move %+v picked a cold slot", m)
+		}
+	}
+	if p.Rounds() != 1 || p.SlotsMoved() != len(moves) {
+		t.Fatalf("rounds=%d slotsMoved=%d after one round of %d moves", p.Rounds(), p.SlotsMoved(), len(moves))
+	}
+}
+
+func TestRebalancePolicyBelowMinOpsHoldsStill(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+	w.heat[0] = Heat{Reads: 99} // total below MinOps, however skewed
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("sub-MinOps sample planned %v", moves)
+	}
+}
+
+// TestRebalancePolicyHysteresisNoPingPong drives the classic oscillation: after
+// a round fires, imbalance hovers between the re-arm level and the
+// threshold (two groups trading places around the trigger). The policy
+// must stay quiet in BOTH directions — no re-fire until the reading
+// drops through the calm band.
+func TestRebalancePolicyHysteresisNoPingPong(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+
+	// Fire once: slot 0 makes group 0 hot (imbalance 1.8).
+	w.heat[0] = Heat{Reads: 600}
+	w.heat[1] = Heat{Reads: 50}
+	w.heat[2] = Heat{Reads: 250} // group 0's remainder
+	w.heat[3] = Heat{Reads: 100}
+	if moves := w.plan(p, 2); len(moves) == 0 {
+		t.Fatal("setup round never fired")
+	}
+
+	// Oscillate around the threshold without entering the calm band
+	// (<1.25): alternate imbalance ≈1.45 and ≈1.55 for many intervals,
+	// well past the cooldown. A threshold-only policy would fire on
+	// every other sample and bounce the same slot between the groups.
+	for i := 0; i < 12; i++ {
+		w.now += 2 * testCfg.Cooldown
+		hot := uint64(725) // imbalance 1.45
+		if i%2 == 1 {
+			hot = 775 // imbalance 1.55
+		}
+		w.heat[0] = Heat{Reads: hot}
+		w.heat[1] = Heat{Reads: 1000 - hot}
+		w.heat[2], w.heat[3] = Heat{}, Heat{}
+		if moves := w.plan(p, 2); moves != nil {
+			t.Fatalf("oscillation sample %d re-fired: %v", i, moves)
+		}
+	}
+
+	// Drop through the calm band (re-arms), then cross the threshold:
+	// now it may fire again.
+	w.now += 2 * testCfg.Cooldown
+	w.heat[0] = Heat{Reads: 500}
+	w.heat[1] = Heat{Reads: 500}
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("calm sample fired: %v", moves)
+	}
+	w.now += 2 * testCfg.Cooldown
+	w.heat[0] = Heat{Reads: 900}
+	w.heat[2] = Heat{Reads: 900}
+	w.heat[1] = Heat{Reads: 200}
+	if moves := w.plan(p, 2); len(moves) == 0 {
+		t.Fatal("re-armed policy refused a genuine 3x imbalance")
+	}
+}
+
+func TestRebalancePolicyCooldown(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+
+	skew := func() {
+		w.heat[0] = Heat{Reads: 1500}
+		w.heat[2] = Heat{Reads: 1500}
+		w.heat[1] = Heat{Reads: 500}
+	}
+	calm := func() {
+		w.heat[0] = Heat{Reads: 500}
+		w.heat[1] = Heat{Reads: 500}
+		w.heat[2] = Heat{}
+	}
+
+	skew()
+	if moves := w.plan(p, 2); len(moves) == 0 {
+		t.Fatal("first round never fired")
+	}
+	// Re-arm immediately (calm sample), then skew again before the
+	// cooldown elapsed: the policy must wait it out.
+	w.now += testCfg.Interval
+	calm()
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("calm sample fired: %v", moves)
+	}
+	w.now += testCfg.Interval // 2ms since round < 3ms cooldown
+	skew()
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("fired inside the cooldown: %v", moves)
+	}
+	w.now += 2 * testCfg.Interval // 4ms since round: past cooldown
+	if moves := w.plan(p, 2); len(moves) == 0 {
+		t.Fatal("cooldown expiry did not release the round")
+	}
+}
+
+// TestRebalancePolicyCostModelVeto: a slot whose projected gain cannot repay
+// the drain cost stays put, however hot its group looks.
+func TestRebalancePolicyCostModelVeto(t *testing.T) {
+	w := newFakeWorld(2)
+	w.objs = make([]int, wire.NumSlots)
+	p := New(testCfg, w.clock)
+
+	// Group 0 carries 1.6× its fair share across two slots — but both
+	// are packed with objects: ObjectCost(1)×5000 dwarfs the few
+	// hundred ops a move could shed.
+	w.heat[0] = Heat{Reads: 500} // slot 0 → group 0
+	w.heat[4] = Heat{Reads: 300} // slot 4 → group 0
+	w.heat[1] = Heat{Reads: 200} // slot 1 → group 1
+	w.objs[0], w.objs[4] = 5000, 5000
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("cost model let a 5000-object slot move for a ~300-op gain: %v", moves)
+	}
+	if p.Rounds() != 0 {
+		t.Fatal("a fully vetoed round still counted as fired")
+	}
+
+	// Same skew, cheap slots: the hottest one moves first.
+	w.objs[0], w.objs[4] = 10, 10
+	moves := w.plan(p, 2)
+	if len(moves) == 0 || moves[0] != (Move{Slot: 0, From: 0, To: 1}) {
+		t.Fatalf("cheap slot did not move: %v", moves)
+	}
+}
+
+// TestRebalancePolicyIndivisibleHotSlot: one mega-slot carrying all the load
+// cannot be improved by moving it (the destination would just become
+// the new hot group), so the policy must hold still — forever, not
+// fire-and-thrash.
+func TestRebalancePolicyIndivisibleHotSlot(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+	for i := 0; i < 6; i++ {
+		w.heat[0] = Heat{Reads: 2000} // the only load in the system
+		if moves := w.plan(p, 2); moves != nil {
+			t.Fatalf("sample %d moved an indivisible hot slot: %v", i, moves)
+		}
+		w.now += 2 * testCfg.Cooldown
+	}
+}
+
+// TestRebalancePolicyBusySlotsDoNotBurnTheTrigger: when every
+// candidate slot is still mid-handoff from a previous round, the tick
+// must plan nothing AND keep the trigger armed — otherwise the loop
+// disarms with nothing moved, the imbalance never falls through the
+// re-arm band, and the rebalancer goes silent forever.
+func TestRebalancePolicyBusySlotsDoNotBurnTheTrigger(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+	w.heat[0] = Heat{Reads: 1500} // slot 0 → group 0
+	w.heat[2] = Heat{Reads: 1500} // slot 2 → group 0
+	w.heat[1] = Heat{Reads: 500}
+	allBusy := func(int) bool { return true }
+	for i := 0; i < 3; i++ {
+		if moves := p.Plan(w.heat, w.table, w.objs, 2, allBusy); moves != nil {
+			t.Fatalf("busy round %d planned %v", i, moves)
+		}
+		w.now += 2 * testCfg.Cooldown
+	}
+	if p.Rounds() != 0 {
+		t.Fatal("busy rounds counted as fired")
+	}
+	// The handoffs land; the very next tick may fire without waiting
+	// out any cooldown or re-arm cycle.
+	if moves := w.plan(p, 2); len(moves) == 0 {
+		t.Fatal("trigger was burned by busy rounds")
+	}
+}
+
+func TestRebalanceConfigClampsHysteresis(t *testing.T) {
+	p := New(Config{Threshold: 1.2, Hysteresis: 1.2}, func() time.Duration { return 0 })
+	if h := p.Config().Hysteresis; h >= 1.2 {
+		t.Fatalf("hysteresis %v not clamped below threshold", h)
+	}
+}
+
+func TestRebalancePolicyMaxSlotsPerRound(t *testing.T) {
+	w := newFakeWorld(4)
+	p := New(testCfg, w.clock)
+	// Twelve equally hot slots on group 0, everything else idle.
+	for s := 0; s < wire.NumSlots; s++ {
+		if w.table[s] == 0 {
+			w.heat[s] = Heat{Reads: 100}
+		}
+		if len(nonzero(w.heat)) == 12 {
+			break
+		}
+	}
+	moves := w.plan(p, 4)
+	if len(moves) == 0 || len(moves) > testCfg.MaxSlotsPerRound {
+		t.Fatalf("round planned %d moves, want 1..%d", len(moves), testCfg.MaxSlotsPerRound)
+	}
+}
+
+// TestRebalancePolicyConvergesOnFakeWorld closes the loop entirely in the fake
+// harness: apply each round's moves to the table, re-sample the same
+// per-slot heat, and require the imbalance to fall inside the calm
+// band within a few rounds — then stay there with no further moves.
+func TestRebalancePolicyConvergesOnFakeWorld(t *testing.T) {
+	w := newFakeWorld(4)
+	p := New(testCfg, w.clock)
+	// A zipf-ish ladder of slot heats, all initially on group 0; no
+	// single slot exceeds the calm level, so a balanced placement is
+	// reachable.
+	hots := []uint64{400, 300, 250, 200, 150, 150, 100, 80, 50, 100}
+	for i, h := range hots {
+		w.heat[4*i] = Heat{Reads: h} // slots ≡ 0 mod 4 → group 0
+	}
+	still, rounds := 0, 0
+	for ; rounds < 20 && still < 3; rounds++ {
+		if moves := w.plan(p, 4); moves == nil {
+			still++
+		} else {
+			still = 0
+			w.apply(moves)
+		}
+		w.now += 2 * testCfg.Cooldown
+	}
+	if imb := imbalance(w.heat, w.table, 4); imb >= testCfg.Threshold {
+		t.Fatalf("never converged: imbalance %.2f after %d rounds", imb, rounds)
+	}
+	if p.SlotsMoved() == 0 {
+		t.Fatal("converged without moving anything?")
+	}
+	// Steady state: no more moves.
+	if moves := w.plan(p, 4); moves != nil {
+		t.Fatalf("steady state still planned %v", moves)
+	}
+}
+
+func nonzero(heat []Heat) []int {
+	var out []int
+	for s, h := range heat {
+		if h.Total() > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func imbalance(heat []Heat, table []int, groups int) float64 {
+	load := make([]float64, groups)
+	total := 0.0
+	for s, h := range heat {
+		load[table[s]] += float64(h.Total())
+		total += float64(h.Total())
+	}
+	mean := total / float64(groups)
+	return load[hottest(load)] / mean
+}
+
+func TestRebalanceConfigDefaults(t *testing.T) {
+	p := New(Config{}, func() time.Duration { return 0 })
+	cfg := p.Config()
+	if cfg.Threshold != 1.5 || cfg.Hysteresis != 0.25 || cfg.Interval != time.Millisecond ||
+		cfg.Cooldown != 3*time.Millisecond || cfg.MaxSlotsPerRound != 8 ||
+		cfg.MinOps != 128 || cfg.MoveCost != 48 || cfg.ObjectCost != 1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -106,6 +106,36 @@ func (z *Zipfian) Next() int {
 	return ZipfKeyOfRank(z.n, rank)
 }
 
+// NewZipfianTheta builds a scrambled zipfian generator for any
+// exponent theta > 0 (theta ≠ 1): Gray et al.'s method for the θ < 1
+// range storage benchmarks use, math/rand's rejection-inversion
+// sampler for the heavy-tailed θ > 1 range (e.g. the zipf-1.2 hot-spot
+// workload, where the head ranks dominate enough that placement makes
+// or breaks aggregate throughput). Both scramble rank order with the
+// same finalizer, so ZipfKeyOfRank predicts the hot keys either way.
+func NewZipfianTheta(n int, theta float64, rng *rand.Rand) Generator {
+	if theta > 1 {
+		if n <= 0 {
+			panic("workload: key space must be positive")
+		}
+		return &heavyZipf{n: n, z: rand.NewZipf(rng, theta, 1, uint64(n-1))}
+	}
+	return NewZipfian(n, theta, rng)
+}
+
+// heavyZipf samples ranks from math/rand's Zipf (s > 1) and scrambles
+// them the same way Zipfian does.
+type heavyZipf struct {
+	n int
+	z *rand.Zipf
+}
+
+// Next implements Generator.
+func (h *heavyZipf) Next() int { return ZipfKeyOfRank(h.n, int(h.z.Uint64())) }
+
+// N implements Generator.
+func (h *heavyZipf) N() int { return h.n }
+
 // ZipfKeyOfRank returns the key index a scrambled zipfian over n keys
 // emits for popularity rank r (rank 0 is the hottest). The scramble is
 // a fixed splitmix64 finalizer — YCSB's "scrambled zipfian" — so the

@@ -95,6 +95,41 @@ func TestZipfianScrambleSpreadsHotKeys(t *testing.T) {
 	}
 }
 
+func TestZipfianThetaHeavyTail(t *testing.T) {
+	// θ > 1 routes to the rejection-inversion sampler; the result must
+	// stay in range, be markedly MORE skewed than θ = 0.9, and share
+	// the scrambled rank order (rank 0 lands on the same key).
+	g := NewZipfianTheta(1000, 1.2, rand.New(rand.NewSource(6)))
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	hottest, hc := 0, 0
+	for k, c := range counts {
+		if c > hc {
+			hottest, hc = k, c
+		}
+	}
+	if share := float64(hc) / n; share < 0.2 {
+		t.Fatalf("hottest key share %v under zipf-1.2, want ≥ 20%%", share)
+	}
+	if want := ZipfKeyOfRank(1000, 0); hottest != want {
+		t.Fatalf("hottest key %d, want scrambled rank 0 = %d", hottest, want)
+	}
+	// θ ≤ 1 must keep returning the Gray-method generator.
+	if _, ok := NewZipfianTheta(1000, 0.9, rand.New(rand.NewSource(7))).(*Zipfian); !ok {
+		t.Fatal("theta ≤ 1 no longer uses the Gray construction")
+	}
+}
+
 func TestZetaMatchesDirectSum(t *testing.T) {
 	want := 1 + 1/math.Pow(2, 0.9) + 1/math.Pow(3, 0.9)
 	if got := zeta(3, 0.9); math.Abs(got-want) > 1e-12 {

@@ -75,6 +75,152 @@ func TestMigrateSlotPublicAPI(t *testing.T) {
 	}
 }
 
+func TestMigrateSlotsAndSwapPublicAPI(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 4, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	keys := []string{"batch:a", "batch:b", "batch:c", "batch:d"}
+	var slots []int
+	seen := map[int]bool{}
+	for _, k := range keys {
+		if err := cl.Set(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+		if s := c.SlotOfKey(k); !seen[s] {
+			seen[s] = true
+			slots = append(slots, s)
+		}
+	}
+	// Batch move (mixed current owners) onto group 3.
+	if err := c.MigrateSlots(slots, 3); err != nil {
+		t.Fatalf("MigrateSlots: %v", err)
+	}
+	for _, k := range keys {
+		if g := c.GroupOf(k); g != 3 {
+			t.Fatalf("GroupOf(%q) = %d after batch move, want 3", k, g)
+		}
+		if v, ok, err := cl.Get(k); err != nil || !ok || string(v) != "v-"+k {
+			t.Fatalf("Get(%q) = %q %v %v", k, v, ok, err)
+		}
+	}
+	// Swap the moved set against a group-0 slot set of equal size.
+	var g0 []int
+	for s := 0; s < NumSlots && len(g0) < len(slots); s++ {
+		if c.SlotTable()[s] == 0 {
+			g0 = append(g0, s)
+		}
+	}
+	if err := c.SwapSlots(slots, g0); err != nil {
+		t.Fatalf("SwapSlots: %v", err)
+	}
+	for _, k := range keys {
+		if g := c.GroupOf(k); g != 0 {
+			t.Fatalf("GroupOf(%q) = %d after swap, want 0", k, g)
+		}
+		if v, ok, err := cl.Get(k); err != nil || !ok || string(v) != "v-"+k {
+			t.Fatalf("Get(%q) after swap = %q %v %v", k, v, ok, err)
+		}
+	}
+	for _, s := range g0 {
+		if got := c.SlotTable()[s]; got != 3 {
+			t.Fatalf("counterpart slot %d routed to %d after swap, want 3", s, got)
+		}
+	}
+}
+
+func TestSlotHeatPublicAPI(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	const key = "hot:key"
+	for i := 0; i < 5; i++ {
+		if err := cl.Set(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heat := c.SlotHeat()
+	if len(heat) != NumSlots {
+		t.Fatalf("SlotHeat has %d entries, want %d", len(heat), NumSlots)
+	}
+	h := heat[c.SlotOfKey(key)]
+	if h.Writes < 5 || h.Reads < 5 {
+		t.Fatalf("slot heat %+v after 5 writes + 5 reads", h)
+	}
+	if h.Total() != h.Reads+h.Writes {
+		t.Fatalf("Total() = %d, want %d", h.Total(), h.Reads+h.Writes)
+	}
+	// Without AutoRebalance nothing decays and nothing moves.
+	if c.Rebalances() != 0 {
+		t.Fatalf("Rebalances = %d without AutoRebalance", c.Rebalances())
+	}
+}
+
+func TestAutoRebalanceReportAndValidation(t *testing.T) {
+	// Invalid policies are rejected up front.
+	bad := []Config{
+		{Protocol: ChainReplication, Replicas: 3, Groups: 2, RebalancePolicy: RebalancePolicy{Threshold: -1}},
+		{Protocol: ChainReplication, Replicas: 3, Groups: 2, RebalancePolicy: RebalancePolicy{Interval: -time.Second}},
+		{Protocol: ChainReplication, Replicas: 3, Groups: 2, RebalancePolicy: RebalancePolicy{MaxSlotsPerRound: -4}},
+		{Protocol: ChainReplication, Replicas: 3, Groups: 2, RebalancePolicy: RebalancePolicy{Threshold: 1.2, Hysteresis: 1.2}},
+		// Threshold left to its 1.5 default: a hysteresis at or above
+		// it must still be rejected.
+		{Protocol: ChainReplication, Replicas: 3, Groups: 2, RebalancePolicy: RebalancePolicy{Hysteresis: 1.6}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad policy %d accepted", i)
+		}
+	}
+
+	// A skewed zipf load on a 4-group cluster with the rebalancer on:
+	// the report window sees moves, and the loop's work shows up in
+	// Rebalances.
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 4,
+		AutoRebalance: true, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew the placement: everything onto group 0.
+	all := make([]int, NumSlots)
+	for s := range all {
+		all[s] = s
+	}
+	if err := c.MigrateSlots(all, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Zero warmup: the loop acts within a couple of policy intervals,
+	// and the moves must land inside the measured window to show up in
+	// Report.Rebalances.
+	rep := c.Run(LoadSpec{
+		Clients: 64, Duration: 14 * time.Millisecond,
+		WriteRatio: 0.05, Keys: 64, Dist: Zipf12,
+	})
+	if rep.Rebalances == 0 || c.Rebalances() == 0 {
+		t.Fatalf("rebalancer idle on a fully-skewed placement (report %d, total %d)",
+			rep.Rebalances, c.Rebalances())
+	}
+	occ := make([]int, c.Groups())
+	for _, g := range c.SlotTable() {
+		occ[g]++
+	}
+	if occ[0] == NumSlots {
+		t.Fatal("slot table unchanged despite reported rebalances")
+	}
+}
+
 func TestSwitchStatsCompletePlumbing(t *testing.T) {
 	c, err := New(Config{
 		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 11,
