@@ -27,6 +27,12 @@ func TestConfigValidationTable(t *testing.T) {
 		{"negative slots", Config{SlotsPerStage: -5}, true},
 		{"negative groups", Config{Groups: -1}, true},
 		{"too many groups", Config{Groups: MaxGroups + 1}, true},
+		{"multi-switch", Config{Protocol: ChainReplication, Groups: 4, Switches: 2, UseHarmonia: true}, false},
+		{"max switches", Config{Protocol: ChainReplication, Groups: MaxSwitches, Switches: MaxSwitches}, false},
+		{"negative switches", Config{Switches: -1}, true},
+		{"too many switches", Config{Groups: 16, Switches: MaxSwitches + 1}, true},
+		{"more switches than groups", Config{Groups: 2, Switches: 4}, true},
+		{"switches without groups", Config{Switches: 4}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -71,5 +77,82 @@ func TestReportAndSwitchStatsPopulated(t *testing.T) {
 	}
 	if c.Groups() != 1 {
 		t.Fatalf("Groups() = %d, want 1", c.Groups())
+	}
+}
+
+// TestRackStatsPublicSurface drives a small multi-switch rack through
+// a crash + replacement via the public API and checks the RackStats
+// view: shard shapes, switch routing, independent epochs, and the
+// agreement bill scoped to the replaced switch's own groups.
+func TestRackStatsPublicSurface(t *testing.T) {
+	c, err := New(Config{
+		Protocol: ChainReplication, Replicas: 3, UseHarmonia: true,
+		Groups: 4, Switches: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Switches() != 2 {
+		t.Fatalf("Switches() = %d", c.Switches())
+	}
+	rs := c.RackStats()
+	if len(rs.Switches) != 2 {
+		t.Fatalf("RackStats has %d switches", len(rs.Switches))
+	}
+	if n := rs.Switches[0].OwnedSlots + rs.Switches[1].OwnedSlots; n != NumSlots {
+		t.Fatalf("owned slots sum to %d, want %d", n, NumSlots)
+	}
+	for slot := 0; slot < NumSlots; slot++ {
+		sw := c.SwitchOf(slot)
+		if sw != 0 && sw != 1 {
+			t.Fatalf("slot %d on switch %d", slot, sw)
+		}
+	}
+	for g := 0; g < 4; g++ {
+		if sw := c.SwitchOfGroup(g); sw != g/2 {
+			t.Fatalf("group %d hosted on switch %d, want %d", g, sw, g/2)
+		}
+	}
+
+	cl := c.Client()
+	if err := cl.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashSwitch(9); err == nil {
+		t.Fatal("CrashSwitch(9) accepted an out-of-range switch")
+	}
+	if err := c.ReactivateSwitch(9); err == nil {
+		t.Fatal("ReactivateSwitch(9) accepted an out-of-range switch")
+	}
+	c.AdvanceTime(time.Millisecond)
+	if err := c.ReactivateSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceTime(10 * time.Millisecond)
+
+	rs = c.RackStats()
+	if rs.Switches[0].Epoch != 1 || rs.Switches[1].Epoch != 2 {
+		t.Fatalf("epochs = %d, %d; want 1, 2 (independent domains)",
+			rs.Switches[0].Epoch, rs.Switches[1].Epoch)
+	}
+	if rs.Switches[1].Replacements != 1 {
+		t.Fatalf("replacements = %d", rs.Switches[1].Replacements)
+	}
+	// 2 groups × 3 live replicas on switch 1: 6 revokes + 6 acks.
+	if rs.Switches[1].AgreementAcks != 6 || rs.Switches[1].AgreementMsgs != 12 {
+		t.Fatalf("agreement bill = %d msgs / %d acks, want 12 / 6",
+			rs.Switches[1].AgreementMsgs, rs.Switches[1].AgreementAcks)
+	}
+	if rs.Switches[0].AgreementMsgs != 0 {
+		t.Fatal("replacing switch 1 billed switch 0")
+	}
+	if rs.Switches[1].LastAgreementLatency <= 0 {
+		t.Fatal("agreement latency not recorded")
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get after replacement = %q %v %v", v, ok, err)
 	}
 }

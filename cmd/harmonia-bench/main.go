@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|ablations]
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|ablations]
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window multiplier (lower = faster, noisier)")
-	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 S R A ablations all)")
+	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 S R A M ablations all)")
 	flag.Parse()
 	s := experiments.Scale(*scale)
 
@@ -66,6 +66,9 @@ func main() {
 		{"A", "Figure A: autonomous rebalancer converging an unpinned zipf-1.2 hot spot (switch heat counters, no hints)",
 			"time (ms)", "throughput (MRPS)",
 			func() []experiments.Series { return experiments.FigA(s) }},
+		{"M", "Figure M: multi-switch rack scaling (2 groups/switch) and one-switch crash economics",
+			"switches", "throughput (MRPS)",
+			func() []experiments.Series { return experiments.FigM(s) }},
 		{"ablations", "Ablations (DESIGN.md §6)",
 			"-", "see series names",
 			func() []experiments.Series {

@@ -39,6 +39,7 @@ import (
 	"harmonia/internal/dataplane"
 	"harmonia/internal/lincheck"
 	"harmonia/internal/metrics"
+	"harmonia/internal/rack"
 	"harmonia/internal/rebalance"
 	"harmonia/internal/wire"
 )
@@ -90,13 +91,26 @@ type Config struct {
 	UseHarmonia bool
 
 	// Groups shards the key space across this many replica groups
-	// behind the one switch (§6.1): each group runs its own protocol
-	// instance over Replicas members and its own scheduler partition
-	// (sequence number, dirty set, last-committed point). Aggregate
-	// throughput scales with the group count because groups share
-	// nothing but the switch ASIC. Default 1, the classic single-group
-	// rack; at most MaxGroups.
+	// (§6.1): each group runs its own protocol instance over Replicas
+	// members and its own scheduler partition (sequence number, dirty
+	// set, last-committed point). Aggregate throughput scales with the
+	// group count because groups share nothing but the switch ASIC.
+	// Default 1, the classic single-group rack; at most MaxGroups.
 	Groups int
+
+	// Switches spreads the groups across this many switch front-ends —
+	// a multi-switch rack. Each switch owns a contiguous shard of the
+	// NumSlots routing slots and is an independent failure domain: its
+	// own §5.3 epoch counter, its own lease domain, its own heat
+	// registers. Crashing or replacing one switch stalls only the slots
+	// it owns, and the controller's replacement agreement runs per
+	// (switch, group) pair, so its cost scales with groups-per-switch
+	// rather than rack size. Slots migrate across switch boundaries
+	// with MigrateSlot/MigrateSlots exactly as within one switch.
+	// Default 1, the classic single-switch rack; at most MaxSwitches,
+	// and never more than Groups (every switch hosts at least one
+	// group).
+	Switches int
 
 	// Stages and SlotsPerStage size the switch's dirty-set hash table.
 	Stages, SlotsPerStage int
@@ -149,6 +163,9 @@ type RebalancePolicy struct {
 // MaxGroups bounds Config.Groups.
 const MaxGroups = cluster.MaxGroups
 
+// MaxSwitches bounds Config.Switches.
+const MaxSwitches = cluster.MaxSwitches
+
 // Cluster is an assembled simulated rack.
 type Cluster struct {
 	c *cluster.Cluster
@@ -171,6 +188,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Groups < 0 || cfg.Groups > MaxGroups {
 		return nil, fmt.Errorf("harmonia: invalid group count %d (max %d)", cfg.Groups, MaxGroups)
 	}
+	if cfg.Switches < 0 || cfg.Switches > MaxSwitches {
+		return nil, fmt.Errorf("harmonia: invalid switch count %d (max %d)", cfg.Switches, MaxSwitches)
+	}
+	effGroups := cfg.Groups
+	if effGroups == 0 {
+		effGroups = 1
+	}
+	if cfg.Switches > 1 {
+		if err := rack.Validate(cfg.Switches, effGroups); err != nil {
+			return nil, fmt.Errorf("harmonia: %w", err)
+		}
+	}
 	rp := cfg.RebalancePolicy
 	if rp.Threshold < 0 || rp.Hysteresis < 0 || rp.Interval < 0 || rp.MaxSlotsPerRound < 0 {
 		return nil, fmt.Errorf("harmonia: invalid rebalance policy %+v", rp)
@@ -191,6 +220,7 @@ func New(cfg Config) (*Cluster, error) {
 		Replicas:      cfg.Replicas,
 		UseHarmonia:   cfg.UseHarmonia,
 		Groups:        cfg.Groups,
+		Switches:      cfg.Switches,
 		Stages:        cfg.Stages,
 		SlotsPerStage: cfg.SlotsPerStage,
 		DropProb:      cfg.DropProb,
@@ -345,13 +375,27 @@ func (cl *Cluster) Preload(n int) { cl.c.Preload(n) }
 // AdvanceTime runs the simulation for d without client load.
 func (cl *Cluster) AdvanceTime(d time.Duration) { cl.c.RunFor(d) }
 
-// StopSwitch halts the switch, as in the paper's §9.6 failure
-// experiment.
+// StopSwitch halts every switch in the rack — for a single-switch
+// cluster, exactly the paper's §9.6 failure experiment. Multi-switch
+// racks crash one failure domain at a time with CrashSwitch.
 func (cl *Cluster) StopSwitch() { cl.c.StopSwitch() }
 
-// ReactivateSwitch boots a replacement switch with a fresh epoch and
-// runs the §5.3 agreement before it may serve.
-func (cl *Cluster) ReactivateSwitch() { cl.c.ReactivateSwitch() }
+// CrashSwitch fails switch s: its front-end stops forwarding for the
+// groups it hosts, while every other switch's slot shard keeps serving
+// — including fast-path reads — undisturbed.
+func (cl *Cluster) CrashSwitch(s int) error { return cl.c.CrashSwitch(s) }
+
+// ReactivateSwitch boots replacement switches — the listed ones, or
+// every switch when called with no arguments — each with a fresh epoch
+// in its own epoch domain and empty register state, and runs the §5.3
+// revoke/ack agreement per (switch, group) pair before the replacement
+// may serve. Replacing one switch of a multi-switch rack stalls only
+// its own slot shard; the agreement's message count scales with the
+// groups that switch hosts, not with rack size (see RackStats). An
+// out-of-range index is an error and nothing is reactivated.
+func (cl *Cluster) ReactivateSwitch(switches ...int) error {
+	return cl.c.ReactivateSwitch(switches...)
+}
 
 // CrashReplica fails replica i of group 0 and reconfigures the
 // protocol around it where supported — the whole story for
@@ -364,6 +408,82 @@ func (cl *Cluster) CrashReplicaInGroup(g, i int) error { return cl.c.CrashReplic
 
 // Groups returns the replica-group count.
 func (cl *Cluster) Groups() int { return cl.c.Groups() }
+
+// Switches returns the switch front-end count.
+func (cl *Cluster) Switches() int { return cl.c.Switches() }
+
+// SwitchOf returns the switch front-end currently serving slot, per
+// the rack's slot → switch map (the map clients consult to pick a
+// front-end; cross-switch migrations update it at the flip).
+func (cl *Cluster) SwitchOf(slot int) int { return cl.c.SwitchOf(slot) }
+
+// SwitchOfGroup returns the switch hosting group g's scheduler
+// partition. Groups never change switches; slots do.
+func (cl *Cluster) SwitchOfGroup(g int) int { return cl.c.SwitchOfGroup(g) }
+
+// SwitchDomainStats describes one switch front-end's failure domain:
+// its epoch, what it owns, and the cost of its §5.3 agreements.
+type SwitchDomainStats struct {
+	// Epoch is the switch's current incarnation ID. Replacing a switch
+	// bumps only its own epoch.
+	Epoch uint32
+	// Groups lists the replica groups hosted on this switch.
+	Groups []int
+	// OwnedSlots counts the routing slots this front-end serves.
+	OwnedSlots int
+	// Replacements counts completed §5.3 switch replacements.
+	Replacements uint64
+	// AgreementMsgs is the total §5.3 agreement message count (revokes
+	// sent + acks received) across this switch's replacements — it
+	// scales with the groups the switch hosts, never with rack size.
+	AgreementMsgs uint64
+	// AgreementAcks is the acks-received share of AgreementMsgs: per
+	// replacement, exactly one ack per live replica of each hosted
+	// group.
+	AgreementAcks uint64
+	// LastAgreementLatency is the most recent replacement's agreement
+	// duration (first revoke to last group's completion).
+	LastAgreementLatency time.Duration
+	// StalledOps counts client operations dropped because a hosted
+	// group's partition was still booting mid-replacement.
+	StalledOps uint64
+	// MisroutedDrops counts packets that arrived for a slot this
+	// front-end does not own (stale maps, in-flight cross-switch
+	// flips).
+	MisroutedDrops uint64
+	// FrozenDrops counts packets dropped on this front-end's frozen
+	// (mid-migration) slots.
+	FrozenDrops uint64
+}
+
+// RackStats reports the per-switch failure-domain statistics.
+type RackStats struct {
+	Switches []SwitchDomainStats
+}
+
+// RackStats snapshots every switch domain's epoch, ownership, and
+// §5.3 agreement cost counters.
+func (cl *Cluster) RackStats() RackStats {
+	r := cl.c.Rack()
+	out := RackStats{Switches: make([]SwitchDomainStats, r.Switches())}
+	for s := 0; s < r.Switches(); s++ {
+		f := r.Front(s)
+		st := r.Stats(s)
+		out.Switches[s] = SwitchDomainStats{
+			Epoch:                r.Epoch(s),
+			Groups:               r.GroupsOf(s),
+			OwnedSlots:           f.OwnedSlots(),
+			Replacements:         st.Replacements,
+			AgreementMsgs:        st.AgreementMsgs(),
+			AgreementAcks:        st.AcksReceived,
+			LastAgreementLatency: st.LastAgreementLatency,
+			StalledOps:           f.Stats.StalledDrops,
+			MisroutedDrops:       f.Stats.MisroutedDrops,
+			FrozenDrops:          f.Stats.FrozenDrops,
+		}
+	}
+	return out
+}
 
 // GroupOf returns the replica group that currently owns key, per the
 // switch front-end's slot table — the routing authority the clients
@@ -480,7 +600,9 @@ func (cl *Cluster) SwitchStats() SwitchStats {
 			out.Epoch = st.Epoch
 		}
 	}
-	out.FrozenDrops = cl.c.Frontend().Stats.FrozenDrops
+	for s := 0; s < cl.c.Switches(); s++ {
+		out.FrozenDrops += cl.c.FrontendOf(s).Stats.FrozenDrops
+	}
 	return out
 }
 

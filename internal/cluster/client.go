@@ -281,7 +281,7 @@ func (v *vclient) issue(key string, write bool) {
 }
 
 func (v *vclient) send(st *opState) {
-	v.c.net.Send(v.addr, switchAddr, st.pkt.Clone())
+	v.c.net.Send(v.addr, v.c.switchAddrForObj(st.pkt.ObjID), st.pkt.Clone())
 	if v.closedLoop {
 		st.timer = v.c.eng.After(v.c.cfg.RetryTimeout, func() { v.retry(st) })
 	}

@@ -1,9 +1,11 @@
-// Package cluster assembles a complete simulated Harmonia rack: the
-// in-switch request scheduler (partitioned across one or more replica
-// groups behind a single switch front-end), the protocol instances
-// running on the replicas, a controller for the §5.3 lease/failover
-// agreements, and load-generating clients. It is the substrate every
-// end-to-end test, example, and benchmark runs on.
+// Package cluster assembles a complete simulated Harmonia rack: one or
+// more switch front-ends (each an independent epoch/lease domain owning
+// a shard of the routing slots, coordinated by internal/rack), the
+// in-switch request schedulers partitioned across the replica groups,
+// the protocol instances running on the replicas, a rack-level
+// controller for the §5.3 lease/failover agreements, and
+// load-generating clients. It is the substrate every end-to-end test,
+// example, and benchmark runs on.
 package cluster
 
 import (
@@ -18,6 +20,7 @@ import (
 	"harmonia/internal/protocol/nopaxos"
 	"harmonia/internal/protocol/pb"
 	"harmonia/internal/protocol/vr"
+	"harmonia/internal/rack"
 	"harmonia/internal/rebalance"
 	"harmonia/internal/sim"
 	"harmonia/internal/simnet"
@@ -58,8 +61,11 @@ func (p Protocol) String() string {
 // ReadBehind reports whether the protocol's §7 class is read-behind.
 func (p Protocol) ReadBehind() bool { return p == VR || p == NOPaxos }
 
-// Node addressing scheme. Each replica group owns a groupStride-wide
-// window of the replica address space; clients sit far above it.
+// Node addressing scheme. Switch 0 keeps the historical address 1;
+// additional switches of a multi-switch rack sit at 3..9 (between the
+// controller and the replica windows). Each replica group owns a
+// groupStride-wide window of the replica address space; clients sit
+// far above it.
 const (
 	switchAddr     simnet.NodeID = 1
 	controllerAddr simnet.NodeID = 2
@@ -71,6 +77,18 @@ const (
 // MaxGroups bounds Config.Groups so replica addresses never collide
 // with the client address space.
 const MaxGroups = 256
+
+// MaxSwitches bounds Config.Switches (rack.MaxSwitches re-exported so
+// the address block 3..9 always suffices).
+const MaxSwitches = rack.MaxSwitches
+
+// switchAddrOf returns the network address of switch s's front-end.
+func switchAddrOf(s int) simnet.NodeID {
+	if s == 0 {
+		return switchAddr
+	}
+	return controllerAddr + simnet.NodeID(s) // 3..9 for switches 1..7
+}
 
 // groupReplicaAddr returns the network address of replica i of group g.
 func groupReplicaAddr(g, i int) simnet.NodeID {
@@ -84,10 +102,18 @@ type Config struct {
 	UseHarmonia bool
 
 	// Groups shards the key space across this many replica groups
-	// behind the one switch (§6.1). Each group runs its own protocol
-	// instance over Replicas members and its own scheduler partition.
-	// Default 1: the classic single-group rack.
+	// (§6.1). Each group runs its own protocol instance over Replicas
+	// members and its own scheduler partition. Default 1: the classic
+	// single-group rack.
 	Groups int
+
+	// Switches spreads the groups across this many switch front-ends,
+	// each a failure domain of its own: a contiguous shard of the
+	// routing slots, an independent epoch counter, an independent lease
+	// domain, and its own heat registers. Rebooting one switch stalls
+	// only its groups. Default 1: the classic single-switch rack.
+	// Must not exceed Groups (every switch hosts at least one group).
+	Switches int
 
 	// Switch dirty-set sizing (defaults: 3 × 64000, the prototype's).
 	// Each group's partition gets a table of this size.
@@ -162,6 +188,23 @@ func (c *Config) fillDefaults() {
 		// the client address space; clamp rather than misroute.
 		c.Groups = MaxGroups
 	}
+	if c.Switches <= 0 {
+		c.Switches = 1
+	}
+	if c.Switches > MaxSwitches {
+		c.Switches = MaxSwitches
+	}
+	if c.Switches > c.Groups {
+		// Every switch hosts at least one group; the public API rejects
+		// this shape up front — clamp for direct internal users.
+		c.Switches = c.Groups
+	}
+	for c.Switches > 1 && rack.Validate(c.Switches, c.Groups) != nil {
+		// Degenerate shard shapes (a switch with more groups than
+		// slots) step down to the nearest assemblable switch count;
+		// Switches == 1 always validates.
+		c.Switches--
+	}
 	if c.Stages <= 0 {
 		c.Stages = 3
 	}
@@ -229,6 +272,11 @@ type ReplicaHandle interface {
 	// the duplicate could clobber a newer committed value.
 	ExportClients() map[uint32]protocol.ClientRecord
 	MergeClients(recs map[uint32]protocol.ClientRecord)
+	// SlotCounts returns the replica's per-slot live-object counters,
+	// maintained incrementally at install/drop/write time — the
+	// occupancy signal the rebalancer's ObjectCost veto samples without
+	// scanning any store.
+	SlotCounts() []int
 }
 
 // replicaGroup is one replica group: a partition of the key space with
@@ -257,7 +305,7 @@ type Cluster struct {
 	eng *sim.Engine
 	net *simnet.Network
 
-	front  *core.Frontend
+	rack   *rack.Rack
 	groups []*replicaGroup
 
 	// replicas is the flattened, group-major view of every replica —
@@ -271,19 +319,32 @@ type Cluster struct {
 
 	valueCtr int64
 
-	epoch uint32
+	// replacing tracks an in-flight switch replacement per switch: the
+	// groups still mid-agreement and the revocation start time, from
+	// which the rack's agreement-latency stat is recorded.
+	replacing []*switchReplacement
 
 	// migrations tracks in-flight slot handoffs by slot.
 	migrations map[int]*Migration
 	// flushCtr numbers the drain protocol's flush writes.
 	flushCtr uint64
 
-	// policy is the autonomous rebalancer (nil unless AutoRebalance).
-	policy *rebalance.Policy
+	// policies is the autonomous rebalancer, one control loop per
+	// switch domain (nil unless AutoRebalance). Each loop samples only
+	// its own front-end's heat registers and plans moves only among its
+	// own groups, so the rebalancer can never ping-pong a slot across
+	// switch boundaries.
+	policies []*rebalance.Policy
 	// rebalanced counts slot moves completed by the rebalancer;
 	// rebalanceRounds counts its completed batch handoffs.
 	rebalanced      uint64
 	rebalanceRounds uint64
+}
+
+// switchReplacement is one in-flight §5.3 switch replacement.
+type switchReplacement struct {
+	remaining int // owned groups whose agreement is still pending
+	start     sim.Time
 }
 
 // New assembles and primes a cluster.
@@ -293,30 +354,34 @@ func New(cfg Config) *Cluster {
 		cfg:        cfg,
 		eng:        sim.NewEngine(cfg.Seed),
 		hist:       newRecorder(),
-		epoch:      1,
 		migrations: make(map[int]*Migration),
+		replacing:  make([]*switchReplacement, cfg.Switches),
 	}
 	c.net = simnet.New(c.eng, simnet.LinkConfig{
 		Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter,
 		DropProb: cfg.DropProb, ReorderProb: cfg.ReorderProb, ReorderDelay: cfg.ReorderDelay,
 	})
 
-	// Switch: one line-rate node hosting a scheduler partition per
-	// group behind the hashing front-end.
-	c.front = core.NewFrontend(cfg.Groups)
-	c.net.AddNode(switchAddr, c.front, simnet.ProcConfig{Workers: 0})
+	// Switches: line-rate nodes, each hosting the scheduler partitions
+	// of its owned groups behind its hashing front-end. The rack layer
+	// owns the slot → switch map and the per-switch epochs.
+	c.rack = rack.New(cfg.Switches, cfg.Groups)
+	for s := 0; s < cfg.Switches; s++ {
+		c.net.AddNode(switchAddrOf(s), c.rack.Front(s), simnet.ProcConfig{Workers: 0})
+	}
 
 	// Controller.
 	c.ctl = newController(c)
 	c.net.AddNode(controllerAddr, c.ctl, simnet.ProcConfig{Workers: 0})
 
-	// Replica groups: scheduler partition + protocol instance each.
+	// Replica groups: scheduler partition + protocol instance each,
+	// installed on the group's owning switch.
 	c.groups = make([]*replicaGroup, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
 		grp := &replicaGroup{idx: g, n: cfg.Replicas}
 		c.groups[g] = grp
-		grp.sched = c.newScheduler(g, c.epoch)
-		c.front.SetGroup(g, grp.sched)
+		grp.sched = c.newScheduler(g, c.rack.Epoch(c.rack.SwitchOfGroup(g)))
+		c.rack.SetGroup(g, grp.sched)
 		c.buildGroupReplicas(grp)
 		c.replicas = append(c.replicas, grp.replicas...)
 	}
@@ -342,9 +407,11 @@ func New(cfg Config) *Cluster {
 	}
 
 	// Initial leases and one priming write per group so every
-	// scheduler partition becomes ready.
+	// scheduler partition becomes ready. Leases are granted per
+	// (switch, group) pair: each group's lease names its own switch's
+	// epoch.
 	for _, grp := range c.groups {
-		c.ctl.grantGroupLeases(grp.idx, c.epoch)
+		c.ctl.grantGroupLeases(grp.idx, c.rack.Epoch(c.rack.SwitchOfGroup(grp.idx)))
 	}
 	c.startSweeps()
 	c.prime()
@@ -354,17 +421,23 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// startRebalancer arms the autonomous rebalancing loop: every policy
-// interval it samples the front-end's heat registers and routing
-// table, asks the policy for a batch of moves, starts them as
-// non-blocking batch migrations (so the loop never stalls the
-// simulation), and then decays the heat counters — the EWMA round that
-// keeps the sample tracking recent traffic.
+// startRebalancer arms the autonomous rebalancing loop, one policy
+// instance per switch domain: every interval each loop samples its own
+// front-end's heat registers and routing table, asks its policy for a
+// batch of moves among its own groups, starts them as non-blocking
+// batch migrations (so the loop never stalls the simulation), and then
+// decays the heat counters — the EWMA round that keeps the sample
+// tracking recent traffic. Confining each loop to one switch domain is
+// what makes the rebalancer rack-aware: moves stay behind one
+// front-end, so slots can never ping-pong across switch boundaries
+// (cross-switch migration stays an explicit operation).
 func (c *Cluster) startRebalancer() {
-	c.policy = rebalance.New(c.cfg.Rebalance, func() time.Duration {
-		return time.Duration(c.eng.Now())
-	})
-	iv := c.policy.Config().Interval
+	now := func() time.Duration { return time.Duration(c.eng.Now()) }
+	c.policies = make([]*rebalance.Policy, c.rack.Switches())
+	for s := range c.policies {
+		c.policies[s] = rebalance.New(c.cfg.Rebalance, now)
+	}
+	iv := c.policies[0].Config().Interval
 	var tick func()
 	tick = func() {
 		c.rebalanceTick()
@@ -373,32 +446,86 @@ func (c *Cluster) startRebalancer() {
 	c.eng.After(iv, tick)
 }
 
-// rebalanceTick runs one control-loop round.
+// rebalanceTick runs one control-loop round across every switch
+// domain.
 func (c *Cluster) rebalanceTick() {
-	raw := c.front.SlotHeat()
-	heat := make([]rebalance.Heat, len(raw))
-	for s, h := range raw {
-		heat[s] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
+	// Per-slot object counts come from the incrementally maintained
+	// store counters (sampled at one live replica of each owning group
+	// — any live member works, the objects are replicated), so the
+	// ObjectCost veto operates online: a slot dense with objects needs
+	// a larger projected gain before the policy will pay its bulk copy.
+	// The sampling is memoized per tick and pulled only by domains
+	// whose policy could actually fire this tick (armed, out of
+	// cooldown, enough heat) — gated ticks and single-group domains
+	// cost nothing.
+	table := c.rack.SlotTable()
+	counts := make(map[int][]int, len(c.groups))
+	countsOf := func(g int) []int {
+		cnt, ok := counts[g]
+		if !ok {
+			cnt = c.slotCountsOf(g)
+			counts[g] = cnt
+		}
+		return cnt
 	}
-	// Per-slot object counts are not sampled here: a store scan per
-	// tick is exactly the kind of heavy probe the switch-side counters
-	// exist to avoid, so the live loop charges the flat MoveCost per
-	// slot and leaves ObjectCost to callers with offline knowledge.
 	// Slots still mid-handoff from a previous round are reported busy
 	// so the policy plans around them (and does not burn its trigger
 	// on a round that could start nothing).
 	busy := func(slot int) bool {
 		_, b := c.migrations[slot]
-		return b || c.front.Frozen(slot)
+		return b || c.rack.Frozen(slot)
 	}
-	moves := c.policy.Plan(heat, c.front.SlotTable(), nil, len(c.groups), busy)
+	for s, policy := range c.policies {
+		c.rebalanceSwitch(s, policy, table, countsOf, busy)
+	}
+	c.rack.DecayHeat()
+}
+
+// rebalanceSwitch runs one switch domain's planning round: heat and
+// routes are remapped to domain-local group indices (slots owned by
+// other switches are masked out), so the policy's hottest/coolest
+// search can only ever pick groups behind this front-end.
+func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, countsOf func(int) []int, busy func(int) bool) {
+	domain := c.rack.GroupsOf(s)
+	if len(domain) < 2 {
+		return // a single-group domain has nothing to balance
+	}
+	base := domain[0] // groups of a switch form a contiguous block
+	front := c.rack.Front(s)
+	heat := make([]rebalance.Heat, wire.NumSlots)
+	local := make([]int, wire.NumSlots)
+	var total uint64
+	for slot := range local {
+		if !front.OwnsSlot(slot) {
+			local[slot] = -1 // masked: another switch's shard
+			continue
+		}
+		local[slot] = table[slot] - base
+		h := front.HeatOf(slot)
+		heat[slot] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
+		total += h.Total()
+	}
+	// Object counts are sampled only when this tick could fire a round
+	// — the policy's own gates (disarmed, cooling down, too little
+	// heat) would discard them unread. Heat is always passed: Plan
+	// needs it to re-arm the trigger on calm readings.
+	var objects []int
+	if policy.Ready() && total >= policy.Config().MinOps {
+		objects = make([]int, wire.NumSlots)
+		for slot := range objects {
+			if local[slot] >= 0 {
+				objects[slot] = countsOf(table[slot])[slot]
+			}
+		}
+	}
+	moves := policy.Plan(heat, local, objects, len(domain), busy)
 	// Group the moves into batches by (source, destination) pair,
 	// preserving plan order so runs stay deterministic.
 	type pair struct{ from, to int }
 	var order []pair
 	batches := make(map[pair][]int)
 	for _, mv := range moves {
-		p := pair{mv.From, mv.To}
+		p := pair{mv.From + base, mv.To + base}
 		if _, ok := batches[p]; !ok {
 			order = append(order, p)
 		}
@@ -411,12 +538,26 @@ func (c *Cluster) rebalanceTick() {
 		}
 		m.auto = true
 	}
-	c.front.DecayHeat()
 }
 
-// SlotHeat returns a copy of the switch front-end's per-slot heat
-// counters.
-func (c *Cluster) SlotHeat() []core.SlotHeat { return c.front.SlotHeat() }
+// slotCountsOf samples group g's per-slot object counters from its
+// first LIVE replica: a crashed member's counters froze at crash time
+// and would feed the cost model stale occupancy. With every member
+// down (nothing the cost model says matters then — the group cannot
+// serve a handoff anyway) replica 0's frozen counters stand in.
+func (c *Cluster) slotCountsOf(g int) []int {
+	grp := c.groups[g]
+	for i, r := range grp.replicas {
+		if !c.net.IsDown(groupReplicaAddr(g, i)) {
+			return r.SlotCounts()
+		}
+	}
+	return grp.replicas[0].SlotCounts()
+}
+
+// SlotHeat returns the rack-wide per-slot heat sample, each slot read
+// from its owning switch front-end's registers.
+func (c *Cluster) SlotHeat() []core.SlotHeat { return c.rack.SlotHeat() }
 
 // Rebalances returns the total slot moves completed by the autonomous
 // rebalancer over the cluster's lifetime.
@@ -463,12 +604,37 @@ func (c *Cluster) GroupScheduler(g int) *core.Scheduler { return c.groups[g].sch
 // Groups returns the replica-group count.
 func (c *Cluster) Groups() int { return len(c.groups) }
 
-// Frontend exposes the switch front-end (tests and stats).
-func (c *Cluster) Frontend() *core.Frontend { return c.front }
+// Switches returns the switch front-end count.
+func (c *Cluster) Switches() int { return c.rack.Switches() }
 
-// routeObj returns the group currently serving id, per the switch
-// front-end's slot table — the routing authority.
-func (c *Cluster) routeObj(id wire.ObjectID) int { return c.front.RouteObj(id) }
+// Frontend exposes switch 0's front-end — the whole switch for
+// single-switch racks (tests and stats).
+func (c *Cluster) Frontend() *core.Frontend { return c.rack.Front(0) }
+
+// FrontendOf exposes switch s's front-end.
+func (c *Cluster) FrontendOf(s int) *core.Frontend { return c.rack.Front(s) }
+
+// Rack exposes the multi-switch coordination layer (tests and stats).
+func (c *Cluster) Rack() *rack.Rack { return c.rack }
+
+// SwitchOf returns the switch front-end currently serving slot.
+func (c *Cluster) SwitchOf(slot int) int { return c.rack.SwitchOfSlot(slot) }
+
+// SwitchOfGroup returns the switch hosting group g.
+func (c *Cluster) SwitchOfGroup(g int) int { return c.rack.SwitchOfGroup(g) }
+
+// routeObj returns the group currently serving id, per the rack's
+// slot table — the routing authority.
+func (c *Cluster) routeObj(id wire.ObjectID) int { return c.rack.RouteObj(id) }
+
+// switchAddrForObj returns the network address of the switch front-end
+// currently serving id's slot — the address clients (and the harness's
+// own control writes) dial. The lookup models the client-side slot →
+// switch map; the front-ends enforce it in-network, dropping packets
+// for slots they do not own.
+func (c *Cluster) switchAddrForObj(id wire.ObjectID) simnet.NodeID {
+	return switchAddrOf(c.rack.SwitchOfObj(id))
+}
 
 // GroupOf returns the replica group that currently owns key.
 func (c *Cluster) GroupOf(key string) int {
@@ -480,9 +646,11 @@ func (c *Cluster) SlotOfKey(key string) int {
 	return wire.SlotOf(wire.HashKey(key))
 }
 
-// SlotTable returns a copy of the switch front-end's slot → group
-// table.
-func (c *Cluster) SlotTable() []int { return c.front.SlotTable() }
+// SlotTable returns a copy of the rack-wide slot → group table.
+func (c *Cluster) SlotTable() []int { return c.rack.SlotTable() }
+
+// SlotSwitchTable returns a copy of the rack's slot → switch map.
+func (c *Cluster) SlotSwitchTable() []int { return c.rack.SlotSwitchTable() }
 
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -511,6 +679,7 @@ func (c *Cluster) readDst(g int) simnet.NodeID {
 
 func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 	addrs := c.groups[g].addrs()
+	swAddr := switchAddrOf(c.rack.SwitchOfGroup(g))
 	return core.New(core.Config{
 		Epoch:              epoch,
 		Stages:             c.cfg.Stages,
@@ -526,14 +695,18 @@ func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 		DisableLazyCleanup: c.cfg.DisableLazyCleanup,
 		Rand:               c.eng.Rand(),
 	}, core.SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
-		c.net.Send(switchAddr, to, pkt)
+		c.net.Send(swAddr, to, pkt)
 	}))
 }
 
-// replicaEnv adapts the network to protocol.Env.
+// replicaEnv adapts the network to protocol.Env. Each replica's
+// client-facing packets (replies, write-completions) go through its
+// group's owning switch — the fixed home of the group's scheduler
+// partition.
 type replicaEnv struct {
 	c  *Cluster
 	id simnet.NodeID
+	sw simnet.NodeID
 }
 
 func (e *replicaEnv) ID() simnet.NodeID { return e.id }
@@ -541,7 +714,7 @@ func (e *replicaEnv) Send(to simnet.NodeID, msg any) {
 	e.c.net.Send(e.id, to, msg)
 }
 func (e *replicaEnv) SendSwitch(pkt *wire.Packet) {
-	e.c.net.Send(e.id, switchAddr, pkt)
+	e.c.net.Send(e.id, e.sw, pkt)
 }
 func (e *replicaEnv) After(d time.Duration, fn func()) *sim.Timer { return e.c.eng.After(d, fn) }
 func (e *replicaEnv) Now() sim.Time                               { return e.c.eng.Now() }
@@ -551,6 +724,7 @@ func (e *replicaEnv) Rand() *rand.Rand                            { return e.c.e
 // registers the nodes with the calibrated processor model.
 func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 	addrs := grp.addrs()
+	swAddr := switchAddrOf(c.rack.SwitchOfGroup(grp.idx))
 	cost := func(msg simnet.Message) time.Duration {
 		switch protocol.ClassOf(msg) {
 		case protocol.CostRead:
@@ -572,7 +746,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*pb.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = pb.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			rs[i] = pb.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = pbHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
@@ -582,7 +756,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*chain.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = chain.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			rs[i] = chain.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = chainHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
@@ -592,7 +766,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*craq.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = craq.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards)
+			rs[i] = craq.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
 			grp.replicas[i] = craqHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
@@ -603,7 +777,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		opts.EagerCompletions = c.cfg.EagerCompletions
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = vr.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards, opts)
+			rs[i] = vr.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards, opts)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			rs[i].OnViewChange = c.viewChangeHook(gid)
 			grp.replicas[i] = vrHandle{rs[i]}
@@ -614,7 +788,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*nopaxos.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i]}, g, c.cfg.Shards,
+			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards,
 				nopaxos.Options{SyncEvery: c.cfg.SyncEvery})
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = nopaxosHandle{rs[i]}
@@ -668,7 +842,7 @@ func (c *Cluster) keyInGroup(g int, prefix string, avoidSlot int) (key string, o
 		k := fmt.Sprintf("%s%d", prefix, t)
 		id := wire.HashKey(k)
 		slot := wire.SlotOf(id)
-		if c.routeObj(id) == g && slot != avoidSlot && !c.front.Frozen(slot) {
+		if c.routeObj(id) == g && slot != avoidSlot && !c.rack.Frozen(slot) {
 			return k, true
 		}
 	}
@@ -686,7 +860,7 @@ func (c *Cluster) prime() {
 			Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 			Group: uint16(g), ClientID: 0, ReqID: uint64(g + 1), Value: []byte{1},
 		}
-		c.net.Send(clientBase, switchAddr, pkt)
+		c.net.Send(clientBase, c.switchAddrForObj(pkt.ObjID), pkt)
 	}
 	// Drive the writes (and for NOPaxos, a sync round) to completion.
 	c.eng.RunFor(20 * time.Millisecond)
@@ -727,30 +901,105 @@ func (c *Cluster) RunFor(d time.Duration) { c.eng.RunFor(d) }
 
 // --- failure injection ---
 
-// StopSwitch halts the switch (it stops forwarding entirely for every
-// group, as in §9.6's experiment).
-func (c *Cluster) StopSwitch() {
-	c.net.SetDown(switchAddr, true)
+// CrashSwitch fails switch s: its front-end stops forwarding entirely
+// for every group it hosts, while the rest of the rack's switches keep
+// serving their own slot shards undisturbed.
+func (c *Cluster) CrashSwitch(s int) error {
+	if s < 0 || s >= c.rack.Switches() {
+		return fmt.Errorf("cluster: switch %d out of range", s)
+	}
+	c.net.SetDown(switchAddrOf(s), true)
+	return nil
 }
 
-// ReactivateSwitch brings up a replacement switch with a fresh epoch
-// and empty register state, then runs the §5.3 agreement per group:
-// a group's replicas revoke the old lease before the new switch may
-// forward that group's writes, and its fast-path reads resume only
-// after the first new-epoch WRITE-COMPLETION reaches the partition.
-// Groups recover independently — a slow group does not hold back the
-// rest of the rack.
-func (c *Cluster) ReactivateSwitch() {
-	c.net.SetDown(switchAddr, false)
-	c.epoch++
-	c.front.Reboot() // booting: drops traffic until agreement done
-	for _, grp := range c.groups {
-		grp := grp
-		next := c.newScheduler(grp.idx, c.epoch)
-		c.ctl.revokeThen(grp.idx, c.epoch-1, func() {
-			c.front.SetGroup(grp.idx, next)
+// StopSwitch halts every switch in the rack (for the single-switch
+// rack this is exactly §9.6's experiment: all traffic blackholed).
+func (c *Cluster) StopSwitch() {
+	for s := 0; s < c.rack.Switches(); s++ {
+		c.net.SetDown(switchAddrOf(s), true)
+	}
+}
+
+// ReactivateSwitch brings up replacement switches — the listed ones,
+// or every switch when called with no arguments — each with a fresh
+// epoch in ITS OWN epoch domain and empty register state, then runs
+// the §5.3 agreement per (switch, group) pair: a group's replicas
+// revoke the old lease before the new switch may forward that group's
+// writes, and its fast-path reads resume only after the first
+// new-epoch WRITE-COMPLETION reaches the partition. Groups recover
+// independently — a slow group does not hold back the rest of the
+// rack — and switches recover independently: replacing one switch
+// bumps one epoch and stalls only the slots it owns, so the
+// agreement's message count scales with groups-per-switch, not rack
+// size. The rack records the per-switch agreement message counts and
+// latency.
+func (c *Cluster) ReactivateSwitch(switches ...int) error {
+	if len(switches) == 0 {
+		switches = make([]int, c.rack.Switches())
+		for s := range switches {
+			switches[s] = s
+		}
+	}
+	for _, s := range switches {
+		// Reject the whole call before touching anything: a typo'd
+		// index must not silently leave a crashed switch down (the
+		// paired CrashSwitch errors the same way).
+		if s < 0 || s >= c.rack.Switches() {
+			return fmt.Errorf("cluster: switch %d out of range", s)
+		}
+	}
+	seen := make(map[int]bool, len(switches))
+	for _, s := range switches {
+		// Dedup: ReactivateSwitch(1, 1) must start ONE replacement, not
+		// two racing agreements over the same groups.
+		if !seen[s] {
+			seen[s] = true
+			c.reactivateOneSwitch(s)
+		}
+	}
+	return nil
+}
+
+// reactivateOneSwitch replaces switch s (§5.3 scoped to one epoch
+// domain).
+func (c *Cluster) reactivateOneSwitch(s int) {
+	c.net.SetDown(switchAddrOf(s), false)
+	epoch := c.rack.BumpEpoch(s)
+	c.rack.Front(s).Reboot() // booting: drops traffic until agreement done
+	owned := c.rack.GroupsOf(s)
+	rep := &switchReplacement{remaining: len(owned), start: c.eng.Now()}
+	c.replacing[s] = rep
+	for _, g := range owned {
+		grp := c.groups[g]
+		c.ctl.revokeThen(grp.idx, epoch-1, func() {
+			if epoch != c.rack.Epoch(s) {
+				// A newer replacement of this switch superseded us while
+				// our agreement was in flight. Installing this scheduler
+				// now would stamp fast reads with a stale epoch the
+				// replicas' newer leases reject forever — the newer
+				// replacement's own agreement installs the right one.
+				return
+			}
+			// The replacement scheduler is built HERE, at agreement
+			// completion, not when the replacement started: the group
+			// may have reconfigured in between (a replica crash, a VR
+			// view change), and those repairs land on the old scheduler.
+			// Seeding from it carries the current fast-path set and
+			// normal-path targets over — an eagerly built scheduler
+			// would resurrect boot-time targets, including dead nodes.
+			next := c.newScheduler(grp.idx, epoch)
+			if old := grp.sched; old != nil {
+				next.SetReplicas(old.Replicas())
+				next.SetTargets(old.Targets())
+			}
+			c.rack.SetGroup(grp.idx, next)
 			grp.sched = next
-			c.ctl.grantGroupLeases(grp.idx, c.epoch)
+			c.ctl.grantGroupLeases(grp.idx, epoch)
+			rep.remaining--
+			if rep.remaining == 0 && c.replacing[s] == rep {
+				c.replacing[s] = nil
+				c.rack.NoteReplacement(s, time.Duration(c.eng.Now()-rep.start))
+			}
 		})
 	}
 }
@@ -772,8 +1021,32 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 	}
 	grp := c.groups[g]
 	addr := groupReplicaAddr(g, i)
+	// Unsupported reconfigurations are rejected BEFORE any state
+	// changes: an error here must mean "nothing happened", not "the
+	// replica is dead but the protocol was never told".
+	switch grp.raw.(type) {
+	case []*pb.Replica:
+		if i == 0 {
+			return fmt.Errorf("cluster: primary failover requires an external configuration service (not modeled)")
+		}
+	case []*nopaxos.Replica:
+		if i == 0 {
+			return fmt.Errorf("cluster: NOPaxos leader failover (view change) not modeled")
+		}
+	case []*craq.Replica:
+		return fmt.Errorf("cluster: CRAQ reconfiguration not modeled")
+	}
+	if c.net.IsDown(addr) {
+		// Idempotent: re-crashing a dead replica must not reconfigure
+		// the protocol again or re-credit a pending revocation's ack
+		// quorum (it was only counted as live once).
+		return nil
+	}
 	c.net.SetDown(addr, true)
-	grp.sched.RemoveReplica(addr)
+	c.ctl.replicaDown(g, i)
+	if grp.sched != nil {
+		grp.sched.RemoveReplica(addr)
+	}
 	switch rs := grp.raw.(type) {
 	case []*chain.Replica:
 		for j, r := range rs {
@@ -798,9 +1071,7 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 			grp.sched.SetTargets(groupReplicaAddr(g, head), groupReplicaAddr(g, tail))
 		}
 	case []*pb.Replica:
-		if i == 0 {
-			return fmt.Errorf("cluster: primary failover requires an external configuration service (not modeled)")
-		}
+		// i > 0: the primary case was rejected up front.
 		for j, r := range rs {
 			if j != i {
 				r.RemoveBackup(i)
@@ -815,18 +1086,16 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 				r.MarkDead(i)
 			}
 		}
-	case []*nopaxos.Replica:
-		if i == 0 {
-			return fmt.Errorf("cluster: NOPaxos leader failover (view change) not modeled")
-		}
-	case []*craq.Replica:
-		return fmt.Errorf("cluster: CRAQ reconfiguration not modeled")
 	}
 	return nil
 }
 
-// SwitchAddr returns the switch's network address (experiment hooks).
+// SwitchAddr returns switch 0's network address — the whole switch
+// plane for single-switch racks (experiment hooks).
 func (c *Cluster) SwitchAddr() simnet.NodeID { return switchAddr }
+
+// SwitchAddrOf returns switch s's network address (experiment hooks).
+func (c *Cluster) SwitchAddrOf(s int) simnet.NodeID { return switchAddrOf(s) }
 
 // ReplicaAddr returns replica i of group 0's network address
 // (experiment hooks; see GroupReplicaAddr for sharded clusters).

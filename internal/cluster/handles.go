@@ -31,6 +31,7 @@ func (h pbHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Stor
 func (h pbHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
 func (h pbHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h pbHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
+func (h pbHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
 
 type chainHandle struct{ r *chain.Replica }
 
@@ -45,6 +46,7 @@ func (h chainHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.S
 func (h chainHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
 func (h chainHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h chainHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
+func (h chainHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
 
 type craqHandle struct{ r *craq.Replica }
 
@@ -74,6 +76,7 @@ func (h craqHandle) ExportClients() map[uint32]protocol.ClientRecord {
 func (h craqHandle) MergeClients(recs map[uint32]protocol.ClientRecord) {
 	h.r.ClientTable().Merge(recs)
 }
+func (h craqHandle) SlotCounts() []int { return h.r.SlotCounts() }
 
 type vrHandle struct{ r *vr.Replica }
 
@@ -88,6 +91,7 @@ func (h vrHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r.Stor
 func (h vrHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
 func (h vrHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h vrHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
+func (h vrHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
 
 type nopaxosHandle struct{ r *nopaxos.Replica }
 
@@ -102,3 +106,4 @@ func (h nopaxosHandle) InstallSlot(objs map[wire.ObjectID]store.Object)    { h.r
 func (h nopaxosHandle) DropSlot(slot int) int                              { return h.r.Store.DropSlot(slot) }
 func (h nopaxosHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h nopaxosHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
+func (h nopaxosHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }

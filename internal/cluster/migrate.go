@@ -107,7 +107,7 @@ func (m *Migration) Abort() bool {
 	}
 	m.aborted = true
 	for _, s := range m.Slots {
-		m.c.front.UnfreezeSlot(s)
+		m.c.rack.UnfreezeSlot(s)
 		delete(m.c.migrations, s)
 	}
 	return true
@@ -144,7 +144,7 @@ func (c *Cluster) StartBatchMigration(slots []int, to int) (*Migration, error) {
 			return nil, fmt.Errorf("cluster: slot %d listed twice in the batch", s)
 		}
 		seen[s] = true
-		if c.front.RouteOf(s) == to {
+		if c.rack.RouteOf(s) == to {
 			continue // already there: a no-op, not a handoff
 		}
 		live = append(live, s)
@@ -158,9 +158,9 @@ func (c *Cluster) StartBatchMigration(slots []int, to int) (*Migration, error) {
 		}
 		return &Migration{Slot: first, Slots: nil, From: to, To: to, c: c, done: true}, nil
 	}
-	from := c.front.RouteOf(live[0])
+	from := c.rack.RouteOf(live[0])
 	for _, s := range live[1:] {
-		if g := c.front.RouteOf(s); g != from {
+		if g := c.rack.RouteOf(s); g != from {
 			return nil, fmt.Errorf("cluster: batch spans source groups %d and %d (slot %d); use MigrateSlots", from, g, s)
 		}
 	}
@@ -175,7 +175,7 @@ func (c *Cluster) StartBatchMigration(slots []int, to int) (*Migration, error) {
 	}
 	for _, s := range live {
 		c.migrations[s] = m
-		c.front.FreezeSlot(s)
+		c.rack.FreezeSlot(s)
 	}
 	c.eng.After(migratePollInterval, m.poll)
 	return m, nil
@@ -211,7 +211,7 @@ func (c *Cluster) MigrateSlots(slots []int, to int) error {
 		if s < 0 || s >= wire.NumSlots {
 			return fmt.Errorf("cluster: slot %d out of range [0, %d)", s, wire.NumSlots)
 		}
-		g := c.front.RouteOf(s)
+		g := c.rack.RouteOf(s)
 		if g == to {
 			continue
 		}
@@ -288,9 +288,9 @@ func (c *Cluster) uniformOwner(slots []int) (int, error) {
 			return 0, fmt.Errorf("cluster: slot %d out of range [0, %d)", s, wire.NumSlots)
 		}
 	}
-	g := c.front.RouteOf(slots[0])
+	g := c.rack.RouteOf(slots[0])
 	for _, s := range slots[1:] {
-		if got := c.front.RouteOf(s); got != g {
+		if got := c.rack.RouteOf(s); got != g {
 			return 0, fmt.Errorf("cluster: swap set spans groups %d and %d (slot %d)", g, got, s)
 		}
 	}
@@ -442,8 +442,8 @@ func (m *Migration) copyAndFlip() {
 			}
 		}
 		for _, slot := range m.Slots {
-			c.front.SetRoute(slot, m.To)
-			c.front.UnfreezeSlot(slot)
+			c.rack.SetRoute(slot, m.To)
+			c.rack.UnfreezeSlot(slot)
 			delete(c.migrations, slot)
 		}
 		m.done = true
@@ -470,5 +470,5 @@ func (c *Cluster) flushWrite(g, avoidSlot int) {
 		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 		Group: uint16(g), ClientID: 0, ReqID: 1<<32 + c.flushCtr, Value: []byte{1},
 	}
-	c.net.Send(clientBase, switchAddr, pkt)
+	c.net.Send(clientBase, c.switchAddrForObj(pkt.ObjID), pkt)
 }

@@ -343,7 +343,7 @@ func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
 			for i := 0; i < 3; i++ {
 				c.net.SetDown(c.GroupReplicaAddr(0, i), true)
 			}
-			c.front.Recv(clientBase, &wire.Packet{
+			c.rack.Front(0).Recv(clientBase, &wire.Packet{
 				Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 				ClientID: 0, ReqID: 999, Value: []byte{2},
 			})
@@ -354,7 +354,7 @@ func TestMigrateSlotAbortsWhenSourceCannotDrain(t *testing.T) {
 			if err := c.MigrateSlot(slot, 1); err == nil {
 				t.Fatal("migration completed despite an undrainable source")
 			}
-			if c.front.Frozen(slot) {
+			if c.rack.Frozen(slot) {
 				t.Fatal("aborted migration left the slot frozen")
 			}
 			if got := c.SlotTable()[slot]; got != 0 {
@@ -405,7 +405,7 @@ func TestMigrateNonBlockingAbortsAtDeadline(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		c.net.SetDown(c.GroupReplicaAddr(0, i), true)
 	}
-	c.front.Recv(clientBase, &wire.Packet{
+	c.rack.Front(0).Recv(clientBase, &wire.Packet{
 		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
 		ClientID: 0, ReqID: 999, Value: []byte{2},
 	})
@@ -417,7 +417,7 @@ func TestMigrateNonBlockingAbortsAtDeadline(t *testing.T) {
 	if !m.Aborted() || m.Done() {
 		t.Fatalf("undrainable non-blocking handoff: aborted=%v done=%v", m.Aborted(), m.Done())
 	}
-	if c.front.Frozen(slot) {
+	if c.rack.Frozen(slot) {
 		t.Fatal("deadline abort left the slot frozen")
 	}
 	if got := c.SlotTable()[slot]; got != 0 {
@@ -455,7 +455,7 @@ func TestMigrateToCurrentGroupIsNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	slot := c.SlotOfKey(key)
-	drops := c.front.Stats.FrozenDrops
+	drops := c.rack.Front(0).Stats.FrozenDrops
 
 	m, err := c.StartSlotMigration(slot, 1)
 	if err != nil || !m.Done() || m.Aborted() {
@@ -464,7 +464,7 @@ func TestMigrateToCurrentGroupIsNoop(t *testing.T) {
 	if m.Objects() != 0 {
 		t.Fatalf("self-migration copied %d objects", m.Objects())
 	}
-	if c.front.Frozen(slot) {
+	if c.rack.Frozen(slot) {
 		t.Fatal("self-migration froze the slot")
 	}
 	if len(c.migrations) != 0 {
@@ -498,7 +498,7 @@ func TestMigrateToCurrentGroupIsNoop(t *testing.T) {
 	if err := c.MigrateSlot(slot, 1); err != nil {
 		t.Fatalf("blocking self-migration: %v", err)
 	}
-	if c.front.Stats.FrozenDrops != drops {
+	if c.rack.Front(0).Stats.FrozenDrops != drops {
 		t.Fatal("a no-op migration dropped client traffic")
 	}
 	if v, k2, err := cl.Get(key); err != nil || !k2 || string(v) != "v" {
@@ -680,16 +680,16 @@ func TestFrozenSlotDropsAndRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	slot := c.SlotOfKey(key)
-	c.front.FreezeSlot(slot)
-	before := c.front.Stats.FrozenDrops
+	c.rack.FreezeSlot(slot)
+	before := c.rack.Front(0).Stats.FrozenDrops
 	// The synchronous client retries on its timeout; thaw the slot
 	// shortly after so one of the retries lands.
-	c.eng.After(5*time.Millisecond, func() { c.front.UnfreezeSlot(slot) })
+	c.eng.After(5*time.Millisecond, func() { c.rack.UnfreezeSlot(slot) })
 	v, ok, err := cl.Get(key)
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("Get across freeze window = %q %v %v", v, ok, err)
 	}
-	if c.front.Stats.FrozenDrops == before {
+	if c.rack.Front(0).Stats.FrozenDrops == before {
 		t.Fatal("freeze window dropped nothing")
 	}
 }

@@ -84,7 +84,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 
 	// Issue with retries for up to one simulated second.
 	deadline := s.c.eng.Now() + 1_000_000_000
-	s.c.net.Send(s.v.addr, switchAddr, pkt.Clone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(pkt.ObjID), pkt.Clone())
 	retry := s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 	st.timer = retry
 	for !s.done && s.c.eng.Now() < deadline {
@@ -106,7 +106,7 @@ func (s *SyncClient) syncRetry(st *opState) {
 	if _, still := s.v.pending[st.pkt.ReqID]; !still {
 		return
 	}
-	s.c.net.Send(s.v.addr, switchAddr, st.pkt.Clone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(st.pkt.ObjID), st.pkt.Clone())
 	st.timer = s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 }
 
@@ -154,4 +154,14 @@ func (s *SyncClient) LastGroup() int {
 		return -1
 	}
 	return int(s.reply.Group)
+}
+
+// LastSwitch returns the switch front-end that served the last
+// completed operation, as stamped into the reply — the observable
+// counterpart of the rack's slot → switch map.
+func (s *SyncClient) LastSwitch() int {
+	if s.reply == nil {
+		return -1
+	}
+	return int(s.reply.Switch)
 }

@@ -17,6 +17,16 @@ type FrontendStats struct {
 	// HeatDecays counts EWMA decay rounds applied to the per-slot heat
 	// counters.
 	HeatDecays uint64
+	// MisroutedDrops counts client-originated packets that arrived at
+	// this front-end for a slot it does not own — a stale client map or
+	// a packet in flight across a cross-switch route flip. The client's
+	// next retry consults the fresh rack map and lands correctly.
+	MisroutedDrops uint64
+	// StalledDrops counts client operations dropped because their
+	// group's scheduler partition was still booting (the §5.3
+	// revoke/ack agreement had not completed) — the rack's
+	// "stalled-op" measure of how much a switch replacement costs.
+	StalledDrops uint64
 }
 
 // SlotHeat is one routing slot's operation counters: the same
@@ -53,9 +63,18 @@ func (h SlotHeat) Total() uint64 { return h.Reads + h.Writes }
 // not completed yet: its traffic is dropped, exactly as a booting
 // switch drops everything.
 type Frontend struct {
+	id     int // switch ID within the rack (0 for single-switch racks)
 	groups []*Scheduler
 	route  [wire.NumSlots]uint16
 	frozen [wire.NumSlots]bool
+
+	// owned marks the routing slots this front-end serves. A
+	// single-switch rack owns everything; in a multi-switch rack the
+	// coordination layer assigns each front-end a contiguous shard and
+	// flips ownership when a slot migrates across switches. Packets for
+	// non-owned slots are dropped (MisroutedDrops) — the client's retry
+	// consults the fresh slot → switch map.
+	owned [wire.NumSlots]bool
 
 	// heat is the per-slot op-counter register array. It is indexed by
 	// the slot the front-end itself computes from the object ID — never
@@ -66,8 +85,10 @@ type Frontend struct {
 	Stats FrontendStats
 }
 
-// NewFrontend builds a front-end with n (initially empty) partitions
-// and the default slot striping.
+// NewFrontend builds a front-end with n (initially empty) partitions,
+// the default slot striping, and every slot owned — the single-switch
+// configuration. Multi-switch racks carve ownership up afterwards via
+// SetOwned.
 func NewFrontend(n int) *Frontend {
 	if n <= 0 {
 		n = 1
@@ -75,8 +96,33 @@ func NewFrontend(n int) *Frontend {
 	f := &Frontend{groups: make([]*Scheduler, n)}
 	for s := range f.route {
 		f.route[s] = uint16(wire.DefaultGroupOfSlot(s, n))
+		f.owned[s] = true
 	}
 	return f
+}
+
+// SetSwitchID assigns this front-end's rack-wide switch ID, stamped
+// into every packet it forwards.
+func (f *Frontend) SetSwitchID(id int) { f.id = id }
+
+// SwitchID returns this front-end's rack-wide switch ID.
+func (f *Frontend) SwitchID() int { return f.id }
+
+// SetOwned marks slot as owned (or not) by this front-end.
+func (f *Frontend) SetOwned(slot int, own bool) { f.owned[slot] = own }
+
+// OwnsSlot reports whether this front-end serves slot.
+func (f *Frontend) OwnsSlot(slot int) bool { return f.owned[slot] }
+
+// OwnedSlots returns the number of slots this front-end serves.
+func (f *Frontend) OwnedSlots() int {
+	n := 0
+	for _, o := range f.owned {
+		if o {
+			n++
+		}
+	}
+	return n
 }
 
 // Groups returns the partition count.
@@ -123,6 +169,12 @@ func (f *Frontend) SlotHeat() []SlotHeat {
 
 // HeatOf returns slot's current heat counters.
 func (f *Frontend) HeatOf(slot int) SlotHeat { return f.heat[slot] }
+
+// ClearHeat zeroes one slot's heat counters. The rack calls it on a
+// cross-switch ownership transfer: the acquiring front-end counts the
+// slot from its first packet, and the disowning side's frozen residue
+// must not resurface as "current" heat if the slot ever migrates back.
+func (f *Frontend) ClearHeat(slot int) { f.heat[slot] = SlotHeat{} }
 
 // DecayHeat halves every heat counter — one EWMA round. Called
 // periodically (the switch control plane would run this on a timer),
@@ -178,6 +230,13 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 		// them — the client's timeout handles retry — so no request
 		// can land on either group mid-handoff.
 		slot := wire.SlotOf(pkt.ObjID)
+		if !f.owned[slot] {
+			// Not this front-end's shard (stale client map, or a packet
+			// in flight across a cross-switch flip): drop it. The retry
+			// consults the fresh slot → switch map and lands right.
+			f.Stats.MisroutedDrops++
+			return
+		}
 		// Heat is counted on offered load, before the frozen check, so
 		// a slot stays ranked hot while it migrates. Replica-forwarded
 		// re-entries (a fast read a replica bounced back) are skipped:
@@ -194,6 +253,13 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			return
 		}
 		pkt.Group = f.route[slot]
+		pkt.Switch = uint8(f.id)
+		if f.groups[pkt.Group] == nil {
+			// The group's §5.3 replacement agreement has not completed:
+			// the op stalls (client retries), and the rack counts it.
+			f.Stats.StalledDrops++
+			return
+		}
 	default:
 		// Replica-originated packets are trusted to carry their
 		// group; an out-of-range value is a corrupt packet. They pass
@@ -202,6 +268,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 		if int(pkt.Group) >= len(f.groups) {
 			return
 		}
+		pkt.Switch = uint8(f.id)
 	}
 	if s := f.groups[pkt.Group]; s != nil {
 		s.Process(pkt)

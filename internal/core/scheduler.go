@@ -306,6 +306,26 @@ func (s *Scheduler) toClient(pkt *wire.Packet) {
 	s.out.Send(s.cfg.ClientBase+simnet.NodeID(pkt.ClientID), pkt)
 }
 
+// Replicas returns a copy of the current fast-path replica set. A
+// replacement switch's scheduler is seeded from its predecessor's set
+// so reconfigurations (crashed members removed) survive the §5.3
+// handover.
+func (s *Scheduler) Replicas() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), s.replicas...)
+}
+
+// SetReplicas replaces the fast-path replica set wholesale (replacement
+// switch seeding; incremental changes use Add/RemoveReplica).
+func (s *Scheduler) SetReplicas(ids []simnet.NodeID) {
+	s.replicas = append(s.replicas[:0:0], ids...)
+}
+
+// Targets returns the current normal-path destinations, as last set by
+// SetTargets (boot defaults otherwise).
+func (s *Scheduler) Targets() (writeDst, readDst simnet.NodeID) {
+	return s.cfg.WriteDst, s.cfg.ReadDst
+}
+
 // RemoveReplica takes a failed server out of the fast-path address set
 // (§5.3, server failures). Normal-path destinations are updated by the
 // cluster controller via SetTargets as the protocol reconfigures.

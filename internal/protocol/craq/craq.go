@@ -121,6 +121,11 @@ type Replica struct {
 	objects map[wire.ObjectID]*object
 	lastVer uint64 // in-order apply guard (§5.2 carries over)
 
+	// slotCount tracks live object entries per routing slot, maintained
+	// at entry creation/removal so the rebalancer's occupancy sampling
+	// needs no scan (the map-backed store keeps the same counter).
+	slotCount [wire.NumSlots]int32
+
 	next, prev int
 
 	// Stats
@@ -160,6 +165,7 @@ func (r *Replica) obj(id wire.ObjectID) *object {
 	if !ok {
 		o = &object{}
 		r.objects[id] = o
+		r.slotCount[wire.SlotOf(id)]++
 	}
 	return o
 }
@@ -402,7 +408,21 @@ func (r *Replica) DropSlot(slot int) int {
 			n++
 		}
 	}
+	r.slotCount[slot] -= int32(n)
 	return n
+}
+
+// SlotCounts returns a copy of the per-slot object-entry counters —
+// CRAQ's occupancy input to the rebalancer's ObjectCost veto. Entries
+// whose latest version is a deletion are still counted (they occupy
+// version storage until dropped), which keeps the counter O(1) and is
+// exactly the occupancy a handoff copy would pay for.
+func (r *Replica) SlotCounts() []int {
+	out := make([]int, wire.NumSlots)
+	for slot, n := range r.slotCount {
+		out[slot] = int(n)
+	}
+	return out
 }
 
 // VersionCount reports the number of retained versions for an object

@@ -1,0 +1,307 @@
+// Package rack is the multi-switch coordination layer: it instantiates
+// several switch front-ends over one set of replica groups and keeps
+// the rack-wide picture consistent while each front-end stays an
+// independent failure domain.
+//
+// One front-end per switch owns
+//
+//   - a contiguous shard of the wire.NumSlots routing slots (the
+//     slot → switch map lives here, in the rack),
+//   - its own epoch counter — the §5.3 switch-incarnation ID, bumped
+//     only when THIS switch is replaced, so rebooting one switch stalls
+//     only the groups it hosts (the Cheap Recovery argument: the
+//     recovery unit shrinks as the rack grows),
+//   - its own lease domain (the controller grants and revokes fast-read
+//     leases per (switch, group) pair), and
+//   - its own heat registers, counting only the slots it serves.
+//
+// Replica groups are partitioned across the switches in contiguous
+// blocks; a group's scheduler partition lives on its owning switch and
+// never moves. What does move is slots: a cross-switch migration flips
+// a slot's route to a group on another switch, and the rack transfers
+// front-end ownership with the route — freeze on the source front-end,
+// drain, copy, flip here, thaw on the destination.
+//
+// The rack also accumulates the per-switch §5.3 agreement statistics
+// (revokes sent, acks received, replacement latency) that the
+// controller reports: the measure of how the control plane's agreement
+// cost grows with the rack. The package is pure coordination state over
+// internal/core front-ends; the cluster wires it to the simulated
+// network and drives the agreements.
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"harmonia/internal/core"
+	"harmonia/internal/wire"
+)
+
+// MaxSwitches bounds the front-end count: the rack's switch IDs share
+// the address space below the replica windows, and a slot shard must
+// stay large enough to stripe its groups over.
+const MaxSwitches = 8
+
+// SwitchStats counts one switch domain's control-plane events.
+type SwitchStats struct {
+	// Replacements counts completed §5.3 switch replacements (every
+	// owned group revoked and re-granted).
+	Replacements uint64
+	// RevokesSent and AcksReceived count the agreement's messages: one
+	// revoke per live replica of each owned group, one ack back. Their
+	// sum is the replacement's total agreement-message cost, which
+	// scales with groups-per-switch — not with rack size.
+	RevokesSent  uint64
+	AcksReceived uint64
+	// LastAgreementLatency is the duration of the most recent
+	// replacement's agreement: from the first revoke until the last
+	// owned group's ack quorum completed.
+	LastAgreementLatency time.Duration
+}
+
+// AgreementMsgs is the total §5.3 message count (revokes + acks).
+func (s SwitchStats) AgreementMsgs() uint64 { return s.RevokesSent + s.AcksReceived }
+
+// Rack coordinates S switch front-ends over N replica groups.
+type Rack struct {
+	fronts  []*core.Frontend
+	groupSw []int // group → owning switch (fixed at assembly)
+	slotSw  [wire.NumSlots]int
+	epochs  []uint32
+	stats   []SwitchStats
+}
+
+// SwitchOfSlotIn is the boot-time slot → switch assignment: the slot
+// space is cut into switches contiguous shards. Single-switch racks map
+// everything to 0.
+func SwitchOfSlotIn(slot, switches int) int {
+	if switches <= 1 {
+		return 0
+	}
+	return slot * switches / wire.NumSlots
+}
+
+// groupRange returns the contiguous block of groups switch s hosts.
+func groupRange(s, switches, groups int) (lo, hi int) {
+	return s * groups / switches, (s + 1) * groups / switches
+}
+
+// DefaultGroupOfSlotIn is the boot-time slot → group assignment for a
+// multi-switch rack: within switch s's slot shard, slots are striped
+// across s's group block. With one switch this degenerates to
+// wire.DefaultGroupOfSlot — the historical single-switch striping.
+func DefaultGroupOfSlotIn(slot, switches, groups int) int {
+	sw := SwitchOfSlotIn(slot, switches)
+	lo, hi := groupRange(sw, switches, groups)
+	return lo + slot%(hi-lo)
+}
+
+// Validate reports whether a (switches, groups) shape is assemblable:
+// every switch must host at least one group and own at least as many
+// slots as groups (so each group serves at least one slot at boot).
+func Validate(switches, groups int) error {
+	if switches < 1 || switches > MaxSwitches {
+		return fmt.Errorf("rack: switch count %d out of range [1, %d]", switches, MaxSwitches)
+	}
+	if groups < switches {
+		return fmt.Errorf("rack: %d switches need at least as many groups (have %d)", switches, groups)
+	}
+	for s := 0; s < switches; s++ {
+		lo, hi := groupRange(s, switches, groups)
+		slots := 0
+		for slot := 0; slot < wire.NumSlots; slot++ {
+			if SwitchOfSlotIn(slot, switches) == s {
+				slots++
+			}
+		}
+		if hi-lo > slots {
+			return fmt.Errorf("rack: switch %d hosts %d groups but owns only %d slots", s, hi-lo, slots)
+		}
+	}
+	return nil
+}
+
+// New assembles the coordination state for a rack of the given shape
+// (which must Validate). Every front-end starts at epoch 1 with empty
+// partitions; the cluster installs schedulers as the boot-time
+// agreements complete.
+func New(switches, groups int) *Rack {
+	if err := Validate(switches, groups); err != nil {
+		panic(err)
+	}
+	r := &Rack{
+		fronts:  make([]*core.Frontend, switches),
+		groupSw: make([]int, groups),
+		epochs:  make([]uint32, switches),
+		stats:   make([]SwitchStats, switches),
+	}
+	for s := range r.fronts {
+		f := core.NewFrontend(groups)
+		f.SetSwitchID(s)
+		r.fronts[s] = f
+		r.epochs[s] = 1
+		lo, hi := groupRange(s, switches, groups)
+		for g := lo; g < hi; g++ {
+			r.groupSw[g] = s
+		}
+	}
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		sw := SwitchOfSlotIn(slot, switches)
+		r.slotSw[slot] = sw
+		g := DefaultGroupOfSlotIn(slot, switches, groups)
+		for s, f := range r.fronts {
+			f.SetOwned(slot, s == sw)
+			f.SetRoute(slot, g)
+		}
+	}
+	return r
+}
+
+// Switches returns the front-end count.
+func (r *Rack) Switches() int { return len(r.fronts) }
+
+// Groups returns the replica-group count.
+func (r *Rack) Groups() int { return len(r.groupSw) }
+
+// Front returns switch s's front-end.
+func (r *Rack) Front(s int) *core.Frontend { return r.fronts[s] }
+
+// Epoch returns switch s's current incarnation ID.
+func (r *Rack) Epoch(s int) uint32 { return r.epochs[s] }
+
+// BumpEpoch advances switch s's incarnation ID (a replacement switch
+// booting) and returns the new value. Other switches' epochs — and
+// therefore their groups' sequence spaces and leases — are untouched.
+func (r *Rack) BumpEpoch(s int) uint32 {
+	r.epochs[s]++
+	return r.epochs[s]
+}
+
+// SwitchOfGroup returns the switch hosting group g's scheduler
+// partition.
+func (r *Rack) SwitchOfGroup(g int) int { return r.groupSw[g] }
+
+// GroupsOf returns the groups hosted on switch s, in index order.
+func (r *Rack) GroupsOf(s int) []int {
+	var out []int
+	for g, sw := range r.groupSw {
+		if sw == s {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SwitchOfSlot returns the switch currently serving slot — the
+// authoritative slot → switch map clients consult to pick a front-end.
+func (r *Rack) SwitchOfSlot(slot int) int { return r.slotSw[slot] }
+
+// SwitchOfObj returns the switch currently serving id's slot.
+func (r *Rack) SwitchOfObj(id wire.ObjectID) int { return r.slotSw[wire.SlotOf(id)] }
+
+// SlotSwitchTable returns a copy of the slot → switch map.
+func (r *Rack) SlotSwitchTable() []int {
+	out := make([]int, wire.NumSlots)
+	copy(out, r.slotSw[:])
+	return out
+}
+
+// front returns slot's owning front-end.
+func (r *Rack) front(slot int) *core.Frontend { return r.fronts[r.slotSw[slot]] }
+
+// RouteOf returns the group currently serving slot.
+func (r *Rack) RouteOf(slot int) int { return r.front(slot).RouteOf(slot) }
+
+// RouteObj returns the group currently serving id's slot.
+func (r *Rack) RouteObj(id wire.ObjectID) int { return r.RouteOf(wire.SlotOf(id)) }
+
+// SlotTable returns a copy of the rack-wide slot → group table.
+func (r *Rack) SlotTable() []int {
+	out := make([]int, wire.NumSlots)
+	for slot := range out {
+		out[slot] = r.RouteOf(slot)
+	}
+	return out
+}
+
+// SetRoute points slot at group g, transferring front-end ownership
+// when g lives on a different switch: the source front-end disowns the
+// slot (clearing any freeze — the handoff is over from its point of
+// view) and the destination front-end picks it up thawed, with its own
+// heat registers counting the slot from the first packet it serves.
+// Every front-end's route mirror is updated so a later flip back needs
+// no reconciliation.
+func (r *Rack) SetRoute(slot, g int) {
+	if g < 0 || g >= len(r.groupSw) {
+		panic(fmt.Sprintf("rack: route for slot %d to out-of-range group %d", slot, g))
+	}
+	src := r.fronts[r.slotSw[slot]]
+	dst := r.fronts[r.groupSw[g]]
+	for _, f := range r.fronts {
+		f.SetRoute(slot, g)
+	}
+	if src != dst {
+		src.UnfreezeSlot(slot)
+		src.SetOwned(slot, false)
+		// Both sides' heat entries reset: the destination counts the
+		// slot from its first packet, and the source's frozen residue
+		// must not re-enter the EWMA window if the slot migrates back.
+		src.ClearHeat(slot)
+		dst.ClearHeat(slot)
+		dst.UnfreezeSlot(slot)
+		dst.SetOwned(slot, true)
+		r.slotSw[slot] = r.groupSw[g]
+	}
+}
+
+// FreezeSlot starts dropping slot's client traffic on its owning
+// front-end (migration window).
+func (r *Rack) FreezeSlot(slot int) { r.front(slot).FreezeSlot(slot) }
+
+// UnfreezeSlot resumes slot's client traffic on its owning front-end.
+func (r *Rack) UnfreezeSlot(slot int) { r.front(slot).UnfreezeSlot(slot) }
+
+// Frozen reports whether slot is mid-migration on its owning
+// front-end.
+func (r *Rack) Frozen(slot int) bool { return r.front(slot).Frozen(slot) }
+
+// SetGroup installs (or, with nil, clears) group g's scheduler on its
+// owning front-end.
+func (r *Rack) SetGroup(g int, s *core.Scheduler) { r.fronts[r.groupSw[g]].SetGroup(g, s) }
+
+// SlotHeat returns the rack-wide per-slot heat sample, each slot read
+// from its owning front-end's registers — after a cross-switch
+// migration the destination's counters are the live ones, and any
+// stale residue on the source is never consulted.
+func (r *Rack) SlotHeat() []core.SlotHeat {
+	out := make([]core.SlotHeat, wire.NumSlots)
+	for slot := range out {
+		out[slot] = r.front(slot).HeatOf(slot)
+	}
+	return out
+}
+
+// DecayHeat runs one EWMA decay round on every front-end.
+func (r *Rack) DecayHeat() {
+	for _, f := range r.fronts {
+		f.DecayHeat()
+	}
+}
+
+// Stats returns a copy of switch s's control-plane counters.
+func (r *Rack) Stats(s int) SwitchStats { return r.stats[s] }
+
+// NoteRevokes credits n §5.3 revoke messages to switch s's agreement
+// cost.
+func (r *Rack) NoteRevokes(s int, n int) { r.stats[s].RevokesSent += uint64(n) }
+
+// NoteAck credits one revocation acknowledgment to switch s.
+func (r *Rack) NoteAck(s int) { r.stats[s].AcksReceived++ }
+
+// NoteReplacement records a completed switch replacement and its
+// agreement latency.
+func (r *Rack) NoteReplacement(s int, latency time.Duration) {
+	r.stats[s].Replacements++
+	r.stats[s].LastAgreementLatency = latency
+}

@@ -144,6 +144,21 @@ func New(cfg Config, now func() time.Duration) *Policy {
 // Config returns the effective (defaulted) configuration.
 func (p *Policy) Config() Config { return p.cfg }
 
+// Ready reports whether a round could possibly fire right now: the
+// trigger is armed and the cool-down has elapsed. Callers use it to
+// skip gathering expensive Plan inputs (e.g. per-slot object counts)
+// that a gated tick would discard unread; heat must still be sampled —
+// Plan needs it to re-arm the trigger on calm readings.
+func (p *Policy) Ready() bool {
+	if !p.armed {
+		return false
+	}
+	if p.everFired && p.now()-p.lastRound < p.cfg.Cooldown {
+		return false
+	}
+	return true
+}
+
 // Rounds returns how many rebalancing rounds have fired.
 func (p *Policy) Rounds() int { return p.rounds }
 

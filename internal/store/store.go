@@ -41,6 +41,13 @@ type Store struct {
 	lastApplied wire.Seq
 
 	applied uint64 // total applied writes
+
+	// slotCount tracks live objects per routing slot, maintained
+	// incrementally on every insert/delete so the rebalancer's
+	// move-cost model can consult real occupancy without scanning the
+	// store (a per-tick scan is exactly the heavy probe the switch-side
+	// counters exist to avoid).
+	slotCount [wire.NumSlots]int32
 }
 
 // New creates a store with the given shard count (minimum 1).
@@ -70,9 +77,16 @@ func (s *Store) Apply(id wire.ObjectID, value []byte, seq wire.Seq, del bool) er
 	s.lastApplied = seq
 	s.applied++
 	sh := s.shard(id)
+	_, existed := sh[id]
 	if del {
-		delete(sh, id)
+		if existed {
+			delete(sh, id)
+			s.slotCount[wire.SlotOf(id)]--
+		}
 		return nil
+	}
+	if !existed {
+		s.slotCount[wire.SlotOf(id)]++
 	}
 	sh[id] = Object{Value: value, Seq: seq}
 	return nil
@@ -82,7 +96,11 @@ func (s *Store) Apply(id wire.ObjectID, value []byte, seq wire.Seq, del bool) er
 // replica before it serves traffic (e.g. preloading a key space).
 // lastApplied only ever moves forward.
 func (s *Store) Seed(id wire.ObjectID, value []byte, seq wire.Seq) {
-	s.shard(id)[id] = Object{Value: value, Seq: seq}
+	sh := s.shard(id)
+	if _, existed := sh[id]; !existed {
+		s.slotCount[wire.SlotOf(id)]++
+	}
+	sh[id] = Object{Value: value, Seq: seq}
 	if s.lastApplied.Less(seq) {
 		s.lastApplied = seq
 	}
@@ -145,8 +163,10 @@ func (s *Store) Restore(snap Snapshot) {
 	for i := range s.shards {
 		s.shards[i] = make(map[wire.ObjectID]Object)
 	}
+	s.slotCount = [wire.NumSlots]int32{}
 	for k, v := range snap.Objects {
 		s.shard(k)[k] = v
+		s.slotCount[wire.SlotOf(k)]++
 	}
 	s.lastApplied = snap.LastApplied
 }
@@ -192,7 +212,22 @@ func (s *Store) DropSlot(slot int) int {
 			}
 		}
 	}
+	s.slotCount[slot] -= int32(n)
 	return n
+}
+
+// SlotLen returns the number of live objects in one routing slot, read
+// from the incrementally maintained counter (O(1), no scan).
+func (s *Store) SlotLen(slot int) int { return int(s.slotCount[slot]) }
+
+// SlotCounts returns a copy of the per-slot object counters — the
+// occupancy input to the rebalancer's ObjectCost veto.
+func (s *Store) SlotCounts() []int {
+	out := make([]int, wire.NumSlots)
+	for slot, n := range s.slotCount {
+		out[slot] = int(n)
+	}
+	return out
 }
 
 // String summarizes the store for diagnostics.

@@ -275,3 +275,71 @@ func TestExtractInstallDropSlot(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotCountsTrackOnline verifies the per-slot object counters stay
+// exact through every mutation path — write, overwrite, delete, seed,
+// install, drop, restore — so the rebalancer's ObjectCost veto can
+// sample occupancy without a scan.
+func TestSlotCountsTrackOnline(t *testing.T) {
+	s := New(4)
+	var knuth uint32 = 2654435761
+	verify := func(when string) {
+		t.Helper()
+		want := make(map[int]int)
+		for _, sh := range s.shards {
+			for id := range sh {
+				want[wire.SlotOf(id)]++
+			}
+		}
+		got := s.SlotCounts()
+		for slot := 0; slot < wire.NumSlots; slot++ {
+			if got[slot] != want[slot] {
+				t.Fatalf("%s: slot %d count %d, scan says %d", when, slot, got[slot], want[slot])
+			}
+		}
+	}
+
+	n := uint64(0)
+	apply := func(id wire.ObjectID, del bool) {
+		n++
+		if err := s.Apply(id, []byte("v"), wire.Seq{Epoch: 1, N: n}, del); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		apply(wire.ObjectID(uint32(i)*2654435761), false)
+	}
+	verify("after writes")
+	for i := 0; i < 16; i++ {
+		apply(wire.ObjectID(uint32(i)*2654435761), false) // overwrite: no count change
+	}
+	verify("after overwrites")
+	for i := 0; i < 8; i++ {
+		apply(wire.ObjectID(uint32(i)*2654435761), true) // delete
+	}
+	apply(wire.ObjectID(999999999), true) // delete of absent key: no-op
+	verify("after deletes")
+
+	s.Seed(wire.ObjectID(42), []byte("s"), wire.Seq{})
+	s.Seed(wire.ObjectID(42), []byte("s2"), wire.Seq{}) // reseed: no change
+	verify("after seeds")
+
+	slot := wire.SlotOf(wire.ObjectID(8 * knuth))
+	if got := s.SlotLen(slot); got != len(s.ExtractSlot(slot)) {
+		t.Fatalf("SlotLen(%d) = %d, extract says %d", slot, got, len(s.ExtractSlot(slot)))
+	}
+	s.DropSlot(slot)
+	verify("after drop")
+
+	snap := s.Snapshot()
+	s2 := New(2)
+	s2.Seed(wire.ObjectID(7), []byte("x"), wire.Seq{})
+	s2.Restore(snap)
+	got := s2.SlotCounts()
+	want := s.SlotCounts()
+	for slot := range got {
+		if got[slot] != want[slot] {
+			t.Fatalf("restore: slot %d count %d, want %d", slot, got[slot], want[slot])
+		}
+	}
+}

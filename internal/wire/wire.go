@@ -183,6 +183,13 @@ type Packet struct {
 	// credits the right scheduler partition.
 	Group uint16
 
+	// Switch is the switch front-end that handled the packet. In a
+	// multi-switch rack each front-end owns a contiguous shard of the
+	// routing slots; the owning front-end stamps its ID on every packet
+	// it forwards, so clients (and tests) can observe which epoch/lease
+	// domain served an operation. Single-switch racks always stamp 0.
+	Switch uint8
+
 	// Seq is the switch-assigned sequence number (writes,
 	// write-completions, and replies that piggyback completions).
 	Seq Seq
@@ -203,9 +210,9 @@ type Packet struct {
 	Value []byte
 }
 
-// header layout (fixed 44 bytes) followed by key and value, each
+// header layout (fixed 45 bytes) followed by key and value, each
 // length-prefixed with uint16/uint32.
-const headerSize = 1 + 1 + 4 + 2 + (4 + 8) + (4 + 8) + 4 + 8 // = 44
+const headerSize = 1 + 1 + 4 + 2 + 1 + (4 + 8) + (4 + 8) + 4 + 8 // = 45
 
 // MaxKeyLen bounds encoded key length.
 const MaxKeyLen = 1<<16 - 1
@@ -232,12 +239,13 @@ func (p *Packet) Encode(buf []byte) ([]byte, error) {
 	hdr[1] = byte(p.Flags)
 	binary.BigEndian.PutUint32(hdr[2:], uint32(p.ObjID))
 	binary.BigEndian.PutUint16(hdr[6:], p.Group)
-	binary.BigEndian.PutUint32(hdr[8:], p.Seq.Epoch)
-	binary.BigEndian.PutUint64(hdr[12:], p.Seq.N)
-	binary.BigEndian.PutUint32(hdr[20:], p.LastCommitted.Epoch)
-	binary.BigEndian.PutUint64(hdr[24:], p.LastCommitted.N)
-	binary.BigEndian.PutUint32(hdr[32:], p.ClientID)
-	binary.BigEndian.PutUint64(hdr[36:], p.ReqID)
+	hdr[8] = p.Switch
+	binary.BigEndian.PutUint32(hdr[9:], p.Seq.Epoch)
+	binary.BigEndian.PutUint64(hdr[13:], p.Seq.N)
+	binary.BigEndian.PutUint32(hdr[21:], p.LastCommitted.Epoch)
+	binary.BigEndian.PutUint64(hdr[25:], p.LastCommitted.N)
+	binary.BigEndian.PutUint32(hdr[33:], p.ClientID)
+	binary.BigEndian.PutUint64(hdr[37:], p.ReqID)
 	buf = append(buf, hdr[:]...)
 	var klen [2]byte
 	binary.BigEndian.PutUint16(klen[:], uint16(len(p.Key)))
@@ -257,20 +265,21 @@ func Decode(b []byte) (*Packet, int, error) {
 		return nil, 0, ErrShortPacket
 	}
 	p := &Packet{
-		Op:    Op(b[0]),
-		Flags: Flags(b[1]),
-		ObjID: ObjectID(binary.BigEndian.Uint32(b[2:])),
-		Group: binary.BigEndian.Uint16(b[6:]),
+		Op:     Op(b[0]),
+		Flags:  Flags(b[1]),
+		ObjID:  ObjectID(binary.BigEndian.Uint32(b[2:])),
+		Group:  binary.BigEndian.Uint16(b[6:]),
+		Switch: b[8],
 		Seq: Seq{
-			Epoch: binary.BigEndian.Uint32(b[8:]),
-			N:     binary.BigEndian.Uint64(b[12:]),
+			Epoch: binary.BigEndian.Uint32(b[9:]),
+			N:     binary.BigEndian.Uint64(b[13:]),
 		},
 		LastCommitted: Seq{
-			Epoch: binary.BigEndian.Uint32(b[20:]),
-			N:     binary.BigEndian.Uint64(b[24:]),
+			Epoch: binary.BigEndian.Uint32(b[21:]),
+			N:     binary.BigEndian.Uint64(b[25:]),
 		},
-		ClientID: binary.BigEndian.Uint32(b[32:]),
-		ReqID:    binary.BigEndian.Uint64(b[36:]),
+		ClientID: binary.BigEndian.Uint32(b[33:]),
+		ReqID:    binary.BigEndian.Uint64(b[37:]),
 	}
 	if p.Op < OpRead || p.Op > OpWriteReply {
 		return nil, 0, ErrBadOp

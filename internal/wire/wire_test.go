@@ -91,6 +91,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Op:            OpWrite,
 		Flags:         FlagDelete | FlagFastPath,
 		ObjID:         0xDEADBEEF,
+		Switch:        5,
 		Seq:           Seq{3, 1234567},
 		LastCommitted: Seq{2, 99},
 		ClientID:      17,
@@ -110,6 +111,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("consumed %d of %d bytes", n, len(b))
 	}
 	if q.Op != p.Op || q.Flags != p.Flags || q.ObjID != p.ObjID ||
+		q.Switch != p.Switch ||
 		q.Seq != p.Seq || q.LastCommitted != p.LastCommitted ||
 		q.ClientID != p.ClientID || q.ReqID != p.ReqID ||
 		q.Key != p.Key || !bytes.Equal(q.Value, p.Value) {
@@ -134,12 +136,13 @@ func TestEncodeDecodeEmptyFields(t *testing.T) {
 
 // Property: Encode/Decode is the identity for arbitrary packets.
 func TestEncodeDecodeProperty(t *testing.T) {
-	f := func(op uint8, flags uint8, obj uint32, se uint32, sn uint64,
+	f := func(op uint8, flags uint8, obj uint32, sw uint8, se uint32, sn uint64,
 		le uint32, ln uint64, cid uint32, rid uint64, key string, val []byte) bool {
 		p := &Packet{
 			Op:            Op(op%5 + 1),
 			Flags:         Flags(flags),
 			ObjID:         ObjectID(obj),
+			Switch:        sw,
 			Seq:           Seq{se, sn},
 			LastCommitted: Seq{le, ln},
 			ClientID:      cid,
@@ -159,6 +162,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 			return false
 		}
 		return q.Op == p.Op && q.Flags == p.Flags && q.ObjID == p.ObjID &&
+			q.Switch == p.Switch &&
 			q.Seq == p.Seq && q.LastCommitted == p.LastCommitted &&
 			q.ClientID == p.ClientID && q.ReqID == p.ReqID &&
 			q.Key == p.Key && bytes.Equal(q.Value, p.Value)
