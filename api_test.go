@@ -3,6 +3,7 @@
 package harmonia
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -154,5 +155,138 @@ func TestRackStatsPublicSurface(t *testing.T) {
 	}
 	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "v" {
 		t.Fatalf("Get after replacement = %q %v %v", v, ok, err)
+	}
+}
+
+func TestGroupSpecConfigValidation(t *testing.T) {
+	cr7 := GroupSpec{Protocol: ChainReplication, Replicas: 7}
+	np3 := GroupSpec{Protocol: NOPaxos, Replicas: 3}
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"hetero pair", Config{UseHarmonia: true, GroupSpecs: []GroupSpec{cr7, np3}}, false},
+		{"craq group in harmonia cluster", Config{UseHarmonia: true,
+			GroupSpecs: []GroupSpec{cr7, {Protocol: CRAQ, Replicas: 3}}}, false},
+		{"groups agrees with specs", Config{Groups: 2, GroupSpecs: []GroupSpec{cr7, np3}}, false},
+		{"groups disagrees with specs", Config{Groups: 3, GroupSpecs: []GroupSpec{cr7, np3}}, true},
+		{"spec protocol below range", Config{GroupSpecs: []GroupSpec{{Protocol: Protocol(-1)}}}, true},
+		{"spec protocol above range", Config{GroupSpecs: []GroupSpec{{Protocol: Protocol(9)}}}, true},
+		{"spec negative replicas", Config{GroupSpecs: []GroupSpec{{Protocol: ChainReplication, Replicas: -2}}}, true},
+		{"spec vr singleton", Config{GroupSpecs: []GroupSpec{{Protocol: ViewstampedReplication, Replicas: 1}}}, true},
+		{"spec vr inherits singleton default", Config{Replicas: 1,
+			GroupSpecs: []GroupSpec{{Protocol: ViewstampedReplication}}}, true},
+		{"spec negative weight", Config{GroupSpecs: []GroupSpec{{Protocol: ChainReplication, Weight: -1}}}, true},
+		{"explicit weights", Config{GroupSpecs: []GroupSpec{
+			{Protocol: ChainReplication, Weight: 5}, {Protocol: ChainReplication, Weight: 1}}}, false},
+		// Derived weights are absolute service rates; explicit ones are
+		// user-scale ratios. Half-specified weights would compare the
+		// two scales, so the mixture is rejected.
+		{"mixed explicit and derived weights", Config{GroupSpecs: []GroupSpec{
+			{Protocol: ChainReplication, Replicas: 7, Weight: 5}, {Protocol: NOPaxos, Replicas: 3}}}, true},
+		{"weighted multi-switch", Config{UseHarmonia: true, Switches: 2,
+			GroupSpecs: []GroupSpec{cr7, np3, np3}}, false},
+		{"more switches than specs", Config{Switches: 3, GroupSpecs: []GroupSpec{cr7, np3}}, true},
+		// The cluster-wide CRAQ+Harmonia rejection applies to uniform
+		// clusters only; per-group CRAQ just runs unassisted.
+		{"uniform craq harmonia still rejected", Config{Protocol: CRAQ, UseHarmonia: true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.cfg)
+			if tc.wantErr && err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("config %+v rejected: %v", tc.cfg, err)
+			}
+			if err == nil && c.Groups() <= 0 {
+				t.Fatal("no groups assembled")
+			}
+		})
+	}
+}
+
+func TestGroupSpecEffectiveSpecsAndWeights(t *testing.T) {
+	c, err := New(Config{
+		UseHarmonia: true,
+		GroupSpecs: []GroupSpec{
+			{Protocol: ChainReplication, Replicas: 7},
+			{Protocol: NOPaxos}, // inherits Replicas default 3
+			{Protocol: CRAQ, Replicas: 3},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	specs := c.GroupSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("GroupSpecs() len = %d", len(specs))
+	}
+	if specs[0].Protocol != ChainReplication || specs[0].Replicas != 7 {
+		t.Fatalf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Protocol != NOPaxos || specs[1].Replicas != 3 {
+		t.Fatalf("spec 1 did not inherit the default size: %+v", specs[1])
+	}
+	w := c.GroupWeights()
+	if len(w) != 3 || !(w[0] > w[1]) {
+		t.Fatalf("weights %v do not favor the 7-replica group", w)
+	}
+	for _, x := range w {
+		if !(x > 0) {
+			t.Fatalf("non-positive derived weight in %v", w)
+		}
+	}
+	// A uniform cluster reports uniform specs.
+	u, err := New(Config{Protocol: ChainReplication, Groups: 2, UseHarmonia: true})
+	if err != nil {
+		t.Fatalf("New uniform: %v", err)
+	}
+	us := u.GroupSpecs()
+	if us[0] != us[1] {
+		t.Fatalf("uniform cluster reports unequal specs: %+v", us)
+	}
+}
+
+func TestGroupSpecHeteroEndToEnd(t *testing.T) {
+	c, err := New(Config{
+		UseHarmonia: true,
+		GroupSpecs: []GroupSpec{
+			{Protocol: ChainReplication, Replicas: 7},
+			{Protocol: NOPaxos, Replicas: 3},
+		},
+		RecordHistory: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cl := c.Client()
+	seen := make(map[int]bool)
+	for i := 0; i < 48; i++ {
+		key := fmt.Sprintf("user:%03d", i)
+		if err := cl.Set(key, nil); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if _, ok, err := cl.Get(key); err != nil || !ok {
+			t.Fatalf("Get(%s): %v %v", key, ok, err)
+		}
+		seen[c.GroupOf(key)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("groups hit: %v", seen)
+	}
+	// Per-group failure-injection bounds follow the specs.
+	if err := c.CrashReplicaInGroup(1, 5); err == nil {
+		t.Fatal("replica 5 of the 3-replica group accepted")
+	}
+	if err := c.CrashReplicaInGroup(0, 5); err != nil {
+		t.Fatalf("crash replica 5 of the 7-replica group: %v", err)
+	}
+	for g := 0; g < c.Groups(); g++ {
+		if res := c.CheckLinearizabilityGroup(g); !res.Decided || !res.Ok {
+			t.Fatalf("group %d: %+v", g, res)
+		}
 	}
 }

@@ -3,82 +3,92 @@
 //
 // Usage:
 //
-//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|ablations]
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|ablations]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"harmonia/internal/experiments"
 )
 
+// runners is the figure registry: names, titles, axis labels, and the
+// experiment entry points. The -fig flag's usage string and its
+// unknown-value error both enumerate this table, so the valid names —
+// including the repo-grown S/R/A/M/H figures — are always discoverable
+// from the CLI itself.
+var runners = []struct {
+	name, title, xlabel, ylabel string
+	run                         func(experiments.Scale) []experiments.Series
+}{
+	{"5a", "Figure 5(a): latency vs throughput, read-only, 3 replicas",
+		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5a},
+	{"5b", "Figure 5(b): latency vs throughput, write-only, 3 replicas",
+		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5b},
+	{"6a", "Figure 6(a): read throughput vs write rate, 3 replicas",
+		"write throughput (MRPS)", "read throughput (MRPS)", experiments.Fig6a},
+	{"6b", "Figure 6(b): total throughput vs write ratio, 3 replicas",
+		"write ratio (%)", "throughput (MRPS)", experiments.Fig6b},
+	{"7a", "Figure 7(a): scalability, read-only workload",
+		"replicas", "throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0) }},
+	{"7b", "Figure 7(b): scalability, write-only workload",
+		"replicas", "throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 1) }},
+	{"7c", "Figure 7(c): scalability, 5% writes",
+		"replicas", "throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0.05) }},
+	{"8", "Figure 8: throughput vs dirty-set hash-table slots (5% writes)",
+		"slots", "throughput (MRPS)", experiments.Fig8},
+	{"9a", "Figure 9(a): primary-backup family, reads vs write rate",
+		"write throughput (MRPS)", "read throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "pb") }},
+	{"9b", "Figure 9(b): quorum family, reads vs write rate",
+		"write throughput (MRPS)", "read throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "quorum") }},
+	{"10", "Figure 10: throughput during switch stop/reactivate (ms, 1000:1 compressed)",
+		"time (ms)", "throughput (MRPS)",
+		func(s experiments.Scale) []experiments.Series {
+			return []experiments.Series{experiments.Fig10(s)}
+		}},
+	{"S", "Figure S: aggregate throughput vs replica-group count (sharded, 5% writes, zipf-0.9)",
+		"groups", "throughput (MRPS)", experiments.FigS},
+	{"R", "Figure R: throughput while a pinned hot spot's slots migrate off the hot group (online rebalance)",
+		"time (ms)", "throughput (MRPS)", experiments.FigR},
+	{"A", "Figure A: autonomous rebalancer converging an unpinned zipf-1.2 hot spot (switch heat counters, no hints)",
+		"time (ms)", "throughput (MRPS)", experiments.FigA},
+	{"M", "Figure M: multi-switch rack scaling (2 groups/switch) and one-switch crash economics",
+		"switches", "throughput (MRPS)", experiments.FigM},
+	{"H", "Figure H: heterogeneous rack (CR×7 + 2×NOPaxos×3, weighted shards) vs the uniform misconfiguration",
+		"group", "throughput (MRPS)", experiments.FigH},
+	{"ablations", "Ablations (DESIGN.md §6)",
+		"-", "see series names",
+		func(s experiments.Scale) []experiments.Series {
+			var out []experiments.Series
+			out = append(out, tag("eager-completions: ", experiments.AblationEagerCompletions(s))...)
+			out = append(out, tag("lazy-cleanup: ", experiments.AblationLazyCleanup(s))...)
+			out = append(out, tag("stages: ", experiments.AblationStages(s))...)
+			return out
+		}},
+}
+
+// figNames lists the registry's figure names in presentation order.
+func figNames() []string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.name
+	}
+	return out
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window multiplier (lower = faster, noisier)")
-	fig := flag.String("fig", "all", "figure to regenerate (5a 5b 6a 6b 7a 7b 7c 8 9a 9b 10 S R A M ablations all)")
+	fig := flag.String("fig", "all", "figure to regenerate: one of "+strings.Join(figNames(), " ")+", or all")
 	flag.Parse()
 	s := experiments.Scale(*scale)
-
-	runners := []struct {
-		name, title, xlabel, ylabel string
-		run                         func() []experiments.Series
-	}{
-		{"5a", "Figure 5(a): latency vs throughput, read-only, 3 replicas",
-			"throughput (MRPS)", "mean latency (ms)",
-			func() []experiments.Series { return experiments.Fig5a(s) }},
-		{"5b", "Figure 5(b): latency vs throughput, write-only, 3 replicas",
-			"throughput (MRPS)", "mean latency (ms)",
-			func() []experiments.Series { return experiments.Fig5b(s) }},
-		{"6a", "Figure 6(a): read throughput vs write rate, 3 replicas",
-			"write throughput (MRPS)", "read throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig6a(s) }},
-		{"6b", "Figure 6(b): total throughput vs write ratio, 3 replicas",
-			"write ratio (%)", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig6b(s) }},
-		{"7a", "Figure 7(a): scalability, read-only workload",
-			"replicas", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig7(s, 0) }},
-		{"7b", "Figure 7(b): scalability, write-only workload",
-			"replicas", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig7(s, 1) }},
-		{"7c", "Figure 7(c): scalability, 5% writes",
-			"replicas", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig7(s, 0.05) }},
-		{"8", "Figure 8: throughput vs dirty-set hash-table slots (5% writes)",
-			"slots", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig8(s) }},
-		{"9a", "Figure 9(a): primary-backup family, reads vs write rate",
-			"write throughput (MRPS)", "read throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig9(s, "pb") }},
-		{"9b", "Figure 9(b): quorum family, reads vs write rate",
-			"write throughput (MRPS)", "read throughput (MRPS)",
-			func() []experiments.Series { return experiments.Fig9(s, "quorum") }},
-		{"10", "Figure 10: throughput during switch stop/reactivate (ms, 1000:1 compressed)",
-			"time (ms)", "throughput (MRPS)",
-			func() []experiments.Series { return []experiments.Series{experiments.Fig10(s)} }},
-		{"S", "Figure S: aggregate throughput vs replica-group count (sharded, 5% writes, zipf-0.9)",
-			"groups", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.FigS(s) }},
-		{"R", "Figure R: throughput while a pinned hot spot's slots migrate off the hot group (online rebalance)",
-			"time (ms)", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.FigR(s) }},
-		{"A", "Figure A: autonomous rebalancer converging an unpinned zipf-1.2 hot spot (switch heat counters, no hints)",
-			"time (ms)", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.FigA(s) }},
-		{"M", "Figure M: multi-switch rack scaling (2 groups/switch) and one-switch crash economics",
-			"switches", "throughput (MRPS)",
-			func() []experiments.Series { return experiments.FigM(s) }},
-		{"ablations", "Ablations (DESIGN.md §6)",
-			"-", "see series names",
-			func() []experiments.Series {
-				var out []experiments.Series
-				out = append(out, tag("eager-completions: ", experiments.AblationEagerCompletions(s))...)
-				out = append(out, tag("lazy-cleanup: ", experiments.AblationLazyCleanup(s))...)
-				out = append(out, tag("stages: ", experiments.AblationStages(s))...)
-				return out
-			}},
-	}
 
 	found := false
 	for _, r := range runners {
@@ -87,7 +97,7 @@ func main() {
 		}
 		found = true
 		fmt.Printf("== %s ==\n", r.title)
-		series := r.run()
+		series := r.run(s)
 		fmt.Printf("%-24s %16s %16s\n", "series", r.xlabel, r.ylabel)
 		for _, sr := range series {
 			for _, p := range sr.Points {
@@ -97,7 +107,8 @@ func main() {
 		fmt.Println()
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q: available figures are %s, or all\n",
+			*fig, strings.Join(figNames(), " "))
 		os.Exit(2)
 	}
 }

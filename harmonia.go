@@ -33,6 +33,7 @@ package harmonia
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"harmonia/internal/cluster"
@@ -98,6 +99,20 @@ type Config struct {
 	// Default 1, the classic single-group rack; at most MaxGroups.
 	Groups int
 
+	// GroupSpecs makes the cluster heterogeneous: one spec per replica
+	// group, each naming its own protocol, size, and relative capacity
+	// weight, so a hot 7-replica Harmonia(CR) shard can run next to
+	// cold 3-replica NOPaxos shards in one rack. When set, Groups must
+	// be zero or equal to len(GroupSpecs). Slot shards, the autonomous
+	// rebalancer's thresholds, and pinned load generation all follow
+	// the groups' capacity weights, and slots migrate between groups of
+	// different protocols exactly as between uniform ones.
+	//
+	// Nil keeps today's uniform behavior — every group a copy of
+	// Protocol/Replicas — bit-compatible with the pre-spec layout,
+	// routing, and load split.
+	GroupSpecs []GroupSpec
+
 	// Switches spreads the groups across this many switch front-ends —
 	// a multi-switch rack. Each switch owns a contiguous shard of the
 	// NumSlots routing slots and is an independent failure domain: its
@@ -143,10 +158,41 @@ type Config struct {
 	Seed int64
 }
 
-// RebalancePolicy tunes the autonomous rebalancer's control loop.
+// GroupSpec describes one replica group of a heterogeneous cluster
+// (Config.GroupSpecs).
+type GroupSpec struct {
+	// Protocol is this group's replication protocol. Each spec names
+	// its protocol explicitly (the zero value is PrimaryBackup, as in
+	// Config). A CRAQ group is always the protocol-level baseline: it
+	// runs without switch assistance even in a UseHarmonia cluster,
+	// and the two coexist in one rack.
+	Protocol Protocol
+	// Replicas is this group's size (0 inherits Config.Replicas).
+	Replicas int
+	// Weight is the group's relative capacity — the number the
+	// weighted slot-shard layout, the rebalancer's per-capacity-unit
+	// thresholds, and PinGroups load generation normalize by. 0 (the
+	// default) derives it from the group's calibrated service rate, so
+	// a 7-replica fast-read group automatically outweighs a 3-replica
+	// one. Only ratios between groups matter — which is why Weight
+	// must be set on every spec or on none: derived weights are
+	// absolute service rates (millions of ops/s), a scale explicit
+	// ratios like 5:1 cannot meaningfully mix with, so New rejects the
+	// mixture instead of silently inverting the intended split.
+	Weight float64
+}
+
+// RebalancePolicy tunes the autonomous rebalancer's control loop. All
+// thresholds are measured per capacity unit: each group's load is
+// normalized by its capacity weight before comparison, so on a
+// heterogeneous cluster a 7-replica group legitimately carries more
+// raw load than a 3-replica one without tripping the trigger. On a
+// uniform cluster every weight is equal and the ratios reduce to the
+// classic per-group readings.
 type RebalancePolicy struct {
-	// Threshold is the hottest-group-to-mean load ratio that triggers
-	// a rebalancing round (default 1.5).
+	// Threshold is the per-capacity-unit load ratio that triggers a
+	// rebalancing round (default 1.5: the hottest group carries ≥1.5×
+	// its capacity-weighted fair share).
 	Threshold float64
 	// Hysteresis widens the re-arm band: after a round fires, no new
 	// round triggers until imbalance falls below Threshold−Hysteresis
@@ -173,13 +219,22 @@ type Cluster struct {
 
 // New builds and primes a cluster.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Protocol < PrimaryBackup || cfg.Protocol > NOPaxos {
-		return nil, fmt.Errorf("harmonia: unknown protocol %d", cfg.Protocol)
+	if len(cfg.GroupSpecs) == 0 {
+		// Uniform cluster: the cluster-wide protocol is what every
+		// group runs, so it is validated here. With GroupSpecs, each
+		// spec names its own protocol and the cluster-wide one is only
+		// a default for unset fields.
+		if cfg.Protocol < PrimaryBackup || cfg.Protocol > NOPaxos {
+			return nil, fmt.Errorf("harmonia: unknown protocol %d", cfg.Protocol)
+		}
+		if cfg.Protocol == CRAQ && cfg.UseHarmonia {
+			return nil, fmt.Errorf("harmonia: CRAQ is the protocol-level baseline and does not take switch assistance")
+		}
+		if cfg.Replicas == 1 && cfg.Protocol == ViewstampedReplication {
+			return nil, fmt.Errorf("harmonia: invalid replica count %d", cfg.Replicas)
+		}
 	}
-	if cfg.Protocol == CRAQ && cfg.UseHarmonia {
-		return nil, fmt.Errorf("harmonia: CRAQ is the protocol-level baseline and does not take switch assistance")
-	}
-	if cfg.Replicas < 0 || (cfg.Replicas == 1 && cfg.Protocol == ViewstampedReplication) {
+	if cfg.Replicas < 0 {
 		return nil, fmt.Errorf("harmonia: invalid replica count %d", cfg.Replicas)
 	}
 	if cfg.Stages < 0 || cfg.SlotsPerStage < 0 {
@@ -192,13 +247,52 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("harmonia: invalid switch count %d (max %d)", cfg.Switches, MaxSwitches)
 	}
 	effGroups := cfg.Groups
+	if n := len(cfg.GroupSpecs); n > 0 {
+		if n > MaxGroups {
+			return nil, fmt.Errorf("harmonia: %d group specs (max %d)", n, MaxGroups)
+		}
+		if cfg.Groups != 0 && cfg.Groups != n {
+			return nil, fmt.Errorf("harmonia: Groups %d disagrees with %d group specs (set one or make them equal)", cfg.Groups, n)
+		}
+		defReplicas := cfg.Replicas
+		if defReplicas == 0 {
+			defReplicas = 3
+		}
+		explicitWeights := 0
+		for _, gs := range cfg.GroupSpecs {
+			if gs.Weight > 0 {
+				explicitWeights++
+			}
+		}
+		if explicitWeights != 0 && explicitWeights != n {
+			// Derived weights are absolute service rates; explicit ones
+			// are user-scale ratios. Mixing the two scales would
+			// silently starve whichever side is numerically smaller, so
+			// the mixture is an error, not a guess.
+			return nil, fmt.Errorf("harmonia: %d of %d group specs set Weight — set it on every spec or on none (derived and explicit weights do not share a scale)", explicitWeights, n)
+		}
+		for g, gs := range cfg.GroupSpecs {
+			if gs.Protocol < PrimaryBackup || gs.Protocol > NOPaxos {
+				return nil, fmt.Errorf("harmonia: group %d: unknown protocol %d", g, gs.Protocol)
+			}
+			if gs.Replicas < 0 {
+				return nil, fmt.Errorf("harmonia: group %d: invalid replica count %d", g, gs.Replicas)
+			}
+			eff := gs.Replicas
+			if eff == 0 {
+				eff = defReplicas
+			}
+			if eff == 1 && gs.Protocol == ViewstampedReplication {
+				return nil, fmt.Errorf("harmonia: group %d: invalid replica count %d for VR", g, eff)
+			}
+			if gs.Weight < 0 || math.IsNaN(gs.Weight) || math.IsInf(gs.Weight, 0) {
+				return nil, fmt.Errorf("harmonia: group %d: invalid capacity weight %v", g, gs.Weight)
+			}
+		}
+		effGroups = n
+	}
 	if effGroups == 0 {
 		effGroups = 1
-	}
-	if cfg.Switches > 1 {
-		if err := rack.Validate(cfg.Switches, effGroups); err != nil {
-			return nil, fmt.Errorf("harmonia: %w", err)
-		}
 	}
 	rp := cfg.RebalancePolicy
 	if rp.Threshold < 0 || rp.Hysteresis < 0 || rp.Interval < 0 || rp.MaxSlotsPerRound < 0 {
@@ -213,13 +307,22 @@ func New(cfg Config) (*Cluster, error) {
 		effThreshold = 1.5
 	}
 	if rp.Hysteresis >= effThreshold {
-		return nil, fmt.Errorf("harmonia: rebalance hysteresis %.2f must stay below the effective threshold %.2f", rp.Hysteresis, effThreshold)
+		return nil, fmt.Errorf("harmonia: rebalance hysteresis %.2f must stay below the effective threshold %.2f (both ratios are per capacity unit)", rp.Hysteresis, effThreshold)
 	}
-	c := cluster.New(cluster.Config{
+	var specs []cluster.GroupSpec
+	for _, gs := range cfg.GroupSpecs {
+		specs = append(specs, cluster.GroupSpec{
+			Protocol: gs.Protocol.internal(),
+			Replicas: gs.Replicas,
+			Weight:   gs.Weight,
+		})
+	}
+	ccfg := cluster.Config{
 		Protocol:      cfg.Protocol.internal(),
 		Replicas:      cfg.Replicas,
 		UseHarmonia:   cfg.UseHarmonia,
 		Groups:        cfg.Groups,
+		GroupSpecs:    specs,
 		Switches:      cfg.Switches,
 		Stages:        cfg.Stages,
 		SlotsPerStage: cfg.SlotsPerStage,
@@ -236,8 +339,17 @@ func New(cfg Config) (*Cluster, error) {
 		},
 		RecordHistory: cfg.RecordHistory,
 		Seed:          cfg.Seed,
-	})
-	return &Cluster{c: c}, nil
+	}
+	if cfg.Switches > 1 {
+		// Validate the rack shape against the groups' effective
+		// capacity weights: each switch's slot shard must fit every
+		// group of its block (uniform weights additionally pin the
+		// historical even-shard constraints).
+		if err := rack.ValidateWeights(cfg.Switches, ccfg.ResolvedWeights()); err != nil {
+			return nil, fmt.Errorf("harmonia: %w", err)
+		}
+	}
+	return &Cluster{c: cluster.New(ccfg)}, nil
 }
 
 // Client returns a synchronous client. Each call registers a new
@@ -403,11 +515,54 @@ func (cl *Cluster) ReactivateSwitch(switches ...int) error {
 func (cl *Cluster) CrashReplica(i int) error { return cl.c.CrashReplica(i) }
 
 // CrashReplicaInGroup fails replica i of group g. Only that group
-// reconfigures; the other shards keep serving undisturbed.
+// reconfigures; the other shards keep serving undisturbed. Bounds and
+// protocol capabilities are per group: on a heterogeneous cluster i
+// runs to that group's own replica count, and reconfiguration support
+// follows that group's protocol.
 func (cl *Cluster) CrashReplicaInGroup(g, i int) error { return cl.c.CrashReplicaIn(g, i) }
 
 // Groups returns the replica-group count.
 func (cl *Cluster) Groups() int { return cl.c.Groups() }
+
+// GroupSpecs returns the effective per-group specs the cluster
+// assembled with — protocol, replica count, and capacity weight, with
+// every default and derived weight resolved. A cluster built without
+// Config.GroupSpecs reports one uniform spec per group.
+func (cl *Cluster) GroupSpecs() []GroupSpec {
+	out := make([]GroupSpec, cl.c.Groups())
+	for g := range out {
+		sp := cl.c.SpecOf(g)
+		out[g] = GroupSpec{
+			Protocol: protocolFromInternal(sp.Protocol),
+			Replicas: sp.Replicas,
+			Weight:   sp.Weight,
+		}
+	}
+	return out
+}
+
+// GroupWeights returns the effective per-group capacity weights — the
+// vector the weighted slot layout, the rebalancer's thresholds, and
+// PinGroups load generation normalize by. Only the ratios between
+// entries are meaningful.
+func (cl *Cluster) GroupWeights() []float64 { return cl.c.GroupWeights() }
+
+func protocolFromInternal(p cluster.Protocol) Protocol {
+	switch p {
+	case cluster.PB:
+		return PrimaryBackup
+	case cluster.Chain:
+		return ChainReplication
+	case cluster.CRAQ:
+		return CRAQ
+	case cluster.VR:
+		return ViewstampedReplication
+	case cluster.NOPaxos:
+		return NOPaxos
+	default:
+		return ChainReplication
+	}
+}
 
 // Switches returns the switch front-end count.
 func (cl *Cluster) Switches() int { return cl.c.Switches() }
@@ -435,11 +590,14 @@ type SwitchDomainStats struct {
 	Replacements uint64
 	// AgreementMsgs is the total §5.3 agreement message count (revokes
 	// sent + acks received) across this switch's replacements — it
-	// scales with the groups the switch hosts, never with rack size.
+	// scales with the live replicas of the groups the switch hosts
+	// (heterogeneous groups bill their actual sizes), never with rack
+	// size.
 	AgreementMsgs uint64
 	// AgreementAcks is the acks-received share of AgreementMsgs: per
 	// replacement, exactly one ack per live replica of each hosted
-	// group.
+	// group — on a heterogeneous rack, the sum of those groups' own
+	// replica counts, not a uniform groups×replicas product.
 	AgreementAcks uint64
 	// LastAgreementLatency is the most recent replacement's agreement
 	// duration (first revoke to last group's completion).

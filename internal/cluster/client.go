@@ -7,6 +7,7 @@ import (
 	"harmonia/internal/sim"
 	"harmonia/internal/simnet"
 	"harmonia/internal/wire"
+	"harmonia/internal/workload"
 )
 
 // Dist selects a key distribution.
@@ -44,13 +45,15 @@ type LoadSpec struct {
 	Keys       int
 	Dist       Dist
 	// PinGroups shards the closed-loop client pool the way the data is
-	// sharded: the Clients are split evenly across the replica groups
-	// and each sub-pool draws keys only from its group's slice of the
-	// key space. This is the sharded load-generation mode — groups
-	// saturate independently instead of the whole fleet throttling on
-	// the slowest shard — and the per-group completions land in
-	// Report.GroupOps. Ignored for open-loop runs and single-group
-	// clusters.
+	// sharded: the Clients are split across the replica groups in
+	// proportion to their capacity weights (evenly, for a uniform
+	// cluster) and each sub-pool draws keys only from its group's
+	// slice of the key space. This is the sharded load-generation mode
+	// — groups saturate independently instead of the whole fleet
+	// throttling on the slowest shard, and a 7-replica group receives
+	// proportionally more offered load than a 3-replica one — and the
+	// per-group completions land in Report.GroupOps. Ignored for
+	// open-loop runs and single-group clusters.
 	PinGroups bool
 	// Bucket, when > 0, also collects a completion time series
 	// (Fig. 10).
@@ -361,16 +364,17 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 		var clients []*vclient
 		if spec.Mode == Closed {
 			if spec.PinGroups && len(c.groups) > 1 {
-				// Sharded load generation: an even share of the pool
-				// per group, each sub-pool confined to its group's
-				// slice of the key space (shard-local ranks keep the
-				// distribution's shape within the slice).
+				// Sharded load generation: the pool is split across the
+				// groups by capacity weight — the client-side router's
+				// service-rate calibration — and each sub-pool is
+				// confined to its group's slice of the key space
+				// (shard-local ranks keep the distribution's shape
+				// within the slice). Uniform weights reproduce the
+				// historical even split exactly.
 				owned := c.ownedKeyIndices(spec.Keys)
+				shares := workload.Apportion(spec.Clients, c.cfg.Weights())
 				for g, idxs := range owned {
-					n := spec.Clients / len(c.groups)
-					if g < spec.Clients%len(c.groups) {
-						n++
-					}
+					n := shares[g]
 					if len(idxs) == 0 {
 						continue // degenerate: shard owns no keys
 					}

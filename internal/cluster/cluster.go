@@ -26,6 +26,7 @@ import (
 	"harmonia/internal/simnet"
 	"harmonia/internal/store"
 	"harmonia/internal/wire"
+	"harmonia/internal/workload"
 )
 
 // Protocol selects the replication protocol.
@@ -95,6 +96,39 @@ func groupReplicaAddr(g, i int) simnet.NodeID {
 	return replicaBase + simnet.NodeID(g)*groupStride + simnet.NodeID(i)
 }
 
+// GroupSpec describes one replica group of a (possibly heterogeneous)
+// cluster: its replication protocol, its size, its relative capacity,
+// and optional server-calibration overrides. The zero value of every
+// field inherits the cluster-wide setting.
+type GroupSpec struct {
+	Protocol Protocol
+	Replicas int // default: the cluster's Replicas
+
+	// Harmonia enables in-network conflict detection for this group's
+	// scheduler partition. Resolved during defaulting: the cluster's
+	// UseHarmonia, except CRAQ groups, which are always the
+	// protocol-level baseline and run without switch assistance.
+	Harmonia bool
+
+	// Weight is the group's relative capacity — the number the
+	// weighted slot-shard layout, the rebalancer's per-capacity-unit
+	// thresholds, and the pinned client pool's split all normalize by.
+	// 0 derives it from the group's calibrated service rate
+	// (workload.ServiceRate at the paper's default 5% write ratio), so
+	// a 7-replica Harmonia group automatically outweighs a 3-replica
+	// one. Set it on every spec or on none: derived weights are
+	// absolute ops/s, a scale explicit ratios cannot meaningfully mix
+	// with (the public API rejects the mixture).
+	Weight float64
+
+	// Server calibration overrides for this group's replicas; zero
+	// fields inherit the cluster-wide server model.
+	Workers   int
+	Shards    int
+	ReadCost  time.Duration
+	WriteCost time.Duration
+}
+
 // Config parameterizes a cluster.
 type Config struct {
 	Protocol    Protocol
@@ -106,6 +140,13 @@ type Config struct {
 	// members and its own scheduler partition. Default 1: the classic
 	// single-group rack.
 	Groups int
+
+	// GroupSpecs, when non-nil, makes the cluster heterogeneous: one
+	// spec per group, overriding Protocol/Replicas per shard (Groups
+	// is then len(GroupSpecs)). Nil keeps today's uniform behavior —
+	// every group a copy of the cluster-wide settings, bit-compatible
+	// with the pre-spec layout, routing, and load split.
+	GroupSpecs []GroupSpec
 
 	// Switches spreads the groups across this many switch front-ends,
 	// each a failure domain of its own: a contiguous shard of the
@@ -180,6 +221,12 @@ func (c *Config) fillDefaults() {
 	if c.Replicas <= 0 {
 		c.Replicas = 3
 	}
+	if len(c.GroupSpecs) > 0 {
+		if len(c.GroupSpecs) > MaxGroups {
+			c.GroupSpecs = c.GroupSpecs[:MaxGroups]
+		}
+		c.Groups = len(c.GroupSpecs)
+	}
 	if c.Groups <= 0 {
 		c.Groups = 1
 	}
@@ -198,12 +245,6 @@ func (c *Config) fillDefaults() {
 		// Every switch hosts at least one group; the public API rejects
 		// this shape up front — clamp for direct internal users.
 		c.Switches = c.Groups
-	}
-	for c.Switches > 1 && rack.Validate(c.Switches, c.Groups) != nil {
-		// Degenerate shard shapes (a switch with more groups than
-		// slots) step down to the nearest assemblable switch count;
-		// Switches == 1 always validates.
-		c.Switches--
 	}
 	if c.Stages <= 0 {
 		c.Stages = 3
@@ -249,6 +290,86 @@ func (c *Config) fillDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	c.resolveSpecs()
+	for c.Switches > 1 && rack.ValidateWeights(c.Switches, c.Weights()) != nil {
+		// Degenerate shard shapes (a uniform switch block with more
+		// groups than slots) step down to the nearest assemblable
+		// switch count; Switches == 1 always validates.
+		c.Switches--
+	}
+}
+
+// resolveSpecs materializes the effective per-group specs: a uniform
+// cluster synthesizes one spec per group from the cluster-wide
+// fields (so every downstream layer reads specs unconditionally), and
+// an explicit spec list is copied and defaulted field by field. CRAQ
+// groups never take switch assistance; unset weights derive from the
+// group's calibrated service rate at the paper's default 5% write
+// ratio.
+func (c *Config) resolveSpecs() {
+	specs := make([]GroupSpec, c.Groups)
+	copy(specs, c.GroupSpecs)
+	if len(c.GroupSpecs) == 0 {
+		for g := range specs {
+			specs[g] = GroupSpec{Protocol: c.Protocol, Replicas: c.Replicas}
+		}
+	}
+	for g := range specs {
+		sp := &specs[g]
+		if sp.Replicas <= 0 {
+			sp.Replicas = c.Replicas
+		}
+		sp.Harmonia = c.UseHarmonia && sp.Protocol != CRAQ
+		if sp.Workers <= 0 {
+			sp.Workers = c.Workers
+		}
+		if sp.Shards <= 0 {
+			sp.Shards = c.Shards
+		}
+		if sp.ReadCost <= 0 {
+			sp.ReadCost = c.ReadCost
+		}
+		if sp.WriteCost <= 0 {
+			sp.WriteCost = c.WriteCost
+		}
+		if sp.Weight <= 0 {
+			// One server's calibrated per-class rate; reads spread
+			// across the group under Harmonia fast reads or CRAQ's
+			// per-replica clean reads, writes always load every member.
+			readRate := float64(sp.Workers) / sp.ReadCost.Seconds()
+			writeRate := float64(sp.Workers) / sp.WriteCost.Seconds()
+			spread := sp.Harmonia || sp.Protocol == CRAQ
+			sp.Weight = workload.ServiceRate(sp.Replicas, spread, defaultWriteRatio, readRate, writeRate)
+			if !(sp.Weight > 0) {
+				sp.Weight = 1 // degenerate calibration: neutral capacity
+			}
+		}
+	}
+	c.GroupSpecs = specs
+}
+
+// defaultWriteRatio is the paper's default operation mix (§9.1, 5%
+// writes) — the operating point the derived capacity weights are
+// calibrated at.
+const defaultWriteRatio = 0.05
+
+// Weights returns the effective per-group capacity weights (specs must
+// be resolved; New and the public API call fillDefaults first).
+func (c *Config) Weights() []float64 {
+	out := make([]float64, len(c.GroupSpecs))
+	for g, sp := range c.GroupSpecs {
+		out[g] = sp.Weight
+	}
+	return out
+}
+
+// ResolvedWeights returns the per-group capacity weights cfg would
+// assemble with: defaults are applied to a copy (the receiver and its
+// spec slice are untouched), so callers can validate a rack shape
+// before building anything.
+func (c Config) ResolvedWeights() []float64 {
+	c.fillDefaults()
+	return c.Weights()
 }
 
 // ReplicaHandle is the cluster's view of one protocol replica.
@@ -280,11 +401,12 @@ type ReplicaHandle interface {
 }
 
 // replicaGroup is one replica group: a partition of the key space with
-// its own protocol instance and scheduler state behind the shared
-// switch.
+// its own protocol instance, size, calibration, and scheduler state
+// behind the shared switch.
 type replicaGroup struct {
 	idx      int
-	n        int // group size (== Config.Replicas)
+	spec     GroupSpec
+	n        int // group size (== spec.Replicas)
 	sched    *core.Scheduler
 	replicas []ReplicaHandle
 	raw      any // protocol-specific slice for reconfiguration
@@ -364,8 +486,10 @@ func New(cfg Config) *Cluster {
 
 	// Switches: line-rate nodes, each hosting the scheduler partitions
 	// of its owned groups behind its hashing front-end. The rack layer
-	// owns the slot → switch map and the per-switch epochs.
-	c.rack = rack.New(cfg.Switches, cfg.Groups)
+	// owns the slot → switch map and the per-switch epochs; shard sizes
+	// and boot-time slot shares follow the groups' capacity weights
+	// (uniform specs reproduce the historical even layout exactly).
+	c.rack = rack.NewWeighted(cfg.Switches, cfg.Weights())
 	for s := 0; s < cfg.Switches; s++ {
 		c.net.AddNode(switchAddrOf(s), c.rack.Front(s), simnet.ProcConfig{Workers: 0})
 	}
@@ -378,7 +502,7 @@ func New(cfg Config) *Cluster {
 	// installed on the group's owning switch.
 	c.groups = make([]*replicaGroup, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
-		grp := &replicaGroup{idx: g, n: cfg.Replicas}
+		grp := &replicaGroup{idx: g, spec: cfg.GroupSpecs[g], n: cfg.GroupSpecs[g].Replicas}
 		c.groups[g] = grp
 		grp.sched = c.newScheduler(g, c.rack.Epoch(c.rack.SwitchOfGroup(g)))
 		c.rack.SetGroup(g, grp.sched)
@@ -433,9 +557,20 @@ func New(cfg Config) *Cluster {
 // (cross-switch migration stays an explicit operation).
 func (c *Cluster) startRebalancer() {
 	now := func() time.Duration { return time.Duration(c.eng.Now()) }
+	weights := c.cfg.Weights()
 	c.policies = make([]*rebalance.Policy, c.rack.Switches())
 	for s := range c.policies {
 		c.policies[s] = rebalance.New(c.cfg.Rebalance, now)
+		// Capacity weights in domain-local index order: the policy's
+		// thresholds are per capacity unit, so a 7-replica group is
+		// entitled to proportionally more of its domain's load than a
+		// 3-replica neighbor before the loop calls it hot.
+		domain := c.rack.GroupsOf(s)
+		local := make([]float64, len(domain))
+		for i, g := range domain {
+			local[i] = weights[g]
+		}
+		c.policies[s].SetWeights(local)
 	}
 	iv := c.policies[0].Config().Interval
 	var tick func()
@@ -518,13 +653,13 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 			}
 		}
 	}
-	moves := policy.Plan(heat, local, objects, len(domain), busy)
+	round := policy.PlanRound(heat, local, objects, len(domain), busy)
 	// Group the moves into batches by (source, destination) pair,
 	// preserving plan order so runs stay deterministic.
 	type pair struct{ from, to int }
 	var order []pair
 	batches := make(map[pair][]int)
-	for _, mv := range moves {
+	for _, mv := range round.Moves {
 		p := pair{mv.From + base, mv.To + base}
 		if _, ok := batches[p]; !ok {
 			order = append(order, p)
@@ -537,6 +672,16 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 			continue // e.g. a route changed under us; next tick re-plans
 		}
 		m.auto = true
+	}
+	// Swap rounds — planned when a one-way drain was occupancy-vetoed —
+	// run as the usual concurrent two-way batch handoffs.
+	for _, sw := range round.Swaps {
+		ma, mb, err := c.StartSwapSlots([]int{sw.SlotA}, []int{sw.SlotB})
+		if err != nil {
+			continue // a route changed under us; next tick re-plans
+		}
+		ma.auto = true
+		mb.auto = true
 	}
 }
 
@@ -604,6 +749,14 @@ func (c *Cluster) GroupScheduler(g int) *core.Scheduler { return c.groups[g].sch
 // Groups returns the replica-group count.
 func (c *Cluster) Groups() int { return len(c.groups) }
 
+// SpecOf returns group g's effective (defaulted) spec.
+func (c *Cluster) SpecOf(g int) GroupSpec { return c.groups[g].spec }
+
+// GroupWeights returns a copy of the effective per-group capacity
+// weights — the vector the slot layout, the rebalancer, and the pinned
+// load split normalize by.
+func (c *Cluster) GroupWeights() []float64 { return c.cfg.Weights() }
+
 // Switches returns the switch front-end count.
 func (c *Cluster) Switches() int { return c.rack.Switches() }
 
@@ -655,10 +808,10 @@ func (c *Cluster) SlotSwitchTable() []int { return c.rack.SlotSwitchTable() }
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// writeDst and readDst give the normal-path entry points per protocol
-// within group g.
+// writeDst and readDst give the normal-path entry points for group g's
+// protocol.
 func (c *Cluster) writeDst(g int) simnet.NodeID {
-	switch c.cfg.Protocol {
+	switch c.groups[g].spec.Protocol {
 	case Chain, CRAQ:
 		return groupReplicaAddr(g, 0) // head
 	default:
@@ -667,9 +820,9 @@ func (c *Cluster) writeDst(g int) simnet.NodeID {
 }
 
 func (c *Cluster) readDst(g int) simnet.NodeID {
-	switch c.cfg.Protocol {
+	switch c.groups[g].spec.Protocol {
 	case Chain:
-		return groupReplicaAddr(g, c.cfg.Replicas-1) // tail
+		return groupReplicaAddr(g, c.groups[g].n-1) // tail
 	case CRAQ:
 		return groupReplicaAddr(g, 0) // unused: RandomReads mode
 	default:
@@ -678,7 +831,8 @@ func (c *Cluster) readDst(g int) simnet.NodeID {
 }
 
 func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
-	addrs := c.groups[g].addrs()
+	grp := c.groups[g]
+	addrs := grp.addrs()
 	swAddr := switchAddrOf(c.rack.SwitchOfGroup(g))
 	return core.New(core.Config{
 		Epoch:              epoch,
@@ -687,10 +841,10 @@ func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 		Replicas:           addrs,
 		WriteDst:           c.writeDst(g),
 		ReadDst:            c.readDst(g),
-		MulticastWrites:    c.cfg.Protocol == NOPaxos,
+		MulticastWrites:    grp.spec.Protocol == NOPaxos,
 		ClientBase:         clientBase,
-		DisableFastReads:   !c.cfg.UseHarmonia,
-		RandomReads:        c.cfg.Protocol == CRAQ,
+		DisableFastReads:   !grp.spec.Harmonia,
+		RandomReads:        grp.spec.Protocol == CRAQ,
 		DisableCommitStamp: c.cfg.DisableCommitStamp,
 		DisableLazyCleanup: c.cfg.DisableLazyCleanup,
 		Rand:               c.eng.Rand(),
@@ -720,33 +874,36 @@ func (e *replicaEnv) After(d time.Duration, fn func()) *sim.Timer { return e.c.e
 func (e *replicaEnv) Now() sim.Time                               { return e.c.eng.Now() }
 func (e *replicaEnv) Rand() *rand.Rand                            { return e.c.eng.Rand() }
 
-// buildGroupReplicas constructs one group's protocol replica set and
-// registers the nodes with the calibrated processor model.
+// buildGroupReplicas constructs one group's protocol replica set per
+// its spec and registers the nodes with the group's calibrated
+// processor model — heterogeneous clusters run different protocols,
+// group sizes, and server calibrations side by side.
 func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 	addrs := grp.addrs()
 	swAddr := switchAddrOf(c.rack.SwitchOfGroup(grp.idx))
+	spec := grp.spec
 	cost := func(msg simnet.Message) time.Duration {
 		switch protocol.ClassOf(msg) {
 		case protocol.CostRead:
-			return c.cfg.ReadCost
+			return spec.ReadCost
 		case protocol.CostWrite:
-			return c.cfg.WriteCost
+			return spec.WriteCost
 		default:
 			return c.cfg.ControlCost
 		}
 	}
-	proc := simnet.ProcConfig{Workers: c.cfg.Workers, Cost: cost}
+	proc := simnet.ProcConfig{Workers: spec.Workers, Cost: cost}
 
-	n := c.cfg.Replicas
+	n := grp.n
 	f := (n - 1) / 2
 	gid := grp.idx
 	grp.replicas = make([]ReplicaHandle, n)
-	switch c.cfg.Protocol {
+	switch spec.Protocol {
 	case PB:
 		rs := make([]*pb.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = pb.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
+			rs[i] = pb.New(&replicaEnv{c, addrs[i], swAddr}, g, spec.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = pbHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
@@ -756,7 +913,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*chain.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = chain.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
+			rs[i] = chain.New(&replicaEnv{c, addrs[i], swAddr}, g, spec.Shards)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = chainHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
@@ -766,7 +923,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*craq.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = craq.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards)
+			rs[i] = craq.New(&replicaEnv{c, addrs[i], swAddr}, g, spec.Shards)
 			grp.replicas[i] = craqHandle{rs[i]}
 			c.net.AddNode(addrs[i], grp.replicas[i], proc)
 		}
@@ -777,7 +934,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		opts.EagerCompletions = c.cfg.EagerCompletions
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = vr.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards, opts)
+			rs[i] = vr.New(&replicaEnv{c, addrs[i], swAddr}, g, spec.Shards, opts)
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			rs[i].OnViewChange = c.viewChangeHook(gid)
 			grp.replicas[i] = vrHandle{rs[i]}
@@ -788,7 +945,7 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 		rs := make([]*nopaxos.Replica, n)
 		for i := 0; i < n; i++ {
 			g := protocol.GroupConfig{ID: gid, Replicas: addrs, Self: i, F: f}
-			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i], swAddr}, g, c.cfg.Shards,
+			rs[i] = nopaxos.New(&replicaEnv{c, addrs[i], swAddr}, g, spec.Shards,
 				nopaxos.Options{SyncEvery: c.cfg.SyncEvery})
 			rs[i].DisableCheck = c.cfg.DisableReadChecks
 			grp.replicas[i] = nopaxosHandle{rs[i]}
@@ -1016,10 +1173,12 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 	if g < 0 || g >= len(c.groups) {
 		return fmt.Errorf("cluster: group %d out of range", g)
 	}
-	if i < 0 || i >= c.cfg.Replicas {
-		return fmt.Errorf("cluster: replica %d out of range", i)
-	}
 	grp := c.groups[g]
+	if i < 0 || i >= grp.n {
+		// Bounds are per GROUP: a heterogeneous cluster's replica
+		// indices run to that group's own size, not a cluster-wide one.
+		return fmt.Errorf("cluster: replica %d out of range for group %d (size %d)", i, g, grp.n)
+	}
 	addr := groupReplicaAddr(g, i)
 	// Unsupported reconfigurations are rejected BEFORE any state
 	// changes: an error here must mean "nothing happened", not "the

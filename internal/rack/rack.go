@@ -32,10 +32,12 @@ package rack
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"harmonia/internal/core"
 	"harmonia/internal/wire"
+	"harmonia/internal/workload"
 )
 
 // MaxSwitches bounds the front-end count: the rack's switch IDs share
@@ -72,9 +74,10 @@ type Rack struct {
 	stats   []SwitchStats
 }
 
-// SwitchOfSlotIn is the boot-time slot → switch assignment: the slot
-// space is cut into switches contiguous shards. Single-switch racks map
-// everything to 0.
+// SwitchOfSlotIn is the boot-time slot → switch assignment for a
+// UNIFORM rack: the slot space is cut into switches equal contiguous
+// shards. Single-switch racks map everything to 0. Weighted racks size
+// the shards by capacity instead — see Layout.
 func SwitchOfSlotIn(slot, switches int) int {
 	if switches <= 1 {
 		return 0
@@ -83,13 +86,16 @@ func SwitchOfSlotIn(slot, switches int) int {
 }
 
 // groupRange returns the contiguous block of groups switch s hosts.
+// Group → switch placement is by index, not by weight: the operator
+// orders the groups, and heavier blocks simply earn their switch a
+// larger slot shard.
 func groupRange(s, switches, groups int) (lo, hi int) {
 	return s * groups / switches, (s + 1) * groups / switches
 }
 
 // DefaultGroupOfSlotIn is the boot-time slot → group assignment for a
-// multi-switch rack: within switch s's slot shard, slots are striped
-// across s's group block. With one switch this degenerates to
+// UNIFORM multi-switch rack: within switch s's slot shard, slots are
+// striped across s's group block. With one switch this degenerates to
 // wire.DefaultGroupOfSlot — the historical single-switch striping.
 func DefaultGroupOfSlotIn(slot, switches, groups int) int {
 	sw := SwitchOfSlotIn(slot, switches)
@@ -97,9 +103,11 @@ func DefaultGroupOfSlotIn(slot, switches, groups int) int {
 	return lo + slot%(hi-lo)
 }
 
-// Validate reports whether a (switches, groups) shape is assemblable:
-// every switch must host at least one group and own at least as many
-// slots as groups (so each group serves at least one slot at boot).
+// Validate reports whether a UNIFORM (switches, groups) shape is
+// assemblable: every switch must host at least one group and own at
+// least as many slots as groups (so each group serves at least one
+// slot at boot). Weighted shapes go through ValidateWeights, whose
+// layout guarantees the per-group slot minimum by construction.
 func Validate(switches, groups int) error {
 	if switches < 1 || switches > MaxSwitches {
 		return fmt.Errorf("rack: switch count %d out of range [1, %d]", switches, MaxSwitches)
@@ -122,14 +130,151 @@ func Validate(switches, groups int) error {
 	return nil
 }
 
-// New assembles the coordination state for a rack of the given shape
-// (which must Validate). Every front-end starts at epoch 1 with empty
-// partitions; the cluster installs schedulers as the boot-time
-// agreements complete.
-func New(switches, groups int) *Rack {
-	if err := Validate(switches, groups); err != nil {
+// ValidateWeights reports whether a capacity-weighted rack shape is
+// assemblable: one positive finite weight per group (the group's
+// relative capacity — replica count, ASIC generation, calibrated
+// service rate), at least one group per switch, and no more groups
+// than routing slots (every group must own at least one slot at
+// boot). Equal weights additionally require the uniform layout's shape
+// constraints, because that is the layout they select.
+func ValidateWeights(switches int, weights []float64) error {
+	groups := len(weights)
+	if switches < 1 || switches > MaxSwitches {
+		return fmt.Errorf("rack: switch count %d out of range [1, %d]", switches, MaxSwitches)
+	}
+	if groups < switches {
+		return fmt.Errorf("rack: %d switches need at least as many groups (have %d)", switches, groups)
+	}
+	if groups > wire.NumSlots {
+		return fmt.Errorf("rack: %d groups exceed the %d routing slots (a group must own at least one slot)", groups, wire.NumSlots)
+	}
+	for g, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("rack: group %d capacity weight %v must be positive and finite", g, w)
+		}
+	}
+	if uniformWeights(weights) {
+		return Validate(switches, groups)
+	}
+	return nil
+}
+
+// uniformWeights reports whether every group has the same capacity
+// weight — the shape that must reproduce the historical layout exactly.
+// Exact float equality is deliberate: uniform clusters derive every
+// group's weight through the identical computation, so they compare
+// equal bit for bit, while any intentional heterogeneity differs by
+// far more than an ulp.
+func uniformWeights(weights []float64) bool {
+	for _, w := range weights[1:] {
+		if w != weights[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Layout computes the boot-time slot → switch and slot → group tables
+// for a capacity-weighted rack. Equal weights reproduce the historical
+// uniform layout bit for bit (equal contiguous shards, slots striped
+// across each block). Unequal weights cut the slot space by capacity:
+//
+//   - each switch's contiguous shard is apportioned from the 256 slots
+//     by its group block's total weight (largest remainder), never
+//     smaller than the block's group count;
+//   - within a shard, each group's slot count is apportioned by its
+//     weight, never below one slot; and
+//   - each group's slots are interleaved across the shard (a weighted
+//     round-robin), preserving the striped layout's property that a
+//     contiguous run of slots touches many groups.
+//
+// All wire.NumSlots slots are always owned: the apportionments sum
+// exactly, with rounding units going to the largest remainders.
+func Layout(switches int, weights []float64) (slotSw, slotGroup []int) {
+	if err := ValidateWeights(switches, weights); err != nil {
 		panic(err)
 	}
+	groups := len(weights)
+	slotSw = make([]int, wire.NumSlots)
+	slotGroup = make([]int, wire.NumSlots)
+	if uniformWeights(weights) {
+		for slot := range slotSw {
+			slotSw[slot] = SwitchOfSlotIn(slot, switches)
+			slotGroup[slot] = DefaultGroupOfSlotIn(slot, switches, groups)
+		}
+		return slotSw, slotGroup
+	}
+	// Shard sizes by block weight, floored at the block's group count.
+	blockW := make([]float64, switches)
+	blockMin := make([]int, switches)
+	for s := 0; s < switches; s++ {
+		lo, hi := groupRange(s, switches, groups)
+		blockMin[s] = hi - lo
+		for g := lo; g < hi; g++ {
+			blockW[s] += weights[g]
+		}
+	}
+	shard := workload.ApportionMin(wire.NumSlots, blockW, blockMin)
+	start := 0
+	for s := 0; s < switches; s++ {
+		lo, hi := groupRange(s, switches, groups)
+		m := shard[s]
+		counts := workload.ApportionMin(m, weights[lo:hi], onesOf(hi-lo))
+		// Weighted round-robin interleave: position p goes to the block
+		// group furthest behind its proportional pace count·(p+1)/m.
+		assigned := make([]int, hi-lo)
+		for p := 0; p < m; p++ {
+			best := -1
+			var bestLag float64
+			for k := range counts {
+				if assigned[k] >= counts[k] {
+					continue
+				}
+				lag := float64(counts[k])*float64(p+1)/float64(m) - float64(assigned[k])
+				if best == -1 || lag > bestLag {
+					best, bestLag = k, lag
+				}
+			}
+			slotSw[start+p] = s
+			slotGroup[start+p] = lo + best
+			assigned[best]++
+		}
+		start += m
+	}
+	return slotSw, slotGroup
+}
+
+func onesOf(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// New assembles the coordination state for a uniform rack of the given
+// shape (which must Validate): every group weighs the same, so the
+// shards split evenly — the historical layout. Heterogeneous racks use
+// NewWeighted.
+func New(switches, groups int) *Rack {
+	w := make([]float64, groups)
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeighted(switches, w)
+}
+
+// NewWeighted assembles the coordination state for a capacity-weighted
+// rack: one relative weight per group (which must ValidateWeights),
+// sizing each switch's slot shard and each group's slot share by
+// capacity per Layout. Every front-end starts at epoch 1 with empty
+// partitions; the cluster installs schedulers as the boot-time
+// agreements complete.
+func NewWeighted(switches int, weights []float64) *Rack {
+	if err := ValidateWeights(switches, weights); err != nil {
+		panic(err)
+	}
+	groups := len(weights)
 	r := &Rack{
 		fronts:  make([]*core.Frontend, switches),
 		groupSw: make([]int, groups),
@@ -146,13 +291,13 @@ func New(switches, groups int) *Rack {
 			r.groupSw[g] = s
 		}
 	}
+	slotSw, slotGroup := Layout(switches, weights)
 	for slot := 0; slot < wire.NumSlots; slot++ {
-		sw := SwitchOfSlotIn(slot, switches)
+		sw := slotSw[slot]
 		r.slotSw[slot] = sw
-		g := DefaultGroupOfSlotIn(slot, switches, groups)
 		for s, f := range r.fronts {
 			f.SetOwned(slot, s == sw)
-			f.SetRoute(slot, g)
+			f.SetRoute(slot, slotGroup[slot])
 		}
 	}
 	return r

@@ -1,0 +1,231 @@
+package rack
+
+import (
+	"math"
+	"testing"
+
+	"harmonia/internal/wire"
+)
+
+// layoutInvariants checks the properties every boot layout must hold:
+// all slots owned by an in-range switch, every slot routed to a group
+// of its owning switch's block, and every group owning at least one
+// slot.
+func layoutInvariants(t *testing.T, switches int, weights []float64, slotSw, slotGroup []int) {
+	t.Helper()
+	groups := len(weights)
+	if len(slotSw) != wire.NumSlots || len(slotGroup) != wire.NumSlots {
+		t.Fatalf("layout tables sized %d/%d, want %d", len(slotSw), len(slotGroup), wire.NumSlots)
+	}
+	perGroup := make([]int, groups)
+	prev := 0
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		s := slotSw[slot]
+		if s < 0 || s >= switches {
+			t.Fatalf("slot %d owned by out-of-range switch %d", slot, s)
+		}
+		if s < prev {
+			t.Fatalf("slot %d breaks shard contiguity (switch %d after %d)", slot, s, prev)
+		}
+		prev = s
+		g := slotGroup[slot]
+		if g < 0 || g >= groups {
+			t.Fatalf("slot %d routed to out-of-range group %d", slot, g)
+		}
+		lo, hi := groupRange(s, switches, groups)
+		if g < lo || g >= hi {
+			t.Fatalf("slot %d on switch %d routed to group %d outside block [%d,%d)", slot, s, g, lo, hi)
+		}
+		perGroup[g]++
+	}
+	for g, n := range perGroup {
+		if n == 0 {
+			t.Fatalf("group %d owns no slot (weights %v)", g, weights)
+		}
+	}
+}
+
+func TestHeteroWeightedLayoutInvariants(t *testing.T) {
+	cases := []struct {
+		switches int
+		weights  []float64
+	}{
+		{1, []float64{7, 1}},
+		{1, []float64{6.9e5, 1.05e5, 1.05e5}},
+		{2, []float64{6.9e5, 1.05e5, 1.05e5}},
+		{2, []float64{1, 1, 1, 100}},
+		{3, []float64{5, 1, 1, 1, 1, 1}},
+		{4, []float64{1e-6, 1, 1e6, 1, 2, 3, 4, 5}},
+		{8, []float64{8, 7, 6, 5, 4, 3, 2, 1}},
+		{2, []float64{1, math.Nextafter(1, 2)}}, // nearly uniform: weighted path
+	}
+	for _, tc := range cases {
+		slotSw, slotGroup := Layout(tc.switches, tc.weights)
+		layoutInvariants(t, tc.switches, tc.weights, slotSw, slotGroup)
+	}
+}
+
+func TestHeteroWeightedLayoutFollowsWeights(t *testing.T) {
+	// One switch, weights 3:1: the heavy group owns about three
+	// quarters of the slots, exactly summing to the slot count.
+	_, slotGroup := Layout(1, []float64{3, 1})
+	counts := make([]int, 2)
+	for _, g := range slotGroup {
+		counts[g]++
+	}
+	if counts[0]+counts[1] != wire.NumSlots {
+		t.Fatalf("slot counts %v do not cover the table", counts)
+	}
+	if counts[0] != 192 || counts[1] != 64 {
+		t.Fatalf("3:1 weights split slots %v, want [192 64]", counts)
+	}
+
+	// Two switches, a heavy group alone behind switch 0: its shard
+	// grows with its weight.
+	slotSw, _ := Layout(2, []float64{3, 1, 1, 1})
+	shard0 := 0
+	for _, s := range slotSw {
+		if s == 0 {
+			shard0++
+		}
+	}
+	// Block 0 holds groups {0,1} (weight 4), block 1 holds {2,3}
+	// (weight 2): switch 0 owns two thirds of the slots.
+	if want := wire.NumSlots * 2 / 3; shard0 < want-1 || shard0 > want+1 {
+		t.Fatalf("weighted shard 0 owns %d slots, want ≈%d", shard0, want)
+	}
+}
+
+func TestHeteroWeightedLayoutDegenerateWeights(t *testing.T) {
+	// A vanishingly small weight still owns its one-slot minimum, and
+	// a dominant weight cannot evict the other groups.
+	weights := []float64{1e-9, 1e9, 1e-9, 1e-9}
+	slotSw, slotGroup := Layout(1, weights)
+	layoutInvariants(t, 1, weights, slotSw, slotGroup)
+	counts := make([]int, len(weights))
+	for _, g := range slotGroup {
+		counts[g]++
+	}
+	for g := range counts {
+		if g != 1 && counts[g] != 1 {
+			t.Fatalf("tiny-weight group %d owns %d slots, want exactly the 1-slot floor (counts %v)", g, counts[g], counts)
+		}
+	}
+	if counts[1] != wire.NumSlots-3 {
+		t.Fatalf("dominant group owns %d slots, want %d", counts[1], wire.NumSlots-3)
+	}
+
+	// Minimum floors across switches: 8 switches, the last block
+	// nearly weightless, still owns one slot per group.
+	w8 := []float64{100, 100, 100, 100, 100, 100, 100, 1e-9}
+	slotSw, slotGroup = Layout(8, w8)
+	layoutInvariants(t, 8, w8, slotSw, slotGroup)
+}
+
+func TestHeteroWeightedLayoutUniformEquivalence(t *testing.T) {
+	// Equal weights — whatever their absolute value — reproduce the
+	// historical uniform layout bit for bit, for every assemblable
+	// shape. This is the nil-GroupSpecs compatibility guarantee.
+	for _, scale := range []float64{1, 2.5, 9.2e5} {
+		for switches := 1; switches <= 4; switches++ {
+			for groups := switches; groups <= 4*switches; groups += switches {
+				w := make([]float64, groups)
+				for i := range w {
+					w[i] = scale
+				}
+				if ValidateWeights(switches, w) != nil {
+					continue
+				}
+				slotSw, slotGroup := Layout(switches, w)
+				for slot := 0; slot < wire.NumSlots; slot++ {
+					if got, want := slotSw[slot], SwitchOfSlotIn(slot, switches); got != want {
+						t.Fatalf("%d switches × %d groups: slot %d on switch %d, historical %d", switches, groups, slot, got, want)
+					}
+					if got, want := slotGroup[slot], DefaultGroupOfSlotIn(slot, switches, groups); got != want {
+						t.Fatalf("%d switches × %d groups: slot %d routed to %d, historical %d", switches, groups, slot, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Single-switch check against the wire-level striping too.
+	w := []float64{4, 4, 4}
+	_, slotGroup := Layout(1, w)
+	for slot, g := range slotGroup {
+		if want := wire.DefaultGroupOfSlot(slot, 3); g != want {
+			t.Fatalf("single switch uniform: slot %d → %d, wire striping %d", slot, g, want)
+		}
+	}
+}
+
+func TestHeteroValidateWeights(t *testing.T) {
+	bad := []struct {
+		switches int
+		weights  []float64
+	}{
+		{0, []float64{1}},
+		{9, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{2, []float64{1}},              // fewer groups than switches
+		{1, []float64{0}},              // zero weight
+		{1, []float64{-1, 1}},          // negative weight
+		{1, []float64{math.NaN(), 1}},  // NaN weight
+		{1, []float64{math.Inf(1), 1}}, // infinite weight
+		{1, make([]float64, 300)},      // more groups than slots (also zero)
+	}
+	for _, tc := range bad {
+		if err := ValidateWeights(tc.switches, tc.weights); err == nil {
+			t.Fatalf("ValidateWeights(%d, %v) accepted", tc.switches, tc.weights)
+		}
+	}
+	good := []struct {
+		switches int
+		weights  []float64
+	}{
+		{1, []float64{1}},
+		{1, []float64{1e-12, 1e12}},
+		{2, []float64{7, 1, 1}},
+		{8, []float64{1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	for _, tc := range good {
+		if err := ValidateWeights(tc.switches, tc.weights); err != nil {
+			t.Fatalf("ValidateWeights(%d, %v): %v", tc.switches, tc.weights, err)
+		}
+	}
+	// The uniform special case inherits the uniform layout's shape
+	// constraints (here: trivially satisfiable, must agree with
+	// Validate).
+	if err := ValidateWeights(4, []float64{1, 1, 1, 1}); err != nil {
+		t.Fatalf("uniform ValidateWeights: %v", err)
+	}
+	if (Validate(4, 4) == nil) != (ValidateWeights(4, []float64{1, 1, 1, 1}) == nil) {
+		t.Fatal("uniform ValidateWeights disagrees with Validate")
+	}
+}
+
+func TestHeteroNewWeightedRackRoutes(t *testing.T) {
+	weights := []float64{6, 1, 1}
+	r := NewWeighted(2, weights)
+	if r.Switches() != 2 || r.Groups() != 3 {
+		t.Fatalf("rack shape %d×%d", r.Switches(), r.Groups())
+	}
+	// Routing tables agree with the pure layout and with per-front
+	// ownership.
+	slotSw, slotGroup := Layout(2, weights)
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if r.SwitchOfSlot(slot) != slotSw[slot] {
+			t.Fatalf("slot %d on switch %d, layout says %d", slot, r.SwitchOfSlot(slot), slotSw[slot])
+		}
+		if r.RouteOf(slot) != slotGroup[slot] {
+			t.Fatalf("slot %d routed to %d, layout says %d", slot, r.RouteOf(slot), slotGroup[slot])
+		}
+		for s := 0; s < r.Switches(); s++ {
+			if owned := r.Front(s).OwnsSlot(slot); owned != (s == slotSw[slot]) {
+				t.Fatalf("front %d ownership of slot %d = %v", s, slot, owned)
+			}
+		}
+	}
+	// The heavy group's switch owns the bigger shard.
+	if a, b := r.Front(0).OwnedSlots(), r.Front(1).OwnedSlots(); a <= b {
+		t.Fatalf("heavy switch owns %d slots vs %d", a, b)
+	}
+}

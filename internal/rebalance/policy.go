@@ -7,6 +7,13 @@
 // cluster; the cluster wires it to real switch state and executes the
 // planned moves as batch migrations.
 //
+// Groups need not be interchangeable: SetWeights gives each group a
+// relative capacity (replica count, ASIC generation, calibrated
+// service rate), and every threshold comparison is then made per
+// capacity unit — a 7-replica group legitimately carries more raw load
+// than a 3-replica one before the loop calls the rack imbalanced.
+// Uniform weights reduce exactly to the historical per-group math.
+//
 // The design follows "Cheap Recovery: A Key to Self-Managing State"
 // (Huang & Fox): because a slot handoff is cheap and always-safe
 // (abort thaws the slot on its old owner), moving state can be a
@@ -32,9 +39,12 @@ func (h Heat) Total() uint64 { return h.Reads + h.Writes }
 // selects a default tuned for the simulated rack's millisecond
 // timescale.
 type Config struct {
-	// Threshold is the hottest-group-to-mean load ratio at which a
-	// rebalancing round fires (default 1.5: the hottest group carries
-	// ≥1.5× its fair share).
+	// Threshold is the per-capacity-unit load ratio at which a
+	// rebalancing round fires (default 1.5): the round triggers when
+	// the hottest group's load per unit of capacity reaches 1.5× the
+	// rack-wide load per capacity unit. With uniform weights this is
+	// the classic hottest-group-to-mean ratio; with heterogeneous
+	// weights a big group's fair share is proportionally bigger.
 	Threshold float64
 
 	// Hysteresis widens the re-arm band: after a round fires, no new
@@ -118,12 +128,39 @@ type Move struct {
 	To   int
 }
 
+// Swap is one planned two-way slot exchange: the hot SlotA leaves the
+// overloaded group From for To while the cold SlotB travels the other
+// way, so neither group's slot occupancy changes. The policy proposes
+// a swap when a one-way drain was blocked by the occupancy cost veto
+// alone — trading slots sheds heat while only the occupancy DIFFERENCE
+// pays the bulk-copy bill.
+type Swap struct {
+	SlotA int // hot slot, moves From → To
+	SlotB int // cold slot, moves To → From
+	From  int
+	To    int
+}
+
+// Round is one control-loop tick's full plan: the one-way drain moves,
+// plus any slot exchanges planned because every drain candidate was
+// occupancy-vetoed.
+type Round struct {
+	Moves []Move
+	Swaps []Swap
+}
+
+// Empty reports whether the round plans nothing.
+func (r Round) Empty() bool { return len(r.Moves) == 0 && len(r.Swaps) == 0 }
+
 // Policy is the control loop's decision state. It is not safe for
 // concurrent use; the cluster drives it from the single-threaded
 // simulation.
 type Policy struct {
 	cfg Config
 	now func() time.Duration
+
+	// weights holds the per-group capacity weights (nil: uniform).
+	weights []float64
 
 	armed     bool
 	everFired bool
@@ -143,6 +180,44 @@ func New(cfg Config, now func() time.Duration) *Policy {
 
 // Config returns the effective (defaulted) configuration.
 func (p *Policy) Config() Config { return p.cfg }
+
+// SetWeights installs the per-group capacity weights the imbalance
+// math normalizes by (index = the group index Plan's table uses; for a
+// rack-aware cluster that is the switch domain's LOCAL index order).
+// Nil, an empty slice, or non-positive entries fall back to uniform
+// capacity. The slice is copied.
+func (p *Policy) SetWeights(w []float64) {
+	if len(w) == 0 {
+		p.weights = nil
+		return
+	}
+	p.weights = append([]float64(nil), w...)
+}
+
+// weightsFor returns the effective weight vector for a groups-sized
+// plan: the installed weights when they fit, uniform 1s otherwise (a
+// stale or missing weight vector must degrade to the historical
+// behavior, never misattribute capacity).
+func (p *Policy) weightsFor(groups int) []float64 {
+	out := make([]float64, groups)
+	ok := len(p.weights) == groups
+	if ok {
+		for _, w := range p.weights {
+			if !(w > 0) {
+				ok = false
+				break
+			}
+		}
+	}
+	for i := range out {
+		if ok {
+			out[i] = p.weights[i]
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
 
 // Ready reports whether a round could possibly fire right now: the
 // trigger is armed and the cool-down has elapsed. Callers use it to
@@ -172,17 +247,43 @@ func (p *Policy) SlotsMoved() int { return p.slotsMoved }
 // count, and an optional busy predicate (slots currently mid-handoff,
 // which cannot be moved again yet), it returns the batch of moves to
 // execute now — nil when the loop should hold still. Firing re-arms
-// only after imbalance falls below Threshold−Hysteresis, and never
-// within Cooldown of the last round. A tick whose every candidate is
-// busy or vetoed plans nothing AND commits nothing — the trigger stays
-// armed and no cool-down is burned, so the loop retries as soon as the
-// situation becomes movable instead of disarming itself forever.
+// only after per-capacity-unit imbalance falls below
+// Threshold−Hysteresis, and never within Cooldown of the last round. A
+// tick whose every candidate is busy or vetoed plans nothing AND
+// commits nothing — the trigger stays armed and no cool-down is
+// burned, so the loop retries as soon as the situation becomes movable
+// instead of disarming itself forever.
+//
+// Plan never proposes slot exchanges; callers that can execute them
+// use PlanRound, which falls back to a swap when the drain is
+// occupancy-blocked.
 func (p *Policy) Plan(heat []Heat, table []int, objects []int, groups int, busy func(slot int) bool) []Move {
+	return p.planTick(heat, table, objects, groups, busy, false).Moves
+}
+
+// PlanRound runs one control-loop tick like Plan, but may additionally
+// plan slot exchanges: when the drain plan comes up empty because
+// every balance-improving candidate lost to the occupancy cost veto,
+// the round instead trades the hottest movable slot of the overloaded
+// group for the coldest slot of the underloaded one — heat moves, slot
+// occupancy stays level, and only the occupancy difference pays the
+// copy bill. Firing (moves OR swaps) disarms the trigger and starts
+// the cool-down exactly as a drain round does.
+func (p *Policy) PlanRound(heat []Heat, table []int, objects []int, groups int, busy func(slot int) bool) Round {
+	return p.planTick(heat, table, objects, groups, busy, true)
+}
+
+func (p *Policy) planTick(heat []Heat, table []int, objects []int, groups int, busy func(slot int) bool, withSwaps bool) Round {
 	if groups < 2 || len(heat) == 0 || len(table) != len(heat) {
-		return nil
+		return Round{}
 	}
+	w := p.weightsFor(groups)
 	load := make([]float64, groups)
 	var total uint64
+	var capSum float64
+	for _, wg := range w {
+		capSum += wg
+	}
 	for s, h := range heat {
 		g := table[s]
 		if g < 0 || g >= groups {
@@ -192,13 +293,17 @@ func (p *Policy) Plan(heat []Heat, table []int, objects []int, groups int, busy 
 		total += h.Total()
 	}
 	if total < p.cfg.MinOps {
-		return nil
+		return Round{}
 	}
-	mean := float64(total) / float64(groups)
-	if mean <= 0 {
-		return nil
+	// fairUnit is the rack-wide load per capacity unit; a group's fair
+	// share is fairUnit·weight. With uniform weights this is exactly
+	// the historical per-group mean.
+	fairUnit := float64(total) / capSum
+	if fairUnit <= 0 {
+		return Round{}
 	}
-	imb := load[hottest(load)] / mean
+	hot := hottestNorm(load, w)
+	imb := load[hot] / w[hot] / fairUnit
 
 	// Hysteresis: once a round fires the trigger disarms, and only a
 	// reading inside the calm band re-arms it. A reading that hovers
@@ -209,49 +314,49 @@ func (p *Policy) Plan(heat []Heat, table []int, objects []int, groups int, busy 
 		p.armed = true
 	}
 	if !p.armed || imb < p.cfg.Threshold {
-		return nil
+		return Round{}
 	}
 	if p.everFired && p.now()-p.lastRound < p.cfg.Cooldown {
-		return nil
+		return Round{}
 	}
 
-	moves := p.plan(heat, table, objects, load, busy)
-	if len(moves) == 0 {
+	moves, costVetoed := p.plan(heat, table, objects, load, w, fairUnit, busy)
+	round := Round{Moves: moves}
+	if len(moves) == 0 && costVetoed && withSwaps {
+		round.Swaps = p.planSwaps(heat, table, objects, load, w, busy)
+	}
+	if round.Empty() {
 		// Nothing movable (indivisible hot slot, or every candidate
 		// vetoed by the cost model): stay armed, don't burn the
 		// cooldown — the situation may become movable as heat decays.
-		return nil
+		return Round{}
 	}
 	p.armed = false
 	p.everFired = true
 	p.lastRound = p.now()
 	p.rounds++
-	p.slotsMoved += len(moves)
-	return moves
+	p.slotsMoved += len(round.Moves) + 2*len(round.Swaps)
+	return round
 }
 
-// plan greedily drains the projected-hottest group into the
-// projected-coolest, hottest slot first, until the projected imbalance
-// re-enters the calm band, the per-round budget is spent, or no
-// remaining candidate both improves the balance and survives the cost
-// veto.
-func (p *Policy) plan(heat []Heat, table []int, objects []int, load []float64, busy func(slot int) bool) []Move {
+// plan greedily drains the projected-hottest group (per capacity unit)
+// into the projected-coolest, hottest slot first, until the projected
+// imbalance re-enters the calm band, the per-round budget is spent, or
+// no remaining candidate both improves the balance and survives the
+// cost veto. costVetoed reports whether at least one candidate was
+// blocked ONLY by the cost model — the signal PlanRound's swap
+// fallback keys on.
+func (p *Policy) plan(heat []Heat, table []int, objects []int, load, w []float64, fairUnit float64, busy func(slot int) bool) (moves []Move, costVetoed bool) {
 	proj := append([]float64(nil), load...)
-	mean := 0.0
-	for _, l := range proj {
-		mean += l
-	}
-	mean /= float64(len(proj))
-	calm := mean * (p.cfg.Threshold - p.cfg.Hysteresis)
+	calmUnit := fairUnit * (p.cfg.Threshold - p.cfg.Hysteresis)
 
 	moved := make(map[int]bool)
-	var moves []Move
 	for len(moves) < p.cfg.MaxSlotsPerRound {
-		src := hottest(proj)
-		if proj[src] <= calm {
+		src := hottestNorm(proj, w)
+		if proj[src]/w[src] <= calmUnit {
 			break // projected balance is back inside the calm band
 		}
-		dst := coolest(proj)
+		dst := coolestNorm(proj, w)
 		best, bestHeat := -1, uint64(0)
 		for s, h := range heat {
 			if table[s] != src || moved[s] || h.Total() == 0 {
@@ -263,12 +368,14 @@ func (p *Policy) plan(heat []Heat, table []int, objects []int, load []float64, b
 			if h.Total() > bestHeat {
 				// The hottest unmoved slot of the source that still
 				// improves the balance: after the move the destination
-				// must stay cooler than the source was, or the move
-				// just relocates the hot spot (ping-pong fuel).
-				if proj[dst]+float64(h.Total()) >= proj[src] {
+				// must stay cooler PER CAPACITY UNIT than the source
+				// was, or the move just relocates the hot spot
+				// (ping-pong fuel).
+				if (proj[dst]+float64(h.Total()))/w[dst] >= proj[src]/w[src] {
 					continue
 				}
-				if !p.worthMoving(h, s, objects, proj[src], proj[dst]) {
+				if !p.worthMoving(h, s, objects, proj[src], proj[dst], w[src], w[dst]) {
+					costVetoed = true
 					continue
 				}
 				best, bestHeat = s, h.Total()
@@ -282,16 +389,82 @@ func (p *Policy) plan(heat []Heat, table []int, objects []int, load []float64, b
 		proj[src] -= float64(bestHeat)
 		proj[dst] += float64(bestHeat)
 	}
-	return moves
+	return moves, costVetoed
+}
+
+// planSwaps proposes at most one hot-for-cold slot exchange between
+// the hottest and coolest groups (per capacity unit): the hottest
+// movable slot of the source trades places with the coldest movable
+// slot of the destination. The exchange must genuinely improve the
+// balance (the destination ends cooler per unit than the source was)
+// and survive the swap cost model — two handoffs' control work plus
+// the occupancy DIFFERENCE, which is the whole point: a swap is what
+// the policy reaches for when one-way occupancy transfer was vetoed.
+func (p *Policy) planSwaps(heat []Heat, table []int, objects []int, load, w []float64, busy func(slot int) bool) []Swap {
+	src := hottestNorm(load, w)
+	dst := coolestNorm(load, w)
+	if src == dst {
+		return nil
+	}
+	hot := -1
+	for s, h := range heat {
+		if table[s] != src || h.Total() == 0 || (busy != nil && busy(s)) {
+			continue
+		}
+		if hot == -1 || h.Total() > heat[hot].Total() {
+			hot = s
+		}
+	}
+	if hot == -1 {
+		return nil
+	}
+	gap := weightedGap(load[src], load[dst], w[src], w[dst])
+	// The peer is the destination slot with the best NET benefit —
+	// heat shed minus the exchange's cost — not merely the coldest:
+	// against a dense hot slot, an equally dense lukewarm peer (tiny
+	// occupancy difference) beats an empty ice-cold one whose copy
+	// bill re-imposes the very veto the swap exists to dodge.
+	cold, bestBenefit := -1, 0.0
+	for s, h := range heat {
+		if table[s] != dst || (busy != nil && busy(s)) {
+			continue
+		}
+		net := float64(heat[hot].Total()) - float64(h.Total())
+		if net <= 0 {
+			continue
+		}
+		if (load[dst]+net)/w[dst] >= load[src]/w[src] {
+			continue // relocation, not improvement
+		}
+		gain := net
+		if gap < gain {
+			gain = gap
+		}
+		cost := 2 * p.cfg.MoveCost
+		if objects != nil && hot < len(objects) && s < len(objects) {
+			diff := float64(objects[hot]) - float64(objects[s])
+			if diff < 0 {
+				diff = -diff
+			}
+			cost += p.cfg.ObjectCost * diff
+		}
+		if benefit := gain - cost; benefit > bestBenefit {
+			cold, bestBenefit = s, benefit
+		}
+	}
+	if cold == -1 {
+		return nil
+	}
+	return []Swap{{SlotA: hot, SlotB: cold, From: src, To: dst}}
 }
 
 // worthMoving is the cost-model veto: a slot moves only when the
 // projected per-window gain (how much the hottest group sheds toward
-// the destination, capped by the gap it closes) exceeds the modeled
-// drain cost of the handoff.
-func (p *Policy) worthMoving(h Heat, slot int, objects []int, srcLoad, dstLoad float64) bool {
+// the destination, capped by the capacity-weighted gap it closes)
+// exceeds the modeled drain cost of the handoff.
+func (p *Policy) worthMoving(h Heat, slot int, objects []int, srcLoad, dstLoad, srcW, dstW float64) bool {
 	gain := float64(h.Total())
-	if gap := (srcLoad - dstLoad) / 2; gap < gain {
+	if gap := weightedGap(srcLoad, dstLoad, srcW, dstW); gap < gain {
 		gain = gap
 	}
 	cost := p.cfg.MoveCost
@@ -301,20 +474,32 @@ func (p *Policy) worthMoving(h Heat, slot int, objects []int, srcLoad, dstLoad f
 	return gain > cost
 }
 
-func hottest(load []float64) int {
+// weightedGap is the raw load that must travel source → destination to
+// equalize their per-capacity-unit loads: solving
+// (Lsrc−x)/Wsrc = (Ldst+x)/Wdst gives x = (Lsrc·Wdst − Ldst·Wsrc)/(Wsrc+Wdst).
+// Uniform weights reduce it to the historical (Lsrc−Ldst)/2.
+func weightedGap(srcLoad, dstLoad, srcW, dstW float64) float64 {
+	return (srcLoad*dstW - dstLoad*srcW) / (srcW + dstW)
+}
+
+// hottestNorm returns the group with the highest load per capacity
+// unit (ties: lowest index).
+func hottestNorm(load, w []float64) int {
 	best := 0
-	for g, l := range load {
-		if l > load[best] {
+	for g := range load {
+		if load[g]/w[g] > load[best]/w[best] {
 			best = g
 		}
 	}
 	return best
 }
 
-func coolest(load []float64) int {
+// coolestNorm returns the group with the lowest load per capacity unit
+// (ties: lowest index).
+func coolestNorm(load, w []float64) int {
 	best := 0
-	for g, l := range load {
-		if l < load[best] {
+	for g := range load {
+		if load[g]/w[g] < load[best]/w[best] {
 			best = g
 		}
 	}

@@ -330,7 +330,11 @@ func imbalance(heat []Heat, table []int, groups int) float64 {
 		total += float64(h.Total())
 	}
 	mean := total / float64(groups)
-	return load[hottest(load)] / mean
+	w := make([]float64, groups)
+	for i := range w {
+		w[i] = 1
+	}
+	return load[hottestNorm(load, w)] / mean
 }
 
 func TestRebalanceConfigDefaults(t *testing.T) {
@@ -340,5 +344,196 @@ func TestRebalanceConfigDefaults(t *testing.T) {
 		cfg.Cooldown != 3*time.Millisecond || cfg.MaxSlotsPerRound != 8 ||
 		cfg.MinOps != 128 || cfg.MoveCost != 48 || cfg.ObjectCost != 1 {
 		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+// TestHeteroPolicyWeightedImbalance: capacity weights make the trigger
+// fire per capacity unit, not per group. A 3:1 rack whose raw load is
+// split 3:1 is perfectly balanced; an even raw split overloads the
+// small group.
+func TestHeteroPolicyWeightedImbalance(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+	p.SetWeights([]float64{3, 1})
+
+	// Raw load 750:250 — 1.5× the per-group mean on group 0, which the
+	// unweighted policy would chase, but exactly the 3:1 capacity
+	// split: hold still.
+	w.heat[0] = Heat{Reads: 700} // slot 0 → group 0
+	w.heat[2] = Heat{Reads: 50}  // slot 2 → group 0
+	w.heat[1] = Heat{Reads: 250} // slot 1 → group 1
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("capacity-proportional load planned %v", moves)
+	}
+
+	// Even raw split: group 1 (weight 1) now carries 500 against a
+	// fair share of 250 per its capacity — 2× per unit — while group 0
+	// sits at 500/3 per unit. The policy drains group 1 toward the BIG
+	// group.
+	w.heat[0] = Heat{Reads: 450}
+	w.heat[2] = Heat{Reads: 50}
+	w.heat[1] = Heat{Reads: 400}
+	w.heat[3] = Heat{Reads: 100} // slot 3 → group 1
+	moves := w.plan(p, 2)
+	if len(moves) == 0 {
+		t.Fatal("per-unit overload of the small group not detected")
+	}
+	for _, m := range moves {
+		if m.From != 1 || m.To != 0 {
+			t.Fatalf("move %+v does not drain the overloaded small group into the big one", m)
+		}
+	}
+}
+
+// TestHeteroPolicyUniformWeightsMatchLegacy: explicit uniform weights
+// (any scale) plan exactly what the unweighted policy plans.
+func TestHeteroPolicyUniformWeightsMatchLegacy(t *testing.T) {
+	run := func(weights []float64) []Move {
+		w := newFakeWorld(3)
+		p := New(testCfg, w.clock)
+		if weights != nil {
+			p.SetWeights(weights)
+		}
+		w.heat[0] = Heat{Reads: 900}
+		w.heat[3] = Heat{Reads: 600}
+		w.heat[1] = Heat{Reads: 200}
+		w.heat[2] = Heat{Reads: 100}
+		return w.plan(p, 3)
+	}
+	want := run(nil)
+	if len(want) == 0 {
+		t.Fatal("baseline planned nothing")
+	}
+	for _, weights := range [][]float64{{1, 1, 1}, {7.5, 7.5, 7.5}} {
+		got := run(weights)
+		if len(got) != len(want) {
+			t.Fatalf("uniform weights %v planned %v, legacy %v", weights, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("uniform weights %v planned %v, legacy %v", weights, got, want)
+			}
+		}
+	}
+}
+
+// TestHeteroPolicyMismatchedWeightsFallBack: a weight vector that does
+// not match the group count (or has non-positive entries) degrades to
+// uniform instead of misattributing capacity.
+func TestHeteroPolicyMismatchedWeightsFallBack(t *testing.T) {
+	w := newFakeWorld(2)
+	p := New(testCfg, w.clock)
+	p.SetWeights([]float64{3, 1, 5}) // wrong length for a 2-group plan
+	w.heat[0] = Heat{Reads: 800}     // slot 0 → group 0
+	w.heat[2] = Heat{Reads: 200}     // slot 2 → group 0
+	w.heat[1] = Heat{Reads: 200}     // slot 1 → group 1
+	moves := w.plan(p, 2)
+	if len(moves) == 0 || moves[0].From != 0 {
+		t.Fatalf("mismatched weights did not fall back to uniform: %v", moves)
+	}
+	p2 := New(testCfg, w.clock)
+	p2.SetWeights([]float64{0, -1})
+	if got := p2.weightsFor(2); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("non-positive weights resolved to %v", got)
+	}
+}
+
+// TestHeteroPolicySwapWhenOccupancyVetoed: when every drain candidate
+// is blocked by the occupancy cost veto alone, PlanRound proposes a
+// hot-for-cold slot exchange instead — heat moves, occupancy stays
+// level — and the round fires (trigger disarmed, cooldown started).
+func TestHeteroPolicySwapWhenOccupancyVetoed(t *testing.T) {
+	w := newFakeWorld(2)
+	w.objs = make([]int, wire.NumSlots)
+	p := New(testCfg, w.clock)
+
+	// Group 0: every warm slot is dense with objects, so a one-way
+	// move is vetoed (ObjectCost 1 × 5000 ≫ gain). Group 1: a cooler,
+	// equally dense slot — the swap's occupancy DIFFERENCE is 0, so
+	// the exchange costs only 2×MoveCost and passes.
+	w.heat[0] = Heat{Reads: 600} // slot 0 → group 0, hot
+	w.heat[2] = Heat{Reads: 200} // slot 2 → group 0
+	w.heat[1] = Heat{Reads: 100} // slot 1 → group 1, dense peer
+	w.heat[3] = Heat{Reads: 100} // slot 3 → group 1
+	w.objs[0], w.objs[2], w.objs[1] = 5000, 5000, 5000
+
+	if moves := w.plan(p, 2); moves != nil {
+		t.Fatalf("one-way drain should have been occupancy-vetoed, planned %v", moves)
+	}
+	round := p.PlanRound(w.heat, w.table, w.objs, 2, nil)
+	if len(round.Moves) != 0 || len(round.Swaps) != 1 {
+		t.Fatalf("round = %+v, want exactly one swap", round)
+	}
+	sw := round.Swaps[0]
+	if sw.From != 0 || sw.To != 1 || sw.SlotA != 0 {
+		t.Fatalf("swap %+v should trade group 0's hot slot 0 away", sw)
+	}
+	if sw.SlotB != 1 && sw.SlotB != 3 {
+		t.Fatalf("swap %+v should pull back a cold group-1 slot", sw)
+	}
+	if p.Rounds() != 1 || p.SlotsMoved() != 2 {
+		t.Fatalf("swap round accounting: rounds=%d slotsMoved=%d", p.Rounds(), p.SlotsMoved())
+	}
+	// The trigger is now disarmed: the same reading plans nothing.
+	w.now += 2 * testCfg.Cooldown
+	if round := p.PlanRound(w.heat, w.table, w.objs, 2, nil); !round.Empty() {
+		t.Fatalf("disarmed trigger still planned %+v", round)
+	}
+}
+
+// TestHeteroPolicySwapRefusesRelocation: a swap that would merely turn
+// the destination into the new hot group is not an improvement and
+// must not fire — the indivisible-hot-slot rule applies to exchanges
+// too.
+func TestHeteroPolicySwapRefusesRelocation(t *testing.T) {
+	w := newFakeWorld(2)
+	w.objs = make([]int, wire.NumSlots)
+	p := New(testCfg, w.clock)
+	// All load in one dense slot: swapping it into group 1 would just
+	// relocate the hot spot.
+	w.heat[0] = Heat{Reads: 2000}
+	w.objs[0] = 5000
+	for i := 0; i < 4; i++ {
+		if round := p.PlanRound(w.heat, w.table, w.objs, 2, nil); !round.Empty() {
+			t.Fatalf("tick %d relocated the hot spot: %+v", i, round)
+		}
+		w.now += 2 * testCfg.Cooldown
+	}
+	if p.Rounds() != 0 {
+		t.Fatal("refused swaps still counted as rounds")
+	}
+}
+
+// TestHeteroPolicySwapRespectsBusySlots: a slot mid-handoff cannot be
+// traded — the swap falls through to the hottest MOVABLE slot — and a
+// tick whose every candidate is busy keeps the trigger armed.
+func TestHeteroPolicySwapRespectsBusySlots(t *testing.T) {
+	w := newFakeWorld(2)
+	w.objs = make([]int, wire.NumSlots)
+	p := New(testCfg, w.clock)
+	w.heat[0] = Heat{Reads: 600}
+	w.heat[2] = Heat{Reads: 200}
+	w.heat[1] = Heat{Reads: 100}
+	w.heat[3] = Heat{Reads: 100}
+	// Every hot slot is dense, so no one-way drain survives the veto;
+	// group 1's equally dense slot 1 is the viable swap peer.
+	w.objs[0], w.objs[2], w.objs[1] = 5000, 5000, 5000
+
+	// With every group-0 slot mid-handoff the tick must plan nothing
+	// and burn nothing.
+	busyGroup0 := func(s int) bool { return w.table[s] == 0 }
+	if round := p.PlanRound(w.heat, w.table, w.objs, 2, busyGroup0); !round.Empty() {
+		t.Fatalf("all-busy tick still planned %+v", round)
+	}
+	if p.Rounds() != 0 {
+		t.Fatal("all-busy tick counted as fired")
+	}
+
+	// With only the hottest slot busy, the swap trades the
+	// next-hottest movable slot instead of touching the busy one.
+	busyHot := func(s int) bool { return s == 0 }
+	round := p.PlanRound(w.heat, w.table, w.objs, 2, busyHot)
+	if len(round.Swaps) != 1 || round.Swaps[0].SlotA != 2 {
+		t.Fatalf("round %+v, want a swap of the movable slot 2", round)
 	}
 }

@@ -182,3 +182,142 @@ func (m *Mix) Next() Op {
 // client library ("obj%08d"), so a key space maps onto distinct
 // 32-bit object IDs with negligible collision probability.
 func KeyName(i int) string { return fmt.Sprintf("obj%08d", i) }
+
+// Apportion splits total indivisible units (clients, slots) across the
+// weights by the largest-remainder method: every index first gets the
+// floor of its exact quota total·wᵢ/Σw, then the leftover units go to
+// the largest fractional remainders, lowest index first on ties. The
+// result always sums to total, and equal weights reproduce the
+// historical even split (floor share everywhere, the first total mod n
+// indexes carrying one extra) — which is what keeps a uniform cluster's
+// client-pool split bit-compatible with the pre-weighted code.
+// Non-positive and non-finite weights count as zero; if no weight is
+// positive, the split falls back to uniform.
+func Apportion(total int, weights []float64) []int {
+	return ApportionMin(total, weights, nil)
+}
+
+// ApportionMin is Apportion with per-index floors: index i never
+// receives fewer than min[i] units (nil means no floors). The caller
+// guarantees sum(min) ≤ total. The floors serve layouts where every
+// index must stay represented — e.g. every replica group owning at
+// least one routing slot — while the remaining units still follow the
+// weights. Deterministic: every rounding tie resolves to the lowest
+// index.
+func ApportionMin(total int, weights []float64, min []int) []int {
+	n := len(weights)
+	out := make([]int, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	var sum float64
+	w := make([]float64, n)
+	for i, x := range weights {
+		if x > 0 && !math.IsInf(x, 1) {
+			w[i] = x
+			sum += x
+		}
+	}
+	if sum <= 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		sum = float64(n)
+	}
+	floor := func(i int) int {
+		if min == nil || i >= len(min) {
+			return 0
+		}
+		return min[i]
+	}
+	quota := make([]float64, n)
+	given := 0
+	for i := range out {
+		// Ratio first: weights near MaxFloat64 would overflow the
+		// product total·wᵢ to +Inf, and int(+Inf) poisons the split.
+		quota[i] = float64(total) * (w[i] / sum)
+		out[i] = int(quota[i])
+		if out[i] < floor(i) {
+			out[i] = floor(i)
+		}
+		given += out[i]
+	}
+	for given > total {
+		// The floors oversubscribed the total: claw back from the
+		// index furthest ABOVE its exact quota that can still give.
+		best := -1
+		var bestOver float64
+		for i := range out {
+			if out[i] <= floor(i) {
+				continue
+			}
+			over := float64(out[i]) - quota[i]
+			if best == -1 || over > bestOver {
+				best, bestOver = i, over
+			}
+		}
+		out[best]--
+		given--
+	}
+	for given < total {
+		// Largest remainder: the index furthest BELOW its exact quota
+		// takes the next unit (an index that already took one falls
+		// negative and cannot win while a positive remainder exists).
+		best := -1
+		var bestLag float64
+		for i := range out {
+			lag := quota[i] - float64(out[i])
+			if best == -1 || lag > bestLag {
+				best, bestLag = i, lag
+			}
+		}
+		out[best]++
+		given++
+	}
+	return out
+}
+
+// ServiceRate estimates a replica group's saturated service rate in
+// ops/second — the first-order calibration the client-side router uses
+// to give a 7-replica Harmonia group proportionally more of a pinned
+// closed-loop pool (and more routing slots) than a 3-replica one.
+//
+// The model mirrors the §6.1 scalability argument: every replica
+// applies every write, so the write share loads each server in full,
+// while reads either spread across all n replicas (Harmonia fast
+// reads, CRAQ's per-replica clean reads) or all land on one designated
+// server (the unassisted protocols' tail/primary/leader). The busiest
+// server's utilization reaches 1 at
+//
+//	rate · [ writeRatio/writeRate + readShare·(1-writeRatio)/readRate ] = 1
+//
+// with readShare = 1/n when reads spread and 1 otherwise. readRate and
+// writeRate are one server's calibrated ops/second for each class.
+// Only ratios between groups matter to the router, but the absolute
+// value is a real ops/second estimate under the model.
+func ServiceRate(replicas int, spreadReads bool, writeRatio, readRate, writeRate float64) float64 {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if readRate <= 0 || writeRate <= 0 {
+		return 0
+	}
+	if writeRatio < 0 {
+		writeRatio = 0
+	}
+	if writeRatio > 1 {
+		writeRatio = 1
+	}
+	readShare := 1 - writeRatio
+	if spreadReads {
+		readShare /= float64(replicas)
+	}
+	perOp := writeRatio/writeRate + readShare/readRate
+	if perOp <= 0 {
+		// A read-only ratio on a spread group still costs its 1/n read
+		// share; perOp can only vanish when writeRatio is 0 and the
+		// read share underflowed, which no finite calibration produces.
+		return math.Inf(1)
+	}
+	return 1 / perOp
+}

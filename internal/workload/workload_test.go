@@ -194,3 +194,137 @@ func TestPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestGroupSpecApportionSumsAndUniformCompat(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+	}{
+		{64, []float64{1, 1, 1}},
+		{64, []float64{1, 1, 1, 1}},
+		{7, []float64{3, 1}},
+		{256, []float64{6.9, 1.05, 1.05}},
+		{5, []float64{0, 0, 0}},      // degenerate: falls back to uniform
+		{5, []float64{-1, 2, 1e308}}, // negative ignored, huge kept finite
+		{3, []float64{1e-12, 1, 1}},  // tiny weight may get zero units
+		{0, []float64{1, 2}},         // nothing to split
+	}
+	for _, tc := range cases {
+		got := Apportion(tc.total, tc.weights)
+		if len(got) != len(tc.weights) {
+			t.Fatalf("Apportion(%d, %v) len = %d", tc.total, tc.weights, len(got))
+		}
+		sum := 0
+		for _, n := range got {
+			if n < 0 {
+				t.Fatalf("Apportion(%d, %v) = %v: negative share", tc.total, tc.weights, got)
+			}
+			sum += n
+		}
+		if sum != tc.total {
+			t.Fatalf("Apportion(%d, %v) = %v sums to %d", tc.total, tc.weights, got, sum)
+		}
+	}
+	// Equal weights reproduce the historical even split: floor share
+	// everywhere, first total%n indexes carry the extra unit.
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for total := 0; total <= 40; total++ {
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = 2.5
+			}
+			got := Apportion(total, w)
+			for i, share := range got {
+				want := total / n
+				if i < total%n {
+					want++
+				}
+				if share != want {
+					t.Fatalf("Apportion(%d, uniform %d) = %v, index %d want %d", total, n, got, i, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupSpecApportionFollowsWeights(t *testing.T) {
+	got := Apportion(100, []float64{7, 3})
+	if got[0] != 70 || got[1] != 30 {
+		t.Fatalf("Apportion(100, 7:3) = %v", got)
+	}
+	got = Apportion(10, []float64{2, 1, 1})
+	if got[0] != 5 || got[1] != 3 || got[2] != 2 {
+		// quotas 5, 2.5, 2.5: tie on the remainder goes to the lower index
+		t.Fatalf("Apportion(10, 2:1:1) = %v", got)
+	}
+}
+
+func TestGroupSpecServiceRateModel(t *testing.T) {
+	const rr, wr = 0.92e6, 0.80e6
+	// Read-only, reads spread: rate scales linearly with replicas.
+	r3 := ServiceRate(3, true, 0, rr, wr)
+	r7 := ServiceRate(7, true, 0, rr, wr)
+	if r3 <= 0 || r7/r3 < 7.0/3-1e-9 || r7/r3 > 7.0/3+1e-9 {
+		t.Fatalf("spread read-only rates: 3→%v 7→%v", r3, r7)
+	}
+	// Unspread reads: replica count is irrelevant.
+	if a, b := ServiceRate(3, false, 0.05, rr, wr), ServiceRate(7, false, 0.05, rr, wr); a != b {
+		t.Fatalf("unspread rates differ: %v vs %v", a, b)
+	}
+	// Writes always load every server: write-only rate is writeRate
+	// regardless of spreading or replica count.
+	if got := ServiceRate(5, true, 1, rr, wr); got < wr-1 || got > wr+1 {
+		t.Fatalf("write-only rate = %v, want ≈%v", got, wr)
+	}
+	// More replicas never slows a group down; spreading never hurts.
+	prev := 0.0
+	for n := 1; n <= 9; n++ {
+		got := ServiceRate(n, true, 0.05, rr, wr)
+		if got < prev {
+			t.Fatalf("rate decreased at %d replicas: %v < %v", n, got, prev)
+		}
+		if unspread := ServiceRate(n, false, 0.05, rr, wr); got < unspread-1e-6 {
+			t.Fatalf("spreading hurt at %d replicas: %v < %v", n, got, unspread)
+		}
+		prev = got
+	}
+	// Degenerate calibrations are reported as unusable, not garbage.
+	if got := ServiceRate(3, true, 0.05, 0, wr); got != 0 {
+		t.Fatalf("zero read rate → %v, want 0", got)
+	}
+}
+
+func TestGroupSpecApportionMinFloors(t *testing.T) {
+	// Floors hold even against dominant weights, and the clawback
+	// takes back from the most over-quota index.
+	got := ApportionMin(10, []float64{1e9, 1, 1, 1}, []int{1, 1, 1, 1})
+	if got[0] != 7 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("ApportionMin(10, dominant, ones) = %v", got)
+	}
+	// Without floors, ApportionMin is exactly Apportion.
+	for _, tc := range []struct {
+		total   int
+		weights []float64
+	}{
+		{100, []float64{7, 3}},
+		{10, []float64{2, 1, 1}},
+		{5, []float64{0, 0}},
+	} {
+		a := Apportion(tc.total, tc.weights)
+		b := ApportionMin(tc.total, tc.weights, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Apportion(%d,%v)=%v but ApportionMin nil-floors=%v", tc.total, tc.weights, a, b)
+			}
+		}
+	}
+	// Sum with floors is always exact.
+	got = ApportionMin(256, []float64{1e-9, 5, 3, 1e-9}, []int{1, 1, 1, 1})
+	sum := 0
+	for _, n := range got {
+		sum += n
+	}
+	if sum != 256 || got[0] != 1 || got[3] != 1 {
+		t.Fatalf("ApportionMin floors = %v (sum %d)", got, sum)
+	}
+}
