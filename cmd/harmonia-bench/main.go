@@ -3,14 +3,28 @@
 //
 // Usage:
 //
-//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|ablations]
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|P|ablations]
+//	               [-json dir] [-baseline BENCH_figP.json]
+//	               [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// With -json, every figure run additionally writes a machine-readable
+// BENCH_fig<name>.json snapshot (wall time, heap allocations, and the
+// plotted series; figure P carries the full simulator-perf block) into
+// dir, so the perf trajectory is tracked per PR instead of anecdotal.
+// -baseline embeds a previous run's figure-P perf block as the
+// comparison baseline and reports the speedup against it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"harmonia/internal/experiments"
 )
@@ -18,52 +32,56 @@ import (
 // runners is the figure registry: names, titles, axis labels, and the
 // experiment entry points. The -fig flag's usage string and its
 // unknown-value error both enumerate this table, so the valid names —
-// including the repo-grown S/R/A/M/H figures — are always discoverable
-// from the CLI itself.
+// including the repo-grown S/R/A/M/H/P figures — are always
+// discoverable from the CLI itself. Figures with a detail hook also
+// contribute a perf block to their JSON snapshot.
 var runners = []struct {
 	name, title, xlabel, ylabel string
 	run                         func(experiments.Scale) []experiments.Series
+	detail                      func(experiments.Scale) ([]experiments.Series, experiments.PerfSnapshot)
 }{
 	{"5a", "Figure 5(a): latency vs throughput, read-only, 3 replicas",
-		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5a},
+		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5a, nil},
 	{"5b", "Figure 5(b): latency vs throughput, write-only, 3 replicas",
-		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5b},
+		"throughput (MRPS)", "mean latency (ms)", experiments.Fig5b, nil},
 	{"6a", "Figure 6(a): read throughput vs write rate, 3 replicas",
-		"write throughput (MRPS)", "read throughput (MRPS)", experiments.Fig6a},
+		"write throughput (MRPS)", "read throughput (MRPS)", experiments.Fig6a, nil},
 	{"6b", "Figure 6(b): total throughput vs write ratio, 3 replicas",
-		"write ratio (%)", "throughput (MRPS)", experiments.Fig6b},
+		"write ratio (%)", "throughput (MRPS)", experiments.Fig6b, nil},
 	{"7a", "Figure 7(a): scalability, read-only workload",
 		"replicas", "throughput (MRPS)",
-		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0) }},
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0) }, nil},
 	{"7b", "Figure 7(b): scalability, write-only workload",
 		"replicas", "throughput (MRPS)",
-		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 1) }},
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 1) }, nil},
 	{"7c", "Figure 7(c): scalability, 5% writes",
 		"replicas", "throughput (MRPS)",
-		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0.05) }},
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig7(s, 0.05) }, nil},
 	{"8", "Figure 8: throughput vs dirty-set hash-table slots (5% writes)",
-		"slots", "throughput (MRPS)", experiments.Fig8},
+		"slots", "throughput (MRPS)", experiments.Fig8, nil},
 	{"9a", "Figure 9(a): primary-backup family, reads vs write rate",
 		"write throughput (MRPS)", "read throughput (MRPS)",
-		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "pb") }},
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "pb") }, nil},
 	{"9b", "Figure 9(b): quorum family, reads vs write rate",
 		"write throughput (MRPS)", "read throughput (MRPS)",
-		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "quorum") }},
+		func(s experiments.Scale) []experiments.Series { return experiments.Fig9(s, "quorum") }, nil},
 	{"10", "Figure 10: throughput during switch stop/reactivate (ms, 1000:1 compressed)",
 		"time (ms)", "throughput (MRPS)",
 		func(s experiments.Scale) []experiments.Series {
 			return []experiments.Series{experiments.Fig10(s)}
-		}},
+		}, nil},
 	{"S", "Figure S: aggregate throughput vs replica-group count (sharded, 5% writes, zipf-0.9)",
-		"groups", "throughput (MRPS)", experiments.FigS},
+		"groups", "throughput (MRPS)", experiments.FigS, nil},
 	{"R", "Figure R: throughput while a pinned hot spot's slots migrate off the hot group (online rebalance)",
-		"time (ms)", "throughput (MRPS)", experiments.FigR},
+		"time (ms)", "throughput (MRPS)", experiments.FigR, nil},
 	{"A", "Figure A: autonomous rebalancer converging an unpinned zipf-1.2 hot spot (switch heat counters, no hints)",
-		"time (ms)", "throughput (MRPS)", experiments.FigA},
+		"time (ms)", "throughput (MRPS)", experiments.FigA, nil},
 	{"M", "Figure M: multi-switch rack scaling (2 groups/switch) and one-switch crash economics",
-		"switches", "throughput (MRPS)", experiments.FigM},
+		"switches", "throughput (MRPS)", experiments.FigM, nil},
 	{"H", "Figure H: heterogeneous rack (CR×7 + 2×NOPaxos×3, weighted shards) vs the uniform misconfiguration",
-		"group", "throughput (MRPS)", experiments.FigH},
+		"group", "throughput (MRPS)", experiments.FigH, nil},
+	{"P", "Figure P: open-loop latency vs throughput, 4-switch weighted rack (simulator perf snapshot)",
+		"throughput (MRPS)", "latency (ms)", experiments.FigPerf, experiments.FigPerfDetail},
 	{"ablations", "Ablations (DESIGN.md §6)",
 		"-", "see series names",
 		func(s experiments.Scale) []experiments.Series {
@@ -72,7 +90,7 @@ var runners = []struct {
 			out = append(out, tag("lazy-cleanup: ", experiments.AblationLazyCleanup(s))...)
 			out = append(out, tag("stages: ", experiments.AblationStages(s))...)
 			return out
-		}},
+		}, nil},
 }
 
 // figNames lists the registry's figure names in presentation order.
@@ -84,11 +102,85 @@ func figNames() []string {
 	return out
 }
 
+// jsonSeries is the serialized form of one curve: points as [x, y]
+// pairs.
+type jsonSeries struct {
+	Name   string       `json:"name"`
+	Points [][2]float64 `json:"points"`
+}
+
+// perfBlock pairs the current figure-P snapshot with the baseline it
+// is judged against. The tracked BENCH_figP.json keeps both, so the
+// speedup claim is reproducible from the one file.
+type perfBlock struct {
+	Current  experiments.PerfSnapshot  `json:"current"`
+	Baseline *experiments.PerfSnapshot `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is current.ops_per_wall_sec over the
+	// baseline's — how much faster the simulator pushes the same rack.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchSnapshot is the per-figure BENCH_fig<name>.json schema.
+type benchSnapshot struct {
+	Figure string  `json:"figure"`
+	Title  string  `json:"title"`
+	Scale  float64 `json:"scale"`
+	// WallSeconds, Allocs, and AllocBytes cover the whole figure run:
+	// the regeneration cost tracked PR over PR.
+	WallSeconds float64      `json:"wall_seconds"`
+	Allocs      uint64       `json:"allocs"`
+	AllocBytes  uint64       `json:"alloc_bytes"`
+	Series      []jsonSeries `json:"series"`
+	Perf        *perfBlock   `json:"perf,omitempty"`
+}
+
+// loadBaseline pulls the figure-P perf block out of a previous
+// snapshot file.
+func loadBaseline(path string) (*experiments.PerfSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, err
+	}
+	if snap.Perf == nil {
+		return nil, fmt.Errorf("%s: no perf block to use as baseline", path)
+	}
+	return &snap.Perf.Current, nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "measurement-window multiplier (lower = faster, noisier)")
 	fig := flag.String("fig", "all", "figure to regenerate: one of "+strings.Join(figNames(), " ")+", or all")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig<name>.json snapshots into")
+	baseline := flag.String("baseline", "", "previous BENCH_figP.json whose perf block becomes the comparison baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	s := experiments.Scale(*scale)
+
+	var base *experiments.PerfSnapshot
+	if *baseline != "" {
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	found := false
 	for _, r := range runners {
@@ -97,11 +189,50 @@ func main() {
 		}
 		found = true
 		fmt.Printf("== %s ==\n", r.title)
-		series := r.run(s)
+		snap := benchSnapshot{Figure: r.name, Title: r.title, Scale: *scale}
+		var series []experiments.Series
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		if r.detail != nil {
+			var perf experiments.PerfSnapshot
+			series, perf = r.detail(s)
+			pb := &perfBlock{Current: perf, Baseline: base}
+			if base != nil && base.OpsPerWallSec > 0 {
+				pb.SpeedupVsBaseline = perf.OpsPerWallSec / base.OpsPerWallSec
+			}
+			snap.Perf = pb
+		} else {
+			series = r.run(s)
+		}
+		snap.WallSeconds = time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		snap.Allocs = m1.Mallocs - m0.Mallocs
+		snap.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 		fmt.Printf("%-24s %16s %16s\n", "series", r.xlabel, r.ylabel)
 		for _, sr := range series {
+			js := jsonSeries{Name: sr.Name}
 			for _, p := range sr.Points {
 				fmt.Printf("%-24s %16.3f %16.3f\n", sr.Name, p.X, p.Y)
+				js.Points = append(js.Points, [2]float64{p.X, p.Y})
+			}
+			snap.Series = append(snap.Series, js)
+		}
+		if snap.Perf != nil {
+			c := snap.Perf.Current
+			fmt.Printf("perf: %.0f sim ops in %.2fs wall = %.0f ops/wall-sec (%.0f ns/op, %.2f allocs/op)\n",
+				float64(c.SimOps), c.WallSeconds, c.OpsPerWallSec, c.NsPerOp, c.AllocsPerOp)
+			if snap.Perf.SpeedupVsBaseline > 0 {
+				fmt.Printf("perf: %.2fx ops/wall-sec vs baseline (%.0f)\n",
+					snap.Perf.SpeedupVsBaseline, snap.Perf.Baseline.OpsPerWallSec)
+			}
+			fmt.Printf("perf: linearizable under chaos: %v\n", c.Linearizable)
+		}
+		if *jsonDir != "" {
+			if err := writeSnapshot(*jsonDir, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
 			}
 		}
 		fmt.Println()
@@ -111,6 +242,32 @@ func main() {
 			*fig, strings.Join(figNames(), " "))
 		os.Exit(2)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeSnapshot serializes one figure snapshot into dir.
+func writeSnapshot(dir string, snap benchSnapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(filepath.Join(dir, "BENCH_fig"+snap.Figure+".json"), b, 0o644)
 }
 
 func tag(prefix string, ss []experiments.Series) []experiments.Series {

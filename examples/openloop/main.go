@@ -1,0 +1,62 @@
+// Openloop: the latency-vs-throughput methodology on a sharded rack.
+// A 2:1 capacity-weighted two-group cluster is driven by an open-loop
+// Poisson stream (Rate > 0 selects open loop) swept from light load to
+// past saturation. PinGroups makes each arrival draw a replica group
+// in proportion to its weight and then a shard-local key, so the big
+// shard is offered twice the work — Report.GroupOffered shows the
+// realized split. Mean latency stays flat until the offered rate
+// approaches the rack's capacity, then the tail blows up: the same
+// knee as the paper's latency-vs-throughput figures, and the shape the
+// tracked Figure P snapshot (bench/BENCH_figP.json) records for the
+// 4-switch rack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmonia"
+)
+
+func main() {
+	c, err := harmonia.New(harmonia.Config{
+		UseHarmonia: true, Seed: 7,
+		GroupSpecs: []harmonia.GroupSpec{
+			{Protocol: harmonia.ChainReplication, Replicas: 3, Weight: 2},
+			{Protocol: harmonia.NOPaxos, Replicas: 3, Weight: 1},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("open-loop sweep, 2-group rack (weights 2:1):")
+	fmt.Printf("%12s %12s %12s %12s %16s\n",
+		"offered/s", "done/s", "mean", "p99", "offered split")
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		// Sweep ceiling, chosen past the rack's ~3.5M op/s saturation
+		// point so the last two rows sit on the knee.
+		const capacity = 5.0e6
+		rep := c.Run(harmonia.LoadSpec{
+			Rate:     frac * capacity,
+			Duration: 10 * time.Millisecond, Warmup: 2 * time.Millisecond,
+			WriteRatio: 0.05, Keys: 20000, Dist: harmonia.Zipf09,
+			PinGroups: true,
+		})
+		split := "-"
+		if rep.GroupOffered != nil {
+			total := rep.GroupOffered[0] + rep.GroupOffered[1]
+			split = fmt.Sprintf("%.2f : %.2f",
+				float64(rep.GroupOffered[0])/float64(total)*3,
+				float64(rep.GroupOffered[1])/float64(total)*3)
+		}
+		fmt.Printf("%12.0f %12.0f %12s %12s %16s\n",
+			frac*capacity, rep.Throughput,
+			rep.MeanLatency.Round(time.Microsecond),
+			rep.P99Latency.Round(time.Microsecond), split)
+	}
+	fmt.Println("\nthe knee: latency is flat until the offered rate nears",
+		"capacity, then queues (and the p99) take off — the open-loop",
+		"methodology behind the paper's Figs. 5-6.")
+}

@@ -398,12 +398,14 @@ type LoadSpec struct {
 	Keys       int     // key-space size (default 100k)
 	Dist       Dist
 
-	// PinGroups shards the closed-loop client pool the way the data is
-	// sharded: Clients are split evenly across the replica groups and
-	// each sub-pool draws keys only from its group's slice of the key
-	// space, so shards saturate independently. Per-group completions
-	// land in Report.GroupOps. Ignored for open-loop runs and
-	// single-group clusters.
+	// PinGroups shards load generation the way the data is sharded.
+	// Closed loop: Clients are split across the replica groups by
+	// capacity weight and each sub-pool draws keys only from its
+	// group's slice of the key space, so shards saturate
+	// independently; per-group completions land in Report.GroupOps.
+	// Open loop: each Poisson arrival draws a group by weight first,
+	// then a shard-local key, and the offered split lands in
+	// Report.GroupOffered. Ignored for single-group clusters.
 	PinGroups bool
 
 	// Bucket > 0 additionally collects a completion-rate time series
@@ -434,6 +436,10 @@ type Report struct {
 	// group). Always length Config.Groups; a single-group cluster puts
 	// everything in GroupOps[0].
 	GroupOps []uint64
+	// GroupOffered counts operations issued per replica group during
+	// the measurement window by a sharded (PinGroups) open-loop run —
+	// the offered-load split before completions. Nil otherwise.
+	GroupOffered []uint64
 }
 
 // SeriesPoint is one time-series bucket.
@@ -472,6 +478,7 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 		Dropped:         rep.Dropped,
 		Rebalances:      rep.Rebalances,
 		GroupOps:        rep.GroupOps,
+		GroupOffered:    rep.GroupOffered,
 	}
 	if rep.Series != nil {
 		for _, p := range rep.Series.Points() {

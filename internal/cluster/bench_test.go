@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkOpenLoopDriver measures the whole simulated data path end
+// to end: Poisson arrivals through the weighted group draw, the
+// switch scheduler, a chain group and an OUM multicast group, and the
+// reply path. Each iteration is one 2ms open-loop window over a
+// 2-group rack; the reported custom metric is simulated operations
+// completed per wall second — the number the BENCH snapshots track.
+func BenchmarkOpenLoopDriver(b *testing.B) {
+	c := New(Config{
+		UseHarmonia: true, Seed: 99,
+		GroupSpecs: []GroupSpec{
+			{Protocol: Chain, Replicas: 3, Weight: 2},
+			{Protocol: NOPaxos, Replicas: 3, Weight: 1},
+		},
+	})
+	c.Preload(256)
+	var simOps uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := c.RunLoad(LoadSpec{
+			Mode: Open, Rate: 400000, Duration: 2 * time.Millisecond,
+			WriteRatio: 0.2, Keys: 256, Dist: Zipf09, PinGroups: true,
+		})
+		simOps += rep.Ops
+	}
+	b.StopTimer()
+	if simOps == 0 {
+		b.Fatal("no operations completed")
+	}
+	b.ReportMetric(float64(simOps)/b.Elapsed().Seconds(), "simops/s")
+	b.ReportMetric(float64(simOps)/float64(b.N), "simops/iter")
+}

@@ -44,16 +44,19 @@ type LoadSpec struct {
 	WriteRatio float64
 	Keys       int
 	Dist       Dist
-	// PinGroups shards the closed-loop client pool the way the data is
-	// sharded: the Clients are split across the replica groups in
+	// PinGroups shards load generation the way the data is sharded.
+	// Closed loop: the Clients are split across the replica groups in
 	// proportion to their capacity weights (evenly, for a uniform
 	// cluster) and each sub-pool draws keys only from its group's
 	// slice of the key space. This is the sharded load-generation mode
 	// — groups saturate independently instead of the whole fleet
 	// throttling on the slowest shard, and a 7-replica group receives
 	// proportionally more offered load than a 3-replica one — and the
-	// per-group completions land in Report.GroupOps. Ignored for
-	// open-loop runs and single-group clusters.
+	// per-group completions land in Report.GroupOps. Open loop: each
+	// Poisson arrival first draws a group in proportion to its weight,
+	// then a key from that group's slice, so big shards are offered
+	// proportionally more; the offered split lands in
+	// Report.GroupOffered. Ignored for single-group clusters.
 	PinGroups bool
 	// Bucket, when > 0, also collects a completion time series
 	// (Fig. 10).
@@ -102,15 +105,41 @@ type Report struct {
 	// the aggregate load generator's view of how the shards shared the
 	// work. Always length Config.Groups.
 	GroupOps []uint64
+	// GroupOffered counts operations issued per replica group inside
+	// the measurement window by a sharded (PinGroups) open-loop run —
+	// the offered-load split, before any completions. Nil otherwise.
+	GroupOffered []uint64
 }
 
-// opState tracks one in-flight logical operation.
+// opState tracks one in-flight logical operation. The master packet is
+// embedded by value and the records are pooled on the cluster, so a
+// completed op recycles both in one free-list push; what actually
+// reaches the network is a per-transmission ShallowClone.
 type opState struct {
-	pkt         *wire.Packet
+	pkt         wire.Packet
 	valueID     int64
 	firstInvoke sim.Time
-	timer       *sim.Timer
+	timer       sim.Timer
 	histIdx     int // recorder slot, -1 when not recording
+}
+
+// getOp takes an opState from the pool (zeroed by putOp).
+func (c *Cluster) getOp() *opState {
+	if n := len(c.opFree); n > 0 {
+		st := c.opFree[n-1]
+		c.opFree[n-1] = nil
+		c.opFree = c.opFree[:n-1]
+		return st
+	}
+	return &opState{}
+}
+
+// putOp recycles a completed op. Zeroing drops the payload reference
+// (the store owns it now) and leaves an inert zero Timer; the stopped
+// retry event may still point here but dead events never fire.
+func (c *Cluster) putOp(st *opState) {
+	*st = opState{}
+	c.opFree = append(c.opFree, st)
 }
 
 // vclient is one virtual client: a closed-loop issuer or a slot pool
@@ -134,11 +163,17 @@ type vclient struct {
 
 	// onReply, when set, observes every matched reply (SyncClient).
 	onReply func(pkt *wire.Packet)
+
+	// retryFn is the long-lived retry callback handed to AfterCallT
+	// with the opState as argument, so arming a retry timer captures
+	// nothing per op.
+	retryFn func(any)
 }
 
 // opGen produces the next operation from the workload spec.
 type opGen struct {
 	c     *Cluster
+	kt    *keyTab
 	keys  keyGen
 	ratio float64
 }
@@ -155,9 +190,8 @@ type pinnedGen struct {
 
 func (p *pinnedGen) Next() int { return p.owned[p.inner.Next()] }
 
-func (g *opGen) next() (key string, write bool) {
-	k := g.keys.Next()
-	return keyName(k), g.c.eng.Rand().Float64() < g.ratio
+func (g *opGen) next() (idx int, write bool) {
+	return g.keys.Next(), g.c.eng.Rand().Float64() < g.ratio
 }
 
 // measurement accumulates the report during the window.
@@ -172,10 +206,13 @@ type measurement struct {
 	retriesCnt uint64
 	droppedCnt uint64
 	groupOps   []uint64
-	lat        *metrics.Histogram
-	rlat       *metrics.Histogram
-	wlat       *metrics.Histogram
-	series     *metrics.TimeSeries
+	// groupOffered counts issued (not completed) ops per group; only a
+	// sharded open-loop run allocates and fills it.
+	groupOffered []uint64
+	lat          *metrics.Histogram
+	rlat         *metrics.Histogram
+	wlat         *metrics.Histogram
+	series       *metrics.TimeSeries
 }
 
 func (m *measurement) observe(write bool, group int, d time.Duration, at sim.Time) {
@@ -218,16 +255,14 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 		// drive their own retry timer; don't disturb it.
 		v.drops++
 		v.measuring.noteDropped()
-		if v.closedLoop && st.timer != nil {
+		if v.closedLoop {
 			st.timer.Stop()
 		}
 		v.send(st)
 		return
 	}
 	delete(v.pending, pkt.ReqID)
-	if st.timer != nil {
-		st.timer.Stop()
-	}
+	st.timer.Stop()
 	now := v.c.eng.Now()
 	isWrite := st.pkt.Op == wire.OpWrite
 	v.measuring.observe(isWrite, int(pkt.Group), time.Duration(now-st.firstInvoke), now)
@@ -238,6 +273,7 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 		}
 		v.c.hist.ret(st.histIdx, int64(now), observed)
 	}
+	v.c.putOp(st)
 	if v.onReply != nil {
 		v.onReply(pkt)
 	}
@@ -248,45 +284,48 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 
 // issueNext starts the next closed-loop op.
 func (v *vclient) issueNext() {
-	key, write := v.gen.next()
-	v.issue(key, write)
+	idx, write := v.gen.next()
+	v.issue(v.gen.kt, idx, write)
 }
 
-// issue sends one operation and arms the retry timer (closed loop
-// only; open-loop ops are never retried).
-func (v *vclient) issue(key string, write bool) {
+// issue sends one operation for key index idx (resolved through kt's
+// precomputed names and object IDs) and arms the retry timer (closed
+// loop only; open-loop ops are never retried).
+func (v *vclient) issue(kt *keyTab, idx int, write bool) {
 	v.nextReq++
 	req := v.nextReq
-	pkt := &wire.Packet{
-		ObjID:    wire.HashKey(key),
-		Key:      key,
+	st := v.c.getOp()
+	st.firstInvoke = v.c.eng.Now()
+	st.histIdx = -1
+	st.pkt = wire.Packet{
+		ObjID:    kt.ids[idx],
+		Key:      kt.names[idx],
 		ClientID: v.id,
 		ReqID:    req,
 	}
 	// A routing guess from the client's view of the slot table; the
 	// switch front-end overrides it from its authoritative table, so a
 	// stale guess costs nothing.
-	pkt.Group = uint16(v.c.routeObj(pkt.ObjID))
-	st := &opState{pkt: pkt, firstInvoke: v.c.eng.Now(), histIdx: -1}
+	st.pkt.Group = uint16(v.c.routeObj(st.pkt.ObjID))
 	if write {
-		pkt.Op = wire.OpWrite
+		st.pkt.Op = wire.OpWrite
 		v.c.valueCtr++
 		st.valueID = v.c.valueCtr
-		pkt.Value = encodeValue(st.valueID)
+		st.pkt.Value = encodeValue(st.valueID)
 	} else {
-		pkt.Op = wire.OpRead
+		st.pkt.Op = wire.OpRead
 	}
 	if v.c.cfg.RecordHistory {
-		st.histIdx = v.c.hist.invoke(uint64(pkt.ObjID), write, st.valueID, int64(st.firstInvoke))
+		st.histIdx = v.c.hist.invoke(uint64(st.pkt.ObjID), write, st.valueID, int64(st.firstInvoke))
 	}
 	v.pending[req] = st
 	v.send(st)
 }
 
 func (v *vclient) send(st *opState) {
-	v.c.net.Send(v.addr, v.c.switchAddrForObj(st.pkt.ObjID), st.pkt.Clone())
+	v.c.net.Send(v.addr, v.c.switchAddrForObj(st.pkt.ObjID), st.pkt.ShallowClone())
 	if v.closedLoop {
-		st.timer = v.c.eng.After(v.c.cfg.RetryTimeout, func() { v.retry(st) })
+		st.timer = v.c.eng.AfterCallT(v.c.cfg.RetryTimeout, v.retryFn, st)
 	}
 }
 
@@ -307,6 +346,12 @@ func (m *measurement) noteRetry() {
 func (m *measurement) noteDropped() {
 	if m.collect {
 		m.droppedCnt++
+	}
+}
+
+func (m *measurement) noteOffered(group int) {
+	if m.collect && group >= 0 && group < len(m.groupOffered) {
+		m.groupOffered[group]++
 	}
 }
 
@@ -361,6 +406,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			}
 		}
 		newKeys := func() keyGen { return newKeysN(spec.Keys) }
+		kt := c.keyTab(spec.Keys)
 		var clients []*vclient
 		if spec.Mode == Closed {
 			if spec.PinGroups && len(c.groups) > 1 {
@@ -379,22 +425,61 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 						continue // degenerate: shard owns no keys
 					}
 					for i := 0; i < n; i++ {
-						gen := &opGen{c: c, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
+						gen := &opGen{c: c, kt: kt, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
 						clients = append(clients, c.newVClient(meas, gen, true))
 					}
 				}
 			} else {
 				clients = make([]*vclient, spec.Clients)
 				for i := range clients {
-					clients[i] = c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, true)
+					clients[i] = c.newVClient(meas, &opGen{c: c, kt: kt, keys: newKeys(), ratio: spec.WriteRatio}, true)
 				}
 			}
 			for _, v := range clients {
 				v.issueNext()
 			}
 		} else {
-			v := c.newVClient(meas, &opGen{c: c, keys: newKeys(), ratio: spec.WriteRatio}, false)
+			// Open loop: one Poisson arrival stream drives the whole
+			// cluster — a single event-queue control plane in front of
+			// the per-group data planes. nextOp decides what each
+			// arrival issues.
+			v := c.newVClient(meas, nil, false)
 			clients = []*vclient{v}
+			var nextOp func()
+			if spec.PinGroups && len(c.groups) > 1 {
+				// Sharded open loop: each arrival first draws a replica
+				// group in proportion to its capacity weight, then a
+				// key from that group's slice of the key space
+				// (shard-local ranks keep the distribution's shape
+				// within the slice). A weight-blind uniform key draw
+				// would under-offer big shards — a 2:1 weighted rack
+				// must see a 2:1 offered split — so the group draw goes
+				// through the apportioned sampler and the realized
+				// split lands in Report.GroupOffered.
+				owned := c.ownedKeyIndices(spec.Keys)
+				weights := append([]float64(nil), c.cfg.Weights()...)
+				gens := make([]*opGen, len(owned))
+				for g, idxs := range owned {
+					if len(idxs) == 0 {
+						// Degenerate: the shard owns no keys and can
+						// never be offered work.
+						weights[g] = 0
+						continue
+					}
+					gens[g] = &opGen{c: c, kt: kt, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
+				}
+				pick := workload.NewWeightedIndex(weights, c.eng.Rand())
+				meas.groupOffered = make([]uint64, len(c.groups))
+				nextOp = func() {
+					g := pick.Next()
+					meas.noteOffered(g)
+					idx, write := gens[g].next()
+					v.issue(kt, idx, write)
+				}
+			} else {
+				v.gen = &opGen{c: c, kt: kt, keys: newKeys(), ratio: spec.WriteRatio}
+				nextOp = func() { v.issueNext() }
+			}
 			rate := spec.Rate
 			// Poisson arrivals at rate.
 			var arrive func()
@@ -403,8 +488,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 				if c.eng.Now() >= stop {
 					return
 				}
-				key, write := v.gen.next()
-				v.issue(key, write)
+				nextOp()
 				gap := time.Duration(c.eng.Rand().ExpFloat64() / rate * float64(time.Second))
 				c.eng.After(gap, arrive)
 			}
@@ -431,19 +515,18 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			ReadThroughput:  float64(g.meas.reads) / window.Seconds(),
 			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
 			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
-			Retries:    g.meas.retriesCnt,
-			Dropped:    g.meas.droppedCnt,
-			Rebalances: c.rebalanced - g.meas.rebal0,
-			Series:     g.meas.series,
-			GroupOps:   g.meas.groupOps,
+			Retries:      g.meas.retriesCnt,
+			Dropped:      g.meas.droppedCnt,
+			Rebalances:   c.rebalanced - g.meas.rebal0,
+			Series:       g.meas.series,
+			GroupOps:     g.meas.groupOps,
+			GroupOffered: g.meas.groupOffered,
 		}
 		// Tear down: detach clients so the next run starts clean.
 		for _, v := range g.clients {
 			v.closedLoop = false
 			for _, st := range v.pending {
-				if st.timer != nil {
-					st.timer.Stop()
-				}
+				st.timer.Stop()
 				rep.Unanswered++
 			}
 		}
@@ -460,6 +543,7 @@ func (c *Cluster) newVClient(meas *measurement, gen *opGen, closed bool) *vclien
 		gen: gen, pending: make(map[uint64]*opState),
 		measuring: meas, closedLoop: closed,
 	}
+	v.retryFn = func(a any) { v.retry(a.(*opState)) }
 	c.clients = append(c.clients, v)
 	c.net.AddNode(v.addr, v, simnet.ProcConfig{Workers: 0})
 	return v

@@ -461,6 +461,12 @@ type Cluster struct {
 	// rebalanceRounds counts its completed batch handoffs.
 	rebalanced      uint64
 	rebalanceRounds uint64
+
+	// ktabs caches key-name/object-ID tables per key-space size, and
+	// opFree pools completed in-flight op records — the client-side
+	// halves of the zero-allocation data path.
+	ktabs  map[int]*keyTab
+	opFree []*opState
 }
 
 // switchReplacement is one in-flight §5.3 switch replacement.
@@ -847,7 +853,6 @@ func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 		RandomReads:        grp.spec.Protocol == CRAQ,
 		DisableCommitStamp: c.cfg.DisableCommitStamp,
 		DisableLazyCleanup: c.cfg.DisableLazyCleanup,
-		Rand:               c.eng.Rand(),
 	}, core.SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
 		c.net.Send(swAddr, to, pkt)
 	}))
@@ -870,9 +875,9 @@ func (e *replicaEnv) Send(to simnet.NodeID, msg any) {
 func (e *replicaEnv) SendSwitch(pkt *wire.Packet) {
 	e.c.net.Send(e.id, e.sw, pkt)
 }
-func (e *replicaEnv) After(d time.Duration, fn func()) *sim.Timer { return e.c.eng.After(d, fn) }
-func (e *replicaEnv) Now() sim.Time                               { return e.c.eng.Now() }
-func (e *replicaEnv) Rand() *rand.Rand                            { return e.c.eng.Rand() }
+func (e *replicaEnv) After(d time.Duration, fn func()) sim.Timer { return e.c.eng.After(d, fn) }
+func (e *replicaEnv) Now() sim.Time                              { return e.c.eng.Now() }
+func (e *replicaEnv) Rand() *rand.Rand                           { return e.c.eng.Rand() }
 
 // buildGroupReplicas constructs one group's protocol replica set per
 // its spec and registers the nodes with the group's calibrated
@@ -1045,9 +1050,10 @@ func (c *Cluster) Preload(n int) {
 // ownedKeyIndices partitions the workload's key indices [0, keys) by
 // owning group — the load generator's view of the shard map.
 func (c *Cluster) ownedKeyIndices(keys int) [][]int {
+	kt := c.keyTab(keys)
 	out := make([][]int, len(c.groups))
 	for i := 0; i < keys; i++ {
-		g := c.routeObj(wire.HashKey(keyName(i)))
+		g := c.routeObj(kt.ids[i])
 		out[g] = append(out[g], i)
 	}
 	return out
@@ -1297,6 +1303,31 @@ func (c *Cluster) ShimStats() (served, rejected, leaseRejected uint64) {
 // --- small helpers ---
 
 func keyName(i int) string { return fmt.Sprintf("obj%08d", i) }
+
+// keyTab precomputes the key names and object IDs for the dense
+// generator key space [0, n): per-op key materialization becomes two
+// slice loads instead of a fmt.Sprintf plus a hash.
+type keyTab struct {
+	names []string
+	ids   []wire.ObjectID
+}
+
+// keyTab returns the (cached) table for an n-key workload.
+func (c *Cluster) keyTab(n int) *keyTab {
+	if t, ok := c.ktabs[n]; ok {
+		return t
+	}
+	t := &keyTab{names: make([]string, n), ids: make([]wire.ObjectID, n)}
+	for i := 0; i < n; i++ {
+		t.names[i] = keyName(i)
+		t.ids[i] = wire.HashKey(t.names[i])
+	}
+	if c.ktabs == nil {
+		c.ktabs = make(map[int]*keyTab)
+	}
+	c.ktabs[n] = t
+	return t
+}
 
 func encodeValue(id int64) []byte {
 	b := make([]byte, 8)

@@ -347,3 +347,51 @@ func crossProtocolCase(t *testing.T, src, dst Protocol) {
 		}
 	}
 }
+
+// TestOpenLoopPinGroupsOfferedSplit: the sharded open-loop driver's
+// weight-aware draw offers a 2:1 weighted rack a 2:1 split — the
+// regression this guards is a weight-blind uniform key draw
+// under-offering the big shard.
+func TestOpenLoopPinGroupsOfferedSplit(t *testing.T) {
+	c := New(Config{
+		UseHarmonia: true,
+		GroupSpecs: []GroupSpec{
+			{Protocol: Chain, Replicas: 3, Weight: 2},
+			{Protocol: Chain, Replicas: 3, Weight: 1},
+		},
+		Seed: 211,
+	})
+	rep := c.RunLoad(LoadSpec{
+		Mode: Open, Rate: 400000, Duration: 40 * time.Millisecond,
+		Warmup: 5 * time.Millisecond, WriteRatio: 0.05, Keys: 8192,
+		Dist: Uniform, PinGroups: true,
+	})
+	if rep.GroupOffered == nil {
+		t.Fatal("sharded open-loop run reported no GroupOffered")
+	}
+	total := rep.GroupOffered[0] + rep.GroupOffered[1]
+	if total == 0 {
+		t.Fatal("no load offered")
+	}
+	ratio := float64(rep.GroupOffered[0]) / float64(rep.GroupOffered[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("offered split %v (ratio %.3f), want ~2:1", rep.GroupOffered, ratio)
+	}
+	// Completions follow the offer: the big group also does more work.
+	if !(rep.GroupOps[0] > rep.GroupOps[1]) {
+		t.Fatalf("GroupOps %v: weighted offer did not reach the big group", rep.GroupOps)
+	}
+	// Closed-loop and unsharded runs leave GroupOffered nil.
+	if r := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 16, Duration: 4 * time.Millisecond,
+		Keys: 2048, PinGroups: true,
+	}); r.GroupOffered != nil {
+		t.Fatalf("closed-loop run filled GroupOffered: %v", r.GroupOffered)
+	}
+	if r := c.RunLoad(LoadSpec{
+		Mode: Open, Rate: 100000, Duration: 4 * time.Millisecond,
+		Keys: 2048,
+	}); r.GroupOffered != nil {
+		t.Fatalf("unsharded open-loop run filled GroupOffered: %v", r.GroupOffered)
+	}
+}

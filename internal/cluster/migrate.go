@@ -423,7 +423,7 @@ func (m *Migration) copyAndFlip() {
 		if rec.Reply == nil {
 			continue
 		}
-		rep := rec.Reply.Clone()
+		rep := rec.Reply.ShallowClone()
 		rep.Seq = wire.Seq{}
 		rep.Group = uint16(m.To)
 		clients[id] = protocol.ClientRecord{ReqID: rec.ReqID, Reply: rep}

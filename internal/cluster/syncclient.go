@@ -47,14 +47,15 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 	s.reply = nil
 	s.v.nextReq++
 	req := s.v.nextReq
-	pkt := &wire.Packet{
+	st := &opState{firstInvoke: s.c.eng.Now(), histIdx: -1}
+	st.pkt = wire.Packet{
 		ObjID:    wire.HashKey(key),
 		Key:      key,
 		ClientID: s.v.id,
 		ReqID:    req,
 	}
+	pkt := &st.pkt
 	pkt.Group = uint16(s.c.routeObj(pkt.ObjID))
-	st := &opState{pkt: pkt, firstInvoke: s.c.eng.Now(), histIdx: -1}
 	if write {
 		pkt.Op = wire.OpWrite
 		if del {
@@ -84,7 +85,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 
 	// Issue with retries for up to one simulated second.
 	deadline := s.c.eng.Now() + 1_000_000_000
-	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(pkt.ObjID), pkt.Clone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(pkt.ObjID), pkt.ShallowClone())
 	retry := s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 	st.timer = retry
 	for !s.done && s.c.eng.Now() < deadline {
@@ -92,9 +93,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 			break
 		}
 	}
-	if st.timer != nil {
-		st.timer.Stop()
-	}
+	st.timer.Stop()
 	if !s.done {
 		delete(s.v.pending, req)
 		return nil, ErrTimeout
@@ -106,7 +105,7 @@ func (s *SyncClient) syncRetry(st *opState) {
 	if _, still := s.v.pending[st.pkt.ReqID]; !still {
 		return
 	}
-	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(st.pkt.ObjID), st.pkt.Clone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(st.pkt.ObjID), st.pkt.ShallowClone())
 	st.timer = s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 }
 
@@ -119,7 +118,10 @@ func (s *SyncClient) Get(key string) (value []byte, found bool, err error) {
 	if rep.Flags&wire.FlagNotFound != 0 {
 		return nil, false, nil
 	}
-	return rep.Value, true, nil
+	// Reply values may alias replica store memory (the zero-copy read
+	// path); hand the caller an owned copy so user code is free to
+	// mutate it.
+	return append([]byte(nil), rep.Value...), true, nil
 }
 
 // Set writes a key.

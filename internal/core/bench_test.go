@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"harmonia/internal/simnet"
+	"harmonia/internal/wire"
+)
+
+// nullSender drops packets without touching the heap, isolating the
+// scheduler's own work.
+type nullSender struct{ n uint64 }
+
+func (s *nullSender) Send(to simnet.NodeID, pkt *wire.Packet) { s.n++ }
+
+func newBenchSched(mutate func(*Config)) (*Scheduler, *nullSender) {
+	out := &nullSender{}
+	cfg := Config{
+		Epoch:         1,
+		Stages:        3,
+		SlotsPerStage: 64,
+		Replicas:      []simnet.NodeID{1, 2, 3},
+		WriteDst:      1,
+		ReadDst:       3,
+		ClientBase:    1000,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg, out)
+	// Prime: one write + completion makes the switch ready for
+	// fast-path reads.
+	w := &wire.Packet{Op: wire.OpWrite, ObjID: 999999}
+	s.Process(w)
+	s.Process(&wire.Packet{Op: wire.OpWriteCompletion, ObjID: 999999, Seq: w.Seq})
+	return s, out
+}
+
+// TestFastReadZeroAllocs asserts Algorithm 1's read path — dirty-set
+// lookup, commit stamp, replica pick — allocates nothing per packet.
+func TestFastReadZeroAllocs(t *testing.T) {
+	s, _ := newBenchSched(nil)
+	pkt := &wire.Packet{Op: wire.OpRead, ObjID: 7, ClientID: 1, ReqID: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pkt.Flags = 0
+		s.Process(pkt)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast read: %.1f allocs/op, want 0", allocs)
+	}
+	if s.Stats.FastReads == 0 {
+		t.Fatal("reads did not take the fast path")
+	}
+}
+
+// TestMulticastWriteZeroAllocs asserts the OUM write path — sequence
+// stamp, dirty-set insert, N shared-pointer sends, completion — moves
+// no memory to the heap either.
+func TestMulticastWriteZeroAllocs(t *testing.T) {
+	s, _ := newBenchSched(func(cfg *Config) { cfg.MulticastWrites = true })
+	w := &wire.Packet{Op: wire.OpWrite, ObjID: 7, ClientID: 1, Value: []byte("v")}
+	cpl := &wire.Packet{Op: wire.OpWriteCompletion, ObjID: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Process(w)
+		cpl.Seq = w.Seq
+		s.Process(cpl)
+	})
+	if allocs != 0 {
+		t.Fatalf("multicast write: %.1f allocs/op, want 0", allocs)
+	}
+	if s.Stats.WritesDropped != 0 {
+		t.Fatalf("%d writes dropped (dirty set filled): completions not clearing", s.Stats.WritesDropped)
+	}
+}
+
+func BenchmarkFastRead(b *testing.B) {
+	s, _ := newBenchSched(nil)
+	pkt := &wire.Packet{Op: wire.OpRead, ObjID: 7, ClientID: 1, ReqID: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt.Flags = 0
+		s.Process(pkt)
+	}
+}
+
+func BenchmarkMulticastWrite(b *testing.B) {
+	s, _ := newBenchSched(func(cfg *Config) { cfg.MulticastWrites = true })
+	w := &wire.Packet{Op: wire.OpWrite, ObjID: 7, ClientID: 1, Value: []byte("v")}
+	cpl := &wire.Packet{Op: wire.OpWriteCompletion, ObjID: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Process(w)
+		cpl.Seq = w.Seq
+		s.Process(cpl)
+	}
+}

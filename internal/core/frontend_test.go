@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"harmonia/internal/simnet"
@@ -20,7 +19,6 @@ func frontendFixture(t *testing.T) (*Frontend, *capture) {
 			Replicas: []simnet.NodeID{simnet.NodeID(10 + 3*g), simnet.NodeID(11 + 3*g)},
 			WriteDst: simnet.NodeID(10 + 3*g), ReadDst: simnet.NodeID(11 + 3*g),
 			ClientBase: 1000,
-			Rand:       rand.New(rand.NewSource(int64(g) + 1)),
 		}, cap))
 	}
 	return f, cap

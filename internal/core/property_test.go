@@ -26,7 +26,6 @@ func TestFastPathCoverageInvariant(t *testing.T) {
 			Epoch: 1, Stages: 2, SlotsPerStage: 8,
 			Replicas: []simnet.NodeID{1, 2, 3},
 			WriteDst: 1, ReadDst: 3, ClientBase: 1000,
-			Rand: rand.New(rand.NewSource(seed + 1)),
 		}, SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
 			cap.Send(to, pkt)
 			fwd = append(fwd, sent{to, pkt})
@@ -100,7 +99,6 @@ func TestSequencingMonotoneProperty(t *testing.T) {
 		sched := New(Config{
 			Epoch: 1, Stages: 1, SlotsPerStage: 4,
 			Replicas: []simnet.NodeID{1, 2}, WriteDst: 1, ReadDst: 1, ClientBase: 1000,
-			Rand: rand.New(rand.NewSource(seed)),
 		}, cap)
 		lastSeq := uint64(0)
 		issued := uint64(0)
@@ -145,7 +143,6 @@ func TestDirtySetDrainProperty(t *testing.T) {
 		sched := New(Config{
 			Epoch: 1, Stages: 3, SlotsPerStage: 32,
 			Replicas: []simnet.NodeID{1}, WriteDst: 1, ReadDst: 1, ClientBase: 1000,
-			Rand: rand.New(rand.NewSource(seed)),
 		}, SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
 			if pkt.Op == wire.OpWrite {
 				fwd = append(fwd, pkt)

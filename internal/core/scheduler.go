@@ -22,8 +22,6 @@
 package core
 
 import (
-	"math/rand"
-
 	"harmonia/internal/dataplane"
 	"harmonia/internal/simnet"
 	"harmonia/internal/wire"
@@ -94,9 +92,29 @@ type Config struct {
 	// entries (from dropped WRITE-COMPLETIONs) are not reclaimed when
 	// reads probe them (§5.2's cleanup rule).
 	DisableLazyCleanup bool
+}
 
-	// Rand supplies randomness for replica selection.
-	Rand *rand.Rand
+// fastRand is an xorshift64* PRNG inlined into the scheduler: the
+// per-read replica pick is a couple of ALU ops on a word of local
+// state, matching what a real data plane would do with a hash of the
+// packet header rather than calling into math/rand. It is seeded from
+// the switch epoch, never from the simulation's shared RNG, so the
+// scheduler's picks perturb no other component's random stream.
+type fastRand uint64
+
+func (r *fastRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = fastRand(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n). The modulo bias is immaterial for
+// replica counts (n ≤ a few dozen).
+func (r *fastRand) intn(n int) int {
+	return int(r.next() % uint64(n))
 }
 
 // Stats counts scheduler decisions; the evaluation harness reads them.
@@ -122,7 +140,7 @@ type Scheduler struct {
 	dirty *dataplane.Table
 	last  wire.Seq // last-committed point
 	out   Sender
-	rng   *rand.Rand
+	rng   fastRand
 
 	// ready reports whether the switch has seen a WRITE-COMPLETION
 	// carrying its own epoch. Until then it must not schedule
@@ -147,12 +165,9 @@ func New(cfg Config, out Sender) *Scheduler {
 		cfg:      cfg,
 		dirty:    dataplane.NewTable(cfg.Stages, cfg.SlotsPerStage),
 		out:      out,
-		rng:      cfg.Rand,
 		replicas: append([]simnet.NodeID(nil), cfg.Replicas...),
 	}
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(1))
-	}
+	s.rng = fastRand((uint64(cfg.Epoch)+1)*0x9e3779b97f4a7c15 | 1)
 	return s
 }
 
@@ -225,8 +240,13 @@ func (s *Scheduler) processWrite(pkt *wire.Packet) {
 	}
 	s.Stats.Writes++
 	if s.cfg.MulticastWrites {
+		// One sequenced packet shared by every replica: the header was
+		// stamped above and packets are immutable once sequenced (see
+		// internal/wire), so OUM multicast is N sends of one pointer,
+		// not N deep copies — the batched-multicast analogue of the
+		// switch replicating a frame in the egress pipeline.
 		for _, r := range s.replicas {
-			s.out.Send(r, pkt.Clone())
+			s.out.Send(r, pkt)
 		}
 		return
 	}
@@ -254,7 +274,7 @@ func (s *Scheduler) processCompletion(pkt *wire.Packet) {
 func (s *Scheduler) processRead(pkt *wire.Packet) {
 	if s.cfg.RandomReads && len(s.replicas) > 0 {
 		s.Stats.NormalReads++
-		s.out.Send(s.replicas[s.rng.Intn(len(s.replicas))], pkt)
+		s.out.Send(s.replicas[s.rng.intn(len(s.replicas))], pkt)
 		return
 	}
 	if pkt.Flags&wire.FlagForwarded != 0 {
@@ -298,7 +318,7 @@ func (s *Scheduler) processRead(pkt *wire.Packet) {
 	}
 	pkt.Flags |= wire.FlagFastPath
 	s.Stats.FastReads++
-	s.out.Send(s.replicas[s.rng.Intn(len(s.replicas))], pkt)
+	s.out.Send(s.replicas[s.rng.intn(len(s.replicas))], pkt)
 }
 
 // toClient routes a reply packet to its client.

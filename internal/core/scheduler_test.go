@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"harmonia/internal/simnet"
@@ -31,7 +30,6 @@ func newTestSched(mutate func(*Config)) (*Scheduler, *capture) {
 		WriteDst:      1,
 		ReadDst:       3,
 		ClientBase:    1000,
-		Rand:          rand.New(rand.NewSource(7)),
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -295,10 +293,11 @@ func TestMulticastWrites(t *testing.T) {
 	if !seen[1] || !seen[2] || !seen[3] {
 		t.Fatalf("multicast set wrong: %v", seen)
 	}
-	// Copies must not alias.
-	c.out[0].pkt.ObjID = 77
-	if c.out[1].pkt.ObjID == 77 {
-		t.Fatal("multicast packets alias")
+	// Multicast shares one sequenced packet across all replicas:
+	// packets are immutable once sequenced (internal/wire ownership
+	// contract), so the switch sends N pointers, not N copies.
+	if c.out[0].pkt != c.out[1].pkt || c.out[1].pkt != c.out[2].pkt {
+		t.Fatal("multicast should share the sequenced packet")
 	}
 }
 

@@ -71,7 +71,12 @@ func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
 		LastCommitted: pkt.LastCommitted,
 	}
 	if obj, ok := b.Store.Get(pkt.ObjID); ok {
-		rep.Value = append([]byte(nil), obj.Value...)
+		// Alias the stored value: store values are written once at
+		// Apply time and never mutated in place, and reply packets are
+		// immutable once built (internal/wire ownership contract), so
+		// the read path copies no payload bytes. Callers that hand the
+		// value to mutating code must copy (see cluster.SyncClient).
+		rep.Value = obj.Value
 	} else {
 		rep.Flags |= wire.FlagNotFound
 	}

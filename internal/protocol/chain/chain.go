@@ -212,7 +212,7 @@ func (r *Replica) recvReReply(m reReply) {
 		return
 	}
 	if cached := r.CT.Cached(m.ClientID, m.ReqID); cached != nil {
-		rep := cached.Clone()
+		rep := cached.ShallowClone()
 		rep.Seq = wire.ZeroSeq // do not re-trigger the completion
 		r.Env.SendSwitch(rep)
 	}

@@ -301,7 +301,7 @@ func (r *Replica) recvVersionQuery(m versionQuery) {
 	if m.Pkt != nil && m.Pkt.Op == wire.OpWrite {
 		// Duplicate-write probe from the head.
 		if cached := r.ct.Cached(m.Pkt.ClientID, m.Pkt.ReqID); cached != nil {
-			r.env.SendSwitch(cached.Clone())
+			r.env.SendSwitch(cached.ShallowClone())
 		}
 		return
 	}

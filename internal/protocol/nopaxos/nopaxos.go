@@ -137,7 +137,7 @@ type Replica struct {
 	completedOp  uint64   // ops whose completions have been released
 	noopPos      []uint64 // sorted op numbers of committed NO-OPs (leader)
 
-	syncTimer *sim.Timer
+	syncTimer sim.Timer
 
 	// Stats
 	WritesExecuted uint64
@@ -333,7 +333,7 @@ func (r *Replica) executeThrough(opNum uint64) {
 		execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
 		if !execute {
 			if r.IsLeader() && cached != nil {
-				r.Env.SendSwitch(cached.Clone())
+				r.Env.SendSwitch(cached.ShallowClone())
 			}
 			continue
 		}

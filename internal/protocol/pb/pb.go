@@ -140,7 +140,7 @@ func (r *Replica) primaryWrite(pkt *wire.Packet) {
 			// re-piggybacking a completion (strip the seq so the
 			// switch does not process it twice; harmless either way,
 			// but cleaner).
-			rep := cached.Clone()
+			rep := cached.ShallowClone()
 			rep.Seq = wire.ZeroSeq
 			r.Env.SendSwitch(rep)
 		}

@@ -27,7 +27,7 @@ type Env interface {
 	SendSwitch(pkt *wire.Packet)
 	// After schedules fn after d of simulated time; the returned timer
 	// can be cancelled.
-	After(d time.Duration, fn func()) *sim.Timer
+	After(d time.Duration, fn func()) sim.Timer
 	// Now returns the current simulated time.
 	Now() sim.Time
 	// Rand returns the deterministic random source.

@@ -53,7 +53,7 @@ func (e *Env) SendSwitch(pkt *wire.Packet) {
 }
 
 // After implements protocol.Env.
-func (e *Env) After(d time.Duration, fn func()) *sim.Timer { return e.h.Eng.After(d, fn) }
+func (e *Env) After(d time.Duration, fn func()) sim.Timer { return e.h.Eng.After(d, fn) }
 
 // Now implements protocol.Env.
 func (e *Env) Now() sim.Time { return e.h.Eng.Now() }

@@ -171,8 +171,8 @@ type Replica struct {
 	lastNormalView uint64
 
 	// Timers.
-	hbTimer *sim.Timer
-	vcTimer *sim.Timer
+	hbTimer sim.Timer
+	vcTimer sim.Timer
 
 	// OnViewChange, when set, is invoked after this replica enters a
 	// new view in normal status (control-plane hook used by the
@@ -234,9 +234,7 @@ func (r *Replica) heartbeat() {
 
 // touchLeader resets the view-change timeout on live leader traffic.
 func (r *Replica) touchLeader() {
-	if r.vcTimer != nil {
-		r.vcTimer.Stop()
-	}
+	r.vcTimer.Stop()
 	if r.opts.ViewChangeTimeout > 0 && !r.IsLeader() {
 		r.vcTimer = r.Env.After(r.opts.ViewChangeTimeout, r.leaderTimeout)
 	}
@@ -325,7 +323,7 @@ func (r *Replica) leaderWrite(pkt *wire.Packet) {
 	execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
 	if !execute {
 		if cached != nil {
-			r.Env.SendSwitch(cached.Clone())
+			r.Env.SendSwitch(cached.ShallowClone())
 		}
 		return
 	}
@@ -594,9 +592,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.voteSVC(newView, r.Group.Self)
 	r.broadcast(startViewChange{View: newView, Replica: r.Group.Self})
 	// Re-arm the timeout: if this view change stalls, try the next.
-	if r.vcTimer != nil {
-		r.vcTimer.Stop()
-	}
+	r.vcTimer.Stop()
 	if r.opts.ViewChangeTimeout > 0 {
 		r.vcTimer = r.Env.After(r.opts.ViewChangeTimeout, func() {
 			if r.status == statusViewChange {

@@ -4,6 +4,14 @@
 // timers) schedule closures on a shared Engine. Events execute in
 // timestamp order; ties break by scheduling order, so a run with a fixed
 // RNG seed is fully reproducible.
+//
+// The event records themselves are recycled through a free list and
+// timers are generation-stamped value handles, so steady-state
+// scheduling allocates nothing: the per-message event traffic of a
+// saturated rack runs at data-plane rates without feeding the garbage
+// collector. The closure-free AfterCall variant extends that to the
+// callback itself — callers pass a long-lived func(any) plus the
+// argument instead of capturing state per event.
 package sim
 
 import (
@@ -21,12 +29,18 @@ type Time int64
 // use the time package's constants (time.Microsecond etc.).
 type Duration = time.Duration
 
-// event is a scheduled closure.
+// event is a scheduled closure. Events are pooled: when one fires or
+// is swept out of the heap cancelled, it returns to the engine's free
+// list and its generation advances, which is what invalidates any
+// Timer still pointing at it.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among equal timestamps
+	gen  uint64 // incarnation counter; Timers must match to act
 	fn   func()
-	idx  int // heap index, -1 when popped or cancelled
+	call func(any) // closure-free form: call(arg) if fn is nil
+	arg  any
+	idx  int // heap index, -1 when popped
 	dead bool
 }
 
@@ -59,15 +73,19 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Timer is a handle for a scheduled event that can be cancelled.
+// Timer is a cancellation handle for a scheduled event. It is a value:
+// the zero Timer is inert (Stop reports false), and a Timer whose
+// event has already fired and been recycled is detected by the
+// generation stamp, so holding a stale handle is always safe.
 type Timer struct {
-	e *event
+	e   *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
 // fired (and therefore was prevented from firing).
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead {
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.gen != t.gen || t.e.dead {
 		return false
 	}
 	t.e.dead = true
@@ -82,6 +100,7 @@ type Engine struct {
 	now    Time
 	nextID uint64
 	pq     eventHeap
+	free   []*event
 	rng    *rand.Rand
 
 	// Processed counts executed events, for diagnostics.
@@ -100,22 +119,92 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at the absolute simulated time t. Scheduling
-// in the past is clamped to "now" (the event runs before the clock
-// advances further).
-func (e *Engine) At(t Time, fn func()) *Timer {
+// alloc takes an event from the free list (or the heap allocator) and
+// schedules it at t.
+func (e *Engine) alloc(t Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.nextID, fn: fn}
+	ev.at = t
+	ev.seq = e.nextID
+	ev.dead = false
 	e.nextID++
 	heap.Push(&e.pq, ev)
-	return &Timer{e: ev}
+	return ev
+}
+
+// recycle returns a popped event to the free list. The generation bump
+// is what retires outstanding Timer handles; the callback fields are
+// cleared so the pool retains nothing.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at the absolute simulated time t. Scheduling
+// in the past is clamped to "now" (the event runs before the clock
+// advances further).
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.alloc(t)
+	ev.fn = fn
+	return Timer{e: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	return e.At(e.now+Time(d), fn)
+}
+
+// AtCall schedules call(arg) at the absolute time t without returning
+// a handle. This is the zero-allocation fast path for high-volume
+// events (message deliveries, service completions): the caller keeps
+// one long-lived call function and threads per-event state through
+// arg, so nothing is captured per event.
+func (e *Engine) AtCall(t Time, call func(any), arg any) {
+	ev := e.alloc(t)
+	ev.call = call
+	ev.arg = arg
+}
+
+// AfterCall schedules call(arg) to run d from now, without a handle.
+func (e *Engine) AfterCall(d Duration, call func(any), arg any) {
+	e.AtCall(e.now+Time(d), call, arg)
+}
+
+// AfterCallT is AfterCall with a cancellation handle, for hot-path
+// events that occasionally need stopping (retry timers).
+func (e *Engine) AfterCallT(d Duration, call func(any), arg any) Timer {
+	ev := e.alloc(e.now + Time(d))
+	ev.call = call
+	ev.arg = arg
+	return Timer{e: ev, gen: ev.gen}
+}
+
+// fire executes a popped live event and recycles it.
+func (e *Engine) fire(ev *event) {
+	// Dead before the callback runs: a Stop issued from inside the
+	// callback must report false, exactly like the pre-pooled engine.
+	ev.dead = true
+	e.now = ev.at
+	e.Processed++
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+	} else {
+		call(arg)
+	}
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -124,12 +213,10 @@ func (e *Engine) Step() bool {
 	for e.pq.Len() > 0 {
 		ev := heap.Pop(&e.pq).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
-		ev.dead = true
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.fire(ev)
 		return true
 	}
 	return false
@@ -140,20 +227,18 @@ func (e *Engine) Step() bool {
 // events scheduled after until remain pending.
 func (e *Engine) Run(until Time) {
 	for e.pq.Len() > 0 {
-		// Peek without popping dead events permanently out of order.
+		// Peek first: a live event past the deadline must stay queued.
 		ev := e.pq[0]
 		if ev.dead {
 			heap.Pop(&e.pq)
+			e.recycle(ev)
 			continue
 		}
 		if ev.at > until {
 			break
 		}
 		heap.Pop(&e.pq)
-		ev.dead = true
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.fire(ev)
 	}
 	if e.now < until {
 		e.now = until

@@ -94,8 +94,7 @@ func TestTimerStop(t *testing.T) {
 
 func TestTimerStopAfterFire(t *testing.T) {
 	e := NewEngine(1)
-	var tm *Timer
-	tm = e.After(10, func() {})
+	tm := e.After(10, func() {})
 	e.Run(100)
 	if tm.Stop() {
 		t.Fatal("Stop after firing returned true")

@@ -102,6 +102,19 @@ type Node struct {
 	BusyTime  time.Duration
 }
 
+// delivery is one in-flight message: the argument threaded through the
+// engine's closure-free scheduling. Records are pooled on the network
+// (the simulation is single-threaded, so a plain free list suffices)
+// and released the moment their callback runs, so steady-state message
+// traffic allocates nothing. Payloads are NOT copied anywhere on this
+// path — duplication delivers the same Message twice — which is why
+// packets are immutable once sequenced (see internal/wire).
+type delivery struct {
+	nd   *Node
+	from NodeID
+	msg  Message
+}
+
 // Network owns the nodes and links.
 type Network struct {
 	eng         *sim.Engine
@@ -110,19 +123,58 @@ type Network struct {
 	defaultLink LinkConfig
 	links       map[[2]NodeID]LinkConfig
 
+	// free is the delivery-record pool; arriveFn/completeFn are the
+	// long-lived callbacks AfterCall pairs the records with (a method
+	// value would allocate a fresh closure per message).
+	free       []*delivery
+	arriveFn   func(any)
+	completeFn func(any)
+
 	// Sent counts every Send call, delivered or not.
 	Sent uint64
 }
 
 // New creates a network on eng with the given default link config.
 func New(eng *sim.Engine, def LinkConfig) *Network {
-	return &Network{
+	n := &Network{
 		eng:         eng,
 		rng:         eng.Rand(),
 		nodes:       make(map[NodeID]*Node),
 		defaultLink: def,
 		links:       make(map[[2]NodeID]LinkConfig),
 	}
+	n.arriveFn = func(a any) {
+		d := a.(*delivery)
+		nd, from, msg := d.nd, d.from, d.msg
+		n.putDelivery(d)
+		nd.arrive(from, msg)
+	}
+	n.completeFn = func(a any) {
+		d := a.(*delivery)
+		nd, from, msg := d.nd, d.from, d.msg
+		n.putDelivery(d)
+		nd.complete(from, msg)
+	}
+	return n
+}
+
+// getDelivery takes a record from the pool.
+func (n *Network) getDelivery(nd *Node, from NodeID, msg Message) *delivery {
+	if k := len(n.free); k > 0 {
+		d := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		d.nd, d.from, d.msg = nd, from, msg
+		return d
+	}
+	return &delivery{nd: nd, from: from, msg: msg}
+}
+
+// putDelivery returns a record, dropping its payload reference so the
+// pool retains nothing.
+func (n *Network) putDelivery(d *delivery) {
+	d.nd, d.msg = nil, nil
+	n.free = append(n.free, d)
 }
 
 // Engine exposes the underlying event engine (for timers).
@@ -196,7 +248,7 @@ func (n *Network) transmit(cfg LinkConfig, from NodeID, dst *Node, msg Message) 
 	if cfg.ReorderProb > 0 && n.rng.Float64() < cfg.ReorderProb && cfg.ReorderDelay > 0 {
 		d += time.Duration(n.rng.Int63n(int64(cfg.ReorderDelay)))
 	}
-	n.eng.After(d, func() { dst.arrive(from, msg) })
+	n.eng.AfterCall(d, n.arriveFn, n.getDelivery(dst, from, msg))
 }
 
 // SetDown marks a node failed (true) or recovered (false). A down node
@@ -255,7 +307,7 @@ func (nd *Node) serve(from NodeID, msg Message) {
 		cost = nd.cfg.Cost(msg)
 	}
 	nd.BusyTime += cost
-	nd.net.eng.After(cost, func() { nd.complete(from, msg) })
+	nd.net.eng.AfterCall(cost, nd.net.completeFn, nd.net.getDelivery(nd, from, msg))
 }
 
 // complete runs when service finishes: the handler executes and the

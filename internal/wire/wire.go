@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
+	"unsafe"
 )
 
 // Op is the operation type carried in the Harmonia header.
@@ -206,9 +208,24 @@ type Packet struct {
 	// Key is the original variable-length key (carried in the payload;
 	// the switch looks only at ObjID).
 	Key string
-	// Value is the write payload or read result.
+	// Value is the write payload or read result. A zero-length value
+	// is canonically nil: Decode, DecodeInto, Clone, and ShallowClone
+	// all normalize empty to nil, so "no payload" has exactly one
+	// representation no matter how many codec or pooling round trips a
+	// packet takes.
 	Value []byte
 }
+
+// Ownership contract. In the simulated network packets travel by
+// pointer and are immutable once sequenced: the switch stamps header
+// fields (Seq, LastCommitted, Flags, Group, Switch) while it is the
+// sole owner, and after fan-out every receiver — duplicates included —
+// shares the same struct and payload read-only. Senders that retry
+// therefore pass a fresh ShallowClone per transmission (headers are
+// per-flight, payload bytes are not). On a byte transport the
+// equivalent rule: a packet produced by DecodeInto borrows Key and
+// Value from the input buffer and is valid only while the buffer is;
+// a receiver that retains it past that point must call Own first.
 
 // header layout (fixed 45 bytes) followed by key and value, each
 // length-prefixed with uint16/uint32.
@@ -225,6 +242,28 @@ var (
 	// ErrKeyTooLong reports a key exceeding MaxKeyLen.
 	ErrKeyTooLong = errors.New("wire: key too long")
 )
+
+// bufPool recycles encode buffers. Buffers are pointers-to-slices so
+// the pool round trip itself does not allocate.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuffer borrows a zeroed-length encode buffer from the pool. Pass
+// *buf (or (*buf)[:0]) to Encode and return it with PutBuffer when the
+// encoded bytes are no longer referenced — including by any packet a
+// DecodeInto borrowed from it.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not retain
+// views into it.
+func PutBuffer(b *[]byte) {
+	if b != nil {
+		bufPool.Put(b)
+	}
+}
 
 // Encode appends the wire form of p to buf and returns the result.
 func (p *Packet) Encode(buf []byte) ([]byte, error) {
@@ -259,57 +298,113 @@ func (p *Packet) Encode(buf []byte) ([]byte, error) {
 }
 
 // Decode parses a packet from b, returning the packet and the number of
-// bytes consumed.
+// bytes consumed. The packet owns its key and value (copied out of b).
 func Decode(b []byte) (*Packet, int, error) {
+	p := &Packet{}
+	n, err := DecodeInto(p, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.Own()
+	return p, n, nil
+}
+
+// DecodeInto parses a packet from b into p, reusing p's storage. It is
+// the zero-copy, zero-allocation decode for switch-side inspection:
+// p.Key and p.Value are borrowed views into b, valid only while b is.
+// A receiver that retains the packet (or b is a pooled buffer about to
+// be reused) must call p.Own() first. Every field of p is overwritten
+// — including Key and Value when the encoding carries none — so a
+// pooled *Packet can never resurrect a previous incarnation's payload.
+func DecodeInto(p *Packet, b []byte) (int, error) {
 	if len(b) < headerSize+2+4 {
-		return nil, 0, ErrShortPacket
+		return 0, ErrShortPacket
 	}
-	p := &Packet{
-		Op:     Op(b[0]),
-		Flags:  Flags(b[1]),
-		ObjID:  ObjectID(binary.BigEndian.Uint32(b[2:])),
-		Group:  binary.BigEndian.Uint16(b[6:]),
-		Switch: b[8],
-		Seq: Seq{
-			Epoch: binary.BigEndian.Uint32(b[9:]),
-			N:     binary.BigEndian.Uint64(b[13:]),
-		},
-		LastCommitted: Seq{
-			Epoch: binary.BigEndian.Uint32(b[21:]),
-			N:     binary.BigEndian.Uint64(b[25:]),
-		},
-		ClientID: binary.BigEndian.Uint32(b[33:]),
-		ReqID:    binary.BigEndian.Uint64(b[37:]),
+	op := Op(b[0])
+	if op < OpRead || op > OpWriteReply {
+		return 0, ErrBadOp
 	}
-	if p.Op < OpRead || p.Op > OpWriteReply {
-		return nil, 0, ErrBadOp
+	p.Op = op
+	p.Flags = Flags(b[1])
+	p.ObjID = ObjectID(binary.BigEndian.Uint32(b[2:]))
+	p.Group = binary.BigEndian.Uint16(b[6:])
+	p.Switch = b[8]
+	p.Seq = Seq{
+		Epoch: binary.BigEndian.Uint32(b[9:]),
+		N:     binary.BigEndian.Uint64(b[13:]),
 	}
+	p.LastCommitted = Seq{
+		Epoch: binary.BigEndian.Uint32(b[21:]),
+		N:     binary.BigEndian.Uint64(b[25:]),
+	}
+	p.ClientID = binary.BigEndian.Uint32(b[33:])
+	p.ReqID = binary.BigEndian.Uint64(b[37:])
 	off := headerSize
 	klen := int(binary.BigEndian.Uint16(b[off:]))
 	off += 2
 	if len(b) < off+klen+4 {
-		return nil, 0, ErrShortPacket
+		return 0, ErrShortPacket
 	}
-	p.Key = string(b[off : off+klen])
+	if klen > 0 {
+		// Borrowed string view over b — no copy. Safe because strings
+		// are only read and the contract forbids mutating b while any
+		// decoded view is live; Own() materializes a real copy.
+		p.Key = unsafe.String(&b[off], klen)
+	} else {
+		p.Key = ""
+	}
 	off += klen
 	vlen := int(binary.BigEndian.Uint32(b[off:]))
 	off += 4
 	if len(b) < off+vlen {
-		return nil, 0, ErrShortPacket
+		return 0, ErrShortPacket
 	}
 	if vlen > 0 {
-		p.Value = append([]byte(nil), b[off:off+vlen]...)
+		p.Value = b[off : off+vlen : off+vlen]
+	} else {
+		p.Value = nil
 	}
 	off += vlen
-	return p, off, nil
+	return off, nil
 }
 
-// Clone returns a deep copy of p. The simulated network clones packets
-// on duplication so that receivers cannot alias each other's payloads.
+// Own replaces any borrowed key/value views with owned copies, after
+// which the packet is independent of the buffer it was decoded from.
+// Required exactly when a receiver retains the packet beyond the
+// lifetime of the decode buffer.
+func (p *Packet) Own() {
+	if len(p.Key) > 0 {
+		p.Key = string(append([]byte(nil), p.Key...))
+	}
+	if len(p.Value) > 0 {
+		p.Value = append([]byte(nil), p.Value...)
+	} else {
+		p.Value = nil
+	}
+}
+
+// Clone returns a deep copy of p: fresh header and a fresh payload
+// copy. Zero-length values normalize to nil, exactly as Decode
+// produces them.
 func (p *Packet) Clone() *Packet {
 	q := *p
-	if p.Value != nil {
+	if len(p.Value) > 0 {
 		q.Value = append([]byte(nil), p.Value...)
+	} else {
+		q.Value = nil
+	}
+	return &q
+}
+
+// ShallowClone returns a fresh header copy sharing p's payload. This
+// is the per-transmission copy a retrying sender uses: header stamps
+// (Seq, Flags, routing) are per-flight state, while the payload bytes
+// are immutable once created and safe to share. Zero-length values
+// normalize to nil like Clone.
+func (p *Packet) ShallowClone() *Packet {
+	q := *p
+	if len(q.Value) == 0 {
+		q.Value = nil
 	}
 	return &q
 }

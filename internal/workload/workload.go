@@ -277,6 +277,63 @@ func ApportionMin(total int, weights []float64, min []int) []int {
 	return out
 }
 
+// WeightedIndex draws indexes in [0, len(weights)) with probability
+// proportional to the weights — the open-loop analogue of Apportion's
+// client-pool split. It is table-driven: the weights are apportioned
+// over a fixed number of units (largest-remainder, the same arithmetic
+// that sizes pinned closed-loop pools and slot shards) and each draw
+// picks a unit uniformly, so Next is O(1) with zero allocations and
+// the long-run offered split converges to the apportioned ratios.
+// Every index with positive weight holds at least one unit, so no
+// shard is starved outright; zero-weight indexes are never drawn
+// (unless no weight is positive, in which case the split is uniform —
+// Apportion's own fallback).
+type WeightedIndex struct {
+	table []uint16
+	rng   *rand.Rand
+}
+
+// weightedIndexUnits is the sampler's resolution: the worst-case
+// relative error of any index's drawn share is 1/4096 ≈ 0.02%.
+const weightedIndexUnits = 1 << 12
+
+// NewWeightedIndex builds a sampler over the weights.
+func NewWeightedIndex(weights []float64, rng *rand.Rand) *WeightedIndex {
+	n := len(weights)
+	if n == 0 {
+		panic("workload: WeightedIndex needs at least one weight")
+	}
+	if n > weightedIndexUnits {
+		panic(fmt.Sprintf("workload: WeightedIndex supports at most %d indexes", weightedIndexUnits))
+	}
+	// Floors keep every positive-weight index drawable even when its
+	// exact quota rounds to zero units.
+	min := make([]int, n)
+	anyPos := false
+	for i, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) {
+			min[i] = 1
+			anyPos = true
+		}
+	}
+	if !anyPos {
+		for i := range min {
+			min[i] = 1
+		}
+	}
+	shares := ApportionMin(weightedIndexUnits, weights, min)
+	w := &WeightedIndex{table: make([]uint16, 0, weightedIndexUnits), rng: rng}
+	for i, s := range shares {
+		for ; s > 0; s-- {
+			w.table = append(w.table, uint16(i))
+		}
+	}
+	return w
+}
+
+// Next draws one index.
+func (w *WeightedIndex) Next() int { return int(w.table[w.rng.Intn(len(w.table))]) }
+
 // ServiceRate estimates a replica group's saturated service rate in
 // ops/second — the first-order calibration the client-side router uses
 // to give a 7-replica Harmonia group proportionally more of a pinned

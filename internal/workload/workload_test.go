@@ -328,3 +328,54 @@ func TestGroupSpecApportionMinFloors(t *testing.T) {
 		t.Fatalf("ApportionMin floors = %v (sum %d)", got, sum)
 	}
 }
+
+// TestWeightedIndexFollowsWeights: the table-driven sampler realizes
+// the apportioned ratios — a 2:1 weight pair draws index 0 about twice
+// as often as index 1.
+func TestWeightedIndexFollowsWeights(t *testing.T) {
+	w := NewWeightedIndex([]float64{2, 1}, rand.New(rand.NewSource(7)))
+	counts := [2]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[w.Next()]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.85 || ratio > 2.15 {
+		t.Fatalf("2:1 weights drew %v (ratio %.3f)", counts, ratio)
+	}
+}
+
+// TestWeightedIndexZeroWeightNeverDrawn: a zero-weight index holds no
+// units while the positive ones keep at least one each, even when
+// their exact quota rounds to zero.
+func TestWeightedIndexZeroWeightNeverDrawn(t *testing.T) {
+	w := NewWeightedIndex([]float64{1, 0, 1e-9}, rand.New(rand.NewSource(8)))
+	sawTiny := false
+	for i := 0; i < 200000; i++ {
+		switch w.Next() {
+		case 1:
+			t.Fatal("zero-weight index drawn")
+		case 2:
+			sawTiny = true
+		}
+	}
+	if !sawTiny {
+		t.Fatal("positive-weight index starved despite the unit floor")
+	}
+}
+
+// TestWeightedIndexDegenerateUniform: with no positive weight the
+// sampler falls back to a uniform draw (Apportion's own fallback)
+// instead of an empty table.
+func TestWeightedIndexDegenerateUniform(t *testing.T) {
+	w := NewWeightedIndex([]float64{0, 0, 0}, rand.New(rand.NewSource(9)))
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[w.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Fatalf("degenerate fallback not uniform: index %d drew %d of 30000 (%v)", i, c, counts)
+		}
+	}
+}
