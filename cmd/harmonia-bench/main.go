@@ -82,6 +82,8 @@ var runners = []struct {
 		"group", "throughput (MRPS)", experiments.FigH, nil},
 	{"P", "Figure P: open-loop latency vs throughput, 4-switch weighted rack (simulator perf snapshot)",
 		"throughput (MRPS)", "latency (ms)", experiments.FigPerf, experiments.FigPerfDetail},
+	{"E", "Figure E: elastic scale-out 4→8 groups under open-loop load, then dead-switch reassignment",
+		"time (ms)", "throughput (MRPS)", experiments.FigE, nil},
 	{"ablations", "Ablations (DESIGN.md §6)",
 		"-", "see series names",
 		func(s experiments.Scale) []experiments.Series {

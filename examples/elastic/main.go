@@ -1,0 +1,107 @@
+// Elastic membership: the rack's topology as a live object. A
+// two-switch rack of four chain groups grows to six under way
+// (AddGroup seeds each newcomer a weight-fair, heat-aware slot share),
+// re-specs a live group from 3-replica chain to 5-replica VR without
+// moving a slot, retires a group (its slots, objects, and at-most-once
+// client tables evacuate to the survivors), and finally recovers a
+// permanently dead switch's entire shard from the victims' replica
+// stores. Every value written at the start reads back at the end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmonia"
+)
+
+func main() {
+	c, err := harmonia.New(harmonia.Config{
+		Protocol:    harmonia.ChainReplication,
+		Replicas:    3,
+		UseHarmonia: true,
+		Groups:      4,
+		Switches:    2,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := c.Client()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := cl.Set(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("boot: groups=%v epoch=%d\n", c.LiveGroups(), c.TopologyEpoch())
+	fmt.Printf("baseline: %.2f MRPS\n\n", load(c))
+
+	// Scale out: two new groups, seeded online from the hottest donors.
+	for i := 0; i < 2; i++ {
+		g, err := c.AddGroup(harmonia.GroupSpec{Protocol: harmonia.ChainReplication})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("AddGroup -> group %d (switch %d), epoch=%d, slots=%v\n",
+			g, c.SwitchOfGroup(g), c.TopologyEpoch(), slotShare(c))
+	}
+	fmt.Printf("after scale-out: %.2f MRPS\n\n", load(c))
+
+	// Respec: group 1 becomes a 5-replica VR group in place — same ID,
+	// same slots, fresh member set, sequence space continued.
+	if err := c.RespecGroup(1, harmonia.GroupSpec{
+		Protocol: harmonia.ViewstampedReplication, Replicas: 5,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RespecGroup(1): now %v\n", c.GroupSpecs()[1])
+
+	// Scale in: group 2 retires; its slots and client tables land on
+	// the survivors by capacity weight. The ID is never reused.
+	if err := c.RemoveGroup(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RemoveGroup(2): groups=%v epoch=%d slots=%v\n\n",
+		c.LiveGroups(), c.TopologyEpoch(), slotShare(c))
+
+	// A switch dies for good. Recover its whole shard from the victim
+	// groups' replica stores onto the survivors.
+	if err := c.CrashSwitch(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.ReassignDeadSwitch(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ReassignDeadSwitch(1): groups=%v epoch=%d\n", c.LiveGroups(), c.TopologyEpoch())
+
+	for i := 0; i < n; i++ {
+		v, ok, err := cl.Get(key(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			log.Fatalf("lost %s after the full elastic lifecycle: %q %v %v", key(i), v, ok, err)
+		}
+	}
+	fmt.Printf("all %d values survived scale-out, respec, retirement, and switch death\n", n)
+}
+
+func key(i int) string { return fmt.Sprintf("user%04d", i) }
+
+// load measures a short closed-loop window.
+func load(c *harmonia.Cluster) float64 {
+	rep := c.Run(harmonia.LoadSpec{
+		Clients: 64 * len(c.LiveGroups()), Duration: 10 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.05, Keys: 10000,
+	})
+	return rep.Throughput / 1e6
+}
+
+// slotShare counts routing slots per live group.
+func slotShare(c *harmonia.Cluster) map[int]int {
+	share := map[int]int{}
+	for _, g := range c.SlotTable() {
+		share[g]++
+	}
+	return share
+}

@@ -696,6 +696,134 @@ func (cl *Cluster) SwapSlots(slotsA, slotsB []int) error {
 	return cl.c.SwapSlots(slotsA, slotsB)
 }
 
+// --- Elastic membership ---
+//
+// The rack's topology — which groups exist, their weights, and which
+// group serves each slot — is a live, epoch-versioned object. The four
+// operations below mutate it at runtime; each bumps the topology epoch
+// exactly once per membership revision, and every epoch-keyed consumer
+// (the rebalancer's thresholds, PinGroups load splits, routing) picks
+// the new membership up on its next epoch check. Group IDs are stable
+// and never reused: a retired group's ID stays retired forever, so
+// per-group statistics and histories remain valid across scale-in.
+
+// validateSpec applies New's per-spec validation rules to a spec
+// submitted at runtime.
+func (cl *Cluster) validateSpec(spec GroupSpec) error {
+	if spec.Protocol < PrimaryBackup || spec.Protocol > NOPaxos {
+		return fmt.Errorf("harmonia: unknown protocol %d", spec.Protocol)
+	}
+	if spec.Replicas < 0 {
+		return fmt.Errorf("harmonia: invalid replica count %d", spec.Replicas)
+	}
+	eff := spec.Replicas
+	if eff == 0 {
+		eff = cl.c.Config().Replicas
+	}
+	if eff == 1 && spec.Protocol == ViewstampedReplication {
+		return fmt.Errorf("harmonia: invalid replica count %d for VR", eff)
+	}
+	if spec.Weight < 0 || math.IsNaN(spec.Weight) || math.IsInf(spec.Weight, 0) {
+		return fmt.Errorf("harmonia: invalid capacity weight %v", spec.Weight)
+	}
+	return nil
+}
+
+// AddGroup grows the cluster by one replica group built from spec
+// (zero fields inherit the cluster-wide settings, exactly as at
+// assembly) and returns its ID. The group is placed on the alive
+// switch with the most heat per capacity unit, and then seeded a
+// weight-fair share of the slot space through ordinary online slot
+// migrations — heat-aware, so the new group relieves the rack's hot
+// spot first. The call drives the simulation until the seeding
+// settles; the largest-remainder re-apportionment guarantees every
+// live group keeps at least one slot and all slots stay owned.
+// Explicit vs derived capacity weights must match the cluster's boot
+// scale (the same all-or-none rule New enforces).
+func (cl *Cluster) AddGroup(spec GroupSpec) (int, error) {
+	if err := cl.validateSpec(spec); err != nil {
+		return 0, err
+	}
+	g, err := cl.c.AddGroupWait(cluster.GroupSpec{
+		Protocol: spec.Protocol.internal(),
+		Replicas: spec.Replicas,
+		Weight:   spec.Weight,
+	})
+	if err != nil {
+		return g, fmt.Errorf("harmonia: %w", err)
+	}
+	return g, nil
+}
+
+// RemoveGroup retires group g: its slots are evacuated online to the
+// remaining live groups (apportioned by capacity weight), its
+// at-most-once client tables travel with them — so a retried write
+// whose reply was lost replays at the destination instead of
+// re-executing — and once evacuated the group leaves through the §5.3
+// revoke/ack agreement: no member can serve a fast read past
+// retirement. The call drives the simulation until the retirement
+// completes; on failure (a batch could not drain) the group keeps its
+// remaining slots and stays live.
+func (cl *Cluster) RemoveGroup(g int) error {
+	if err := cl.c.RemoveGroup(g); err != nil {
+		return fmt.Errorf("harmonia: %w", err)
+	}
+	return nil
+}
+
+// RespecGroup replaces live group g's member set with one built from
+// spec — a different protocol, replica count, or calibration — without
+// moving any of its slots. The swap is staged: every slot of the group
+// freezes, the scheduler partition drains, the old members acknowledge
+// lease revocation (§5.3), the group's objects and client table copy
+// into the fresh member set, and service resumes at the same switch
+// epoch with the sequence space continued. Clients only observe the
+// freeze window — the group's identity, slots, and routing are
+// untouched.
+func (cl *Cluster) RespecGroup(g int, spec GroupSpec) error {
+	if err := cl.validateSpec(spec); err != nil {
+		return err
+	}
+	if err := cl.c.RespecGroup(g, cluster.GroupSpec{
+		Protocol: spec.Protocol.internal(),
+		Replicas: spec.Replicas,
+		Weight:   spec.Weight,
+	}); err != nil {
+		return fmt.Errorf("harmonia: %w", err)
+	}
+	return nil
+}
+
+// ReassignDeadSwitch batch-migrates a permanently dead switch's entire
+// slot shard to the surviving switches' live groups. Unlike
+// ReactivateSwitch (which boots a replacement for the SAME switch),
+// this declares the switch unrecoverable: its groups' replica stores —
+// which hold every committed write — are max-merged per slot, the
+// recovered objects install on weight-apportioned surviving groups,
+// the victims' client tables merge into every destination, and the
+// victims retire through the revoke agreement. Afterwards every slot
+// is served again and the dead switch hosts nothing.
+func (cl *Cluster) ReassignDeadSwitch(s int) error {
+	if err := cl.c.ReassignDeadSwitch(s); err != nil {
+		return fmt.Errorf("harmonia: %w", err)
+	}
+	return nil
+}
+
+// TopologyEpoch returns the rack topology's membership revision
+// counter. It moves exactly once per membership change (group added,
+// retired, or re-weighted) and never on per-slot route flips, so
+// consumers can cache derived state keyed by it.
+func (cl *Cluster) TopologyEpoch() uint64 { return cl.c.Rack().TopoEpoch() }
+
+// GroupLive reports whether group g currently serves traffic (false
+// once retired; group IDs are never reused).
+func (cl *Cluster) GroupLive(g int) bool { return cl.c.Rack().Live(g) }
+
+// LiveGroups returns the IDs of the groups currently serving traffic,
+// in ID order.
+func (cl *Cluster) LiveGroups() []int { return cl.c.Rack().LiveGroups() }
+
 // SlotHeat is one routing slot's recent operation counters, sampled
 // from the switch front-end's per-slot register arrays. With the
 // rebalancer's periodic EWMA decay the counters track a recent window;
@@ -771,9 +899,13 @@ func (cl *Cluster) SwitchStats() SwitchStats {
 	return out
 }
 
-// GroupSwitchStats snapshots group g's scheduler partition.
+// GroupSwitchStats snapshots group g's scheduler partition. A retired
+// group has no partition anymore and reads as all-zero counters.
 func (cl *Cluster) GroupSwitchStats(g int) SwitchStats {
 	s := cl.c.GroupScheduler(g)
+	if s == nil {
+		return SwitchStats{}
+	}
 	st := s.Stats
 	return SwitchStats{
 		Writes: st.Writes, WritesDropped: st.WritesDropped,

@@ -220,6 +220,12 @@ func (m *measurement) observe(write bool, group int, d time.Duration, at sim.Tim
 		return
 	}
 	m.ops++
+	// Groups added elastically mid-run extend the counter vector on
+	// first completion; group counts only ever grow, so the report's
+	// index = group ID mapping stays stable.
+	for group >= len(m.groupOps) && len(m.groupOps) < len(m.c.groups) {
+		m.groupOps = append(m.groupOps, 0)
+	}
 	if group >= 0 && group < len(m.groupOps) {
 		m.groupOps[group]++
 	}
@@ -350,7 +356,13 @@ func (m *measurement) noteDropped() {
 }
 
 func (m *measurement) noteOffered(group int) {
-	if m.collect && group >= 0 && group < len(m.groupOffered) {
+	if !m.collect || group < 0 {
+		return
+	}
+	for group >= len(m.groupOffered) && len(m.groupOffered) < len(m.c.groups) {
+		m.groupOffered = append(m.groupOffered, 0)
+	}
+	if group < len(m.groupOffered) {
 		m.groupOffered[group]++
 	}
 }
@@ -418,7 +430,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 				// within the slice). Uniform weights reproduce the
 				// historical even split exactly.
 				owned := c.ownedKeyIndices(spec.Keys)
-				shares := workload.Apportion(spec.Clients, c.cfg.Weights())
+				shares := workload.Apportion(spec.Clients, c.GroupWeights())
 				for g, idxs := range owned {
 					n := shares[g]
 					if len(idxs) == 0 {
@@ -456,21 +468,36 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 				// must see a 2:1 offered split — so the group draw goes
 				// through the apportioned sampler and the realized
 				// split lands in Report.GroupOffered.
-				owned := c.ownedKeyIndices(spec.Keys)
-				weights := append([]float64(nil), c.cfg.Weights()...)
-				gens := make([]*opGen, len(owned))
-				for g, idxs := range owned {
-					if len(idxs) == 0 {
-						// Degenerate: the shard owns no keys and can
-						// never be offered work.
-						weights[g] = 0
-						continue
+				// The split is keyed to the topology epoch: an elastic
+				// membership change mid-run (group added, retired, or
+				// re-weighted) rebuilds the group sampler and the
+				// shard-local key generators on the next arrival, so
+				// offered load follows the LIVE weights within one op.
+				var gens []*opGen
+				var pick *workload.WeightedIndex
+				var topoSeen uint64
+				rebuild := func() {
+					topoSeen = c.rack.TopoEpoch()
+					owned := c.ownedKeyIndices(spec.Keys)
+					weights := c.GroupWeights()
+					gens = make([]*opGen, len(owned))
+					for g, idxs := range owned {
+						if len(idxs) == 0 {
+							// Degenerate: the shard owns no keys and can
+							// never be offered work.
+							weights[g] = 0
+							continue
+						}
+						gens[g] = &opGen{c: c, kt: kt, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
 					}
-					gens[g] = &opGen{c: c, kt: kt, keys: &pinnedGen{owned: idxs, inner: newKeysN(len(idxs))}, ratio: spec.WriteRatio}
+					pick = workload.NewWeightedIndex(weights, c.eng.Rand())
 				}
-				pick := workload.NewWeightedIndex(weights, c.eng.Rand())
+				rebuild()
 				meas.groupOffered = make([]uint64, len(c.groups))
 				nextOp = func() {
+					if c.rack.TopoEpoch() != topoSeen {
+						rebuild()
+					}
 					g := pick.Next()
 					meas.noteOffered(g)
 					idx, write := gens[g].next()

@@ -91,9 +91,26 @@ func switchAddrOf(s int) simnet.NodeID {
 	return controllerAddr + simnet.NodeID(s) // 3..9 for switches 1..7
 }
 
-// groupReplicaAddr returns the network address of replica i of group g.
+// groupReplicaAddr returns the network address of replica i of group
+// g's ORIGINAL member set (incarnation 0).
 func groupReplicaAddr(g, i int) simnet.NodeID {
-	return replicaBase + simnet.NodeID(g)*groupStride + simnet.NodeID(i)
+	return groupIncReplicaAddr(g, 0, i)
+}
+
+// incStride carves each group's groupStride-wide address window into
+// incarnation sub-windows: a membership respec replaces the whole
+// member set, and the simulated network's node IDs are permanent
+// (simnet.AddNode rejects reuse), so each new set lives at the next
+// sub-window. 16 incarnations × up to 64 replicas per group.
+const incStride simnet.NodeID = 64
+
+// maxIncarnations bounds how many times one group can be respec'd.
+const maxIncarnations = int(groupStride / incStride)
+
+// groupIncReplicaAddr returns the network address of replica i of
+// group g's incarnation inc.
+func groupIncReplicaAddr(g, inc, i int) simnet.NodeID {
+	return replicaBase + simnet.NodeID(g)*groupStride + simnet.NodeID(inc)*incStride + simnet.NodeID(i)
 }
 
 // GroupSpec describes one replica group of a (possibly heterogeneous)
@@ -315,37 +332,43 @@ func (c *Config) resolveSpecs() {
 		}
 	}
 	for g := range specs {
-		sp := &specs[g]
-		if sp.Replicas <= 0 {
-			sp.Replicas = c.Replicas
-		}
-		sp.Harmonia = c.UseHarmonia && sp.Protocol != CRAQ
-		if sp.Workers <= 0 {
-			sp.Workers = c.Workers
-		}
-		if sp.Shards <= 0 {
-			sp.Shards = c.Shards
-		}
-		if sp.ReadCost <= 0 {
-			sp.ReadCost = c.ReadCost
-		}
-		if sp.WriteCost <= 0 {
-			sp.WriteCost = c.WriteCost
-		}
-		if sp.Weight <= 0 {
-			// One server's calibrated per-class rate; reads spread
-			// across the group under Harmonia fast reads or CRAQ's
-			// per-replica clean reads, writes always load every member.
-			readRate := float64(sp.Workers) / sp.ReadCost.Seconds()
-			writeRate := float64(sp.Workers) / sp.WriteCost.Seconds()
-			spread := sp.Harmonia || sp.Protocol == CRAQ
-			sp.Weight = workload.ServiceRate(sp.Replicas, spread, defaultWriteRatio, readRate, writeRate)
-			if !(sp.Weight > 0) {
-				sp.Weight = 1 // degenerate calibration: neutral capacity
-			}
-		}
+		c.resolveSpec(&specs[g])
 	}
 	c.GroupSpecs = specs
+}
+
+// resolveSpec defaults one group spec in place — the per-group half of
+// resolveSpecs, shared with elastic AddGroup/RespecGroup so a group
+// added at runtime is defaulted by exactly the assembly-time rules.
+func (c *Config) resolveSpec(sp *GroupSpec) {
+	if sp.Replicas <= 0 {
+		sp.Replicas = c.Replicas
+	}
+	sp.Harmonia = c.UseHarmonia && sp.Protocol != CRAQ
+	if sp.Workers <= 0 {
+		sp.Workers = c.Workers
+	}
+	if sp.Shards <= 0 {
+		sp.Shards = c.Shards
+	}
+	if sp.ReadCost <= 0 {
+		sp.ReadCost = c.ReadCost
+	}
+	if sp.WriteCost <= 0 {
+		sp.WriteCost = c.WriteCost
+	}
+	if sp.Weight <= 0 {
+		// One server's calibrated per-class rate; reads spread
+		// across the group under Harmonia fast reads or CRAQ's
+		// per-replica clean reads, writes always load every member.
+		readRate := float64(sp.Workers) / sp.ReadCost.Seconds()
+		writeRate := float64(sp.Workers) / sp.WriteCost.Seconds()
+		spread := sp.Harmonia || sp.Protocol == CRAQ
+		sp.Weight = workload.ServiceRate(sp.Replicas, spread, defaultWriteRatio, readRate, writeRate)
+		if !(sp.Weight > 0) {
+			sp.Weight = 1 // degenerate calibration: neutral capacity
+		}
+	}
 }
 
 // defaultWriteRatio is the paper's default operation mix (§9.1, 5%
@@ -407,16 +430,24 @@ type replicaGroup struct {
 	idx      int
 	spec     GroupSpec
 	n        int // group size (== spec.Replicas)
+	inc      int // membership incarnation (bumped by RespecGroup)
 	sched    *core.Scheduler
 	replicas []ReplicaHandle
 	raw      any // protocol-specific slice for reconfiguration
+
+	// leaseGen invalidates the self-renewing lease-grant chain: the
+	// controller's periodic re-grant closure captures the generation it
+	// was started under and stops silently once it is stale. Respec and
+	// retirement bump it, so an old member set's chain can never keep
+	// re-granting leases to nodes that left the group.
+	leaseGen uint64
 }
 
-// addrs lists the group's replica addresses in index order.
+// addrs lists the group's CURRENT member addresses in index order.
 func (g *replicaGroup) addrs() []simnet.NodeID {
 	out := make([]simnet.NodeID, g.n)
 	for i := range out {
-		out[i] = groupReplicaAddr(g.idx, i)
+		out[i] = groupIncReplicaAddr(g.idx, g.inc, i)
 	}
 	return out
 }
@@ -467,6 +498,20 @@ type Cluster struct {
 	// halves of the zero-allocation data path.
 	ktabs  map[int]*keyTab
 	opFree []*opState
+
+	// weightsExplicit records whether the boot config set every group's
+	// capacity weight by hand. Elastic AddGroup/RespecGroup must stay on
+	// the same scale: explicit ratios and derived absolute service
+	// rates cannot meaningfully mix (the same rule the public API
+	// enforces at assembly).
+	weightsExplicit bool
+
+	// topoSeen is the topology epoch the rebalancer weight vectors were
+	// last computed at; rebalanceTick refreshes them when it moves.
+	topoSeen uint64
+
+	// reconfigs tracks in-flight elastic membership operations.
+	reconfigs []*Reconfig
 }
 
 // switchReplacement is one in-flight §5.3 switch replacement.
@@ -477,13 +522,19 @@ type switchReplacement struct {
 
 // New assembles and primes a cluster.
 func New(cfg Config) *Cluster {
+	// Whether weights are on the operator's explicit-ratio scale or the
+	// derived service-rate scale is only visible BEFORE defaulting
+	// (resolveSpecs overwrites zero weights); elastic reconfiguration
+	// needs it to hold new specs to the same scale.
+	weightsExplicit := len(cfg.GroupSpecs) > 0 && cfg.GroupSpecs[0].Weight > 0
 	cfg.fillDefaults()
 	c := &Cluster{
-		cfg:        cfg,
-		eng:        sim.NewEngine(cfg.Seed),
-		hist:       newRecorder(),
-		migrations: make(map[int]*Migration),
-		replacing:  make([]*switchReplacement, cfg.Switches),
+		weightsExplicit: weightsExplicit,
+		cfg:             cfg,
+		eng:             sim.NewEngine(cfg.Seed),
+		hist:            newRecorder(),
+		migrations:      make(map[int]*Migration),
+		replacing:       make([]*switchReplacement, cfg.Switches),
 	}
 	c.net = simnet.New(c.eng, simnet.LinkConfig{
 		Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter,
@@ -525,15 +576,8 @@ func New(cfg Config) *Cluster {
 	// Harmonia's own recovery mechanisms (client retries, stray
 	// dirty-set entries, OUM gap handling) operate. Groups never talk
 	// to each other: the key space is partitioned.
-	reliable := simnet.LinkConfig{Latency: cfg.LinkLatency, Jitter: cfg.LinkJitter}
 	for _, grp := range c.groups {
-		addrs := grp.addrs()
-		for i, a := range addrs {
-			for _, b := range addrs[i+1:] {
-				c.net.SetLinkBoth(a, b, reliable)
-			}
-			c.net.SetLinkBoth(a, controllerAddr, reliable)
-		}
+		c.linkGroup(grp)
 	}
 
 	// Initial leases and one priming write per group so every
@@ -563,21 +607,11 @@ func New(cfg Config) *Cluster {
 // (cross-switch migration stays an explicit operation).
 func (c *Cluster) startRebalancer() {
 	now := func() time.Duration { return time.Duration(c.eng.Now()) }
-	weights := c.cfg.Weights()
 	c.policies = make([]*rebalance.Policy, c.rack.Switches())
 	for s := range c.policies {
 		c.policies[s] = rebalance.New(c.cfg.Rebalance, now)
-		// Capacity weights in domain-local index order: the policy's
-		// thresholds are per capacity unit, so a 7-replica group is
-		// entitled to proportionally more of its domain's load than a
-		// 3-replica neighbor before the loop calls it hot.
-		domain := c.rack.GroupsOf(s)
-		local := make([]float64, len(domain))
-		for i, g := range domain {
-			local[i] = weights[g]
-		}
-		c.policies[s].SetWeights(local)
 	}
+	c.refreshPolicyWeights()
 	iv := c.policies[0].Config().Interval
 	var tick func()
 	tick = func() {
@@ -587,9 +621,32 @@ func (c *Cluster) startRebalancer() {
 	c.eng.After(iv, tick)
 }
 
+// refreshPolicyWeights recomputes every domain's capacity-weight
+// vector from the live topology — in domain-local index order, because
+// the policy's thresholds are per capacity unit (a 7-replica group is
+// entitled to proportionally more of its domain's load than a
+// 3-replica neighbor before the loop calls it hot). Called at arm time
+// and again whenever the topology epoch moves, so elastic membership
+// changes reach the control loop incrementally, within one tick.
+func (c *Cluster) refreshPolicyWeights() {
+	topo := c.rack.Topo()
+	for s, policy := range c.policies {
+		domain := c.rack.GroupsOf(s)
+		local := make([]float64, len(domain))
+		for i, g := range domain {
+			local[i] = topo.Weight(g)
+		}
+		policy.SetWeights(local)
+	}
+	c.topoSeen = topo.Epoch()
+}
+
 // rebalanceTick runs one control-loop round across every switch
 // domain.
 func (c *Cluster) rebalanceTick() {
+	if c.rack.TopoEpoch() != c.topoSeen {
+		c.refreshPolicyWeights()
+	}
 	// Per-slot object counts come from the incrementally maintained
 	// store counters (sampled at one live replica of each owning group
 	// — any live member works, the objects are replicated), so the
@@ -631,17 +688,26 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 	if len(domain) < 2 {
 		return // a single-group domain has nothing to balance
 	}
-	base := domain[0] // groups of a switch form a contiguous block
+	// Explicit global ↔ domain-local index maps: after elastic
+	// membership changes a switch's live groups are no longer a
+	// contiguous ID block (added groups take fresh high IDs, retired
+	// ones leave holes), so the mapping must be positional, not an
+	// offset.
+	toLocal := make(map[int]int, len(domain))
+	for i, g := range domain {
+		toLocal[g] = i
+	}
 	front := c.rack.Front(s)
 	heat := make([]rebalance.Heat, wire.NumSlots)
 	local := make([]int, wire.NumSlots)
 	var total uint64
 	for slot := range local {
-		if !front.OwnsSlot(slot) {
+		lg, ok := toLocal[table[slot]]
+		if !front.OwnsSlot(slot) || !ok {
 			local[slot] = -1 // masked: another switch's shard
 			continue
 		}
-		local[slot] = table[slot] - base
+		local[slot] = lg
 		h := front.HeatOf(slot)
 		heat[slot] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
 		total += h.Total()
@@ -666,7 +732,7 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 	var order []pair
 	batches := make(map[pair][]int)
 	for _, mv := range round.Moves {
-		p := pair{mv.From + base, mv.To + base}
+		p := pair{domain[mv.From], domain[mv.To]}
 		if _, ok := batches[p]; !ok {
 			order = append(order, p)
 		}
@@ -699,11 +765,17 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 func (c *Cluster) slotCountsOf(g int) []int {
 	grp := c.groups[g]
 	for i, r := range grp.replicas {
-		if !c.net.IsDown(groupReplicaAddr(g, i)) {
+		if !c.net.IsDown(c.groupAddr(g, i)) {
 			return r.SlotCounts()
 		}
 	}
 	return grp.replicas[0].SlotCounts()
+}
+
+// groupAddr returns the network address of replica i of group g's
+// CURRENT member set (the live incarnation).
+func (c *Cluster) groupAddr(g, i int) simnet.NodeID {
+	return groupIncReplicaAddr(g, c.groups[g].inc, i)
 }
 
 // SlotHeat returns the rack-wide per-slot heat sample, each slot read
@@ -718,25 +790,48 @@ func (c *Cluster) Rebalances() uint64 { return c.rebalanced }
 // handoffs.
 func (c *Cluster) RebalanceRounds() uint64 { return c.rebalanceRounds }
 
+// linkGroup models the group's replica↔replica and controller channels
+// as TCP: reliable and FIFO (see New). Factored out so elastic
+// AddGroup/RespecGroup wire new member sets identically.
+func (c *Cluster) linkGroup(grp *replicaGroup) {
+	reliable := simnet.LinkConfig{Latency: c.cfg.LinkLatency, Jitter: c.cfg.LinkJitter}
+	addrs := grp.addrs()
+	for i, a := range addrs {
+		for _, b := range addrs[i+1:] {
+			c.net.SetLinkBoth(a, b, reliable)
+		}
+		c.net.SetLinkBoth(a, controllerAddr, reliable)
+	}
+}
+
 // startSweeps arms the periodic §5.2 stray-entry sweep, one recurring
-// timer per scheduler partition. The closure re-reads grp.sched each
-// tick so the sweep follows a replacement switch's new scheduler.
+// timer per scheduler partition.
 func (c *Cluster) startSweeps() {
+	for _, grp := range c.groups {
+		c.startSweep(grp)
+	}
+}
+
+// startSweep arms one group's sweep timer. The closure re-reads
+// grp.sched each tick so the sweep follows a replacement switch's (or
+// a respec's) new scheduler, and dies with the group: a retired
+// group's nil scheduler ends the chain.
+func (c *Cluster) startSweep(grp *replicaGroup) {
 	iv := c.cfg.SweepInterval
 	if iv <= 0 {
 		return
 	}
-	for _, grp := range c.groups {
-		grp := grp
-		var tick func()
-		tick = func() {
-			if s := grp.sched; s != nil && s.DirtyCount() > 0 {
-				s.SweepStale()
-			}
-			c.eng.After(iv, tick)
+	var tick func()
+	tick = func() {
+		if !c.rack.Live(grp.idx) {
+			return
+		}
+		if s := grp.sched; s != nil && s.DirtyCount() > 0 {
+			s.SweepStale()
 		}
 		c.eng.After(iv, tick)
 	}
+	c.eng.After(iv, tick)
 }
 
 // Engine exposes the simulation engine (tests and harnesses).
@@ -758,10 +853,11 @@ func (c *Cluster) Groups() int { return len(c.groups) }
 // SpecOf returns group g's effective (defaulted) spec.
 func (c *Cluster) SpecOf(g int) GroupSpec { return c.groups[g].spec }
 
-// GroupWeights returns a copy of the effective per-group capacity
-// weights — the vector the slot layout, the rebalancer, and the pinned
-// load split normalize by.
-func (c *Cluster) GroupWeights() []float64 { return c.cfg.Weights() }
+// GroupWeights returns the LIVE per-group capacity weights from the
+// topology — the vector the slot layout, the rebalancer, and the
+// pinned load split normalize by. Retired groups read exactly 0, which
+// every consumer treats as "never pick this group".
+func (c *Cluster) GroupWeights() []float64 { return c.rack.Topo().LiveWeights() }
 
 // Switches returns the switch front-end count.
 func (c *Cluster) Switches() int { return c.rack.Switches() }
@@ -819,20 +915,20 @@ func (c *Cluster) Config() Config { return c.cfg }
 func (c *Cluster) writeDst(g int) simnet.NodeID {
 	switch c.groups[g].spec.Protocol {
 	case Chain, CRAQ:
-		return groupReplicaAddr(g, 0) // head
+		return c.groupAddr(g, 0) // head
 	default:
-		return groupReplicaAddr(g, 0) // primary / leader (index 0 at start)
+		return c.groupAddr(g, 0) // primary / leader (index 0 at start)
 	}
 }
 
 func (c *Cluster) readDst(g int) simnet.NodeID {
 	switch c.groups[g].spec.Protocol {
 	case Chain:
-		return groupReplicaAddr(g, c.groups[g].n-1) // tail
+		return c.groupAddr(g, c.groups[g].n-1) // tail
 	case CRAQ:
-		return groupReplicaAddr(g, 0) // unused: RandomReads mode
+		return c.groupAddr(g, 0) // unused: RandomReads mode
 	default:
-		return groupReplicaAddr(g, 0) // primary / leader
+		return c.groupAddr(g, 0) // primary / leader
 	}
 }
 
@@ -963,11 +1059,18 @@ func (c *Cluster) buildGroupReplicas(grp *replicaGroup) {
 }
 
 // viewChangeHook retargets group g's scheduler partition at a new VR
-// leader.
+// leader. The hook is bound to the incarnation it was built for: after
+// a membership respec the old set's view changes must not retarget the
+// new set's scheduler.
 func (c *Cluster) viewChangeHook(g int) func(view uint64, leader int) {
+	inc := c.groups[g].inc
 	return func(view uint64, leader int) {
-		dst := groupReplicaAddr(g, leader)
-		c.groups[g].sched.SetTargets(dst, dst)
+		grp := c.groups[g]
+		if grp.inc != inc || grp.sched == nil {
+			return
+		}
+		dst := groupIncReplicaAddr(g, inc, leader)
+		grp.sched.SetTargets(dst, dst)
 	}
 }
 
@@ -998,13 +1101,20 @@ func (c *Cluster) primeKey(g int) string {
 // (every slot migrated away, or its remaining slots all frozen), in
 // which case ok is false.
 func (c *Cluster) keyInGroup(g int, prefix string, avoidSlot int) (key string, ok bool) {
+	return c.keyInGroupAny(g, prefix, avoidSlot, false)
+}
+
+// keyInGroupAny is keyInGroup with the frozen-slot exclusion optional:
+// allowFrozen is used only by the forced flush of a whole-group drain,
+// whose write carries wire.FlagFlush and may pass the freeze.
+func (c *Cluster) keyInGroupAny(g int, prefix string, avoidSlot int, allowFrozen bool) (key string, ok bool) {
 	// ~16 deterministic probes per slot of the table: ample to hit
 	// every eligible slot, while still terminating when none exists.
 	for t := 0; t < 16*wire.NumSlots; t++ {
 		k := fmt.Sprintf("%s%d", prefix, t)
 		id := wire.HashKey(k)
 		slot := wire.SlotOf(id)
-		if c.routeObj(id) == g && slot != avoidSlot && !c.rack.Frozen(slot) {
+		if c.routeObj(id) == g && slot != avoidSlot && (allowFrozen || !c.rack.Frozen(slot)) {
 			return k, true
 		}
 	}
@@ -1180,12 +1290,15 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 		return fmt.Errorf("cluster: group %d out of range", g)
 	}
 	grp := c.groups[g]
+	if !c.rack.Live(g) {
+		return fmt.Errorf("cluster: group %d is retired", g)
+	}
 	if i < 0 || i >= grp.n {
 		// Bounds are per GROUP: a heterogeneous cluster's replica
 		// indices run to that group's own size, not a cluster-wide one.
 		return fmt.Errorf("cluster: replica %d out of range for group %d (size %d)", i, g, grp.n)
 	}
-	addr := groupReplicaAddr(g, i)
+	addr := c.groupAddr(g, i)
 	// Unsupported reconfigurations are rejected BEFORE any state
 	// changes: an error here must mean "nothing happened", not "the
 	// replica is dead but the protocol was never told".
@@ -1233,7 +1346,7 @@ func (c *Cluster) CrashReplicaIn(g, i int) error {
 			}
 		}
 		if head >= 0 && tail >= 0 {
-			grp.sched.SetTargets(groupReplicaAddr(g, head), groupReplicaAddr(g, tail))
+			grp.sched.SetTargets(c.groupAddr(g, head), c.groupAddr(g, tail))
 		}
 	case []*pb.Replica:
 		// i > 0: the primary case was rejected up front.
@@ -1266,8 +1379,9 @@ func (c *Cluster) SwitchAddrOf(s int) simnet.NodeID { return switchAddrOf(s) }
 // (experiment hooks; see GroupReplicaAddr for sharded clusters).
 func (c *Cluster) ReplicaAddr(i int) simnet.NodeID { return groupReplicaAddr(0, i) }
 
-// GroupReplicaAddr returns replica i of group g's network address.
-func (c *Cluster) GroupReplicaAddr(g, i int) simnet.NodeID { return groupReplicaAddr(g, i) }
+// GroupReplicaAddr returns replica i of group g's network address (the
+// current member set's).
+func (c *Cluster) GroupReplicaAddr(g, i int) simnet.NodeID { return c.groupAddr(g, i) }
 
 // ShimStats sums the replicas' fast-path shim counters across all
 // groups.

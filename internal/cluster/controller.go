@@ -63,15 +63,29 @@ func (ct *controller) Recv(from simnet.NodeID, msg simnet.Message) {
 // group's OWN switch; renewal stops automatically when a newer epoch
 // takes over that switch's domain.
 func (ct *controller) grantGroupLeases(g int, epoch uint32) {
+	ct.grantLeases(g, epoch, ct.c.groups[g].leaseGen)
+}
+
+// grantLeases is the renewal chain body: each firing re-checks that
+// the epoch is still that switch's current one AND that the group's
+// lease generation has not moved. The generation stops a stale chain
+// dead when the membership changed at the SAME epoch (respec,
+// retirement) — without it, two chains would renew in parallel and the
+// old one would keep granting leases to members that left the group.
+func (ct *controller) grantLeases(g int, epoch uint32, gen uint64) {
+	grp := ct.c.groups[g]
+	if gen != grp.leaseGen || !ct.c.rack.Live(g) {
+		return // membership changed: a newer chain covers the new set
+	}
 	if epoch != ct.c.rack.Epoch(ct.c.rack.SwitchOfGroup(g)) {
 		return // superseded
 	}
 	d := ct.c.cfg.LeaseDuration
 	expiry := ct.c.eng.Now() + sim.Time(d)
-	for _, addr := range ct.c.groups[g].addrs() {
+	for _, addr := range grp.addrs() {
 		ct.c.net.Send(controllerAddr, addr, protocol.LeaseGrant{Epoch: epoch, Expiry: expiry})
 	}
-	ct.c.eng.After(d/2, func() { ct.grantGroupLeases(g, epoch) })
+	ct.c.eng.After(d/2, func() { ct.grantLeases(g, epoch, gen) })
 }
 
 // revokeThen demands revocation of every lease ≤ epoch from group g's

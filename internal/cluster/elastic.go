@@ -1,0 +1,722 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"harmonia/internal/protocol"
+	"harmonia/internal/rebalance"
+	"harmonia/internal/sim"
+	"harmonia/internal/store"
+	"harmonia/internal/wire"
+	"harmonia/internal/workload"
+)
+
+// Elastic membership: the four runtime mutations of the rack's
+// epoch-versioned topology.
+//
+//   - AddGroup builds a new replica group on the most loaded alive
+//     switch and seeds it a weight-fair slot share via the ordinary
+//     online migration protocol (heat-aware: the new group takes the
+//     rack's hottest slots first).
+//   - RemoveGroup evacuates a group's slots to the surviving live
+//     groups (weight-apportioned), then retires it through the §5.3
+//     revoke/ack agreement so no member can serve a fast read past
+//     retirement.
+//   - RespecGroup replaces a live group's member set (protocol,
+//     replica count, calibration) by a staged swap: freeze all its
+//     slots, drain the scheduler partition, run the revoke agreement,
+//     copy the state into the new incarnation, and resume at the SAME
+//     switch epoch with the sequence space continued (AdoptFrom).
+//   - ReassignDeadSwitch batch-recovers a permanently dead switch's
+//     slot shard from its groups' replica stores — the replicas hold
+//     every committed write — and re-homes the slots on the survivors.
+//
+// Every mutation lands in rack.Topology exactly once and bumps its
+// epoch; the rebalancer, the client load split, and routing all read
+// the new membership through that one indirection.
+
+// Reconfig tracks one in-flight elastic membership operation. The
+// non-blocking Start* forms return it immediately; the operation then
+// advances on simulation timers exactly like an online migration.
+type Reconfig struct {
+	// Kind names the operation: "add", "remove", "respec", "reassign".
+	Kind string
+	// Group is the group the operation targets (for "reassign", the
+	// dead switch's ID instead).
+	Group int
+
+	c    *Cluster
+	done bool
+	err  error
+}
+
+// Done reports whether the operation settled (successfully or not).
+func (r *Reconfig) Done() bool { return r.done }
+
+// Err returns the terminal error of a settled operation (nil on
+// success; meaningless before Done).
+func (r *Reconfig) Err() error { return r.err }
+
+func (r *Reconfig) fail(err error) {
+	if !r.done {
+		r.err = err
+		r.done = true
+	}
+}
+
+func (r *Reconfig) finish() { r.done = true }
+
+// elasticDeadline bounds one elastic operation's blocking drive: the
+// slowest path (evacuate every slot of a group, then run the revoke
+// agreement) is a handful of migration deadlines end to end.
+const elasticDeadline = 4 * migrateDeadline
+
+// driveReconfig runs the simulation until the operation settles,
+// converting a terminal failure (or a wedged drain) into an error.
+func (c *Cluster) driveReconfig(r *Reconfig) error {
+	deadline := c.eng.Now() + sim.Time(elasticDeadline)
+	for !r.done && c.eng.Now() < deadline {
+		if !c.eng.Step() {
+			break
+		}
+	}
+	if !r.done {
+		return fmt.Errorf("cluster: %s of group %d did not complete", r.Kind, r.Group)
+	}
+	return r.err
+}
+
+// --- AddGroup (scale-out) ---
+
+// AddGroup grows the cluster by one replica group built from spec
+// (defaulted by exactly the assembly-time rules) and returns its ID.
+// The group is placed on the alive switch with the most heat per
+// capacity unit, registered in the topology (epoch bump), and then
+// seeded a weight-fair share of the slot space through ordinary
+// online migrations — non-blocking, so scale-out under load costs at
+// most the per-batch freeze windows, never a global pause. The
+// returned Reconfig settles once the seeding migrations finish and
+// the group has served its priming write.
+func (c *Cluster) AddGroup(spec GroupSpec) (int, *Reconfig, error) {
+	if len(c.groups) >= MaxGroups {
+		return 0, nil, fmt.Errorf("cluster: group count is already at the maximum %d", MaxGroups)
+	}
+	if c.weightsExplicit && !(spec.Weight > 0) {
+		return 0, nil, fmt.Errorf("cluster: this cluster uses explicit capacity weights; the new group's spec must set one")
+	}
+	if !c.weightsExplicit && spec.Weight > 0 {
+		return 0, nil, fmt.Errorf("cluster: this cluster derives capacity weights from calibration; the new group's spec must not set an explicit one")
+	}
+	c.cfg.resolveSpec(&spec)
+	if spec.Replicas > int(incStride) {
+		return 0, nil, fmt.Errorf("cluster: group size %d exceeds the per-incarnation address window %d", spec.Replicas, incStride)
+	}
+	sw, err := c.placeGroup()
+	if err != nil {
+		return 0, nil, err
+	}
+
+	g := c.rack.AddGroup(sw, spec.Weight)
+	grp := &replicaGroup{idx: g, spec: spec, n: spec.Replicas}
+	c.groups = append(c.groups, grp)
+	c.cfg.GroupSpecs = append(c.cfg.GroupSpecs, spec)
+	c.cfg.Groups = len(c.groups)
+	grp.sched = c.newScheduler(g, c.rack.Epoch(sw))
+	c.rack.SetGroup(g, grp.sched)
+	c.buildGroupReplicas(grp)
+	c.replicas = append(c.replicas, grp.replicas...)
+	c.linkGroup(grp)
+	c.ctl.grantGroupLeases(g, c.rack.Epoch(sw))
+	c.startSweep(grp)
+
+	r := &Reconfig{Kind: "add", Group: g, c: c}
+	c.reconfigs = append(c.reconfigs, r)
+	migs := c.seedGroup(g)
+	c.watchMigrations(migs, func() {
+		owns := false
+		for slot := 0; slot < wire.NumSlots; slot++ {
+			if c.rack.RouteOf(slot) == g {
+				owns = true
+				break
+			}
+		}
+		if !owns {
+			r.fail(fmt.Errorf("cluster: seeding group %d moved no slots (sources could not drain)", g))
+			return
+		}
+		c.primeGroupAsync(g)
+		r.finish()
+	})
+	return g, r, nil
+}
+
+// AddGroupWait is the blocking form of AddGroup: it drives the
+// simulation until the seeding migrations settle and the group is
+// primed.
+func (c *Cluster) AddGroupWait(spec GroupSpec) (int, error) {
+	g, r, err := c.AddGroup(spec)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.driveReconfig(r); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// placeGroup picks the switch a new group should live on: the alive
+// switch carrying the most heat per capacity unit — new capacity goes
+// where the rack is working hardest. Cold racks (no heat yet) fall
+// back to the alive switch hosting the fewest live groups.
+func (c *Cluster) placeGroup() (int, error) {
+	topo := c.rack.Topo()
+	n := c.rack.Switches()
+	heat := make([]float64, n)
+	cap := make([]float64, n)
+	groups := make([]int, n)
+	for slot, h := range c.rack.SlotHeat() {
+		heat[topo.SwitchOfSlot(slot)] += float64(h.Total())
+	}
+	for _, g := range topo.LiveGroups() {
+		s := topo.SwitchOfGroup(g)
+		cap[s] += topo.Weight(g)
+		groups[s]++
+	}
+	best := -1
+	var bestScore float64
+	for s := 0; s < n; s++ {
+		if c.net.IsDown(switchAddrOf(s)) {
+			continue
+		}
+		score := 0.0
+		if cap[s] > 0 {
+			score = heat[s] / cap[s]
+		}
+		if best == -1 || score > bestScore ||
+			(score == bestScore && groups[s] < groups[best]) {
+			best, bestScore = s, score
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("cluster: no alive switch to place the new group on")
+	}
+	return best, nil
+}
+
+// seedGroup computes the new group's heat-aware slot seed (PlanSeed's
+// largest-remainder apportionment over the new live set) and starts it
+// as one non-blocking batch migration per source group. A batch that
+// cannot start (its source grew a conflicting freeze since planning)
+// is simply skipped: the rebalancer evens the share out later.
+func (c *Cluster) seedGroup(g int) []*Migration {
+	sample := c.rack.SlotHeat()
+	heat := make([]rebalance.Heat, len(sample))
+	for slot, h := range sample {
+		heat[slot] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
+	}
+	topo := c.rack.Topo()
+	moves := rebalance.PlanSeed(heat, c.rack.SlotTable(), topo.LiveWeights(), topo.LiveMask(), g)
+	var sources []int
+	bySource := make(map[int][]int)
+	for _, mv := range moves {
+		if _, ok := bySource[mv.From]; !ok {
+			sources = append(sources, mv.From)
+		}
+		bySource[mv.From] = append(bySource[mv.From], mv.Slot)
+	}
+	var migs []*Migration
+	for _, src := range sources {
+		m, err := c.StartBatchMigration(bySource[src], g)
+		if err != nil {
+			continue
+		}
+		migs = append(migs, m)
+	}
+	return migs
+}
+
+// watchMigrations polls a set of in-flight handoffs and calls onDone
+// once every one of them settled (completed or self-aborted at its
+// drain deadline). An empty set settles immediately on the first poll.
+func (c *Cluster) watchMigrations(migs []*Migration, onDone func()) {
+	var tick func()
+	tick = func() {
+		for _, m := range migs {
+			if !m.done && !m.aborted {
+				c.eng.After(migratePollInterval, tick)
+				return
+			}
+		}
+		onDone()
+	}
+	c.eng.After(migratePollInterval, tick)
+}
+
+// primeGroupAsync issues the new group's priming write once it owns an
+// unfrozen slot, so its scheduler partition observes a first
+// WRITE-COMPLETION and enables fast reads (§5.3 applies to scale-out
+// exactly as to cold boots). Bounded retries: a group that lost all
+// its slots again in the meantime simply stays unprimed.
+func (c *Cluster) primeGroupAsync(g int) {
+	tries := 0
+	var tick func()
+	tick = func() {
+		if !c.rack.Live(g) {
+			return
+		}
+		key, ok := c.keyInGroup(g, fmt.Sprintf("__prime__%d_", g), -1)
+		if !ok {
+			if tries++; tries > 1024 {
+				return
+			}
+			c.eng.After(migratePollInterval, tick)
+			return
+		}
+		c.flushCtr++
+		pkt := &wire.Packet{
+			Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+			Group: uint16(g), ClientID: 0, ReqID: 1<<32 + c.flushCtr, Value: []byte{1},
+		}
+		c.net.Send(clientBase, c.switchAddrForObj(pkt.ObjID), pkt)
+	}
+	c.eng.After(migratePollInterval, tick)
+}
+
+// --- RemoveGroup (scale-in) ---
+
+// StartRemoveGroup begins retiring group g: its slots are evacuated to
+// the remaining live groups (weight-apportioned, via the ordinary
+// online migrations — each batch carries its share of objects AND the
+// group's at-most-once client table, so a lost-reply retry that lands
+// on a destination after the flip replays instead of re-executing),
+// and once the evacuation completes the §5.3 revoke agreement retires
+// the group: every member acknowledges losing its lease, the
+// scheduler partition is torn down, the topology marks the ID
+// permanently dead (epoch bump), and the member nodes shut down.
+func (c *Cluster) StartRemoveGroup(g int) (*Reconfig, error) {
+	if g < 0 || g >= len(c.groups) {
+		return nil, fmt.Errorf("cluster: group %d out of range", g)
+	}
+	if !c.rack.Live(g) {
+		return nil, fmt.Errorf("cluster: group %d is already retired", g)
+	}
+	topo := c.rack.Topo()
+	var dests []int
+	for _, d := range topo.LiveGroups() {
+		if d != g && !c.net.IsDown(switchAddrOf(topo.SwitchOfGroup(d))) {
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("cluster: no live destination group to evacuate group %d to", g)
+	}
+	var slots []int
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if c.rack.RouteOf(slot) == g {
+			slots = append(slots, slot)
+		}
+	}
+	r := &Reconfig{Kind: "remove", Group: g, c: c}
+	c.reconfigs = append(c.reconfigs, r)
+	if len(slots) == 0 {
+		c.retireGroup(g, r)
+		return r, nil
+	}
+	// Weight-apportioned contiguous chunks in slot order: destination k
+	// takes share[k] slots. Each chunk is one batch handoff.
+	w := make([]float64, len(dests))
+	for k, d := range dests {
+		w[k] = topo.Weight(d)
+	}
+	share := workload.Apportion(len(slots), w)
+	var migs []*Migration
+	start := 0
+	for k, d := range dests {
+		chunk := slots[start : start+share[k]]
+		start += share[k]
+		if len(chunk) == 0 {
+			continue
+		}
+		m, err := c.StartBatchMigration(chunk, d)
+		if err != nil {
+			for _, prev := range migs {
+				prev.Abort()
+			}
+			r.fail(err)
+			return nil, err
+		}
+		migs = append(migs, m)
+	}
+	c.watchMigrations(migs, func() {
+		for _, m := range migs {
+			if m.aborted {
+				// The group could not drain some batch: it keeps those
+				// slots and stays live — scale-in failed cleanly.
+				r.fail(fmt.Errorf("cluster: evacuating group %d aborted (%d slot(s) stayed)", g, len(m.Slots)))
+				return
+			}
+		}
+		c.retireGroup(g, r)
+	})
+	return r, nil
+}
+
+// RemoveGroup is the blocking form of StartRemoveGroup.
+func (c *Cluster) RemoveGroup(g int) error {
+	r, err := c.StartRemoveGroup(g)
+	if err != nil {
+		return err
+	}
+	return c.driveReconfig(r)
+}
+
+// retireGroup runs the retirement agreement for an evacuated group:
+// the lease chain is cut (generation bump), every member acknowledges
+// revocation of the current epoch's lease — so no member can serve a
+// fast read past this point — and then the group leaves the topology
+// for good.
+func (c *Cluster) retireGroup(g int, r *Reconfig) {
+	grp := c.groups[g]
+	grp.leaseGen++
+	epoch := c.rack.Epoch(c.rack.SwitchOfGroup(g))
+	c.ctl.revokeThen(g, epoch, func() {
+		c.rack.SetGroup(g, nil)
+		grp.sched = nil
+		c.rack.RetireGroup(g)
+		for _, addr := range grp.addrs() {
+			c.net.SetDown(addr, true)
+		}
+		r.finish()
+	})
+}
+
+// --- RespecGroup (live membership swap) ---
+
+// StartRespecGroup replaces group g's member set with one built from
+// spec — a different protocol, replica count, or calibration — without
+// moving any of its slots. The swap is staged like a whole-group
+// migration onto itself: freeze every slot, drain the scheduler
+// partition (forced flush writes pass the freeze), run the §5.3
+// revoke agreement over the OLD members, copy the group's objects and
+// client table into the NEW incarnation (fresh addresses in the next
+// incarnation sub-window), and resume at the same switch epoch with
+// the sequence space continued — in-flight sequencing state survives
+// the swap, so the write-order guard never trips.
+func (c *Cluster) StartRespecGroup(g int, spec GroupSpec) (*Reconfig, error) {
+	if g < 0 || g >= len(c.groups) {
+		return nil, fmt.Errorf("cluster: group %d out of range", g)
+	}
+	if !c.rack.Live(g) {
+		return nil, fmt.Errorf("cluster: group %d is retired", g)
+	}
+	grp := c.groups[g]
+	if grp.inc+1 >= maxIncarnations {
+		return nil, fmt.Errorf("cluster: group %d exhausted its %d membership incarnations", g, maxIncarnations)
+	}
+	if c.weightsExplicit && !(spec.Weight > 0) {
+		return nil, fmt.Errorf("cluster: this cluster uses explicit capacity weights; the new spec must set one")
+	}
+	if !c.weightsExplicit && spec.Weight > 0 {
+		return nil, fmt.Errorf("cluster: this cluster derives capacity weights from calibration; the new spec must not set an explicit one")
+	}
+	c.cfg.resolveSpec(&spec)
+	if spec.Replicas > int(incStride) {
+		return nil, fmt.Errorf("cluster: group size %d exceeds the per-incarnation address window %d", spec.Replicas, incStride)
+	}
+	var slots []int
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if c.rack.RouteOf(slot) == g {
+			if _, busy := c.migrations[slot]; busy || c.rack.Frozen(slot) {
+				return nil, fmt.Errorf("cluster: slot %d of group %d is mid-migration; retry after it settles", slot, g)
+			}
+			slots = append(slots, slot)
+		}
+	}
+	for _, s := range slots {
+		c.rack.FreezeSlot(s)
+	}
+	r := &Reconfig{Kind: "respec", Group: g, c: c}
+	c.reconfigs = append(c.reconfigs, r)
+	deadline := c.eng.Now() + sim.Time(migrateDeadline)
+	polls := 0
+	var poll func()
+	poll = func() {
+		if c.eng.Now() >= deadline {
+			for _, s := range slots {
+				c.rack.UnfreezeSlot(s)
+			}
+			r.fail(fmt.Errorf("cluster: group %d could not drain for respec", g))
+			return
+		}
+		sched := grp.sched
+		if sched != nil {
+			if sched.DirtyCount() > 0 {
+				sched.SweepStale()
+			}
+			if sched.DirtyCount() == 0 {
+				c.swapMembers(g, spec, slots, r)
+				return
+			}
+			if polls++; polls%migrateFlushEvery == 0 {
+				// Every slot of the group is frozen: the flush is forced
+				// through with wire.FlagFlush.
+				c.flushWrite(g, -1)
+			}
+		}
+		c.eng.After(migratePollInterval, poll)
+	}
+	c.eng.After(migratePollInterval, poll)
+	return r, nil
+}
+
+// RespecGroup is the blocking form of StartRespecGroup.
+func (c *Cluster) RespecGroup(g int, spec GroupSpec) error {
+	r, err := c.StartRespecGroup(g, spec)
+	if err != nil {
+		return err
+	}
+	return c.driveReconfig(r)
+}
+
+// swapMembers is the respec commit path, entered once the partition
+// drained: revoke the old members' leases (they ack — the agreement —
+// and can never serve a fast read again), then copy state sideways
+// into the new incarnation and resume.
+func (c *Cluster) swapMembers(g int, spec GroupSpec, slots []int, r *Reconfig) {
+	grp := c.groups[g]
+	sw := c.rack.SwitchOfGroup(g)
+	epoch := c.rack.Epoch(sw)
+	grp.leaseGen++ // cut the old chain before the new grant re-arms it
+	c.ctl.revokeThen(g, epoch, func() {
+		// Extract from the OLD members before they are replaced. After
+		// the drain every committed write of the group is applied; the
+		// max-merge covers a replica that lags in apply.
+		oldReplicas := grp.replicas
+		oldAddrs := grp.addrs()
+		oldSched := grp.sched
+		merged := make(map[wire.ObjectID]store.Object)
+		for _, rep := range oldReplicas {
+			for _, slot := range slots {
+				for id, o := range rep.ExtractSlot(slot) {
+					if cur, ok := merged[id]; !ok || cur.Seq.Less(o.Seq) {
+						merged[id] = o
+					}
+				}
+			}
+		}
+		install := make(map[wire.ObjectID]store.Object, len(merged))
+		for id, o := range merged {
+			install[id] = store.Object{Value: o.Value, Seq: wire.Seq{Epoch: 0, N: o.Seq.N}}
+		}
+		clients := mergeClientTables(oldReplicas, g)
+
+		// New incarnation: fresh addresses, same group ID, same slots.
+		grp.inc++
+		grp.spec = spec
+		grp.n = spec.Replicas
+		c.cfg.GroupSpecs[g] = spec
+		c.buildGroupReplicas(grp)
+		c.linkGroup(grp)
+		c.rebuildReplicaView()
+
+		// One control round trip plus per-object transfer, then resume.
+		delay := 2*c.cfg.LinkLatency + time.Duration(len(install))*migratePerObjectCost
+		c.eng.After(delay, func() {
+			for _, rep := range grp.replicas {
+				rep.InstallSlot(install)
+				rep.MergeClients(clients)
+			}
+			next := c.newScheduler(g, epoch)
+			next.AdoptFrom(oldSched)
+			c.rack.SetGroup(g, next)
+			grp.sched = next
+			c.ctl.grantGroupLeases(g, epoch)
+			for _, a := range oldAddrs {
+				c.net.SetDown(a, true)
+			}
+			for _, s := range slots {
+				c.rack.UnfreezeSlot(s)
+			}
+			// The weight may have changed with the spec; installing it
+			// bumps the topology epoch either way, announcing the
+			// membership revision to every epoch-keyed consumer.
+			c.rack.SetGroupWeight(g, spec.Weight)
+			r.finish()
+		})
+	})
+}
+
+// mergeClientTables merges the at-most-once client tables of a
+// replica set into one overlay for group dst: per client the newest
+// request wins, and kept replies are re-stamped for dst with a zero
+// Seq (so a replay's traversal of the switch cannot masquerade as a
+// write-completion).
+func mergeClientTables(replicas []ReplicaHandle, dst int) map[uint32]protocol.ClientRecord {
+	clients := make(map[uint32]protocol.ClientRecord)
+	for _, r := range replicas {
+		for id, rec := range r.ExportClients() {
+			cur, ok := clients[id]
+			if !ok || rec.ReqID > cur.ReqID || (rec.ReqID == cur.ReqID && cur.Reply == nil && rec.Reply != nil) {
+				clients[id] = rec
+			}
+		}
+	}
+	for id, rec := range clients {
+		if rec.Reply == nil {
+			continue
+		}
+		rep := rec.Reply.ShallowClone()
+		rep.Seq = wire.Seq{}
+		rep.Group = uint16(dst)
+		clients[id] = protocol.ClientRecord{ReqID: rec.ReqID, Reply: rep}
+	}
+	return clients
+}
+
+// rebuildReplicaView refreshes the flattened group-major replica view
+// after a membership swap (retired groups keep their last member set
+// in the view: their counters remain readable for stats sweeps).
+func (c *Cluster) rebuildReplicaView() {
+	c.replicas = c.replicas[:0]
+	for _, grp := range c.groups {
+		c.replicas = append(c.replicas, grp.replicas...)
+	}
+}
+
+// --- ReassignDeadSwitch (disaster recovery) ---
+
+// StartReassignDeadSwitch batch-migrates a permanently dead switch's
+// entire slot shard to the surviving switches' live groups. The dead
+// front-end cannot drain — it is gone, along with its scheduler
+// partitions — so this is a recovery transfer, not an online handoff:
+// the victims' replica stores hold every committed write (the
+// replicas are servers, not switch state), a max-merge per slot
+// recovers the newest version of each object, and the victims'
+// at-most-once client tables are merged into EVERY destination so a
+// retry of any lost reply replays wherever its key now routes. The
+// victims then retire through the revoke agreement and the topology
+// epoch moves once per retired group.
+func (c *Cluster) StartReassignDeadSwitch(s int) (*Reconfig, error) {
+	if s < 0 || s >= c.rack.Switches() {
+		return nil, fmt.Errorf("cluster: switch %d out of range", s)
+	}
+	if !c.net.IsDown(switchAddrOf(s)) {
+		return nil, fmt.Errorf("cluster: switch %d is alive; use slot migration instead", s)
+	}
+	victims := c.rack.GroupsOf(s)
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("cluster: switch %d hosts no live groups", s)
+	}
+	topo := c.rack.Topo()
+	var dests []int
+	for _, d := range topo.LiveGroups() {
+		dsw := topo.SwitchOfGroup(d)
+		if dsw != s && !c.net.IsDown(switchAddrOf(dsw)) {
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("cluster: no surviving live group to reassign switch %d's slots to", s)
+	}
+	victim := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		victim[v] = true
+	}
+	var slots []int
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if victim[c.rack.RouteOf(slot)] {
+			slots = append(slots, slot)
+		}
+	}
+	r := &Reconfig{Kind: "reassign", Group: s, c: c}
+	c.reconfigs = append(c.reconfigs, r)
+
+	// Recover each stranded slot's objects from its owning group's
+	// replicas (max-merge: all replicas are alive — the switch died,
+	// not the servers — and the merge covers apply lag).
+	bySlot := make(map[int]map[wire.ObjectID]store.Object, len(slots))
+	total := 0
+	for _, slot := range slots {
+		merged := make(map[wire.ObjectID]store.Object)
+		for _, rep := range c.groups[c.rack.RouteOf(slot)].replicas {
+			for id, o := range rep.ExtractSlot(slot) {
+				if cur, ok := merged[id]; !ok || cur.Seq.Less(o.Seq) {
+					merged[id] = o
+				}
+			}
+		}
+		install := make(map[wire.ObjectID]store.Object, len(merged))
+		for id, o := range merged {
+			install[id] = store.Object{Value: o.Value, Seq: wire.Seq{Epoch: 0, N: o.Seq.N}}
+		}
+		bySlot[slot] = install
+		total += len(install)
+	}
+
+	// Weight-apportioned contiguous chunks in slot order, one
+	// destination per chunk; client tables go to every destination.
+	w := make([]float64, len(dests))
+	for k, d := range dests {
+		w[k] = topo.Weight(d)
+	}
+	share := workload.Apportion(len(slots), w)
+	destOf := make(map[int]int, len(slots))
+	start := 0
+	for k, d := range dests {
+		for _, slot := range slots[start : start+share[k]] {
+			destOf[slot] = d
+		}
+		start += share[k]
+	}
+
+	delay := 2*c.cfg.LinkLatency + time.Duration(total)*migratePerObjectCost
+	c.eng.After(delay, func() {
+		for _, slot := range slots {
+			d := destOf[slot]
+			for _, rep := range c.groups[d].replicas {
+				rep.InstallSlot(bySlot[slot])
+			}
+		}
+		for _, d := range dests {
+			for _, v := range victims {
+				clients := mergeClientTables(c.groups[v].replicas, d)
+				for _, rep := range c.groups[d].replicas {
+					rep.MergeClients(clients)
+				}
+			}
+		}
+		for _, slot := range slots {
+			// SetRoute transfers front-end ownership off the dead
+			// switch; the destination picks the slot up thawed.
+			c.rack.SetRoute(slot, destOf[slot])
+		}
+		remaining := len(victims)
+		for _, v := range victims {
+			vr := v
+			grp := c.groups[vr]
+			grp.leaseGen++
+			c.ctl.revokeThen(vr, c.rack.Epoch(s), func() {
+				c.rack.SetGroup(vr, nil)
+				grp.sched = nil
+				c.rack.RetireGroup(vr)
+				for _, addr := range grp.addrs() {
+					c.net.SetDown(addr, true)
+				}
+				if remaining--; remaining == 0 {
+					r.finish()
+				}
+			})
+		}
+	})
+	return r, nil
+}
+
+// ReassignDeadSwitch is the blocking form of StartReassignDeadSwitch.
+func (c *Cluster) ReassignDeadSwitch(s int) error {
+	r, err := c.StartReassignDeadSwitch(s)
+	if err != nil {
+		return err
+	}
+	return c.driveReconfig(r)
+}

@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"harmonia/internal/wire"
+)
+
+// liveSlotCounts tallies slots per owning group and fails on any slot
+// owned by a retired group — the coverage invariant every elastic
+// operation must preserve.
+func liveSlotCounts(t *testing.T, c *Cluster) []int {
+	t.Helper()
+	counts := make([]int, c.Groups())
+	for slot, g := range c.SlotTable() {
+		if g < 0 || g >= c.Groups() || !c.rack.Live(g) {
+			t.Fatalf("slot %d owned by non-live group %d", slot, g)
+		}
+		counts[g]++
+	}
+	return counts
+}
+
+func assertNothingFrozen(t *testing.T, c *Cluster) {
+	t.Helper()
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if c.rack.Frozen(slot) {
+			t.Fatalf("slot %d left frozen", slot)
+		}
+	}
+}
+
+// TestElasticAddGroupSeedsAndServes scales a uniform cluster out by
+// one group: the new group must receive a weight-fair slot share
+// without stranding any slot or emptying any donor, and must serve
+// reads and writes for its seeded keys end to end.
+func TestElasticAddGroupSeedsAndServes(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 4, Seed: 11})
+	cl := c.NewSyncClient()
+	// Touch some keys so the heat histogram has a signal to place by.
+	for i := 0; i < 64; i++ {
+		if err := cl.Set(keyName(i), []byte("pre")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	epoch0 := c.rack.TopoEpoch()
+	g, err := c.AddGroupWait(GroupSpec{Protocol: Chain})
+	if err != nil {
+		t.Fatalf("AddGroupWait: %v", err)
+	}
+	if g != 4 || c.Groups() != 5 || !c.rack.Live(g) {
+		t.Fatalf("g=%d groups=%d live=%v", g, c.Groups(), c.rack.Live(g))
+	}
+	if c.rack.TopoEpoch() <= epoch0 {
+		t.Fatal("topology epoch did not advance")
+	}
+	counts := liveSlotCounts(t, c)
+	for lg, n := range counts {
+		if c.rack.Live(lg) && n == 0 {
+			t.Fatalf("live group %d owns zero slots after scale-out: %v", lg, counts)
+		}
+	}
+	// Uniform weights: the new share should be near 256/5.
+	if counts[g] < wire.NumSlots/5-8 {
+		t.Fatalf("new group seeded only %d slots: %v", counts[g], counts)
+	}
+	assertNothingFrozen(t, c)
+	// Existing data survived the handoffs, and keys now routed to the
+	// new group serve reads and writes through it.
+	served := false
+	for i := 0; i < 64; i++ {
+		v, ok, err := cl.Get(keyName(i))
+		if err != nil || !ok || string(v) != "pre" {
+			t.Fatalf("Get(%s) = %q %v %v", keyName(i), v, ok, err)
+		}
+		if cl.LastGroup() == g {
+			served = true
+			if err := cl.Set(keyName(i), []byte("post")); err != nil {
+				t.Fatalf("Set via new group: %v", err)
+			}
+		}
+	}
+	if !served {
+		t.Fatal("no key routed to the new group")
+	}
+}
+
+// TestElasticAddGroupWeightScaleRules pins the explicit/derived weight
+// scale guard at runtime: a derived-weight cluster rejects an explicit
+// weight and vice versa — the same all-or-none rule assembly enforces.
+func TestElasticAddGroupWeightScaleRules(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 3})
+	if _, _, err := c.AddGroup(GroupSpec{Protocol: Chain, Weight: 2}); err == nil {
+		t.Fatal("derived-weight cluster accepted an explicit weight")
+	}
+	ec := New(Config{GroupSpecs: []GroupSpec{
+		{Protocol: Chain, Replicas: 3, Weight: 2},
+		{Protocol: Chain, Replicas: 3, Weight: 1},
+	}, UseHarmonia: true, Seed: 3})
+	if _, _, err := ec.AddGroup(GroupSpec{Protocol: Chain, Replicas: 3}); err == nil {
+		t.Fatal("explicit-weight cluster accepted a derived weight")
+	}
+	if _, err := ec.AddGroupWait(GroupSpec{Protocol: Chain, Replicas: 3, Weight: 1.5}); err != nil {
+		t.Fatalf("explicit-weight AddGroup: %v", err)
+	}
+}
+
+// TestElasticRemoveGroupRetiresAndServes scales in: the retired
+// group's slots land on the survivors by weight, its data stays
+// readable, its member nodes shut down, and the retired ID rejects
+// further operations.
+func TestElasticRemoveGroupRetiresAndServes(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 17})
+	cl := c.NewSyncClient()
+	for i := 0; i < 64; i++ {
+		if err := cl.Set(keyName(i), []byte("keep")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if err := c.RemoveGroup(1); err != nil {
+		t.Fatalf("RemoveGroup: %v", err)
+	}
+	if c.rack.Live(1) {
+		t.Fatal("group 1 still live")
+	}
+	counts := liveSlotCounts(t, c)
+	if counts[1] != 0 {
+		t.Fatalf("retired group still owns %d slots", counts[1])
+	}
+	assertNothingFrozen(t, c)
+	for i := 0; i < c.groups[1].n; i++ {
+		if !c.net.IsDown(c.groupAddr(1, i)) {
+			t.Fatalf("retired member %d still up", i)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		v, ok, err := cl.Get(keyName(i))
+		if err != nil || !ok || string(v) != "keep" {
+			t.Fatalf("Get(%s) after retirement = %q %v %v", keyName(i), v, ok, err)
+		}
+		if g := cl.LastGroup(); g == 1 {
+			t.Fatalf("key %s still served by retired group", keyName(i))
+		}
+	}
+	// The retired ID is permanently dead.
+	if err := c.RemoveGroup(1); err == nil {
+		t.Fatal("double retirement accepted")
+	}
+	if err := c.CrashReplicaIn(1, 0); err == nil {
+		t.Fatal("crash in retired group accepted")
+	}
+	if _, err := c.StartRespecGroup(1, GroupSpec{Protocol: Chain}); err == nil {
+		t.Fatal("respec of retired group accepted")
+	}
+	// Scale-in to a single group, then reject removing the last one.
+	if err := c.RemoveGroup(2); err != nil {
+		t.Fatalf("RemoveGroup(2): %v", err)
+	}
+	if err := c.RemoveGroup(0); err == nil {
+		t.Fatal("removing the last live group accepted")
+	}
+}
+
+// TestElasticRemoveGroupClientTableTravels is the lost-reply-retry
+// regression across group retirement (the RemoveGroup analog of
+// TestMigrateClientTableTravels): a write the departing group executed
+// whose reply was dropped keeps being retried; after retirement the
+// retry lands on a destination group, which must REPLAY the recorded
+// reply from the migrated at-most-once table instead of re-executing
+// the write over a newer committed value. NOPaxos's sync-lagged
+// followers are the most sensitive detector.
+func TestElasticRemoveGroupClientTableTravels(t *testing.T) {
+	for seed := int64(80); seed < 86; seed++ {
+		c := New(Config{
+			Protocol: NOPaxos, Replicas: 3, UseHarmonia: true, Groups: 3,
+			RecordHistory: true, Seed: seed, DropProb: 0.01,
+		})
+		const keys = 96
+		var r *Reconfig
+		c.Engine().After(4*time.Millisecond, func() {
+			var err error
+			r, err = c.StartRemoveGroup(1)
+			if err != nil {
+				t.Errorf("seed %d: StartRemoveGroup: %v", seed, err)
+			}
+		})
+		c.RunLoad(LoadSpec{
+			Mode: Closed, Clients: 8, Duration: 10 * time.Millisecond,
+			Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Zipf09,
+		})
+		// Under drops the evacuation drains can retry for a while;
+		// give the retirement sim time in bounded chunks.
+		for i := 0; i < 12 && (r == nil || !r.Done()); i++ {
+			c.RunFor(50 * time.Millisecond)
+		}
+		if r == nil || !r.Done() || r.Err() != nil {
+			t.Fatalf("seed %d: retirement did not complete: %+v", seed, r)
+		}
+		if c.rack.Live(1) {
+			t.Fatalf("seed %d: group 1 still live", seed)
+		}
+		liveSlotCounts(t, c)
+		assertNothingFrozen(t, c)
+		for g := 0; g < c.Groups(); g++ {
+			res := c.CheckLinearizabilityGroup(g)
+			if !res.Decided {
+				t.Fatalf("seed %d group %d undecided: %s", seed, g, res.Reason)
+			}
+			if !res.Ok {
+				t.Fatalf("seed %d group %d violated linearizability across retirement: %s", seed, g, res.Reason)
+			}
+		}
+	}
+}
+
+// TestElasticRespecGroupSwapsMembers changes a live group's protocol
+// and replica count in place: same group ID, same slots, fresh member
+// set at the next incarnation's addresses, data and sequence space
+// carried over.
+func TestElasticRespecGroupSwapsMembers(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 2, Seed: 23})
+	cl := c.NewSyncClient()
+	for i := 0; i < 48; i++ {
+		if err := cl.Set(keyName(i), []byte("v1")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	oldAddrs := c.groups[1].addrs()
+	slots0 := liveSlotCounts(t, c)
+	if err := c.RespecGroup(1, GroupSpec{Protocol: VR, Replicas: 5}); err != nil {
+		t.Fatalf("RespecGroup: %v", err)
+	}
+	grp := c.groups[1]
+	if grp.inc != 1 || grp.n != 5 || grp.spec.Protocol != VR {
+		t.Fatalf("respec state: inc=%d n=%d proto=%v", grp.inc, grp.n, grp.spec.Protocol)
+	}
+	if grp.sched == nil || !grp.sched.Ready() {
+		t.Fatal("respec'd scheduler not ready (sequence space not adopted)")
+	}
+	for _, a := range oldAddrs {
+		if !c.net.IsDown(a) {
+			t.Fatalf("old member %d still up after respec", a)
+		}
+	}
+	// Slots did not move.
+	slots1 := liveSlotCounts(t, c)
+	if slots1[1] != slots0[1] {
+		t.Fatalf("respec moved slots: %v -> %v", slots0, slots1)
+	}
+	assertNothingFrozen(t, c)
+	// Data survived into the new member set; reads and writes flow.
+	for i := 0; i < 48; i++ {
+		v, ok, err := cl.Get(keyName(i))
+		if err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("Get(%s) after respec = %q %v %v", keyName(i), v, ok, err)
+		}
+		if err := cl.Set(keyName(i), []byte("v2")); err != nil {
+			t.Fatalf("Set after respec: %v", err)
+		}
+	}
+	// A second respec lands in the next incarnation sub-window.
+	if err := c.RespecGroup(1, GroupSpec{Protocol: Chain, Replicas: 3}); err != nil {
+		t.Fatalf("second respec: %v", err)
+	}
+	if c.groups[1].inc != 2 {
+		t.Fatalf("inc=%d after second respec, want 2", c.groups[1].inc)
+	}
+	if v, ok, err := cl.Get(keyName(5)); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Get after second respec = %q %v %v", v, ok, err)
+	}
+}
+
+// TestElasticReassignDeadSwitchRestoresCoverage kills one switch of a
+// two-switch rack for good and batch-recovers its slot shard from the
+// victims' replica stores: afterwards every slot is served by a live
+// group on the surviving switch, the victims are retired, and every
+// pre-crash value reads back.
+func TestElasticReassignDeadSwitchRestoresCoverage(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 4, Switches: 2, Seed: 31})
+	cl := c.NewSyncClient()
+	for i := 0; i < 96; i++ {
+		if err := cl.Set(keyName(i), []byte("durable")); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if err := c.ReassignDeadSwitch(1); err == nil {
+		t.Fatal("reassign of an alive switch accepted")
+	}
+	if err := c.CrashSwitch(1); err != nil {
+		t.Fatalf("CrashSwitch: %v", err)
+	}
+	if err := c.ReassignDeadSwitch(1); err != nil {
+		t.Fatalf("ReassignDeadSwitch: %v", err)
+	}
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		if c.rack.SwitchOfSlot(slot) == 1 {
+			t.Fatalf("slot %d still mapped to the dead switch", slot)
+		}
+	}
+	counts := liveSlotCounts(t, c)
+	if c.rack.Live(2) || c.rack.Live(3) {
+		t.Fatalf("victim groups still live: %v %v", c.rack.Live(2), c.rack.Live(3))
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("survivors own %v slots", counts)
+	}
+	assertNothingFrozen(t, c)
+	// Every committed write recovered from the victims' stores.
+	for i := 0; i < 96; i++ {
+		v, ok, err := cl.Get(keyName(i))
+		if err != nil || !ok || string(v) != "durable" {
+			t.Fatalf("Get(%s) after reassignment = %q %v %v", keyName(i), v, ok, err)
+		}
+		if err := cl.Set(keyName(i), []byte("fresh")); err != nil {
+			t.Fatalf("Set after reassignment: %v", err)
+		}
+	}
+}
+
+// TestElasticMigrateChaosMatrix is the elastic hardening matrix:
+// every elastic operation × a chaos mode (packet drops, reordering, or
+// a replica crash mid-reconfiguration), each run in the middle of a
+// live recorded load window. Per cell: the operation settles, the
+// coverage invariants hold (every slot owned by a live group, nothing
+// frozen), and every group's history slice linearizes.
+func TestElasticMigrateChaosMatrix(t *testing.T) {
+	ops := []string{"add", "remove", "respec", "reassign"}
+	chaosModes := []string{"drops", "reorder", "crash"}
+	for _, op := range ops {
+		for _, chaos := range chaosModes {
+			op, chaos := op, chaos
+			t.Run(fmt.Sprintf("%s/%s", op, chaos), func(t *testing.T) {
+				elasticChaosCase(t, op, chaos)
+			})
+		}
+	}
+}
+
+func elasticChaosCase(t *testing.T, op, chaos string) {
+	cfg := Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3,
+		RecordHistory: true, Seed: 47 + int64(len(op))*13,
+	}
+	if op == "reassign" {
+		cfg.Groups, cfg.Switches = 4, 2
+	}
+	switch chaos {
+	case "drops":
+		cfg.DropProb = 0.01
+	case "reorder":
+		cfg.ReorderProb = 0.02
+		cfg.ReorderDelay = 30 * time.Microsecond
+	}
+	c := New(cfg)
+	const keys = 96
+
+	var r *Reconfig
+	start := func(rc *Reconfig, err error) {
+		if err != nil {
+			t.Errorf("start %s: %v", op, err)
+			return
+		}
+		r = rc
+	}
+	c.Engine().After(4*time.Millisecond, func() {
+		switch op {
+		case "add":
+			_, rc, err := c.AddGroup(GroupSpec{Protocol: Chain})
+			start(rc, err)
+		case "remove":
+			start(c.StartRemoveGroup(1))
+		case "respec":
+			start(c.StartRespecGroup(1, GroupSpec{Protocol: Chain, Replicas: 5}))
+		case "reassign":
+			if err := c.CrashSwitch(1); err != nil {
+				t.Errorf("CrashSwitch: %v", err)
+			}
+			start(c.StartReassignDeadSwitch(1))
+		}
+	})
+	if chaos == "crash" {
+		// Fail a replica of an involved group while the
+		// reconfiguration's drain or agreement is in flight — except
+		// for reassignment, where the victims retire almost instantly:
+		// there the replica dies BEFORE the switch, so recovery must
+		// max-merge around a store that stopped early.
+		when := 4*time.Millisecond + 200*time.Microsecond
+		g := 1
+		switch op {
+		case "add":
+			g = 0 // a seeding donor
+		case "reassign":
+			g, when = 2, 3800*time.Microsecond // a victim, pre-crash
+		}
+		c.Engine().After(when, func() {
+			if err := c.CrashReplicaIn(g, 1); err != nil {
+				t.Errorf("CrashReplicaIn: %v", err)
+			}
+		})
+	}
+
+	rep := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 12, Duration: 10 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Uniform,
+	})
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("no load completed: %+v", rep)
+	}
+	c.RunFor(60 * time.Millisecond) // settle handoffs, agreements, retries
+
+	if r == nil {
+		t.Fatal("reconfiguration never started")
+	}
+	if !r.Done() {
+		t.Fatalf("%s reconfiguration stuck", op)
+	}
+	if r.Err() != nil {
+		t.Fatalf("%s reconfiguration failed: %v", op, r.Err())
+	}
+	counts := liveSlotCounts(t, c)
+	assertNothingFrozen(t, c)
+	switch op {
+	case "add":
+		if !c.rack.Live(3) || counts[3] == 0 {
+			t.Fatalf("added group live=%v slots=%v", c.rack.Live(3), counts)
+		}
+	case "remove":
+		if c.rack.Live(1) || counts[1] != 0 {
+			t.Fatalf("removed group live=%v slots=%d", c.rack.Live(1), counts[1])
+		}
+	case "respec":
+		if c.groups[1].inc != 1 || c.groups[1].n != 5 {
+			t.Fatalf("respec state: inc=%d n=%d", c.groups[1].inc, c.groups[1].n)
+		}
+	case "reassign":
+		for slot := 0; slot < wire.NumSlots; slot++ {
+			if c.rack.SwitchOfSlot(slot) == 1 {
+				t.Fatalf("slot %d still on the dead switch", slot)
+			}
+		}
+	}
+	for g := 0; g < c.Groups(); g++ {
+		res := c.CheckLinearizabilityGroup(g)
+		if !res.Decided {
+			t.Fatalf("group %d undecided: %s", g, res.Reason)
+		}
+		if !res.Ok {
+			t.Fatalf("group %d violated linearizability across %s/%s: %s", g, op, chaos, res.Reason)
+		}
+	}
+}
+
+var routeSink int
+
+// TestElasticTopologyRouteLookupAllocFree pins the client hot path's
+// allocation budget: a route lookup through the epoch-versioned
+// topology — slot → group and slot → switch — is a pair of array
+// loads, 0 allocs/op, even after elastic membership changes.
+func TestElasticTopologyRouteLookupAllocFree(t *testing.T) {
+	c := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 4, Seed: 7})
+	if _, err := c.AddGroupWait(GroupSpec{Protocol: Chain}); err != nil {
+		t.Fatalf("AddGroupWait: %v", err)
+	}
+	topo := c.rack.Topo()
+	id := wire.HashKey("hot-key")
+	allocs := testing.AllocsPerRun(1000, func() {
+		routeSink += topo.RouteObj(id)
+		routeSink += topo.SwitchOfObj(id)
+		routeSink += c.routeObj(id)
+		routeSink += int(c.switchAddrForObj(id))
+	})
+	if allocs != 0 {
+		t.Fatalf("topology route lookup allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -168,6 +168,11 @@ func (c *Cluster) StartBatchMigration(slots []int, to int) (*Migration, error) {
 		if _, busy := c.migrations[s]; busy {
 			return nil, fmt.Errorf("cluster: slot %d is already migrating", s)
 		}
+		if c.rack.Frozen(s) {
+			// Frozen without a migration record: an elastic operation
+			// (respec drain, group retirement) holds the slot.
+			return nil, fmt.Errorf("cluster: slot %d is frozen by another reconfiguration", s)
+		}
 	}
 	m := &Migration{
 		Slot: live[0], Slots: live, From: from, To: to, c: c,
@@ -455,19 +460,27 @@ func (m *Migration) copyAndFlip() {
 }
 
 // flushWrite issues one control-plane write to group g, steering clear
-// of avoidSlot and of frozen slots, so the group's last-committed
-// point advances even when client load is idle. It uses the priming
-// client identity (ClientID 0) with a request ID range of its own. If
-// the group currently owns no eligible slot the nudge is skipped — the
-// drain then waits on client traffic or an abort.
+// of avoidSlot and preferring unfrozen slots, so the group's
+// last-committed point advances even when client load is idle. It uses
+// the priming client identity (ClientID 0) with a request ID range of
+// its own. When EVERY slot the group serves is frozen — the
+// whole-group drain of a retirement or membership respec — the nudge
+// is forced through the freeze with wire.FlagFlush: the flush write
+// quiesces like any other and its object travels with the batch, but
+// without it the drain would wedge on a stray entry forever.
 func (c *Cluster) flushWrite(g, avoidSlot int) {
+	var flags wire.Flags
 	key, ok := c.keyInGroup(g, fmt.Sprintf("__flush__%d_", g), avoidSlot)
 	if !ok {
-		return
+		key, ok = c.keyInGroupAny(g, fmt.Sprintf("__flush__%d_", g), avoidSlot, true)
+		if !ok {
+			return
+		}
+		flags = wire.FlagFlush
 	}
 	c.flushCtr++
 	pkt := &wire.Packet{
-		Op: wire.OpWrite, ObjID: wire.HashKey(key), Key: key,
+		Op: wire.OpWrite, Flags: flags, ObjID: wire.HashKey(key), Key: key,
 		Group: uint16(g), ClientID: 0, ReqID: 1<<32 + c.flushCtr, Value: []byte{1},
 	}
 	c.net.Send(clientBase, c.switchAddrForObj(pkt.ObjID), pkt)

@@ -136,6 +136,16 @@ func (f *Frontend) Group(g int) *Scheduler { return f.groups[g] }
 // completes.
 func (f *Frontend) SetGroup(g int, s *Scheduler) { f.groups[g] = s }
 
+// EnsureGroups grows the partition table to at least n entries, new
+// ones nil (booting). Scale-out adds a group to the whole rack: every
+// front-end must be able to route replica-originated packets that
+// carry the new group ID, even front-ends that never serve its slots.
+func (f *Frontend) EnsureGroups(n int) {
+	for len(f.groups) < n {
+		f.groups = append(f.groups, nil)
+	}
+}
+
 // RouteOf returns the group currently serving slot.
 func (f *Frontend) RouteOf(slot int) int { return int(f.route[slot]) }
 
@@ -248,7 +258,11 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 				f.heat[slot].Reads++
 			}
 		}
-		if f.frozen[slot] {
+		if f.frozen[slot] && pkt.Flags&wire.FlagFlush == 0 {
+			// FlagFlush writes pass the freeze: a whole-group drain has
+			// every slot frozen, and the flush that unwedges it must
+			// still reach the scheduler. The flush quiesces like any
+			// other write and its object is copied with the batch.
 			f.Stats.FrozenDrops++
 			return
 		}

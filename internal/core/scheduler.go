@@ -376,6 +376,24 @@ func (s *Scheduler) SetTargets(writeDst, readDst simnet.NodeID) {
 	s.cfg.ReadDst = readDst
 }
 
+// AdoptFrom carries the predecessor scheduler's sequencing state into
+// this one: the per-epoch write counter, the last-committed point, and
+// readiness. A staged membership swap (group respec) replaces a
+// group's scheduler at the SAME switch epoch — unlike a switch
+// replacement, which gets a fresh epoch — so the successor must
+// continue the predecessor's sequence space rather than restart it;
+// restarting would let two writes of one incarnation share a sequence
+// number. The dirty set is not adopted: the swap only completes after
+// the group fully drained, so the predecessor's set is empty.
+func (s *Scheduler) AdoptFrom(old *Scheduler) {
+	if old == nil || old.cfg.Epoch != s.cfg.Epoch {
+		return
+	}
+	s.seqN = old.seqN
+	s.last = old.last
+	s.ready = old.ready
+}
+
 // SweepStale periodically reclaims all stray dirty-set entries at or
 // below the last-committed point (§5.2's "can also be done
 // periodically"). The cluster wires it to a per-partition timer so

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"harmonia/internal/cluster"
+	"harmonia/internal/wire"
+)
+
+// ElasticResult is the measured outcome of the Fig E experiment,
+// exposed so its test can hold the acceptance criteria against real
+// numbers rather than curve shapes.
+type ElasticResult struct {
+	// GroupsBefore and GroupsAfter bracket the scale-out: the run
+	// starts at 4 live groups and four staggered AddGroups take it
+	// to 8, all under open-loop load.
+	GroupsBefore, GroupsAfter int
+	// BaseThroughput is the median bucket rate of the healthy window
+	// before the first AddGroup; DipThroughput the worst bucket during
+	// the scale-out; Retention their ratio. The headline claim is that
+	// growing the rack costs no more than a switch crash (~10% dip).
+	BaseThroughput float64
+	DipThroughput  float64
+	Retention      float64
+	// TopoEpochFinal counts membership revisions: 1 at boot plus one
+	// per AddGroup — slot handoffs themselves never bump it.
+	TopoEpochFinal uint64
+	// ReassignCovered reports the dead-switch phase: after one of two
+	// switches dies for good and ReassignDeadSwitch batch-recovers its
+	// shard from the victims' replica stores, every slot is owned by a
+	// live group on the surviving switch.
+	ReassignCovered bool
+	// Linearizable reports the chaos-verify phase: a recorded load
+	// window under 1% drops with a group retired mid-run and a new one
+	// added after, every group's history slice checked.
+	Linearizable bool
+}
+
+// figECluster builds the Fig E rack: two switches fronting four
+// 3-replica chain groups, room to double.
+func figECluster(seed int64, record bool, drop float64) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Protocol: cluster.Chain, Replicas: 3, UseHarmonia: true,
+		Groups: 4, Switches: 2, Seed: seed, RecordHistory: record, DropProb: drop,
+	})
+}
+
+// FigE is the elastic-membership experiment: an open-loop load over a
+// 4-group rack while four AddGroups double the rack live (each seeding
+// its slot share from the hottest donors via frozen-slot handoff), then
+// a permanent one-switch death recovered by ReassignDeadSwitch. The
+// plotted series are the two throughput timelines.
+func FigE(s Scale) []Series {
+	series, _ := FigEDetail(s)
+	return series
+}
+
+// FigEDetail runs Fig E and returns both the plotted series and the
+// measured result.
+func FigEDetail(s Scale) ([]Series, ElasticResult) {
+	window := s.win(60 * time.Millisecond)
+	bucket := window / 40
+	var res ElasticResult
+
+	// Phase 1: scale-out. Four AddGroups staggered through the middle
+	// of the window, each seeding ~1/(n+1) of the slots while the open
+	// loop keeps offering ~4 MRPS against an 11 MRPS 4-group rack.
+	c := figECluster(401, false, 0)
+	res.GroupsBefore = len(c.Rack().LiveGroups())
+	firstAdd := window * 6 / 20
+	for i := 0; i < 4; i++ {
+		at := firstAdd + window*time.Duration(2*i)/20
+		c.Engine().After(at, func() {
+			_, _, _ = c.AddGroup(cluster.GroupSpec{Protocol: cluster.Chain})
+		})
+	}
+	rep := c.RunLoad(cluster.LoadSpec{
+		Mode: cluster.Open, Rate: 4e6, Duration: window, Warmup: 0,
+		WriteRatio: 0.05, Keys: defaultKeys, Dist: cluster.Zipf09, Bucket: bucket,
+	})
+	c.RunFor(30 * time.Millisecond) // let the last seeding handoffs settle
+	res.GroupsAfter = len(c.Rack().LiveGroups())
+	res.TopoEpochFinal = c.Rack().TopoEpoch()
+
+	var scaleOut []Point
+	var pre, post []float64
+	if rep.Series != nil {
+		for _, p := range rep.Series.Points() {
+			scaleOut = append(scaleOut, Point{X: p.Start.Seconds() * 1000, Y: p.Rate / 1e6})
+			if p.Start+bucket <= firstAdd {
+				pre = append(pre, p.Rate)
+			} else {
+				post = append(post, p.Rate)
+			}
+		}
+	}
+	if len(pre) > 1 {
+		pre = pre[1:] // the first bucket is ramp-up, not steady state
+	}
+	if len(pre) > 0 && len(post) > 0 {
+		sort.Float64s(pre)
+		res.BaseThroughput = pre[len(pre)/2]
+		res.DipThroughput = post[0]
+		for _, r := range post[1:] {
+			if r < res.DipThroughput {
+				res.DipThroughput = r
+			}
+		}
+		if res.BaseThroughput > 0 {
+			res.Retention = res.DipThroughput / res.BaseThroughput
+		}
+	}
+
+	// Phase 2: permanent switch death. Half the rack's slots go dark
+	// with switch 1; ReassignDeadSwitch rebuilds them on the survivors
+	// from the victims' replica stores while the load keeps running.
+	c2 := figECluster(417, false, 0)
+	crashAt := window / 3
+	c2.Engine().After(crashAt, func() { _ = c2.CrashSwitch(1) })
+	c2.Engine().After(crashAt+window/15, func() { _, _ = c2.StartReassignDeadSwitch(1) })
+	rep2 := c2.RunLoad(cluster.LoadSpec{
+		Mode: cluster.Open, Rate: 4e6, Duration: window, Warmup: 0,
+		WriteRatio: 0.05, Keys: defaultKeys, Dist: cluster.Zipf09, Bucket: bucket,
+	})
+	c2.RunFor(30 * time.Millisecond)
+	res.ReassignCovered = true
+	for slot := 0; slot < wire.NumSlots; slot++ {
+		g := c2.Rack().RouteOf(slot)
+		if c2.Rack().SwitchOfSlot(slot) != 0 || !c2.Rack().Live(g) {
+			res.ReassignCovered = false
+			break
+		}
+	}
+	var reassign []Point
+	if rep2.Series != nil {
+		for _, p := range rep2.Series.Points() {
+			reassign = append(reassign, Point{X: p.Start.Seconds() * 1000, Y: p.Rate / 1e6})
+		}
+	}
+
+	res.Linearizable = figEVerify()
+
+	return []Series{
+		{Name: "scale-out 4→8 groups", Points: scaleOut},
+		{Name: "dead-switch reassignment", Points: reassign},
+	}, res
+}
+
+// figEVerify replays a small recorded chaos window: closed-loop load
+// under 1% drops with group 1 retired mid-run (its slots, data, and
+// at-most-once client tables evacuated to the survivors), then a fresh
+// group added and loaded again; every group's history slice must stay
+// linearizable. The window is fixed rather than scaled — the phase is
+// a correctness verdict, not a statistic.
+func figEVerify() bool {
+	c := cluster.New(cluster.Config{
+		Protocol: cluster.Chain, Replicas: 3, UseHarmonia: true,
+		Groups: 3, Seed: 431, RecordHistory: true, DropProb: 0.01,
+	})
+	var r *cluster.Reconfig
+	c.Engine().After(3*time.Millisecond, func() { r, _ = c.StartRemoveGroup(1) })
+	c.RunLoad(cluster.LoadSpec{
+		Mode: cluster.Closed, Clients: 12, Duration: 10 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: 96, Dist: cluster.Uniform,
+	})
+	for i := 0; i < 12 && (r == nil || !r.Done()); i++ {
+		c.RunFor(50 * time.Millisecond)
+	}
+	if r == nil || !r.Done() || r.Err() != nil {
+		return false
+	}
+	if _, err := c.AddGroupWait(cluster.GroupSpec{Protocol: cluster.Chain}); err != nil {
+		return false
+	}
+	c.RunLoad(cluster.LoadSpec{
+		Mode: cluster.Closed, Clients: 12, Duration: 8 * time.Millisecond,
+		WriteRatio: 0.3, Keys: 96, Dist: cluster.Uniform,
+	})
+	c.RunFor(25 * time.Millisecond)
+	for g := 0; g < c.Groups(); g++ {
+		if res := c.CheckLinearizabilityGroup(g); !res.Decided || !res.Ok {
+			return false
+		}
+	}
+	return true
+}

@@ -65,13 +65,97 @@ type SwitchStats struct {
 // AgreementMsgs is the total §5.3 message count (revokes + acks).
 func (s SwitchStats) AgreementMsgs() uint64 { return s.RevokesSent + s.AcksReceived }
 
+// Topology is the rack's epoch-versioned membership and layout value:
+// which groups exist, which are live, their capacity weights, which
+// switch hosts each group, and which group and switch serve each
+// routing slot. It is the single indirection every layer reads —
+// cluster assembly, switch front-ends (whose tables mirror it),
+// the rebalancer's weight vectors, and client routing — so elastic
+// reconfiguration is one mutation here plus the §5.3 agreement, not a
+// crawl over per-layer copies.
+//
+// The epoch counts MEMBERSHIP revisions: group add/retire, weight or
+// spec changes. Per-slot route flips do not bump it — migrations are
+// steady state and consumers (rebalancer weight vectors, client
+// splits) only need to recompute when the group set or weights change.
+// Reads are plain array/slice loads with no locking or allocation: the
+// simulation is single-threaded per event, and the client hot path
+// (RouteObj, SwitchOfObj) must stay 0 allocs/op.
+type Topology struct {
+	epoch     uint64
+	groupSw   []int     // group → hosting switch (fixed for the group's lifetime)
+	weights   []float64 // capacity weights; 0 for retired groups
+	live      []bool    // false once retired — IDs are never reused
+	slotGroup [wire.NumSlots]int
+	slotSw    [wire.NumSlots]int
+}
+
+// Epoch returns the membership revision counter. Consumers cache
+// derived state (weight vectors, client splits) keyed by this value
+// and recompute only when it moves.
+func (t *Topology) Epoch() uint64 { return t.epoch }
+
+// Groups returns the total group count, retired groups included
+// (group IDs are stable and never reused).
+func (t *Topology) Groups() int { return len(t.groupSw) }
+
+// Live reports whether group g currently serves traffic.
+func (t *Topology) Live(g int) bool { return g >= 0 && g < len(t.live) && t.live[g] }
+
+// LiveGroups returns the live group IDs in index order.
+func (t *Topology) LiveGroups() []int {
+	var out []int
+	for g, l := range t.live {
+		if l {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Weight returns group g's capacity weight (0 once retired).
+func (t *Topology) Weight(g int) float64 { return t.weights[g] }
+
+// LiveWeights returns a fresh weight vector indexed by group ID, with
+// retired groups at exactly 0 — the form workload.Apportion and the
+// weighted-index draw treat as "never pick this group".
+func (t *Topology) LiveWeights() []float64 {
+	out := make([]float64, len(t.weights))
+	for g, l := range t.live {
+		if l {
+			out[g] = t.weights[g]
+		}
+	}
+	return out
+}
+
+// LiveMask returns a copy of the per-group liveness vector.
+func (t *Topology) LiveMask() []bool {
+	return append([]bool(nil), t.live...)
+}
+
+// SwitchOfGroup returns the switch hosting group g.
+func (t *Topology) SwitchOfGroup(g int) int { return t.groupSw[g] }
+
+// RouteOf returns the group currently serving slot — a single array
+// load, the one indirection on every routing decision.
+func (t *Topology) RouteOf(slot int) int { return t.slotGroup[slot] }
+
+// RouteObj returns the group currently serving id's slot.
+func (t *Topology) RouteObj(id wire.ObjectID) int { return t.slotGroup[wire.SlotOf(id)] }
+
+// SwitchOfSlot returns the switch currently serving slot.
+func (t *Topology) SwitchOfSlot(slot int) int { return t.slotSw[slot] }
+
+// SwitchOfObj returns the switch currently serving id's slot.
+func (t *Topology) SwitchOfObj(id wire.ObjectID) int { return t.slotSw[wire.SlotOf(id)] }
+
 // Rack coordinates S switch front-ends over N replica groups.
 type Rack struct {
-	fronts  []*core.Frontend
-	groupSw []int // group → owning switch (fixed at assembly)
-	slotSw  [wire.NumSlots]int
-	epochs  []uint32
-	stats   []SwitchStats
+	fronts []*core.Frontend
+	topo   Topology
+	epochs []uint32
+	stats  []SwitchStats
 }
 
 // SwitchOfSlotIn is the boot-time slot → switch assignment for a
@@ -276,10 +360,15 @@ func NewWeighted(switches int, weights []float64) *Rack {
 	}
 	groups := len(weights)
 	r := &Rack{
-		fronts:  make([]*core.Frontend, switches),
+		fronts: make([]*core.Frontend, switches),
+		epochs: make([]uint32, switches),
+		stats:  make([]SwitchStats, switches),
+	}
+	r.topo = Topology{
+		epoch:   1,
 		groupSw: make([]int, groups),
-		epochs:  make([]uint32, switches),
-		stats:   make([]SwitchStats, switches),
+		weights: append([]float64(nil), weights...),
+		live:    make([]bool, groups),
 	}
 	for s := range r.fronts {
 		f := core.NewFrontend(groups)
@@ -288,13 +377,15 @@ func NewWeighted(switches int, weights []float64) *Rack {
 		r.epochs[s] = 1
 		lo, hi := groupRange(s, switches, groups)
 		for g := lo; g < hi; g++ {
-			r.groupSw[g] = s
+			r.topo.groupSw[g] = s
+			r.topo.live[g] = true
 		}
 	}
 	slotSw, slotGroup := Layout(switches, weights)
 	for slot := 0; slot < wire.NumSlots; slot++ {
 		sw := slotSw[slot]
-		r.slotSw[slot] = sw
+		r.topo.slotSw[slot] = sw
+		r.topo.slotGroup[slot] = slotGroup[slot]
 		for s, f := range r.fronts {
 			f.SetOwned(slot, s == sw)
 			f.SetRoute(slot, slotGroup[slot])
@@ -303,11 +394,86 @@ func NewWeighted(switches int, weights []float64) *Rack {
 	return r
 }
 
+// Topo exposes the rack's live topology value. Callers on hot paths
+// read routes through it directly; mutations go through the Rack's
+// own methods (AddGroup, RetireGroup, SetGroupWeight, SetRoute) so
+// front-end mirrors stay consistent.
+func (r *Rack) Topo() *Topology { return &r.topo }
+
+// TopoEpoch returns the current membership revision.
+func (r *Rack) TopoEpoch() uint64 { return r.topo.epoch }
+
+// Live reports whether group g currently serves traffic.
+func (r *Rack) Live(g int) bool { return r.topo.Live(g) }
+
+// LiveGroups returns the live group IDs in index order.
+func (r *Rack) LiveGroups() []int { return r.topo.LiveGroups() }
+
+// AddGroup appends a new live group hosted on switch sw with the given
+// capacity weight and returns its ID, bumping the topology epoch.
+// The new group owns no slots yet — the caller seeds its share by
+// migrating slots in (heat-aware placement), so every slot stays owned
+// by a drained, consistent group throughout scale-out.
+func (r *Rack) AddGroup(sw int, weight float64) int {
+	if sw < 0 || sw >= len(r.fronts) {
+		panic(fmt.Sprintf("rack: AddGroup on out-of-range switch %d", sw))
+	}
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		panic(fmt.Sprintf("rack: AddGroup weight %v must be positive and finite", weight))
+	}
+	if len(r.topo.groupSw) >= wire.NumSlots {
+		panic(fmt.Sprintf("rack: cannot exceed %d groups", wire.NumSlots))
+	}
+	g := len(r.topo.groupSw)
+	r.topo.groupSw = append(r.topo.groupSw, sw)
+	r.topo.weights = append(r.topo.weights, weight)
+	r.topo.live = append(r.topo.live, true)
+	for _, f := range r.fronts {
+		f.EnsureGroups(g + 1)
+	}
+	r.topo.epoch++
+	return g
+}
+
+// RetireGroup marks group g permanently dead and bumps the topology
+// epoch. The group must have been evacuated first: retiring a group
+// that still serves slots would strand them. Group IDs are never
+// reused — a retired slot in the tables stays retired, which keeps
+// every historical group reference (stats, histories) valid.
+func (r *Rack) RetireGroup(g int) {
+	if !r.topo.Live(g) {
+		panic(fmt.Sprintf("rack: RetireGroup on non-live group %d", g))
+	}
+	for slot, og := range r.topo.slotGroup {
+		if og == g {
+			panic(fmt.Sprintf("rack: RetireGroup(%d) but slot %d still routes to it", g, slot))
+		}
+	}
+	r.topo.live[g] = false
+	r.topo.weights[g] = 0
+	r.topo.epoch++
+}
+
+// SetGroupWeight updates group g's capacity weight and bumps the
+// topology epoch; rebalancer thresholds and client splits pick the
+// new value up on their next epoch check.
+func (r *Rack) SetGroupWeight(g int, w float64) {
+	if !r.topo.Live(g) {
+		panic(fmt.Sprintf("rack: SetGroupWeight on non-live group %d", g))
+	}
+	if !(w > 0) || math.IsInf(w, 1) {
+		panic(fmt.Sprintf("rack: SetGroupWeight %v must be positive and finite", w))
+	}
+	r.topo.weights[g] = w
+	r.topo.epoch++
+}
+
 // Switches returns the front-end count.
 func (r *Rack) Switches() int { return len(r.fronts) }
 
-// Groups returns the replica-group count.
-func (r *Rack) Groups() int { return len(r.groupSw) }
+// Groups returns the replica-group count (retired groups included —
+// IDs are stable).
+func (r *Rack) Groups() int { return r.topo.Groups() }
 
 // Front returns switch s's front-end.
 func (r *Rack) Front(s int) *core.Frontend { return r.fronts[s] }
@@ -325,13 +491,15 @@ func (r *Rack) BumpEpoch(s int) uint32 {
 
 // SwitchOfGroup returns the switch hosting group g's scheduler
 // partition.
-func (r *Rack) SwitchOfGroup(g int) int { return r.groupSw[g] }
+func (r *Rack) SwitchOfGroup(g int) int { return r.topo.groupSw[g] }
 
-// GroupsOf returns the groups hosted on switch s, in index order.
+// GroupsOf returns the LIVE groups hosted on switch s, in index order.
+// Retired groups have no scheduler partition and take no part in
+// rebalancing or switch-replacement agreements.
 func (r *Rack) GroupsOf(s int) []int {
 	var out []int
-	for g, sw := range r.groupSw {
-		if sw == s {
+	for g, sw := range r.topo.groupSw {
+		if sw == s && r.topo.live[g] {
 			out = append(out, g)
 		}
 	}
@@ -340,33 +508,32 @@ func (r *Rack) GroupsOf(s int) []int {
 
 // SwitchOfSlot returns the switch currently serving slot — the
 // authoritative slot → switch map clients consult to pick a front-end.
-func (r *Rack) SwitchOfSlot(slot int) int { return r.slotSw[slot] }
+func (r *Rack) SwitchOfSlot(slot int) int { return r.topo.slotSw[slot] }
 
 // SwitchOfObj returns the switch currently serving id's slot.
-func (r *Rack) SwitchOfObj(id wire.ObjectID) int { return r.slotSw[wire.SlotOf(id)] }
+func (r *Rack) SwitchOfObj(id wire.ObjectID) int { return r.topo.SwitchOfObj(id) }
 
 // SlotSwitchTable returns a copy of the slot → switch map.
 func (r *Rack) SlotSwitchTable() []int {
 	out := make([]int, wire.NumSlots)
-	copy(out, r.slotSw[:])
+	copy(out, r.topo.slotSw[:])
 	return out
 }
 
 // front returns slot's owning front-end.
-func (r *Rack) front(slot int) *core.Frontend { return r.fronts[r.slotSw[slot]] }
+func (r *Rack) front(slot int) *core.Frontend { return r.fronts[r.topo.slotSw[slot]] }
 
-// RouteOf returns the group currently serving slot.
-func (r *Rack) RouteOf(slot int) int { return r.front(slot).RouteOf(slot) }
+// RouteOf returns the group currently serving slot, read from the
+// topology (the front-ends hold mirrors).
+func (r *Rack) RouteOf(slot int) int { return r.topo.slotGroup[slot] }
 
 // RouteObj returns the group currently serving id's slot.
-func (r *Rack) RouteObj(id wire.ObjectID) int { return r.RouteOf(wire.SlotOf(id)) }
+func (r *Rack) RouteObj(id wire.ObjectID) int { return r.topo.RouteObj(id) }
 
 // SlotTable returns a copy of the rack-wide slot → group table.
 func (r *Rack) SlotTable() []int {
 	out := make([]int, wire.NumSlots)
-	for slot := range out {
-		out[slot] = r.RouteOf(slot)
-	}
+	copy(out, r.topo.slotGroup[:])
 	return out
 }
 
@@ -378,14 +545,15 @@ func (r *Rack) SlotTable() []int {
 // Every front-end's route mirror is updated so a later flip back needs
 // no reconciliation.
 func (r *Rack) SetRoute(slot, g int) {
-	if g < 0 || g >= len(r.groupSw) {
-		panic(fmt.Sprintf("rack: route for slot %d to out-of-range group %d", slot, g))
+	if !r.topo.Live(g) {
+		panic(fmt.Sprintf("rack: route for slot %d to non-live group %d", slot, g))
 	}
-	src := r.fronts[r.slotSw[slot]]
-	dst := r.fronts[r.groupSw[g]]
+	src := r.fronts[r.topo.slotSw[slot]]
+	dst := r.fronts[r.topo.groupSw[g]]
 	for _, f := range r.fronts {
 		f.SetRoute(slot, g)
 	}
+	r.topo.slotGroup[slot] = g
 	if src != dst {
 		src.UnfreezeSlot(slot)
 		src.SetOwned(slot, false)
@@ -396,7 +564,7 @@ func (r *Rack) SetRoute(slot, g int) {
 		dst.ClearHeat(slot)
 		dst.UnfreezeSlot(slot)
 		dst.SetOwned(slot, true)
-		r.slotSw[slot] = r.groupSw[g]
+		r.topo.slotSw[slot] = r.topo.groupSw[g]
 	}
 }
 
@@ -413,7 +581,7 @@ func (r *Rack) Frozen(slot int) bool { return r.front(slot).Frozen(slot) }
 
 // SetGroup installs (or, with nil, clears) group g's scheduler on its
 // owning front-end.
-func (r *Rack) SetGroup(g int, s *core.Scheduler) { r.fronts[r.groupSw[g]].SetGroup(g, s) }
+func (r *Rack) SetGroup(g int, s *core.Scheduler) { r.fronts[r.topo.groupSw[g]].SetGroup(g, s) }
 
 // SlotHeat returns the rack-wide per-slot heat sample, each slot read
 // from its owning front-end's registers — after a cross-switch

@@ -1,0 +1,114 @@
+package rebalance
+
+import "harmonia/internal/workload"
+
+// PlanSeed plans the slot handoffs that give a newly added group its
+// fair share of the slot space immediately, instead of waiting for the
+// threshold trigger to notice the empty group. It re-runs the
+// largest-remainder apportionment over the NEW live group set — the
+// same math rack.Layout uses at boot — so the fix for the 1-slot-floor
+// edge case is structural: every live group's target is floored at one
+// slot, the targets sum to exactly len(table), and a donor is never
+// drained below one slot, so all slots stay owned and no live group
+// ends up with zero.
+//
+// Slot choice is heat-aware (the decayed histogram is the placement
+// prior): donations come from the most heat-overloaded donors first,
+// and each donor gives its hottest slots while the new group's
+// projected heat is still below its weight-fair share, then its
+// coldest — the new group relieves the rack's hot spot without simply
+// becoming it.
+//
+// heat and table are rack-wide per-slot samples; weights and live are
+// indexed by group ID (retired groups: live=false, weight ignored).
+// The returned moves all target newGroup.
+func PlanSeed(heat []Heat, table []int, weights []float64, live []bool, newGroup int) []Move {
+	n := len(weights)
+	if newGroup < 0 || newGroup >= n || len(live) != n || !live[newGroup] {
+		return nil
+	}
+	// Targets: largest remainder over the live group set, 1-slot floors.
+	w := make([]float64, n)
+	min := make([]int, n)
+	liveCount := 0
+	for g := 0; g < n; g++ {
+		if live[g] {
+			w[g] = weights[g]
+			min[g] = 1
+			liveCount++
+		}
+	}
+	if liveCount < 2 || liveCount > len(table) {
+		return nil
+	}
+	targets := workload.ApportionMin(len(table), w, min)
+
+	counts := make([]int, n)
+	load := make([]float64, n)
+	var total float64
+	for slot, g := range table {
+		if g < 0 || g >= n {
+			return nil
+		}
+		counts[g]++
+		load[g] += float64(heat[slot].Total())
+		total += float64(heat[slot].Total())
+	}
+	var capSum float64
+	for g := 0; g < n; g++ {
+		if live[g] {
+			capSum += w[g]
+		}
+	}
+	fairShare := total * w[newGroup] / capSum
+
+	deficit := targets[newGroup] - counts[newGroup]
+	taken := make([]bool, len(table))
+	var moves []Move
+	var newHeat float64
+	for ; deficit > 0; deficit-- {
+		// Donor: the live group with the highest load per capacity unit
+		// among those still above target and with more than one slot.
+		src := -1
+		for g := 0; g < n; g++ {
+			if g == newGroup || !live[g] || counts[g] <= targets[g] || counts[g] <= 1 {
+				continue
+			}
+			if src == -1 || load[g]/w[g] > load[src]/w[src] {
+				src = g
+			}
+		}
+		if src == -1 {
+			break
+		}
+		// Slot: hottest while the new group is under its fair heat
+		// share, coldest after.
+		wantHot := newHeat < fairShare
+		best := -1
+		for slot, g := range table {
+			if g != src || taken[slot] {
+				continue
+			}
+			if best == -1 {
+				best = slot
+				continue
+			}
+			h, b := heat[slot].Total(), heat[best].Total()
+			if (wantHot && h > b) || (!wantHot && h < b) {
+				best = slot
+			}
+		}
+		if best == -1 {
+			break
+		}
+		taken[best] = true
+		moves = append(moves, Move{Slot: best, From: src, To: newGroup})
+		counts[src]--
+		counts[newGroup]++
+		h := float64(heat[best].Total())
+		load[src] -= h
+		load[newGroup] += h
+		newHeat += h
+	}
+	return moves
+}

@@ -166,6 +166,14 @@ const (
 	// the dirty set had no free slot and the write was dropped (§6.1:
 	// "The write is dropped if no slot is available"). Clients retry.
 	FlagDropped
+	// FlagFlush marks a control-plane drain write that is allowed to
+	// pass a frozen routing slot. A whole-group drain (group retirement
+	// or membership respec) freezes every slot the group serves, which
+	// would otherwise wedge the drain: flushing a stray dirty entry
+	// below the commit point requires one more write through the same
+	// scheduler partition, and all of its slots are frozen. Only the
+	// cluster's own drain machinery sets this flag.
+	FlagFlush
 )
 
 // Packet is the Harmonia request/reply unit. One struct covers all five
