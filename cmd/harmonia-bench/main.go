@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|P|ablations]
+//	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|P|E|K|ablations]
 //	               [-json dir] [-baseline BENCH_figP.json]
 //	               [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -84,6 +84,8 @@ var runners = []struct {
 		"throughput (MRPS)", "latency (ms)", experiments.FigPerf, experiments.FigPerfDetail},
 	{"E", "Figure E: elastic scale-out 4→8 groups under open-loop load, then dead-switch reassignment",
 		"time (ms)", "throughput (MRPS)", experiments.FigE, nil},
+	{"K", "Figure K: celebrity-key workload, auto-rebalance baseline vs per-key hot replication",
+		"-", "aggregate throughput (MRPS)", experiments.FigK, nil},
 	{"ablations", "Ablations (DESIGN.md §6)",
 		"-", "see series names",
 		func(s experiments.Scale) []experiments.Series {

@@ -151,6 +151,17 @@ type Config struct {
 	// sample every 1ms of simulated time, ≤8 slots per round).
 	RebalancePolicy RebalancePolicy
 
+	// HotKeys arms per-key hot replication: when the rebalancer
+	// detects an overloaded slot it cannot split (a single key
+	// dominates it), the controller promotes that key to a replicated
+	// set spanning up to three extra groups on the same switch. The
+	// switch round-robins clean reads of a promoted key across the
+	// holders; writes keep going to the home group and piggyback a
+	// switch-driven invalidation marking the other copies stale until
+	// refreshed. Automatic promotion requires AutoRebalance (the heat
+	// machinery drives detection); manual PromoteKey works either way.
+	HotKeys bool
+
 	// RecordHistory captures all operations for CheckLinearizability.
 	RecordHistory bool
 
@@ -331,6 +342,7 @@ func New(cfg Config) (*Cluster, error) {
 		ReorderDelay:  cfg.ReorderDelay,
 		LinkJitter:    cfg.LinkJitter,
 		AutoRebalance: cfg.AutoRebalance,
+		HotKeys:       cfg.HotKeys,
 		Rebalance: rebalance.Config{
 			Threshold:        rp.Threshold,
 			Hysteresis:       rp.Hysteresis,
@@ -943,8 +955,66 @@ func (cl *Cluster) CheckLinearizabilityGroup(g int) CheckResult {
 	return CheckResult{Ok: res.Ok, Decided: res.Decided, Reason: res.Reason}
 }
 
+// CheckLinearizabilityKey verifies the slice of the recorded history
+// touching a single key. A promoted hot key's reads are served by
+// several groups, so neither the whole-history nor the per-group
+// verdict isolates it; this checks that one replicated register on
+// its own.
+func (cl *Cluster) CheckLinearizabilityKey(key string) CheckResult {
+	res := cl.c.CheckLinearizabilityKey(key)
+	return CheckResult{Ok: res.Ok, Decided: res.Decided, Reason: res.Reason}
+}
+
 // History returns the recorded operations (for custom analysis).
 func (cl *Cluster) History() []lincheck.Op { return cl.c.History() }
+
+// HotKeyInfo describes one promoted key's replication state as the
+// switch front-end sees it.
+type HotKeyInfo struct {
+	// Holders are the extra groups serving clean reads of the key
+	// (the home group is not listed).
+	Holders []int
+	// Stale counts holders whose copy is invalidated by an
+	// un-refreshed write; reads serialize at the home group while
+	// it is nonzero.
+	Stale int
+	// WriteGen is the per-key write version the refresh protocol
+	// matches against.
+	WriteGen uint64
+}
+
+// PromoteKey replicates key's object across extra holder groups for
+// read spreading (requires Config.HotKeys). With no explicit holders
+// the controller picks the heaviest live groups on the key's switch.
+func (cl *Cluster) PromoteKey(key string, holders ...int) error {
+	return cl.c.PromoteKey(key, holders...)
+}
+
+// DemoteKey collapses a promoted key back to its home group. It
+// reports whether the key was promoted.
+func (cl *Cluster) DemoteKey(key string) bool { return cl.c.DemoteKey(key) }
+
+// KeyPromoted reports whether key is currently hot-replicated, and if
+// so its holder set and refresh state.
+func (cl *Cluster) KeyPromoted(key string) (HotKeyInfo, bool) {
+	hk, ok := cl.c.KeyPromoted(key)
+	if !ok {
+		return HotKeyInfo{}, false
+	}
+	info := HotKeyInfo{Stale: hk.InvalidCount(), WriteGen: hk.WriteGen}
+	for _, h := range hk.Holders {
+		info.Holders = append(info.Holders, int(h))
+	}
+	return info, ok
+}
+
+// HotKeyCount returns the number of currently promoted keys.
+func (cl *Cluster) HotKeyCount() int { return cl.c.HotKeyCount() }
+
+// HotKeyStats returns lifetime hot-key promotion and demotion counts.
+func (cl *Cluster) HotKeyStats() (promotions, demotions uint64) {
+	return cl.c.HotKeyStats()
+}
 
 // LatencyHistogram re-exports the metrics type for Report consumers
 // needing more than the three quantiles.

@@ -227,6 +227,22 @@ type Config struct {
 	// package defaults. Ignored unless AutoRebalance is set.
 	Rebalance rebalance.Config
 
+	// HotKeys arms per-key hot replication: when a switch domain's
+	// rebalancer trigger fires but the round plans nothing (the
+	// indivisible-hot-slot case batch migration cannot fix), the
+	// slot's dominant key is promoted to a replicated set spanning
+	// 2–4 groups of the domain. The switch then round-robins the
+	// key's clean reads across home + holders and invalidates the
+	// holder copies on every write, Hermes-style; the cluster
+	// refreshes them from the home group as writes commit. Automatic
+	// promotion needs AutoRebalance (the stuck signal comes from the
+	// rebalancer's policy); PromoteKey/DemoteKey work regardless.
+	HotKeys bool
+
+	// HotKey tunes the promotion/demotion policy; zero fields select
+	// the package defaults. Ignored unless HotKeys is set.
+	HotKey rebalance.HotKeyConfig
+
 	// RecordHistory captures every operation for linearizability
 	// checking (costs memory; off for throughput runs).
 	RecordHistory bool
@@ -421,6 +437,10 @@ type ReplicaHandle interface {
 	// occupancy signal the rebalancer's ObjectCost veto samples without
 	// scanning any store.
 	SlotCounts() []int
+	// GetObject reads one live object's committed state — the hot-key
+	// refresh path, which copies a single promoted key instead of a
+	// whole slot.
+	GetObject(id wire.ObjectID) (store.Object, bool)
 }
 
 // replicaGroup is one replica group: a partition of the key space with
@@ -512,6 +532,16 @@ type Cluster struct {
 
 	// reconfigs tracks in-flight elastic membership operations.
 	reconfigs []*Reconfig
+
+	// Hot-key replication state (nil map unless Config.HotKeys):
+	// promoted keys by object ID, plus a promotion-order slice so the
+	// lifecycle tick iterates deterministically under the seeded
+	// simulation. Counters feed the public stats.
+	hotKeys          map[wire.ObjectID]*hotKeyEntry
+	hotKeyOrder      []wire.ObjectID
+	hotKeyCfg        rebalance.HotKeyConfig
+	hotKeyPromotions uint64
+	hotKeyDemotions  uint64
 }
 
 // switchReplacement is one in-flight §5.3 switch replacement.
@@ -591,6 +621,9 @@ func New(cfg Config) *Cluster {
 	c.prime()
 	if cfg.AutoRebalance {
 		c.startRebalancer()
+	}
+	if cfg.HotKeys {
+		c.startHotKeys()
 	}
 	return c
 }
@@ -726,6 +759,12 @@ func (c *Cluster) rebalanceSwitch(s int, policy *rebalance.Policy, table []int, 
 		}
 	}
 	round := policy.PlanRound(heat, local, objects, len(domain), busy)
+	if round.Empty() && c.cfg.HotKeys {
+		// A fired-but-empty tick is the indivisible hot spot: batch
+		// migration gave up, so try replicating the slot's dominant
+		// key instead.
+		c.maybePromoteHot(s, policy, front)
+	}
 	// Group the moves into batches by (source, destination) pair,
 	// preserving plan order so runs stay deterministic.
 	type pair struct{ from, to int }

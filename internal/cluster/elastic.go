@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"harmonia/internal/core"
 	"harmonia/internal/protocol"
 	"harmonia/internal/rebalance"
 	"harmonia/internal/sim"
@@ -175,7 +176,9 @@ func (c *Cluster) placeGroup() (int, error) {
 	heat := make([]float64, n)
 	cap := make([]float64, n)
 	groups := make([]int, n)
-	for slot, h := range c.rack.SlotHeat() {
+	var sample [wire.NumSlots]core.SlotHeat
+	c.rack.SlotHeatInto(sample[:])
+	for slot, h := range sample[:] {
 		heat[topo.SwitchOfSlot(slot)] += float64(h.Total())
 	}
 	for _, g := range topo.LiveGroups() {
@@ -210,9 +213,10 @@ func (c *Cluster) placeGroup() (int, error) {
 // cannot start (its source grew a conflicting freeze since planning)
 // is simply skipped: the rebalancer evens the share out later.
 func (c *Cluster) seedGroup(g int) []*Migration {
-	sample := c.rack.SlotHeat()
+	var sample [wire.NumSlots]core.SlotHeat
+	c.rack.SlotHeatInto(sample[:])
 	heat := make([]rebalance.Heat, len(sample))
-	for slot, h := range sample {
+	for slot, h := range sample[:] {
 		heat[slot] = rebalance.Heat{Reads: h.Reads, Writes: h.Writes}
 	}
 	topo := c.rack.Topo()
@@ -387,6 +391,9 @@ func (c *Cluster) retireGroup(g int, r *Reconfig) {
 		for _, addr := range grp.addrs() {
 			c.net.SetDown(addr, true)
 		}
+		// Any promoted key g held a replica of must stop spreading
+		// there in the same event — g's copies leave with it.
+		c.hotKeysDropGroup(g)
 		r.finish()
 	})
 }
@@ -531,6 +538,10 @@ func (c *Cluster) swapMembers(g int, spec GroupSpec, slots []int, r *Reconfig) {
 			next.AdoptFrom(oldSched)
 			c.rack.SetGroup(g, next)
 			grp.sched = next
+			// The respec'd incarnation only received the group's own
+			// slots: promoted-key copies it held as a foreign holder
+			// did not travel, so stop spreading reads to it.
+			c.hotKeysDropGroup(g)
 			c.ctl.grantGroupLeases(g, epoch)
 			for _, a := range oldAddrs {
 				c.net.SetDown(a, true)
@@ -703,6 +714,7 @@ func (c *Cluster) StartReassignDeadSwitch(s int) (*Reconfig, error) {
 				for _, addr := range grp.addrs() {
 					c.net.SetDown(addr, true)
 				}
+				c.hotKeysDropGroup(vr)
 				if remaining--; remaining == 0 {
 					r.finish()
 				}

@@ -32,6 +32,7 @@ func (h pbHandle) DropSlot(slot int) int                              { return h
 func (h pbHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h pbHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 func (h pbHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
+func (h pbHandle) GetObject(id wire.ObjectID) (store.Object, bool)    { return h.r.Store.Get(id) }
 
 type chainHandle struct{ r *chain.Replica }
 
@@ -47,6 +48,7 @@ func (h chainHandle) DropSlot(slot int) int                              { retur
 func (h chainHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h chainHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 func (h chainHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
+func (h chainHandle) GetObject(id wire.ObjectID) (store.Object, bool)    { return h.r.Store.Get(id) }
 
 type craqHandle struct{ r *craq.Replica }
 
@@ -77,6 +79,16 @@ func (h craqHandle) MergeClients(recs map[uint32]protocol.ClientRecord) {
 	h.r.ClientTable().Merge(recs)
 }
 func (h craqHandle) SlotCounts() []int { return h.r.SlotCounts() }
+func (h craqHandle) GetObject(id wire.ObjectID) (store.Object, bool) {
+	// CRAQ keeps explicit clean/dirty version chains rather than a
+	// store; read the newest COMMITTED version through the same
+	// slot-scoped view the migration drain uses.
+	o, ok := h.r.ExtractSlotClean(wire.SlotOf(id))[id]
+	if !ok {
+		return store.Object{}, false
+	}
+	return store.Object{Value: o.Value, Seq: wire.Seq{N: o.N}}, true
+}
 
 type vrHandle struct{ r *vr.Replica }
 
@@ -92,6 +104,7 @@ func (h vrHandle) DropSlot(slot int) int                              { return h
 func (h vrHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h vrHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 func (h vrHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
+func (h vrHandle) GetObject(id wire.ObjectID) (store.Object, bool)    { return h.r.Store.Get(id) }
 
 type nopaxosHandle struct{ r *nopaxos.Replica }
 
@@ -107,3 +120,4 @@ func (h nopaxosHandle) DropSlot(slot int) int                              { ret
 func (h nopaxosHandle) ExportClients() map[uint32]protocol.ClientRecord    { return h.r.CT.Export() }
 func (h nopaxosHandle) MergeClients(recs map[uint32]protocol.ClientRecord) { h.r.CT.Merge(recs) }
 func (h nopaxosHandle) SlotCounts() []int                                  { return h.r.Store.SlotCounts() }
+func (h nopaxosHandle) GetObject(id wire.ObjectID) (store.Object, bool)    { return h.r.Store.Get(id) }

@@ -1,0 +1,420 @@
+package cluster
+
+// Hot-key replication: the cluster-side lifecycle for keys the switch
+// spreads. The rebalancer's escape signal (a fired-but-empty tick, see
+// rebalance.LastStuck) nominates the stuck slot's dominant key; the
+// manager promotes it onto 2–4 holder groups of the same switch
+// domain, seeds their copies from the home group with the migration
+// machinery's neutered-sequence trick (epoch-0 objects pass the §7
+// read checks at every replica, exactly like a migrated slot), and
+// from then on:
+//
+//   - the switch round-robins the key's clean reads across home +
+//     holders (frontend.pickHolder) — but only while the entry's
+//     invalid bitmap is zero;
+//   - every write to the key invalidates all holder copies in its
+//     switch traversal (Hermes' broadcast-invalidate, with the switch
+//     as the broadcast point) and the key's reads serialize at the
+//     home group, through its dirty set, until a refresh catches up;
+//   - when the write's completion traverses the switch, the front-end
+//     cues refreshHot (SetHotWriteHook), which copies the newest
+//     committed value to the holders and validates the entry with the
+//     write generation it captured — a refresh that lost a race to a
+//     newer write fails validation and is simply retried;
+//   - the periodic tick is the retry backstop (the refresh completion
+//     travels the lossy controller→switch path) and the demotion
+//     clock: a key whose decayed per-key heat stays at or below
+//     CoolOps for CoolRounds consecutive ticks is demoted and its
+//     foreign-slot copies dropped.
+//
+// Linearizability: a holder serves a read only when the entry is valid
+// at the switch. Valid means the holders hold the newest COMMITTED
+// value and no later write has traversed the switch (any such write
+// would have flipped the bitmap in that same traversal, before its
+// data packet could reach a replica). The refresh itself only runs
+// when the home partition's dirty set has no entry for the key —
+// the same committed-everywhere barrier the migration drain uses —
+// so the value it installs really is the newest sequenced write.
+
+import (
+	"fmt"
+	"time"
+
+	"harmonia/internal/core"
+	"harmonia/internal/rebalance"
+	"harmonia/internal/store"
+	"harmonia/internal/wire"
+)
+
+// hotKeyEntry is one promoted key's cluster-side state. The switch
+// front-end owns the data-plane half (holders, invalid bitmap, write
+// generation, round-robin cursor); this records where the key lives
+// and the lifecycle counters.
+type hotKeyEntry struct {
+	id      wire.ObjectID
+	slot    int
+	sw      int   // switch domain the key was promoted on
+	holders []int // holder groups (global indices), home excluded
+
+	cool       int  // consecutive cold ticks toward demotion
+	refreshing bool // a refresh copy is in flight
+}
+
+// startHotKeys arms the hot-key manager: the per-front write hooks
+// (event-driven refresh) and the lifecycle tick (refresh retry,
+// demotion cool-down, topology-change cleanup).
+func (c *Cluster) startHotKeys() {
+	c.hotKeys = make(map[wire.ObjectID]*hotKeyEntry)
+	c.hotKeyCfg = c.cfg.HotKey.Filled()
+	for s := 0; s < c.rack.Switches(); s++ {
+		c.rack.Front(s).SetHotWriteHook(func(id wire.ObjectID, gen uint64) {
+			// Deferred one event: the hook fires BEFORE the completion
+			// reaches its scheduler partition, so the dirty-set entry
+			// the refresh barrier checks is still standing. After(0)
+			// runs once the traversal (and the dirty delete) finished.
+			c.eng.After(0, func() {
+				if st := c.hotKeys[id]; st != nil {
+					c.refreshHot(st)
+				}
+			})
+		})
+	}
+	iv := c.cfg.Rebalance.Interval
+	if len(c.policies) > 0 {
+		iv = c.policies[0].Config().Interval
+	}
+	if iv <= 0 {
+		iv = time.Millisecond
+	}
+	var tick func()
+	tick = func() {
+		c.hotKeyTick()
+		c.eng.After(iv, tick)
+	}
+	c.eng.After(iv, tick)
+}
+
+// maybePromoteHot runs the promotion policy for one stuck switch
+// domain: if the stuck slot's hottest-key register shows a dominant
+// key, promote it onto the domain's highest-capacity other groups.
+func (c *Cluster) maybePromoteHot(s int, policy *rebalance.Policy, front *core.Frontend) {
+	slot, stuck := policy.LastStuck()
+	if !stuck {
+		return
+	}
+	kh := front.KeyHeatOf(slot)
+	if !c.hotKeyCfg.ShouldPromote(kh.Votes, front.HeatOf(slot).Total()) {
+		return
+	}
+	id := kh.Cand
+	if _, ok := c.hotKeys[id]; ok {
+		return
+	}
+	// One promoted key per slot: demotion cleans a holder's copy up
+	// with DropSlot, which is exact only when the key is the slot's
+	// sole foreign object there.
+	for _, st := range c.hotKeys {
+		if st.slot == slot {
+			return
+		}
+	}
+	home := c.rack.RouteOf(slot)
+	topo := c.rack.Topo()
+	groups := c.rack.Groups()
+	weights := make([]float64, groups)
+	for g := 0; g < groups; g++ {
+		if topo.Live(g) {
+			weights[g] = topo.Weight(g)
+		}
+	}
+	// Holders must live behind the SAME front-end: a spread read is
+	// handed to the holder's scheduler partition in the home switch's
+	// traversal, and partitions are hosted only on their owning switch.
+	live := func(g int) bool {
+		return topo.Live(g) && topo.SwitchOfGroup(g) == s
+	}
+	holders := c.hotKeyCfg.PickHolders(home, groups, weights, live)
+	if len(holders) == 0 {
+		return
+	}
+	c.promoteObject(id, slot, s, holders)
+}
+
+// promoteObject installs a hot-key table entry (all holders invalid,
+// so reads stay home until the first refresh lands) and starts the
+// seeding refresh.
+func (c *Cluster) promoteObject(id wire.ObjectID, slot, sw int, holders []int) {
+	c.rack.Front(sw).Promote(id, holders)
+	st := &hotKeyEntry{id: id, slot: slot, sw: sw, holders: append([]int(nil), holders...)}
+	c.hotKeys[id] = st
+	c.hotKeyOrder = append(c.hotKeyOrder, id)
+	c.hotKeyPromotions++
+	c.refreshHot(st)
+}
+
+// refreshHot copies the promoted key's newest committed value from the
+// home group to every holder and validates the switch entry against
+// the write generation captured at the start — the Hermes refresh.
+func (c *Cluster) refreshHot(st *hotKeyEntry) {
+	if st.refreshing {
+		return
+	}
+	front := c.rack.Front(st.sw)
+	gen, ok := front.WriteGen(st.id)
+	if !ok {
+		return // demoted at the switch; the tick reconciles
+	}
+	home := c.rack.RouteOf(st.slot)
+	// Commit barrier: a standing dirty-set entry means a write was
+	// sequenced whose value may not be applied anywhere yet — a
+	// refresh now could validate generation N while carrying N−1's
+	// value. Wait for the completion (whose traversal re-cues us).
+	if sched := front.Group(home); sched != nil && sched.DirtyKey(st.id) {
+		return
+	}
+	var best store.Object
+	found := false
+	for i, rep := range c.groups[home].replicas {
+		if c.net.IsDown(c.groupAddr(home, i)) {
+			continue
+		}
+		if o, ok := rep.GetObject(st.id); ok {
+			if !found || best.Seq.Less(o.Seq) {
+				best, found = o, true
+			}
+		}
+	}
+	if !found {
+		return // never written: holders stay invalid, reads stay home
+	}
+	st.refreshing = true
+	val := append([]byte(nil), best.Value...)
+	seqN := best.Seq.N
+	// One control round trip plus the single-object transfer cost —
+	// the same model as the migration copy, for one key.
+	delay := 2*c.cfg.LinkLatency + migratePerObjectCost
+	c.eng.After(delay, func() {
+		st.refreshing = false
+		if c.hotKeys[st.id] != st {
+			return // demoted while the copy was in flight
+		}
+		// Epoch-0 sequence neutering, exactly like a migrated object:
+		// the holder's write-order guard is untouched and its replicas'
+		// §7 fast-read checks pass.
+		install := map[wire.ObjectID]store.Object{
+			st.id: {Value: val, Seq: wire.Seq{Epoch: 0, N: seqN}},
+		}
+		curHome := c.rack.RouteOf(st.slot)
+		for _, g := range st.holders {
+			if g == curHome || !c.rack.Live(g) {
+				continue
+			}
+			for _, rep := range c.groups[g].replicas {
+				rep.InstallSlot(install)
+			}
+		}
+		// The refresh completion travels the real (lossy) network to
+		// the switch; its Seq carries the captured write generation,
+		// and the front-end consumes it without touching a scheduler.
+		// If it drops, the entry stays invalid and the tick retries.
+		c.net.Send(controllerAddr, switchAddrOf(st.sw), &wire.Packet{
+			Op: wire.OpWriteCompletion, Flags: wire.FlagRefresh,
+			ObjID: st.id, Seq: wire.Seq{N: gen},
+		})
+		// A write sequenced while this copy was in flight makes the
+		// completion above fail generation validation — and that
+		// write's own hook found refreshing=true and gave up. Re-cue
+		// here, or the entry stays invalid until the next tick.
+		if g2, ok := front.WriteGen(st.id); ok && g2 != gen {
+			c.refreshHot(st)
+		}
+	})
+}
+
+// hotKeyTick reconciles every promoted key once per interval: demote
+// entries the topology moved out from under (cross-switch home move,
+// switch reboot, vanished holders), retry refreshes whose completion
+// was lost, and advance the demotion cool-down.
+func (c *Cluster) hotKeyTick() {
+	if len(c.hotKeys) == 0 {
+		return
+	}
+	var demote []*hotKeyEntry
+	for _, id := range c.hotKeyOrder {
+		st := c.hotKeys[id]
+		if st == nil {
+			continue
+		}
+		front := c.rack.Front(st.sw)
+		hk, ok := front.Promoted(id)
+		if !ok || c.rack.SwitchOfSlot(st.slot) != st.sw || len(hk.Holders) == 0 {
+			// The switch rebooted (soft entry gone), the home slot
+			// migrated to another switch domain, or every holder
+			// retired: the mechanism no longer applies here.
+			demote = append(demote, st)
+			continue
+		}
+		if hk.InvalidCount() > 0 {
+			c.refreshHot(st)
+		}
+		r, w := front.HotHeatOf(id)
+		if r+w <= c.hotKeyCfg.CoolOps {
+			st.cool++
+		} else {
+			st.cool = 0
+		}
+		if st.cool >= c.hotKeyCfg.CoolRounds {
+			demote = append(demote, st)
+		}
+	}
+	for _, st := range demote {
+		c.demoteObject(st)
+	}
+}
+
+// demoteObject tears a promoted key down: the switch entry goes first
+// (no further spread reads), then each holder drops its foreign-slot
+// copy. DropSlot is exact because the holder owns no other object in
+// that slot (route ≠ holder, and promotion enforces one key per slot).
+func (c *Cluster) demoteObject(st *hotKeyEntry) {
+	if c.hotKeys[st.id] != st {
+		return
+	}
+	c.rack.Front(st.sw).Demote(st.id)
+	home := c.rack.RouteOf(st.slot)
+	for _, g := range st.holders {
+		if g == home || !c.rack.Live(g) {
+			continue
+		}
+		for _, rep := range c.groups[g].replicas {
+			rep.DropSlot(st.slot)
+		}
+	}
+	delete(c.hotKeys, st.id)
+	for i, id := range c.hotKeyOrder {
+		if id == st.id {
+			c.hotKeyOrder = append(c.hotKeyOrder[:i], c.hotKeyOrder[i+1:]...)
+			break
+		}
+	}
+	c.hotKeyDemotions++
+}
+
+// hotKeysDropGroup reacts to group g's store being replaced or retired
+// (membership respec, removal, dead-switch reassignment): any promoted
+// key g held must stop spreading there SYNCHRONOUSLY — the group's new
+// incarnation does not hold the foreign-slot copy, so one spread read
+// before the next tick would return not-found for a live object.
+func (c *Cluster) hotKeysDropGroup(g int) {
+	if len(c.hotKeys) == 0 {
+		return
+	}
+	for _, id := range append([]wire.ObjectID(nil), c.hotKeyOrder...) {
+		st := c.hotKeys[id]
+		if st == nil {
+			continue
+		}
+		if c.rack.RouteOf(st.slot) == g {
+			// The key's HOME is being torn down; elastic evacuation has
+			// already moved (or is moving) the slot's objects, and the
+			// promotion no longer matches the topology it was made for.
+			c.demoteObject(st)
+			continue
+		}
+		for _, h := range st.holders {
+			if h != g {
+				continue
+			}
+			left := c.rack.Front(st.sw).RemoveHolder(id, g)
+			out := st.holders[:0]
+			for _, x := range st.holders {
+				if x != g {
+					out = append(out, x)
+				}
+			}
+			st.holders = out
+			if left == 0 {
+				c.demoteObject(st)
+			}
+			break
+		}
+	}
+}
+
+// PromoteKey manually promotes key onto the given holder groups (or,
+// with none given, the promotion policy's capacity-weighted pick).
+// Holders must be live groups of the key's own switch domain.
+func (c *Cluster) PromoteKey(key string, holders ...int) error {
+	if c.hotKeys == nil {
+		return fmt.Errorf("cluster: hot-key replication not enabled (Config.HotKeys)")
+	}
+	id := wire.HashKey(key)
+	if _, ok := c.hotKeys[id]; ok {
+		return nil
+	}
+	slot := wire.SlotOf(id)
+	sw := c.rack.SwitchOfSlot(slot)
+	home := c.rack.RouteOf(slot)
+	topo := c.rack.Topo()
+	for _, st := range c.hotKeys {
+		if st.slot == slot {
+			return fmt.Errorf("cluster: slot %d already has a promoted key", slot)
+		}
+	}
+	if len(holders) == 0 {
+		groups := c.rack.Groups()
+		weights := make([]float64, groups)
+		for g := 0; g < groups; g++ {
+			if topo.Live(g) {
+				weights[g] = topo.Weight(g)
+			}
+		}
+		holders = c.hotKeyCfg.PickHolders(home, groups, weights, func(g int) bool {
+			return topo.Live(g) && topo.SwitchOfGroup(g) == sw
+		})
+		if len(holders) == 0 {
+			return fmt.Errorf("cluster: no eligible holder group for %q", key)
+		}
+	}
+	for _, g := range holders {
+		if g < 0 || g >= c.rack.Groups() || !topo.Live(g) {
+			return fmt.Errorf("cluster: holder %d is not a live group", g)
+		}
+		if g == home {
+			return fmt.Errorf("cluster: holder %d is %q's home group", g, key)
+		}
+		if topo.SwitchOfGroup(g) != sw {
+			return fmt.Errorf("cluster: holder %d lives on switch %d, key on %d", g, topo.SwitchOfGroup(g), sw)
+		}
+	}
+	c.promoteObject(id, slot, sw, holders)
+	return nil
+}
+
+// DemoteKey manually demotes key, reporting whether it was promoted.
+func (c *Cluster) DemoteKey(key string) bool {
+	st := c.hotKeys[wire.HashKey(key)]
+	if st == nil {
+		return false
+	}
+	c.demoteObject(st)
+	return true
+}
+
+// KeyPromoted reports whether key currently has a hot-key entry, and
+// if so its wire-level switch view.
+func (c *Cluster) KeyPromoted(key string) (wire.HotKey, bool) {
+	st := c.hotKeys[wire.HashKey(key)]
+	if st == nil {
+		return wire.HotKey{}, false
+	}
+	return c.rack.Front(st.sw).Promoted(st.id)
+}
+
+// HotKeyCount returns the number of currently promoted keys.
+func (c *Cluster) HotKeyCount() int { return len(c.hotKeys) }
+
+// HotKeyStats returns lifetime promotion and demotion counts.
+func (c *Cluster) HotKeyStats() (promotions, demotions uint64) {
+	return c.hotKeyPromotions, c.hotKeyDemotions
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"harmonia/internal/rebalance"
+	"harmonia/internal/wire"
+	"harmonia/internal/workload"
+)
+
+// TestHotKeyManualPromoteLifecycle walks the full hot-key arc by hand:
+// promote a key, watch clean reads spread across the holder groups,
+// watch a write invalidate the copies and the refresh revalidate them,
+// then demote and verify the foreign-slot copies are really gone.
+func TestHotKeyManualPromoteLifecycle(t *testing.T) {
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3,
+		HotKeys: true, Seed: 31,
+	})
+	cl := c.NewSyncClient()
+	const key = "celebrity"
+	if err := cl.Set(key, []byte("v1")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := c.PromoteKey(key); err != nil {
+		t.Fatalf("PromoteKey: %v", err)
+	}
+	if c.HotKeyCount() != 1 {
+		t.Fatalf("HotKeyCount = %d", c.HotKeyCount())
+	}
+	id := wire.HashKey(key)
+	st := c.hotKeys[id]
+	if len(st.holders) != 2 {
+		t.Fatalf("auto-picked holders = %v", st.holders)
+	}
+	// Let the seeding refresh land; the switch entry must turn valid.
+	c.RunFor(time.Millisecond)
+	hk, ok := c.KeyPromoted(key)
+	if !ok || hk.InvalidCount() != 0 {
+		t.Fatalf("after seed: promoted=%v invalid=%d", ok, hk.InvalidCount())
+	}
+
+	// Clean reads round-robin across home + holders: 6 reads over 3
+	// groups must touch more than one group and record spreads.
+	served := map[int]int{}
+	for i := 0; i < 6; i++ {
+		v, found, err := cl.Get(key)
+		if err != nil || !found || string(v) != "v1" {
+			t.Fatalf("Get #%d = %q %v %v", i, v, found, err)
+		}
+		served[cl.LastGroup()]++
+	}
+	if len(served) < 2 {
+		t.Fatalf("reads never spread: served=%v", served)
+	}
+	if c.rack.Front(st.sw).Stats.SpreadReads == 0 {
+		t.Fatal("no spread reads recorded")
+	}
+
+	// A write invalidates the holder copies in its switch traversal,
+	// and the completion-cued refresh revalidates them with v2.
+	if err := cl.Set(key, []byte("v2")); err != nil {
+		t.Fatalf("Set v2: %v", err)
+	}
+	if c.rack.Front(st.sw).Stats.Invalidations == 0 {
+		t.Fatal("write did not invalidate the holders")
+	}
+	c.RunFor(time.Millisecond)
+	hk, _ = c.KeyPromoted(key)
+	if hk.InvalidCount() != 0 || hk.WriteGen == 0 {
+		t.Fatalf("after write: invalid=%d gen=%d", hk.InvalidCount(), hk.WriteGen)
+	}
+	for i := 0; i < 6; i++ {
+		v, found, err := cl.Get(key)
+		if err != nil || !found || string(v) != "v2" {
+			t.Fatalf("Get v2 #%d = %q %v %v", i, v, found, err)
+		}
+	}
+
+	// Demotion collapses the key back home and drops every foreign
+	// copy — DropSlot is exact because the holder owns nothing else in
+	// that slot.
+	holders := append([]int(nil), st.holders...)
+	if !c.DemoteKey(key) {
+		t.Fatal("DemoteKey reported not promoted")
+	}
+	if c.HotKeyCount() != 0 {
+		t.Fatalf("HotKeyCount after demote = %d", c.HotKeyCount())
+	}
+	for _, g := range holders {
+		for i, rep := range c.groups[g].replicas {
+			if _, found := rep.GetObject(id); found {
+				t.Fatalf("holder %d replica %d still has the demoted copy", g, i)
+			}
+		}
+	}
+	v, found, err := cl.Get(key)
+	if err != nil || !found || string(v) != "v2" {
+		t.Fatalf("Get after demote = %q %v %v", v, found, err)
+	}
+	p, d := c.HotKeyStats()
+	if p != 1 || d != 1 {
+		t.Fatalf("stats = %d promotions, %d demotions", p, d)
+	}
+}
+
+// TestHotKeyAutoPromoteAndDemote drives the full control loop: a
+// single dominant key makes its slot an indivisible hot spot, the
+// rebalancer's fired-but-empty tick nominates it, the cluster promotes
+// it, and once the skew stops the decayed per-key heat cools the entry
+// back into a clean demotion.
+func TestHotKeyAutoPromoteAndDemote(t *testing.T) {
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3,
+		AutoRebalance: true, HotKeys: true, Seed: 21,
+		// A single synchronous client generates modest per-tick heat;
+		// scale the op floors down to match (the production defaults
+		// assume a fleet of load generators).
+		Rebalance: rebalance.Config{MinOps: 32},
+		HotKey:    rebalance.HotKeyConfig{MinOps: 16},
+	})
+	cl := c.NewSyncClient()
+	const key = "celebrity"
+	if err := cl.Set(key, []byte("hot")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	for i := 0; i < 4000 && c.HotKeyCount() == 0; i++ {
+		if i%5 == 4 {
+			if err := cl.Set(key, []byte("hot")); err != nil {
+				t.Fatalf("Set #%d: %v", i, err)
+			}
+		} else {
+			if _, _, err := cl.Get(key); err != nil {
+				t.Fatalf("Get #%d: %v", i, err)
+			}
+		}
+	}
+	if c.HotKeyCount() != 1 {
+		t.Fatal("sustained single-key skew never promoted the key")
+	}
+	st := c.hotKeys[wire.HashKey(key)]
+	if len(st.holders) == 0 || len(st.holders) > 3 {
+		t.Fatalf("holders = %v", st.holders)
+	}
+
+	// Promotion must actually relieve the home group: keep reading and
+	// watch spread reads accumulate at the switch.
+	before := c.rack.Front(st.sw).Stats.SpreadReads
+	for i := 0; i < 200; i++ {
+		if _, _, err := cl.Get(key); err != nil {
+			t.Fatalf("post-promotion Get: %v", err)
+		}
+	}
+	if c.rack.Front(st.sw).Stats.SpreadReads == before {
+		t.Fatal("promotion did not spread any reads")
+	}
+
+	// Skew stops: per-key heat decays with the rebalancer's tick, the
+	// cool-down counts it out, and the key demotes on its own.
+	c.RunFor(60 * time.Millisecond)
+	if c.HotKeyCount() != 0 {
+		t.Fatalf("key still promoted %d after the skew stopped", c.HotKeyCount())
+	}
+	if _, d := c.HotKeyStats(); d == 0 {
+		t.Fatal("no demotion recorded")
+	}
+	v, found, err := cl.Get(key)
+	if err != nil || !found || string(v) != "hot" {
+		t.Fatalf("Get after auto-demote = %q %v %v", v, found, err)
+	}
+}
+
+// TestPromoteKeyValidation pins the manual API's refusals: promotion
+// without the feature, a holder that is the key's own home, and a
+// second key in an already-promoted slot.
+func TestPromoteKeyValidation(t *testing.T) {
+	plain := New(Config{Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3, Seed: 5})
+	if err := plain.PromoteKey("x"); err == nil {
+		t.Fatal("PromoteKey accepted without Config.HotKeys")
+	}
+
+	c := New(Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 3,
+		HotKeys: true, Seed: 5,
+	})
+	const key = "celebrity"
+	home := c.rack.RouteOf(wire.SlotOf(wire.HashKey(key)))
+	if err := c.PromoteKey(key, home); err == nil {
+		t.Fatal("PromoteKey accepted the home group as a holder")
+	}
+	if err := c.PromoteKey(key, 99); err == nil {
+		t.Fatal("PromoteKey accepted an out-of-range holder")
+	}
+	if err := c.PromoteKey(key); err != nil {
+		t.Fatalf("PromoteKey: %v", err)
+	}
+	// A slot-mate of the promoted key must be refused: demotion's
+	// DropSlot cleanup is only exact with one promoted key per slot.
+	slot := wire.SlotOf(wire.HashKey(key))
+	mate := ""
+	for i := 0; i < 1<<16; i++ {
+		k := fmt.Sprintf("mate%06d", i)
+		if k != key && wire.SlotOf(wire.HashKey(k)) == slot {
+			mate = k
+			break
+		}
+	}
+	if mate == "" {
+		t.Fatal("no slot-mate found")
+	}
+	if err := c.PromoteKey(mate); err == nil {
+		t.Fatal("PromoteKey accepted a second key in a promoted slot")
+	}
+	if c.DemoteKey("never-promoted") {
+		t.Fatal("DemoteKey invented an entry")
+	}
+}
+
+// TestHotKeyChaosMatrix runs the promoted-key fast path through the
+// failure modes that could each break it differently — packet drops
+// (lost refresh completions), reordering, a holder replica crash, a
+// concurrent migration of the key's home slot into a holder, and the
+// elastic removal of a holder group — and requires every key's
+// history, hot key included, to stay linearizable.
+func TestHotKeyChaosMatrix(t *testing.T) {
+	for _, chaos := range []string{"drops", "reorder", "crash", "migrate", "remove"} {
+		chaos := chaos
+		t.Run(chaos, func(t *testing.T) { hotKeyChaosCase(t, chaos) })
+	}
+}
+
+func hotKeyChaosCase(t *testing.T, chaos string) {
+	cfg := Config{
+		Protocol: Chain, Replicas: 3, UseHarmonia: true, Groups: 4,
+		HotKeys: true, RecordHistory: true, Seed: 61 + int64(len(chaos)),
+	}
+	switch chaos {
+	case "drops":
+		cfg.DropProb = 0.01
+	case "reorder":
+		cfg.ReorderProb = 0.02
+		cfg.ReorderDelay = 30 * time.Microsecond
+	}
+	c := New(cfg)
+	const keys = 16
+	c.Preload(keys)
+	hot := keyName(workload.ZipfKeyOfRank(keys, 0))
+	if err := c.PromoteKey(hot); err != nil {
+		t.Fatalf("PromoteKey: %v", err)
+	}
+	st := c.hotKeys[wire.HashKey(hot)]
+	holder := st.holders[0]
+	slot := st.slot
+
+	c.Engine().After(4*time.Millisecond, func() {
+		switch chaos {
+		case "crash":
+			if err := c.CrashReplicaIn(holder, 1); err != nil {
+				t.Errorf("CrashReplicaIn: %v", err)
+			}
+		case "migrate":
+			// Move the key's HOME slot into one of its holders while
+			// the spread path is live: writes freeze and drain, holder
+			// copies keep serving clean reads, and after the flip the
+			// round-robin must skip the holder-turned-home.
+			if _, err := c.StartBatchMigration([]int{slot}, holder); err != nil {
+				t.Errorf("StartBatchMigration: %v", err)
+			}
+		case "remove":
+			if _, err := c.StartRemoveGroup(holder); err != nil {
+				t.Errorf("StartRemoveGroup: %v", err)
+			}
+		}
+	})
+
+	rep := c.RunLoad(LoadSpec{
+		Mode: Closed, Clients: 8, Duration: 8 * time.Millisecond,
+		Warmup: 2 * time.Millisecond, WriteRatio: 0.3, Keys: keys, Dist: Zipf12,
+	})
+	if rep.Ops == 0 || rep.Writes == 0 {
+		t.Fatalf("no load completed: %+v", rep)
+	}
+	c.RunFor(60 * time.Millisecond) // settle refreshes, handoffs, retries
+
+	// With the chaos over and the last refresh landed, clean reads of
+	// the hot key must spread again (under write-heavy chaos the entry
+	// may have spent most of the run invalidated).
+	cl := c.NewSyncClient()
+	before := c.rack.Front(st.sw).Stats.SpreadReads
+	for i := 0; i < 12; i++ {
+		if _, found, err := cl.Get(hot); err != nil || !found {
+			t.Fatalf("post-chaos Get #%d: found=%v err=%v", i, found, err)
+		}
+	}
+	if c.rack.Front(st.sw).Stats.SpreadReads == before {
+		t.Fatal("no reads were spread across the replicated set")
+	}
+	switch chaos {
+	case "migrate":
+		if got := c.rack.RouteOf(slot); got != holder {
+			t.Fatalf("home slot route = %d, want holder %d", got, holder)
+		}
+	case "remove":
+		if c.rack.Live(holder) {
+			t.Fatal("removed holder still live")
+		}
+		if hk, ok := c.KeyPromoted(hot); ok {
+			for _, h := range hk.Holders {
+				if int(h) == holder {
+					t.Fatalf("retired group %d still in holder set %v", holder, hk.Holders)
+				}
+			}
+		}
+	}
+	for i := 0; i < keys; i++ {
+		res := c.CheckLinearizabilityKey(keyName(i))
+		if !res.Decided {
+			t.Fatalf("%s: key %s undecided: %s", chaos, keyName(i), res.Reason)
+		}
+		if !res.Ok {
+			t.Fatalf("%s: key %s violated linearizability: %s", chaos, keyName(i), res.Reason)
+		}
+	}
+}

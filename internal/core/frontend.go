@@ -27,6 +27,17 @@ type FrontendStats struct {
 	// revoke/ack agreement had not completed) — the rack's
 	// "stalled-op" measure of how much a switch replacement costs.
 	StalledDrops uint64
+	// SpreadReads counts clean reads of promoted hot keys the front-end
+	// served from a holder group instead of the key's home group.
+	SpreadReads uint64
+	// Invalidations counts writes to promoted keys that invalidated the
+	// holder copies in their switch traversal (FlagInvalidate stamped).
+	Invalidations uint64
+	// Refreshes counts hot-key refresh completions that validated the
+	// holder copies; StaleRefreshes counts refreshes discarded because
+	// a newer write was sequenced while the refresh was in flight.
+	Refreshes      uint64
+	StaleRefreshes uint64
 }
 
 // SlotHeat is one routing slot's operation counters: the same
@@ -42,6 +53,32 @@ type SlotHeat struct {
 
 // Total is the slot's combined operation count.
 func (h SlotHeat) Total() uint64 { return h.Reads + h.Writes }
+
+// KeyHeat is one routing slot's hottest-key register: a Boyer–Moore
+// majority candidate over the slot's client-originated operations, plus
+// its surviving vote count. Like the heat registers it is soft switch
+// state — two fixed-width fields per slot, decayed with the heat — and
+// it answers the one question the promotion policy asks: when a slot is
+// indivisibly hot, is one key responsible?
+type KeyHeat struct {
+	Cand  wire.ObjectID
+	Votes uint64
+}
+
+// hotEntry is the front-end's live state for one promoted key: the
+// holder groups (home is implicit — the routing table's entry for the
+// key's slot), an invalid bitmap versioned by the write generation, the
+// round-robin cursor for read spreading, and the key's own heat
+// counters (decayed with the slot registers; they feed the demotion
+// cool-down).
+type hotEntry struct {
+	holders  []uint16
+	invalid  uint64 // bitmap over holders
+	writeGen uint64
+	rr       uint32
+	reads    uint64
+	writes   uint64
+}
 
 // Frontend is the multi-group switch front-end (§6.1): one physical
 // switch whose register state is partitioned into n independent
@@ -81,6 +118,23 @@ type Frontend struct {
 	// by the client's group stamp — so stale or corrupt client guesses
 	// cannot skew the ranking.
 	heat [wire.NumSlots]SlotHeat
+
+	// keyCand/keyVotes are the per-slot hottest-key registers: a
+	// Boyer–Moore majority vote over the slot's client-originated ops.
+	// Under a single dominating key the vote count tracks (hits −
+	// misses), so votes/heat approximates the key's share of the slot.
+	keyCand  [wire.NumSlots]wire.ObjectID
+	keyVotes [wire.NumSlots]uint64
+
+	// hot is the hot-key table: promoted keys whose clean reads the
+	// front-end spreads across holder groups. Nil until the first
+	// promotion, so the unpromoted fast path pays one len check.
+	hot map[wire.ObjectID]*hotEntry
+
+	// onHotWrite, when set, is called as a write completion for a
+	// promoted key with invalid holder copies traverses the switch —
+	// the cluster's cue to start a refresh without waiting for a tick.
+	onHotWrite func(id wire.ObjectID, gen uint64)
 
 	Stats FrontendStats
 }
@@ -173,29 +227,61 @@ func (f *Frontend) SlotTable() []int {
 // SlotHeat returns a copy of the per-slot heat register array.
 func (f *Frontend) SlotHeat() []SlotHeat {
 	out := make([]SlotHeat, wire.NumSlots)
-	copy(out, f.heat[:])
+	f.SlotHeatInto(out)
 	return out
+}
+
+// SlotHeatInto copies the per-slot heat registers into dst — the
+// allocation-free form for periodic samplers (the rack tick reuses one
+// buffer instead of allocating 256 entries per switch per interval).
+// Entries beyond len(dst) are dropped; entries past wire.NumSlots are
+// left untouched.
+func (f *Frontend) SlotHeatInto(dst []SlotHeat) {
+	copy(dst, f.heat[:])
 }
 
 // HeatOf returns slot's current heat counters.
 func (f *Frontend) HeatOf(slot int) SlotHeat { return f.heat[slot] }
 
-// ClearHeat zeroes one slot's heat counters. The rack calls it on a
-// cross-switch ownership transfer: the acquiring front-end counts the
-// slot from its first packet, and the disowning side's frozen residue
-// must not resurface as "current" heat if the slot ever migrates back.
-func (f *Frontend) ClearHeat(slot int) { f.heat[slot] = SlotHeat{} }
+// KeyHeatOf returns slot's hottest-key register: the Boyer–Moore
+// majority candidate over the slot's recent client ops and its vote
+// count.
+func (f *Frontend) KeyHeatOf(slot int) KeyHeat {
+	return KeyHeat{Cand: f.keyCand[slot], Votes: f.keyVotes[slot]}
+}
+
+// ClearHeat zeroes one slot's heat counters (and its hottest-key
+// register). The rack calls it on a cross-switch ownership transfer:
+// the acquiring front-end counts the slot from its first packet, and
+// the disowning side's frozen residue must not resurface as "current"
+// heat if the slot ever migrates back.
+func (f *Frontend) ClearHeat(slot int) {
+	f.heat[slot] = SlotHeat{}
+	f.keyCand[slot], f.keyVotes[slot] = 0, 0
+}
 
 // DecayHeat halves every heat counter — one EWMA round. Called
 // periodically (the switch control plane would run this on a timer),
 // it turns the counters into an exponentially weighted window whose
 // half-life is the decay interval, so rankings track recent traffic
-// rather than all history. Halving is the register-friendly decay: a
-// single right-shift per counter, no floating point in the data plane.
+// rather than all history. The decay is register-friendly (a shift and
+// a subtract per counter, no floating point) and rounds UP: x −= x>>1
+// floors a once-warm counter at 1 instead of dropping it to 0. A plain
+// right-shift took a heat of 1 straight to 0, so a low-rate slot's
+// reading oscillated 1 → 0 → 1 across decay rounds and flapped the
+// policy's hysteresis band; the sticky floor holds the reading steady
+// until ClearHeat or Reboot genuinely cools the slot.
 func (f *Frontend) DecayHeat() {
 	for s := range f.heat {
-		f.heat[s].Reads >>= 1
-		f.heat[s].Writes >>= 1
+		f.heat[s].Reads -= f.heat[s].Reads >> 1
+		f.heat[s].Writes -= f.heat[s].Writes >> 1
+		f.keyVotes[s] -= f.keyVotes[s] >> 1
+	}
+	for _, e := range f.hot {
+		// Hot-entry counters feed the demotion cool-down and must reach
+		// 0 once the skew stops: plain halving, no sticky floor.
+		e.reads >>= 1
+		e.writes >>= 1
 	}
 	f.Stats.HeatDecays++
 }
@@ -214,14 +300,159 @@ func (f *Frontend) Frozen(slot int) bool { return f.frozen[slot] }
 // per-group agreements reinstall schedulers. The slot table and frozen
 // flags survive — they are control-plane configuration the controller
 // reinstalls on a replacement switch, not soft register state. The
-// heat counters do NOT survive: they are soft register state like the
-// dirty set, and a rebalancer simply re-learns the ranking within a
-// few decay intervals.
+// heat counters, hottest-key registers, and hot-key table do NOT
+// survive: they are soft register state like the dirty set. A
+// rebalancer re-learns the heat ranking within a few decay intervals,
+// and the cluster's hot-key manager demotes keys whose front-end table
+// entry vanished (the holder copies are then dropped and the key can
+// re-earn promotion).
 func (f *Frontend) Reboot() {
 	for g := range f.groups {
 		f.groups[g] = nil
 	}
 	f.heat = [wire.NumSlots]SlotHeat{}
+	f.keyCand = [wire.NumSlots]wire.ObjectID{}
+	f.keyVotes = [wire.NumSlots]uint64{}
+	f.hot = nil
+}
+
+// --- hot-key table (per-key replication, Hermes-style) ---
+
+// holderMask returns the all-invalid bitmap for n holders.
+func holderMask(n int) uint64 { return 1<<uint(n) - 1 }
+
+// Promote installs (or replaces) a hot-key table entry: clean reads of
+// id will round-robin across its home group and holders, writes
+// invalidate the holder copies in their switch traversal. Every holder
+// starts INVALID — reads stay home until the first refresh confirms
+// the copies exist — so promotion is safe to install before any data
+// movement. Holder indices out of partition range are dropped.
+func (f *Frontend) Promote(id wire.ObjectID, holders []int) {
+	hs := make([]uint16, 0, len(holders))
+	for _, g := range holders {
+		if g >= 0 && g < len(f.groups) && len(hs) < 63 {
+			hs = append(hs, uint16(g))
+		}
+	}
+	if f.hot == nil {
+		f.hot = make(map[wire.ObjectID]*hotEntry)
+	}
+	f.hot[id] = &hotEntry{holders: hs, invalid: holderMask(len(hs))}
+}
+
+// Demote removes id's hot-key table entry, reporting whether one
+// existed. Reads of id serialize at its home group again immediately.
+func (f *Frontend) Demote(id wire.ObjectID) bool {
+	if _, ok := f.hot[id]; !ok {
+		return false
+	}
+	delete(f.hot, id)
+	return true
+}
+
+// Promoted returns id's hot-key table entry as its wire-level view.
+func (f *Frontend) Promoted(id wire.ObjectID) (wire.HotKey, bool) {
+	e := f.hot[id]
+	if e == nil {
+		return wire.HotKey{}, false
+	}
+	return wire.HotKey{
+		ObjID:    id,
+		Holders:  append([]uint16(nil), e.holders...),
+		Invalid:  e.invalid,
+		WriteGen: e.writeGen,
+	}, true
+}
+
+// PromotedCount returns the number of hot-key table entries.
+func (f *Frontend) PromotedCount() int { return len(f.hot) }
+
+// RemoveHolder drops group g from id's holder set (compacting the
+// invalid bitmap) and returns how many holders remain. The cluster
+// calls it when a holder group retires or swaps its member set — its
+// copy is gone, so a spread read must never be scheduled there again.
+func (f *Frontend) RemoveHolder(id wire.ObjectID, g int) int {
+	e := f.hot[id]
+	if e == nil {
+		return 0
+	}
+	out := e.holders[:0]
+	var invalid uint64
+	for i, h := range e.holders {
+		if int(h) == g {
+			continue
+		}
+		if e.invalid&(1<<uint(i)) != 0 {
+			invalid |= 1 << uint(len(out))
+		}
+		out = append(out, h)
+	}
+	e.holders, e.invalid = out, invalid
+	return len(out)
+}
+
+// WriteGen returns id's current write generation (promoted keys only).
+func (f *Frontend) WriteGen(id wire.ObjectID) (uint64, bool) {
+	e := f.hot[id]
+	if e == nil {
+		return 0, false
+	}
+	return e.writeGen, true
+}
+
+// HotHeatOf returns id's per-key heat counters (decayed with the slot
+// registers) — the demotion cool-down's signal.
+func (f *Frontend) HotHeatOf(id wire.ObjectID) (reads, writes uint64) {
+	if e := f.hot[id]; e != nil {
+		return e.reads, e.writes
+	}
+	return 0, 0
+}
+
+// SetHotWriteHook installs the write-committed callback (see
+// onHotWrite). The cluster's hot-key manager uses it to refresh holder
+// copies as soon as a write commits instead of polling.
+func (f *Frontend) SetHotWriteHook(fn func(id wire.ObjectID, gen uint64)) { f.onHotWrite = fn }
+
+// CompleteRefresh validates id's holder copies against the write
+// generation a refresh captured: only a refresh of the CURRENT
+// generation clears the invalid bits — if a write raced the refresh,
+// the holders stay invalid and the next refresh chases the newer
+// value. Returns whether the refresh validated.
+func (f *Frontend) CompleteRefresh(id wire.ObjectID, gen uint64) bool {
+	e := f.hot[id]
+	if e == nil {
+		return false
+	}
+	if e.writeGen != gen {
+		f.Stats.StaleRefreshes++
+		return false
+	}
+	e.invalid = 0
+	f.Stats.Refreshes++
+	return true
+}
+
+// pickHolder advances id's round-robin cursor one turn across home +
+// holders and returns the chosen HOLDER group, or ok=false when the
+// turn belongs to the home group (or no live holder partition exists):
+// the caller then falls through the normal home-route path.
+func (f *Frontend) pickHolder(slot int, e *hotEntry) (int, bool) {
+	home := int(f.route[slot])
+	n := len(e.holders) + 1
+	for t := 0; t < n; t++ {
+		i := int(e.rr) % n
+		e.rr++
+		if i == len(e.holders) {
+			return home, false // home's turn
+		}
+		g := int(e.holders[i])
+		if g == home || g >= len(f.groups) || f.groups[g] == nil {
+			continue // holder became home, or its partition is booting
+		}
+		return g, true
+	}
+	return home, false
 }
 
 // Recv implements simnet.Handler: every packet to or from any replica
@@ -247,11 +478,57 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			f.Stats.MisroutedDrops++
 			return
 		}
+		// Replica-forwarded re-entries (a fast read a replica bounced
+		// back) skip all register accounting and spreading: the op was
+		// already counted on its first traversal, and a bounced read
+		// belongs on its home group's slow path.
+		client := pkt.Flags&wire.FlagForwarded == 0
+		var e *hotEntry
+		if client && len(f.hot) != 0 {
+			e = f.hot[pkt.ObjID]
+		}
+		if client {
+			// Hottest-key register: Boyer–Moore majority vote over the
+			// slot's client ops.
+			switch {
+			case f.keyVotes[slot] == 0:
+				f.keyCand[slot], f.keyVotes[slot] = pkt.ObjID, 1
+			case f.keyCand[slot] == pkt.ObjID:
+				f.keyVotes[slot]++
+			default:
+				f.keyVotes[slot]--
+			}
+			if e != nil {
+				if pkt.Op == wire.OpWrite {
+					e.writes++
+				} else {
+					e.reads++
+				}
+			}
+		}
+		// Hot-key read spreading: a clean read of a promoted key (no
+		// invalid holder copy — every committed write has been refreshed
+		// everywhere, and none is in flight past the switch) round-robins
+		// across home + holders. A spread read bypasses the freeze on
+		// purpose: during a home-slot handoff the holder copies stay
+		// valid (writes freeze with the slot), so holders keep serving.
+		// It is NOT counted in the home slot's heat register — the
+		// register tracks load the home group actually serves, which is
+		// exactly what promotion sheds; the per-key counters above feed
+		// the demotion policy instead.
+		if e != nil && pkt.Op == wire.OpRead && e.invalid == 0 {
+			if g, ok := f.pickHolder(slot, e); ok {
+				f.Stats.SpreadReads++
+				pkt.Group = uint16(g)
+				pkt.Switch = uint8(f.id)
+				f.groups[g].Process(pkt)
+				return
+			}
+			// Home's turn in the rotation: the normal path below.
+		}
 		// Heat is counted on offered load, before the frozen check, so
-		// a slot stays ranked hot while it migrates. Replica-forwarded
-		// re-entries (a fast read a replica bounced back) are skipped:
-		// the op was already counted on its first traversal.
-		if pkt.Flags&wire.FlagForwarded == 0 {
+		// a slot stays ranked hot while it migrates.
+		if client {
 			if pkt.Op == wire.OpWrite {
 				f.heat[slot].Writes++
 			} else {
@@ -266,6 +543,17 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			f.Stats.FrozenDrops++
 			return
 		}
+		if e != nil && pkt.Op == wire.OpWrite && len(e.holders) > 0 {
+			// Hermes-style invalidation in the same traversal that
+			// sequences the write: every holder copy is invalid until a
+			// refresh catches this generation, and the packet carries
+			// the wire-visible record. Reads of the key serialize at
+			// the home group (through its dirty set) meanwhile.
+			e.writeGen++
+			e.invalid = holderMask(len(e.holders))
+			pkt.Flags |= wire.FlagInvalidate
+			f.Stats.Invalidations++
+		}
 		pkt.Group = f.route[slot]
 		pkt.Switch = uint8(f.id)
 		if f.groups[pkt.Group] == nil {
@@ -275,6 +563,14 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			return
 		}
 	default:
+		if pkt.Op == wire.OpWriteCompletion && pkt.Flags&wire.FlagRefresh != 0 {
+			// Control-plane refresh completion for a hot key: validate
+			// the table entry and consume the packet — no scheduler
+			// partition ever sees it (its Seq carries a write
+			// generation, not a sequence number).
+			f.CompleteRefresh(pkt.ObjID, pkt.Seq.N)
+			return
+		}
 		// Replica-originated packets are trusted to carry their
 		// group; an out-of-range value is a corrupt packet. They pass
 		// frozen slots untouched — a draining source group still needs
@@ -283,6 +579,18 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			return
 		}
 		pkt.Switch = uint8(f.id)
+		if len(f.hot) != 0 && (pkt.Op == wire.OpWriteCompletion ||
+			(pkt.Op == wire.OpWriteReply && !pkt.Seq.IsZero())) {
+			// A committed write to a promoted key just traversed the
+			// switch — either a standalone completion or one piggybacked
+			// on the write reply (§5.1, Fig. 2b), which is how every
+			// read-ahead protocol ships them. Cue the refresh machinery
+			// while the packet continues to its scheduler partition
+			// unchanged.
+			if e := f.hot[pkt.ObjID]; e != nil && e.invalid != 0 && f.onHotWrite != nil {
+				f.onHotWrite(pkt.ObjID, e.writeGen)
+			}
+		}
 	}
 	if s := f.groups[pkt.Group]; s != nil {
 		s.Process(pkt)

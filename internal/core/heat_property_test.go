@@ -15,8 +15,9 @@ import (
 // writes in their own columns; (2) the counters are indexed by the
 // slot the front-end computes from the object ID, so a client's group
 // stamp — stale, random, or hostile — can never skew the ranking; (3)
-// decay is monotone (every counter shrinks to exactly half, so
-// relative rankings survive a round).
+// decay is monotone and sticky at the floor (every counter drops by
+// exactly half rounded down — ceil-halving — so relative rankings
+// survive a round and a live slot never flaps to zero).
 func TestSlotHeatAccountingProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -78,13 +79,18 @@ func TestSlotHeatAccountingProperty(t *testing.T) {
 		if sum != total {
 			return false
 		}
-		// Decay: exactly half, per counter, monotone.
+		// Decay: ceil-halving (x -= x>>1), per counter, monotone —
+		// nonzero counters stay nonzero, so the hysteresis band can't
+		// flap a low-rate slot.
 		f4.DecayHeat()
 		for s, h := range f4.SlotHeat() {
-			if h.Reads != heat[s].Reads/2 || h.Writes != heat[s].Writes/2 {
+			if h.Reads != heat[s].Reads-heat[s].Reads/2 || h.Writes != heat[s].Writes-heat[s].Writes/2 {
 				return false
 			}
 			if h.Reads > heat[s].Reads || h.Writes > heat[s].Writes {
+				return false
+			}
+			if heat[s].Reads > 0 && h.Reads == 0 || heat[s].Writes > 0 && h.Writes == 0 {
 				return false
 			}
 		}
@@ -95,8 +101,10 @@ func TestSlotHeatAccountingProperty(t *testing.T) {
 	}
 }
 
-// Repeated decay drives every counter to zero (no sticky residue), and
-// a rebooted front-end starts with cold registers.
+// Repeated decay converges to a sticky floor of 1 per live counter —
+// a slot that saw any traffic stays warm until the slot is explicitly
+// cleared or the front-end reboots, so it cannot flap across the
+// hysteresis band. ClearHeat and Reboot still cold-start the register.
 func TestSlotHeatDecayAndReboot(t *testing.T) {
 	f := NewFrontend(2)
 	f.Recv(1, &wire.Packet{Op: wire.OpWrite, ObjID: 7})
@@ -109,12 +117,22 @@ func TestSlotHeatDecayAndReboot(t *testing.T) {
 		f.DecayHeat()
 	}
 	for s, h := range f.SlotHeat() {
+		if s == slot {
+			if h.Reads != 1 || h.Writes != 1 {
+				t.Fatalf("slot %d heat %+v after full decay, want sticky floor of 1/1", s, h)
+			}
+			continue
+		}
 		if h.Total() != 0 {
-			t.Fatalf("slot %d heat %+v after full decay", s, h)
+			t.Fatalf("cold slot %d heat %+v after full decay", s, h)
 		}
 	}
 	if f.Stats.HeatDecays != 64 {
 		t.Fatalf("HeatDecays = %d, want 64", f.Stats.HeatDecays)
+	}
+	f.ClearHeat(slot)
+	if h := f.HeatOf(slot); h.Total() != 0 {
+		t.Fatalf("heat %+v survived ClearHeat (explicit clears must win over the floor)", h)
 	}
 	f.Recv(1, &wire.Packet{Op: wire.OpWrite, ObjID: 7})
 	f.Reboot()

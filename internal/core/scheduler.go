@@ -180,6 +180,17 @@ func (s *Scheduler) LastCommitted() wire.Seq { return s.last }
 // DirtyCount returns the number of tracked contended objects.
 func (s *Scheduler) DirtyCount() int { return s.dirty.Used() }
 
+// DirtyKey reports whether id currently holds a dirty-set entry — a
+// write was sequenced through this partition and its completion has
+// not yet traversed the switch (or the entry is a stray awaiting
+// reclamation). The hot-key refresh path uses it as a commit barrier:
+// while the entry stands, the newest value extractable from the
+// replicas may predate the sequenced write, so a refresh must wait.
+func (s *Scheduler) DirtyKey(id wire.ObjectID) bool {
+	_, ok := s.dirty.Lookup(uint32(id))
+	return ok
+}
+
 // Ready reports whether single-replica reads are enabled (first
 // own-epoch WRITE-COMPLETION observed).
 func (s *Scheduler) Ready() bool { return s.ready }

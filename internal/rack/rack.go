@@ -589,10 +589,17 @@ func (r *Rack) SetGroup(g int, s *core.Scheduler) { r.fronts[r.topo.groupSw[g]].
 // stale residue on the source is never consulted.
 func (r *Rack) SlotHeat() []core.SlotHeat {
 	out := make([]core.SlotHeat, wire.NumSlots)
-	for slot := range out {
-		out[slot] = r.front(slot).HeatOf(slot)
-	}
+	r.SlotHeatInto(out)
 	return out
+}
+
+// SlotHeatInto fills dst with the rack-wide per-slot heat sample
+// without allocating — the rebalancer tick's path, which would
+// otherwise allocate a fresh 256-entry slice per switch per tick.
+func (r *Rack) SlotHeatInto(dst []core.SlotHeat) {
+	for slot := 0; slot < len(dst) && slot < wire.NumSlots; slot++ {
+		dst[slot] = r.front(slot).HeatOf(slot)
+	}
 }
 
 // DecayHeat runs one EWMA decay round on every front-end.

@@ -1,0 +1,115 @@
+package rebalance
+
+// HotKeyConfig parameterizes hot-key promotion: the escape hatch for
+// the one imbalance the slot migrator provably cannot fix. When a
+// tick's trigger fires but the round comes up empty (LastStuck), the
+// heat is concentrated in a single slot — and if one KEY dominates
+// that slot, moving the slot anywhere just relocates the hot spot.
+// Promotion instead replicates that key across 2–4 groups and lets the
+// switch spread its clean reads, Hermes-style. The zero value of every
+// field selects a default tuned for the simulated rack.
+type HotKeyConfig struct {
+	// Share is the minimum fraction of the stuck slot's heat the
+	// hottest-key register's candidate must hold before promotion
+	// (default 0.6): replicating a key that is NOT the bottleneck
+	// buys invalidation traffic for nothing. The register is a
+	// Boyer–Moore majority vote, so votes/total understates the true
+	// share — a candidate clearing 0.6 genuinely dominates.
+	Share float64
+
+	// MinOps is the minimum candidate vote count (default 64): a
+	// freshly decayed register's candidate is noise, not a hot key.
+	MinOps uint64
+
+	// MaxHolders caps how many EXTRA groups hold a promoted key's
+	// replica beyond its home group, clamped to [1, 3] so the
+	// replicated set spans 2–4 groups (default 3). More holders shed
+	// more read load but widen every write's invalidation fan-out.
+	MaxHolders int
+
+	// CoolRounds is how many consecutive decay rounds the key's own
+	// heat must stay at or below CoolOps before demotion (default 8):
+	// demotion tears down replicas, so it must survive a brief lull.
+	CoolRounds int
+
+	// CoolOps is the per-round operation count at or below which the
+	// key counts as cold (default 16).
+	CoolOps uint64
+}
+
+func (c *HotKeyConfig) fillDefaults() {
+	if c.Share <= 0 {
+		c.Share = 0.6
+	}
+	if c.MinOps == 0 {
+		c.MinOps = 64
+	}
+	if c.MaxHolders <= 0 {
+		c.MaxHolders = 3
+	}
+	if c.MaxHolders > 3 {
+		c.MaxHolders = 3
+	}
+	if c.CoolRounds <= 0 {
+		c.CoolRounds = 8
+	}
+	if c.CoolOps == 0 {
+		c.CoolOps = 16
+	}
+}
+
+// Filled returns the effective (defaulted) configuration.
+func (c HotKeyConfig) Filled() HotKeyConfig {
+	c.fillDefaults()
+	return c
+}
+
+// ShouldPromote decides whether a stuck slot's hottest-key candidate
+// earns replication: its votes must clear the absolute floor AND hold
+// the configured share of the slot's total heat.
+func (c HotKeyConfig) ShouldPromote(votes, slotTotal uint64) bool {
+	c.fillDefaults()
+	if votes < c.MinOps || slotTotal == 0 {
+		return false
+	}
+	return float64(votes) >= c.Share*float64(slotTotal)
+}
+
+// PickHolders chooses up to MaxHolders holder groups for a key homed
+// at home: the highest-capacity live groups first (they absorb spread
+// reads cheapest), ties broken by lowest index for determinism. The
+// home group is never a holder; weights may be nil (uniform). Returns
+// nil when no other live group exists — promotion is pointless then.
+func (c HotKeyConfig) PickHolders(home, groups int, weights []float64, live func(g int) bool) []int {
+	c.fillDefaults()
+	var out []int
+	for len(out) < c.MaxHolders {
+		best, bestW := -1, 0.0
+		for g := 0; g < groups; g++ {
+			if g == home || contains(out, g) || (live != nil && !live(g)) {
+				continue
+			}
+			w := 1.0
+			if g < len(weights) && weights[g] > 0 {
+				w = weights[g]
+			}
+			if best == -1 || w > bestW {
+				best, bestW = g, w
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -166,6 +166,13 @@ type Policy struct {
 	everFired bool
 	lastRound time.Duration
 
+	// stuckSlot records the hottest slot of the overloaded group on a
+	// tick whose trigger fired but whose round came up empty — the
+	// indivisible-hot-spot case batch migration cannot help, and the
+	// signal the hot-key promotion policy keys on. −1 when the last
+	// tick was not stuck.
+	stuckSlot int
+
 	rounds     int
 	slotsMoved int
 }
@@ -175,7 +182,7 @@ type Policy struct {
 // simulation and trivially fakeable in unit tests.
 func New(cfg Config, now func() time.Duration) *Policy {
 	cfg.fillDefaults()
-	return &Policy{cfg: cfg, now: now, armed: true}
+	return &Policy{cfg: cfg, now: now, armed: true, stuckSlot: -1}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -234,6 +241,14 @@ func (p *Policy) Ready() bool {
 	return true
 }
 
+// LastStuck reports whether the most recent tick fired its trigger
+// but planned nothing — the indivisible hot spot the batch migrator
+// cannot fix — and if so, which slot of the overloaded group was
+// hottest. That slot's dominant key is the promotion candidate.
+func (p *Policy) LastStuck() (slot int, stuck bool) {
+	return p.stuckSlot, p.stuckSlot >= 0
+}
+
 // Rounds returns how many rebalancing rounds have fired.
 func (p *Policy) Rounds() int { return p.rounds }
 
@@ -274,6 +289,7 @@ func (p *Policy) PlanRound(heat []Heat, table []int, objects []int, groups int, 
 }
 
 func (p *Policy) planTick(heat []Heat, table []int, objects []int, groups int, busy func(slot int) bool, withSwaps bool) Round {
+	p.stuckSlot = -1 // stuckness is a per-tick observation
 	if groups < 2 || len(heat) == 0 || len(table) != len(heat) {
 		return Round{}
 	}
@@ -329,6 +345,16 @@ func (p *Policy) planTick(heat []Heat, table []int, objects []int, groups int, b
 		// Nothing movable (indivisible hot slot, or every candidate
 		// vetoed by the cost model): stay armed, don't burn the
 		// cooldown — the situation may become movable as heat decays.
+		// Record the overloaded group's hottest slot: moving it cannot
+		// help, but replicating its hottest KEY can, and the hot-key
+		// promotion policy reads this via LastStuck.
+		best, bestHeat := -1, uint64(0)
+		for s, h := range heat {
+			if table[s] == hot && h.Total() > bestHeat {
+				best, bestHeat = s, h.Total()
+			}
+		}
+		p.stuckSlot = best
 		return Round{}
 	}
 	p.armed = false
@@ -441,8 +467,13 @@ func (p *Policy) planSwaps(heat []Heat, table []int, objects []int, load, w []fl
 			gain = gap
 		}
 		cost := 2 * p.cfg.MoveCost
-		if objects != nil && hot < len(objects) && s < len(objects) {
-			diff := float64(objects[hot]) - float64(objects[s])
+		if objects != nil {
+			// Clamp each arm independently: a slot beyond the sampled
+			// range charges zero occupancy, but the in-range arm still
+			// pays — the old whole-pair guard silently priced BOTH
+			// slots at zero whenever either index fell off the slice,
+			// letting a dense/unknown exchange dodge the copy bill.
+			diff := objAt(objects, hot) - objAt(objects, s)
 			if diff < 0 {
 				diff = -diff
 			}
@@ -468,10 +499,20 @@ func (p *Policy) worthMoving(h Heat, slot int, objects []int, srcLoad, dstLoad, 
 		gain = gap
 	}
 	cost := p.cfg.MoveCost
-	if objects != nil && slot < len(objects) {
-		cost += p.cfg.ObjectCost * float64(objects[slot])
+	if objects != nil {
+		cost += p.cfg.ObjectCost * objAt(objects, slot)
 	}
 	return gain > cost
+}
+
+// objAt reads a per-slot object count with an out-of-range clamp to
+// zero: a short sample (older snapshot, fewer slots) means "occupancy
+// unknown", which the cost model prices as free rather than guessing.
+func objAt(objects []int, i int) float64 {
+	if i < 0 || i >= len(objects) {
+		return 0
+	}
+	return float64(objects[i])
 }
 
 // weightedGap is the raw load that must travel source → destination to

@@ -174,7 +174,51 @@ const (
 	// scheduler partition, and all of its slots are frozen. Only the
 	// cluster's own drain machinery sets this flag.
 	FlagFlush
+	// FlagInvalidate marks a write to a hot-replicated key: the switch
+	// stamps it when the front-end's hot-key table holds the object, as
+	// the wire-visible record that the holder copies were invalidated
+	// in the same traversal (Hermes-style broadcast invalidation,
+	// executed in the switch's register state rather than by extra
+	// messages).
+	FlagInvalidate
+	// FlagRefresh marks a control-plane refresh completion for a
+	// hot-replicated key: the holder copies have been re-installed, and
+	// the carried Seq.N is the write generation the refresh captured.
+	// The front-end validates its hot-key entry against it instead of
+	// forwarding the packet to any scheduler partition.
+	FlagRefresh
 )
+
+// HotKey is one switch hot-key table entry: a promoted object, the
+// replica groups holding an extra copy (the home group is implicit —
+// whatever the routing table maps the object's slot to), a bitmap of
+// holders whose copies are invalid (a write was sequenced since their
+// last refresh), and the write generation the invalidation state is
+// versioned by. The shape is register-friendly on purpose: fixed-width
+// fields, at most one promoted key per routing slot, so a hardware
+// front-end could keep the table next to the dirty set.
+type HotKey struct {
+	ObjID   ObjectID
+	Holders []uint16
+	// Invalid is a bitmap over Holders: bit i set means holder i's copy
+	// has not been refreshed since the last write.
+	Invalid uint64
+	// WriteGen counts writes sequenced against the key since promotion;
+	// a refresh validates holders only if it captured the latest
+	// generation.
+	WriteGen uint64
+}
+
+// InvalidCount returns how many holder copies are currently invalid.
+func (h HotKey) InvalidCount() int {
+	n := 0
+	for i := range h.Holders {
+		if h.Invalid&(1<<uint(i)) != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Packet is the Harmonia request/reply unit. One struct covers all five
 // ops; unused fields are zero. In the simulated network packets travel
