@@ -4,7 +4,7 @@
 // Usage:
 //
 //	harmonia-bench [-scale 1.0] [-fig all|5a|5b|6a|6b|7a|7b|7c|8|9a|9b|10|S|R|A|M|H|P|E|K|ablations]
-//	               [-json dir] [-baseline BENCH_figP.json]
+//	               [-json dir] [-baseline BENCH_figP.json] [-trace dir]
 //	               [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -json, every figure run additionally writes a machine-readable
@@ -13,6 +13,13 @@
 // dir, so the perf trajectory is tracked per PR instead of anecdotal.
 // -baseline embeds a previous run's figure-P perf block as the
 // comparison baseline and reports the speedup against it.
+//
+// With -trace, the control-plane-heavy figures (E, K) additionally dump
+// their cluster's flight recorder as Chrome trace_event JSON
+// (TRACE_fig<name>.json) into dir: slot migrations, rebalancer rounds
+// and vetoes, hot-key promote/invalidate/refresh/demote cycles,
+// topology epoch bumps, §5.3 agreements, and switch crashes on a
+// timeline openable in chrome://tracing or ui.perfetto.dev.
 package main
 
 import (
@@ -162,8 +169,10 @@ func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_figP.json whose perf block becomes the comparison baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceDir := flag.String("trace", "", "directory to dump control-plane flight-recorder timelines into (TRACE_fig<name>.json, Chrome trace_event format; figures E and K)")
 	flag.Parse()
 	s := experiments.Scale(*scale)
+	experiments.TraceDir = *traceDir
 
 	var base *experiments.PerfSnapshot
 	if *baseline != "" {

@@ -33,6 +33,7 @@ package harmonia
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"harmonia/internal/metrics"
 	"harmonia/internal/rack"
 	"harmonia/internal/rebalance"
+	"harmonia/internal/trace"
 	"harmonia/internal/wire"
 )
 
@@ -165,9 +167,22 @@ type Config struct {
 	// RecordHistory captures all operations for CheckLinearizability.
 	RecordHistory bool
 
+	// Trace arms sampled per-operation span tracing: one op in
+	// Trace.SampleEvery rides a pooled span record from client enqueue
+	// through switch sequencing, per-replica queue/service, retries,
+	// and completion, and the completed spans fold into
+	// Report.LatencyBreakdown. The zero value leaves tracing off, which
+	// keeps the guarded fast paths allocation-free. The control-plane
+	// flight recorder (Events, WriteChromeTrace) is always on and does
+	// not depend on this knob.
+	Trace TraceConfig
+
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 }
+
+// TraceConfig sizes the span sampler (Config.Trace).
+type TraceConfig = trace.Config
 
 // GroupSpec describes one replica group of a heterogeneous cluster
 // (Config.GroupSpecs).
@@ -350,6 +365,7 @@ func New(cfg Config) (*Cluster, error) {
 			MaxSlotsPerRound: rp.MaxSlotsPerRound,
 		},
 		RecordHistory: cfg.RecordHistory,
+		Trace:         cfg.Trace,
 		Seed:          cfg.Seed,
 	}
 	if cfg.Switches > 1 {
@@ -452,7 +468,25 @@ type Report struct {
 	// the measurement window by a sharded (PinGroups) open-loop run —
 	// the offered-load split before completions. Nil otherwise.
 	GroupOffered []uint64
+	// LatencyBreakdown decomposes the sampled ops' end-to-end latency
+	// into the five trace phases — queue (replica scheduler wait),
+	// service (modeled per-op CPU), network (links, switch traversal,
+	// unstamped replication legs), retry (loss-driven resend gaps),
+	// and frozen-stall (resend gaps from migration freezes and switch
+	// replacement agreements) — overall and per group/switch. The five
+	// phase sums reconcile exactly with the traced ops' end-to-end
+	// latency (a telescoping identity of the stamps). Nil unless
+	// Config.Trace armed sampling.
+	LatencyBreakdown *LatencyBreakdown
 }
+
+// LatencyBreakdown is a run's phase decomposition (see
+// Report.LatencyBreakdown).
+type LatencyBreakdown = cluster.LatencyBreakdown
+
+// PhaseBreakdown is one latency decomposition: a LatencyHistogram per
+// phase, with each phase's boundaries documented on its field.
+type PhaseBreakdown = cluster.PhaseBreakdown
 
 // SeriesPoint is one time-series bucket.
 type SeriesPoint struct {
@@ -480,17 +514,18 @@ func (cl *Cluster) Run(spec LoadSpec) Report {
 	})
 	out := Report{
 		Ops: rep.Ops, Reads: rep.Reads, Writes: rep.Writes,
-		Throughput:      rep.Throughput,
-		ReadThroughput:  rep.ReadThroughput,
-		WriteThroughput: rep.WriteThroughput,
-		MeanLatency:     rep.Latency.Mean(),
-		P50Latency:      rep.Latency.Quantile(0.5),
-		P99Latency:      rep.Latency.Quantile(0.99),
-		Retries:         rep.Retries,
-		Dropped:         rep.Dropped,
-		Rebalances:      rep.Rebalances,
-		GroupOps:        rep.GroupOps,
-		GroupOffered:    rep.GroupOffered,
+		Throughput:       rep.Throughput,
+		ReadThroughput:   rep.ReadThroughput,
+		WriteThroughput:  rep.WriteThroughput,
+		MeanLatency:      rep.Latency.Mean(),
+		P50Latency:       rep.Latency.Quantile(0.5),
+		P99Latency:       rep.Latency.Quantile(0.99),
+		Retries:          rep.Retries,
+		Dropped:          rep.Dropped,
+		Rebalances:       rep.Rebalances,
+		GroupOps:         rep.GroupOps,
+		GroupOffered:     rep.GroupOffered,
+		LatencyBreakdown: rep.LatencyBreakdown,
 	}
 	if rep.Series != nil {
 		for _, p := range rep.Series.Points() {
@@ -1019,6 +1054,30 @@ func (cl *Cluster) HotKeyStats() (promotions, demotions uint64) {
 // LatencyHistogram re-exports the metrics type for Report consumers
 // needing more than the three quantiles.
 type LatencyHistogram = metrics.Histogram
+
+// Event is one control-plane flight-recorder entry: a timestamped,
+// fixed-size record of a slot migration edge, a rebalancer tick or
+// veto, a hot-key lifecycle step, a topology epoch bump, a §5.3
+// agreement round, or a switch crash/reactivation.
+type Event = trace.Event
+
+// EventKind labels a flight-recorder event.
+type EventKind = trace.EventKind
+
+// Events returns the control-plane flight recorder's contents, oldest
+// first. The recorder is always on and bounded: once full, each new
+// event overwrites the oldest and DroppedEvents counts the loss.
+func (cl *Cluster) Events() []Event { return cl.c.Events() }
+
+// DroppedEvents reports how many flight-recorder events were
+// overwritten before being read.
+func (cl *Cluster) DroppedEvents() uint64 { return cl.c.DroppedEvents() }
+
+// WriteChromeTrace dumps the flight recorder as Chrome trace_event
+// JSON, openable in chrome://tracing or https://ui.perfetto.dev:
+// migrations and hot-key promotions render as duration pairs, the
+// rest as instant markers, one track per switch.
+func (cl *Cluster) WriteChromeTrace(w io.Writer) error { return cl.c.WriteChromeTrace(w) }
 
 // ResourceModel re-exports the §6.2 switch-memory model.
 type ResourceModel = dataplane.ResourceModel

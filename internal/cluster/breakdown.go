@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"time"
+
+	"harmonia/internal/metrics"
+	"harmonia/internal/trace"
+)
+
+// PhaseBreakdown decomposes sampled operation latency into the five
+// trace phases, one histogram per phase. Every sampled completion
+// contributes one observation to EACH histogram — a phase the op never
+// touched contributes zero — so all five hold the same sample count,
+// the per-phase means are per-op averages, and the five Sum()s add up
+// to the end-to-end latency Sum() of the same sampled ops (an identity
+// of the telescoping stamps, not an estimate; see internal/trace).
+type PhaseBreakdown struct {
+	// Queue is scheduler-side wait: from a packet's arrival at a busy
+	// replica until a worker starts serving it, plus the (zero-width)
+	// switch sequencing stamp.
+	Queue *metrics.Histogram
+	// Service is the modeled per-op CPU time at the replicas.
+	Service *metrics.Histogram
+	// Network is everything in flight: link propagation, switch
+	// traversal, and protocol-internal replication legs (chain
+	// propagation, multicast fan-out) that carry no stamps of their
+	// own and so collapse into the in-flight remainder.
+	Network *metrics.Histogram
+	// Retry is resend gaps from loss, reordering, or a dead switch:
+	// the time between the last sign of life and the client putting
+	// the op back on the wire.
+	Retry *metrics.Histogram
+	// FrozenStall is the same resend gap when the front-end explicitly
+	// dropped the packet — slot frozen mid-migration, or switch
+	// stalled in a §5.3 agreement. The migration tax, separated from
+	// network-loss retries.
+	FrozenStall *metrics.Histogram
+}
+
+func newPhaseBreakdown() *PhaseBreakdown {
+	return &PhaseBreakdown{
+		Queue:       metrics.NewHistogram(),
+		Service:     metrics.NewHistogram(),
+		Network:     metrics.NewHistogram(),
+		Retry:       metrics.NewHistogram(),
+		FrozenStall: metrics.NewHistogram(),
+	}
+}
+
+// Phase returns the histogram for p, so callers can iterate the
+// decomposition positionally (trace.Phase(0)..trace.NumPhases-1).
+func (b *PhaseBreakdown) Phase(p trace.Phase) *metrics.Histogram {
+	switch p {
+	case trace.PhaseQueue:
+		return b.Queue
+	case trace.PhaseService:
+		return b.Service
+	case trace.PhaseNetwork:
+		return b.Network
+	case trace.PhaseRetry:
+		return b.Retry
+	case trace.PhaseFrozenStall:
+		return b.FrozenStall
+	}
+	return nil
+}
+
+func (b *PhaseBreakdown) observe(sp *trace.Span) {
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		b.Phase(p).Observe(time.Duration(sp.Phases[p]))
+	}
+}
+
+// LatencyBreakdown is a measurement window's latency decomposition:
+// the overall view plus per-replica-group and per-switch slices of the
+// same sampled completions.
+type LatencyBreakdown struct {
+	// Overall folds every sampled completion in the window.
+	Overall *PhaseBreakdown
+	// Groups[g] folds the sampled completions group g served (the
+	// reply's authoritative group, so migrated ops count where they
+	// actually ran). Indexed by group ID; grows if groups are added
+	// elastically mid-run.
+	Groups []*PhaseBreakdown
+	// Switches[s] folds the sampled completions issued through switch
+	// s's front-end (the client's routing view at issue time).
+	Switches []*PhaseBreakdown
+}
+
+func newLatencyBreakdown(groups, switches int) *LatencyBreakdown {
+	bd := &LatencyBreakdown{
+		Overall:  newPhaseBreakdown(),
+		Groups:   make([]*PhaseBreakdown, groups),
+		Switches: make([]*PhaseBreakdown, switches),
+	}
+	for i := range bd.Groups {
+		bd.Groups[i] = newPhaseBreakdown()
+	}
+	for i := range bd.Switches {
+		bd.Switches[i] = newPhaseBreakdown()
+	}
+	return bd
+}
+
+// observeSpan folds one completed span, attributed to the group that
+// served the op (from the reply) and the switch it was issued through.
+func (m *measurement) observeSpan(sp *trace.Span, group int) {
+	if !m.collect || m.bd == nil {
+		return
+	}
+	m.bd.Overall.observe(sp)
+	for group >= len(m.bd.Groups) && len(m.bd.Groups) < len(m.c.groups) {
+		m.bd.Groups = append(m.bd.Groups, newPhaseBreakdown())
+	}
+	if group >= 0 && group < len(m.bd.Groups) {
+		m.bd.Groups[group].observe(sp)
+	}
+	if sw := int(sp.Sw); sw >= 0 && sw < len(m.bd.Switches) {
+		m.bd.Switches[sw].observe(sp)
+	}
+}

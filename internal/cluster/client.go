@@ -109,6 +109,13 @@ type Report struct {
 	// the measurement window by a sharded (PinGroups) open-loop run —
 	// the offered-load split, before any completions. Nil otherwise.
 	GroupOffered []uint64
+	// LatencyBreakdown decomposes the sampled ops' end-to-end latency
+	// into the five trace phases (queue, service, network, retry,
+	// frozen-stall — see PhaseBreakdown for each phase's boundaries),
+	// overall and sliced per group and per switch. Nil unless
+	// Config.Trace armed span sampling; the histograms then cover the
+	// 1-in-SampleEvery traced subset of Ops.
+	LatencyBreakdown *LatencyBreakdown
 }
 
 // opState tracks one in-flight logical operation. The master packet is
@@ -213,6 +220,9 @@ type measurement struct {
 	rlat         *metrics.Histogram
 	wlat         *metrics.Histogram
 	series       *metrics.TimeSeries
+	// bd receives the sampled spans' phase decomposition; nil unless
+	// the cluster's tracer is armed (see breakdown.go).
+	bd *LatencyBreakdown
 }
 
 func (m *measurement) observe(write bool, group int, d time.Duration, at sim.Time) {
@@ -264,6 +274,9 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 		if v.closedLoop {
 			st.timer.Stop()
 		}
+		if st.pkt.Span != 0 {
+			v.c.tracer.StampResend(st.pkt.Span, int32(v.addr))
+		}
 		v.send(st)
 		return
 	}
@@ -272,6 +285,15 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 	now := v.c.eng.Now()
 	isWrite := st.pkt.Op == wire.OpWrite
 	v.measuring.observe(isWrite, int(pkt.Group), time.Duration(now-st.firstInvoke), now)
+	if st.pkt.Span != 0 {
+		// Close the span and fold its phase decomposition, then recycle
+		// the slot; any late duplicate still carrying this reference is
+		// rejected by the generation check from here on.
+		if sp := v.c.tracer.Finish(st.pkt.Span, int32(v.addr)); sp != nil {
+			v.measuring.observeSpan(sp, int(pkt.Group))
+		}
+		v.c.tracer.Release(st.pkt.Span)
+	}
 	if st.histIdx >= 0 {
 		var observed int64
 		if pkt.Op == wire.OpReadReply && pkt.Flags&wire.FlagNotFound == 0 {
@@ -324,6 +346,10 @@ func (v *vclient) issue(kt *keyTab, idx int, write bool) {
 	if v.c.cfg.RecordHistory {
 		st.histIdx = v.c.hist.invoke(uint64(st.pkt.ObjID), write, st.valueID, int64(st.firstInvoke))
 	}
+	if t := v.c.tracer; t != nil {
+		st.pkt.Span = t.Sample(write, int16(st.pkt.Group),
+			int16(v.c.rack.SwitchOfObj(st.pkt.ObjID)), int32(v.addr))
+	}
 	v.pending[req] = st
 	v.send(st)
 }
@@ -340,6 +366,9 @@ func (v *vclient) retry(st *opState) {
 		return
 	}
 	v.measuring.noteRetry()
+	if st.pkt.Span != 0 {
+		v.c.tracer.StampResend(st.pkt.Span, int32(v.addr))
+	}
 	v.send(st)
 }
 
@@ -406,6 +435,9 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 		}
 		if spec.Bucket > 0 {
 			meas.series = metrics.NewTimeSeries(spec.Bucket)
+		}
+		if c.tracer != nil {
+			meas.bd = newLatencyBreakdown(len(c.groups), c.rack.Switches())
 		}
 		newKeysN := func(n int) keyGen {
 			switch spec.Dist {
@@ -542,18 +574,26 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 			ReadThroughput:  float64(g.meas.reads) / window.Seconds(),
 			WriteThroughput: float64(g.meas.writes) / window.Seconds(),
 			Latency:         g.meas.lat, ReadLatency: g.meas.rlat, WriteLatency: g.meas.wlat,
-			Retries:      g.meas.retriesCnt,
-			Dropped:      g.meas.droppedCnt,
-			Rebalances:   c.rebalanced - g.meas.rebal0,
-			Series:       g.meas.series,
-			GroupOps:     g.meas.groupOps,
-			GroupOffered: g.meas.groupOffered,
+			Retries:          g.meas.retriesCnt,
+			Dropped:          g.meas.droppedCnt,
+			Rebalances:       c.rebalanced - g.meas.rebal0,
+			Series:           g.meas.series,
+			GroupOps:         g.meas.groupOps,
+			GroupOffered:     g.meas.groupOffered,
+			LatencyBreakdown: g.meas.bd,
 		}
 		// Tear down: detach clients so the next run starts clean.
 		for _, v := range g.clients {
 			v.closedLoop = false
 			for _, st := range v.pending {
 				st.timer.Stop()
+				if st.pkt.Span != 0 {
+					// Unanswered op: give its span back so successive
+					// runs never drain the table. A straggler reply
+					// carrying the stale reference stamps nothing.
+					c.tracer.Release(st.pkt.Span)
+					st.pkt.Span = 0
+				}
 				rep.Unanswered++
 			}
 		}

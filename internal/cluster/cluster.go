@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"harmonia/internal/sim"
 	"harmonia/internal/simnet"
 	"harmonia/internal/store"
+	"harmonia/internal/trace"
 	"harmonia/internal/wire"
 	"harmonia/internal/workload"
 )
@@ -246,6 +248,15 @@ type Config struct {
 	// RecordHistory captures every operation for linearizability
 	// checking (costs memory; off for throughput runs).
 	RecordHistory bool
+
+	// Trace configures sampled per-op span tracing (internal/trace).
+	// The zero value leaves tracing off, which keeps every guarded
+	// fast path allocation-free; SampleEvery = N traces one op in N
+	// and folds completed spans into the per-phase latency breakdown.
+	// The control-plane flight recorder is independent of this knob —
+	// it is always on (a bounded ring of fixed-size events costs
+	// nothing on the data path).
+	Trace trace.Config
 
 	Seed int64
 }
@@ -542,6 +553,12 @@ type Cluster struct {
 	hotKeyCfg        rebalance.HotKeyConfig
 	hotKeyPromotions uint64
 	hotKeyDemotions  uint64
+
+	// tracer samples per-op spans (nil unless Config.Trace arms it);
+	// rec is the always-on control-plane flight recorder. hist above
+	// is the unrelated linearizability op recorder.
+	tracer *trace.Tracer
+	rec    *trace.Recorder
 }
 
 // switchReplacement is one in-flight §5.3 switch replacement.
@@ -571,14 +588,28 @@ func New(cfg Config) *Cluster {
 		DropProb: cfg.DropProb, ReorderProb: cfg.ReorderProb, ReorderDelay: cfg.ReorderDelay,
 	})
 
+	// Observability: the flight recorder is unconditional (control-plane
+	// events are rare and the ring is bounded); the span tracer exists
+	// only when sampling is armed, so an untraced cluster pays exactly
+	// one nil check per guarded site.
+	now := func() sim.Time { return c.eng.Now() }
+	c.rec = trace.NewRecorder(0, now)
+	c.tracer = trace.NewTracer(cfg.Trace, now)
+	if c.tracer != nil {
+		c.net.SetTracer((*netTracer)(c))
+	}
+
 	// Switches: line-rate nodes, each hosting the scheduler partitions
 	// of its owned groups behind its hashing front-end. The rack layer
 	// owns the slot → switch map and the per-switch epochs; shard sizes
 	// and boot-time slot shares follow the groups' capacity weights
 	// (uniform specs reproduce the historical even layout exactly).
 	c.rack = rack.NewWeighted(cfg.Switches, cfg.Weights())
+	c.rack.SetRecorder(c.rec)
 	for s := 0; s < cfg.Switches; s++ {
-		c.net.AddNode(switchAddrOf(s), c.rack.Front(s), simnet.ProcConfig{Workers: 0})
+		f := c.rack.Front(s)
+		c.net.AddNode(switchAddrOf(s), f, simnet.ProcConfig{Workers: 0})
+		c.installFrontHooks(f, s)
 	}
 
 	// Controller.
@@ -628,6 +659,86 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// installFrontHooks wires switch s's front-end into the observability
+// layer: traced-packet drops stamp the op's span so the coming client
+// retry is attributed to the stall that caused it, and hot-key
+// invalidations land in the flight recorder. Hooks live on the
+// Frontend, which survives Reboot, so switch replacement keeps them.
+func (c *Cluster) installFrontHooks(f *core.Frontend, s int) {
+	f.SetHotInvalidateHook(func(id wire.ObjectID, gen uint64) {
+		c.rec.Emit(trace.Event{
+			Kind: trace.EvHotInvalidate, Switch: int16(s), Group: -1, Slot: -1,
+			Arg: uint64(id), Arg2: gen,
+		})
+	})
+	if c.tracer == nil {
+		return
+	}
+	node := int32(switchAddrOf(s))
+	f.SetDropHook(func(pkt *wire.Packet, reason core.DropReason) {
+		switch reason {
+		case core.DropMisrouted:
+			// A stale route, not a stall: the retry is an ordinary
+			// reissue, so leave the frozen-stall flag alone.
+			c.tracer.Stamp(pkt.Span, trace.HopDrop, node, trace.PhaseNetwork)
+		default: // frozen slot or stalled group
+			c.tracer.StampDrop(pkt.Span, node)
+		}
+	})
+}
+
+// netTracer adapts simnet's delivery hooks onto span stamps. It is the
+// Cluster itself under another method set: the adapter needs the
+// address map and the tracer, nothing else, and a separate struct
+// would be one more pointer chase on the per-packet path. Installed
+// only when tracing is armed; untraced packets (Span == 0) return
+// after two compares.
+type netTracer Cluster
+
+func (t *netTracer) PacketArrive(node simnet.NodeID, msg simnet.Message) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok || pkt.Span == 0 {
+		return
+	}
+	kind := trace.HopSwitchArrive
+	if node >= clientBase {
+		kind = trace.HopClientArrive
+	} else if node >= replicaBase {
+		kind = trace.HopReplicaArrive
+	}
+	(*Cluster)(t).tracer.Stamp(pkt.Span, kind, int32(node), trace.PhaseNetwork)
+}
+
+func (t *netTracer) PacketServe(node simnet.NodeID, msg simnet.Message) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok || pkt.Span == 0 {
+		return
+	}
+	(*Cluster)(t).tracer.Stamp(pkt.Span, trace.HopReplicaServe, int32(node), trace.PhaseQueue)
+}
+
+func (t *netTracer) PacketDone(node simnet.NodeID, msg simnet.Message) {
+	pkt, ok := msg.(*wire.Packet)
+	if !ok || pkt.Span == 0 {
+		return
+	}
+	(*Cluster)(t).tracer.Stamp(pkt.Span, trace.HopReplicaDone, int32(node), trace.PhaseService)
+}
+
+// Events returns the control-plane flight recorder's contents, oldest
+// first. The ring is bounded (trace.DefaultEventCapacity); once full,
+// each new event overwrites the oldest and DroppedEvents counts the
+// loss, so a long run keeps the most recent window.
+func (c *Cluster) Events() []trace.Event { return c.rec.Events() }
+
+// DroppedEvents reports how many flight-recorder events were
+// overwritten before being read.
+func (c *Cluster) DroppedEvents() uint64 { return c.rec.DroppedEvents() }
+
+// WriteChromeTrace dumps the flight recorder as Chrome trace_event
+// JSON (load via chrome://tracing or https://ui.perfetto.dev).
+func (c *Cluster) WriteChromeTrace(w io.Writer) error { return c.rec.WriteChromeTrace(w) }
+
 // startRebalancer arms the autonomous rebalancing loop, one policy
 // instance per switch domain: every interval each loop samples its own
 // front-end's heat registers and routing table, asks its policy for a
@@ -643,6 +754,7 @@ func (c *Cluster) startRebalancer() {
 	c.policies = make([]*rebalance.Policy, c.rack.Switches())
 	for s := range c.policies {
 		c.policies[s] = rebalance.New(c.cfg.Rebalance, now)
+		c.policies[s].SetRecorder(c.rec, s)
 	}
 	c.refreshPolicyWeights()
 	iv := c.policies[0].Config().Interval
@@ -975,7 +1087,7 @@ func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 	grp := c.groups[g]
 	addrs := grp.addrs()
 	swAddr := switchAddrOf(c.rack.SwitchOfGroup(g))
-	return core.New(core.Config{
+	sched := core.New(core.Config{
 		Epoch:              epoch,
 		Stages:             c.cfg.Stages,
 		SlotsPerStage:      c.cfg.SlotsPerStage,
@@ -991,6 +1103,14 @@ func (c *Cluster) newScheduler(g int, epoch uint32) *core.Scheduler {
 	}, core.SenderFunc(func(to simnet.NodeID, pkt *wire.Packet) {
 		c.net.Send(swAddr, to, pkt)
 	}))
+	if c.tracer != nil {
+		// Every scheduler — boot, elastic add, or §5.3 replacement —
+		// stamps traced writes at sequencing time.
+		sched.SetTraceHook(func(pkt *wire.Packet) {
+			c.tracer.Stamp(pkt.Span, trace.HopSwitchSeq, int32(swAddr), trace.PhaseQueue)
+		})
+	}
+	return sched
 }
 
 // replicaEnv adapts the network to protocol.Env. Each replica's
@@ -1221,6 +1341,7 @@ func (c *Cluster) CrashSwitch(s int) error {
 		return fmt.Errorf("cluster: switch %d out of range", s)
 	}
 	c.net.SetDown(switchAddrOf(s), true)
+	c.rec.Emit(trace.Event{Kind: trace.EvSwitchCrash, Switch: int16(s), Group: -1, Slot: -1})
 	return nil
 }
 
@@ -1229,6 +1350,7 @@ func (c *Cluster) CrashSwitch(s int) error {
 func (c *Cluster) StopSwitch() {
 	for s := 0; s < c.rack.Switches(); s++ {
 		c.net.SetDown(switchAddrOf(s), true)
+		c.rec.Emit(trace.Event{Kind: trace.EvSwitchCrash, Switch: int16(s), Group: -1, Slot: -1})
 	}
 }
 
@@ -1277,6 +1399,10 @@ func (c *Cluster) ReactivateSwitch(switches ...int) error {
 func (c *Cluster) reactivateOneSwitch(s int) {
 	c.net.SetDown(switchAddrOf(s), false)
 	epoch := c.rack.BumpEpoch(s)
+	c.rec.Emit(trace.Event{
+		Kind: trace.EvSwitchReactivate, Switch: int16(s), Group: -1, Slot: -1,
+		Arg: uint64(epoch),
+	})
 	c.rack.Front(s).Reboot() // booting: drops traffic until agreement done
 	owned := c.rack.GroupsOf(s)
 	rep := &switchReplacement{remaining: len(owned), start: c.eng.Now()}

@@ -43,6 +43,7 @@ import (
 	"harmonia/internal/core"
 	"harmonia/internal/rebalance"
 	"harmonia/internal/store"
+	"harmonia/internal/trace"
 	"harmonia/internal/wire"
 )
 
@@ -149,6 +150,10 @@ func (c *Cluster) promoteObject(id wire.ObjectID, slot, sw int, holders []int) {
 	c.hotKeys[id] = st
 	c.hotKeyOrder = append(c.hotKeyOrder, id)
 	c.hotKeyPromotions++
+	c.rec.Emit(trace.Event{
+		Kind: trace.EvHotPromote, Switch: int16(sw), Group: int16(c.rack.RouteOf(slot)),
+		Slot: int16(slot), Arg: uint64(id), Arg2: uint64(len(holders)),
+	})
 	c.refreshHot(st)
 }
 
@@ -220,6 +225,10 @@ func (c *Cluster) refreshHot(st *hotKeyEntry) {
 		c.net.Send(controllerAddr, switchAddrOf(st.sw), &wire.Packet{
 			Op: wire.OpWriteCompletion, Flags: wire.FlagRefresh,
 			ObjID: st.id, Seq: wire.Seq{N: gen},
+		})
+		c.rec.Emit(trace.Event{
+			Kind: trace.EvHotRefresh, Switch: int16(st.sw), Group: int16(curHome),
+			Slot: int16(st.slot), Arg: uint64(st.id), Arg2: gen,
 		})
 		// A write sequenced while this copy was in flight makes the
 		// completion above fail generation validation — and that
@@ -298,6 +307,10 @@ func (c *Cluster) demoteObject(st *hotKeyEntry) {
 		}
 	}
 	c.hotKeyDemotions++
+	c.rec.Emit(trace.Event{
+		Kind: trace.EvHotDemote, Switch: int16(st.sw), Group: int16(home),
+		Slot: int16(st.slot), Arg: uint64(st.id),
+	})
 }
 
 // hotKeysDropGroup reacts to group g's store being replaced or retired

@@ -7,6 +7,7 @@ import (
 	"harmonia/internal/protocol"
 	"harmonia/internal/sim"
 	"harmonia/internal/store"
+	"harmonia/internal/trace"
 	"harmonia/internal/wire"
 )
 
@@ -109,6 +110,10 @@ func (m *Migration) Abort() bool {
 	for _, s := range m.Slots {
 		m.c.rack.UnfreezeSlot(s)
 		delete(m.c.migrations, s)
+		m.c.rec.Emit(trace.Event{
+			Kind: trace.EvMigrationAbort, Switch: int16(m.c.rack.SwitchOfSlot(s)),
+			Group: int16(m.From), Slot: int16(s), Arg: uint64(m.To),
+		})
 	}
 	return true
 }
@@ -181,6 +186,10 @@ func (c *Cluster) StartBatchMigration(slots []int, to int) (*Migration, error) {
 	for _, s := range live {
 		c.migrations[s] = m
 		c.rack.FreezeSlot(s)
+		c.rec.Emit(trace.Event{
+			Kind: trace.EvMigrationStart, Switch: int16(c.rack.SwitchOfSlot(s)),
+			Group: int16(from), Slot: int16(s), Arg: uint64(to),
+		})
 	}
 	c.eng.After(migratePollInterval, m.poll)
 	return m, nil
@@ -450,6 +459,10 @@ func (m *Migration) copyAndFlip() {
 			c.rack.SetRoute(slot, m.To)
 			c.rack.UnfreezeSlot(slot)
 			delete(c.migrations, slot)
+			c.rec.Emit(trace.Event{
+				Kind: trace.EvMigrationFlip, Switch: int16(c.rack.SwitchOfSlot(slot)),
+				Group: int16(m.To), Slot: int16(slot), Arg: uint64(m.From),
+			})
 		}
 		m.done = true
 		if m.auto {

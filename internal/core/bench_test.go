@@ -73,6 +73,49 @@ func TestMulticastWriteZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestFastReadZeroAllocsWithTraceHookArmed repeats the fast-read alloc
+// guard with the sequencing trace hook INSTALLED: an untraced packet
+// (Span == 0) must short-circuit before the closure fires, keeping the
+// path at 0 allocs/op even on trace-enabled clusters.
+func TestFastReadZeroAllocsWithTraceHookArmed(t *testing.T) {
+	s, _ := newBenchSched(nil)
+	var fired uint64
+	s.SetTraceHook(func(pkt *wire.Packet) { fired++ })
+	pkt := &wire.Packet{Op: wire.OpRead, ObjID: 7, ClientID: 1, ReqID: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		pkt.Flags = 0
+		s.Process(pkt)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast read with trace hook armed: %.1f allocs/op, want 0", allocs)
+	}
+	if fired != 0 {
+		t.Fatalf("trace hook fired %d times for untraced packets", fired)
+	}
+}
+
+// TestMulticastWriteZeroAllocsWithTraceHookArmed is the write-path
+// counterpart: the Span == 0 guard must keep sequencing alloc-free
+// when the hook is present.
+func TestMulticastWriteZeroAllocsWithTraceHookArmed(t *testing.T) {
+	s, _ := newBenchSched(func(cfg *Config) { cfg.MulticastWrites = true })
+	var fired uint64
+	s.SetTraceHook(func(pkt *wire.Packet) { fired++ })
+	w := &wire.Packet{Op: wire.OpWrite, ObjID: 7, ClientID: 1, Value: []byte("v")}
+	cpl := &wire.Packet{Op: wire.OpWriteCompletion, ObjID: 7}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Process(w)
+		cpl.Seq = w.Seq
+		s.Process(cpl)
+	})
+	if allocs != 0 {
+		t.Fatalf("multicast write with trace hook armed: %.1f allocs/op, want 0", allocs)
+	}
+	if fired != 0 {
+		t.Fatalf("trace hook fired %d times for untraced packets", fired)
+	}
+}
+
 func BenchmarkFastRead(b *testing.B) {
 	s, _ := newBenchSched(nil)
 	pkt := &wire.Packet{Op: wire.OpRead, ObjID: 7, ClientID: 1, ReqID: 1}

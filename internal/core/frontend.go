@@ -136,8 +136,34 @@ type Frontend struct {
 	// the cluster's cue to start a refresh without waiting for a tick.
 	onHotWrite func(id wire.ObjectID, gen uint64)
 
+	// onClientDrop, when set, fires as this front-end intentionally
+	// drops a TRACED client packet (pkt.Span != 0): frozen slot,
+	// stalled group, or misrouted shard. The trace layer uses it to
+	// attribute the client's coming retry gap to the stall rather
+	// than to network loss. Untraced packets never invoke it, keeping
+	// the drop paths allocation- and call-free in the common case.
+	onClientDrop func(pkt *wire.Packet, reason DropReason)
+
+	// onHotInvalidate, when set, fires when a write to a promoted key
+	// invalidates its holder copies — the flight recorder's
+	// hotkey-invalidate cue.
+	onHotInvalidate func(id wire.ObjectID, gen uint64)
+
 	Stats FrontendStats
 }
+
+// DropReason classifies an intentional front-end drop for the trace
+// hooks.
+type DropReason uint8
+
+const (
+	// DropFrozen: the packet's slot is frozen mid-migration.
+	DropFrozen DropReason = iota
+	// DropStalled: the group's replacement agreement is incomplete.
+	DropStalled
+	// DropMisrouted: the packet landed on the wrong front-end shard.
+	DropMisrouted
+)
 
 // NewFrontend builds a front-end with n (initially empty) partitions,
 // the default slot striping, and every slot owned — the single-switch
@@ -414,6 +440,18 @@ func (f *Frontend) HotHeatOf(id wire.ObjectID) (reads, writes uint64) {
 // copies as soon as a write commits instead of polling.
 func (f *Frontend) SetHotWriteHook(fn func(id wire.ObjectID, gen uint64)) { f.onHotWrite = fn }
 
+// SetDropHook installs the traced-packet drop callback (see
+// onClientDrop). The trace layer uses it to separate migration and
+// agreement stalls from network-loss retries.
+func (f *Frontend) SetDropHook(fn func(pkt *wire.Packet, reason DropReason)) { f.onClientDrop = fn }
+
+// SetHotInvalidateHook installs the hot-key invalidation callback (see
+// onHotInvalidate). The flight recorder uses it to timestamp the
+// invalidate edge of each promoted key's write cycle.
+func (f *Frontend) SetHotInvalidateHook(fn func(id wire.ObjectID, gen uint64)) {
+	f.onHotInvalidate = fn
+}
+
 // CompleteRefresh validates id's holder copies against the write
 // generation a refresh captured: only a refresh of the CURRENT
 // generation clears the invalid bits — if a write raced the refresh,
@@ -476,6 +514,9 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			// in flight across a cross-switch flip): drop it. The retry
 			// consults the fresh slot → switch map and lands right.
 			f.Stats.MisroutedDrops++
+			if pkt.Span != 0 && f.onClientDrop != nil {
+				f.onClientDrop(pkt, DropMisrouted)
+			}
 			return
 		}
 		// Replica-forwarded re-entries (a fast read a replica bounced
@@ -541,6 +582,9 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			// still reach the scheduler. The flush quiesces like any
 			// other write and its object is copied with the batch.
 			f.Stats.FrozenDrops++
+			if pkt.Span != 0 && f.onClientDrop != nil {
+				f.onClientDrop(pkt, DropFrozen)
+			}
 			return
 		}
 		if e != nil && pkt.Op == wire.OpWrite && len(e.holders) > 0 {
@@ -553,6 +597,9 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			e.invalid = holderMask(len(e.holders))
 			pkt.Flags |= wire.FlagInvalidate
 			f.Stats.Invalidations++
+			if f.onHotInvalidate != nil {
+				f.onHotInvalidate(pkt.ObjID, e.writeGen)
+			}
 		}
 		pkt.Group = f.route[slot]
 		pkt.Switch = uint8(f.id)
@@ -560,6 +607,9 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			// The group's §5.3 replacement agreement has not completed:
 			// the op stalls (client retries), and the rack counts it.
 			f.Stats.StalledDrops++
+			if pkt.Span != 0 && f.onClientDrop != nil {
+				f.onClientDrop(pkt, DropStalled)
+			}
 			return
 		}
 	default:

@@ -148,6 +148,11 @@ type Scheduler struct {
 	// point may not yet reflect reality (§5.3).
 	ready bool
 
+	// traceSeq, when set, fires as a TRACED write (pkt.Span != 0) is
+	// assigned its sequence number — the span's switch-sequencing hop.
+	// Untraced packets never invoke it.
+	traceSeq func(pkt *wire.Packet)
+
 	replicas []simnet.NodeID
 
 	Stats Stats
@@ -231,10 +236,16 @@ func (s *Scheduler) Process(pkt *wire.Packet) {
 	}
 }
 
+// SetTraceHook installs the sequencing-hop callback (see traceSeq).
+func (s *Scheduler) SetTraceHook(fn func(pkt *wire.Packet)) { s.traceSeq = fn }
+
 // processWrite implements Algorithm 1 lines 1–4.
 func (s *Scheduler) processWrite(pkt *wire.Packet) {
 	s.seqN++
 	pkt.Seq = wire.Seq{Epoch: s.cfg.Epoch, N: s.seqN}
+	if pkt.Span != 0 && s.traceSeq != nil {
+		s.traceSeq(pkt)
+	}
 	if err := s.dirty.Insert(uint32(pkt.ObjID), s.seqN); err != nil {
 		// No slot available in any stage: the switch drops the write
 		// (§6.1) and synthesizes a FlagDropped reply so the client
@@ -246,6 +257,7 @@ func (s *Scheduler) processWrite(pkt *wire.Packet) {
 			Op: wire.OpWriteReply, Flags: wire.FlagDropped,
 			ObjID: pkt.ObjID, Group: pkt.Group,
 			ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
+			Span: pkt.Span, // keep the trace span alive across the reject
 		})
 		return
 	}

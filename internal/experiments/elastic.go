@@ -124,6 +124,11 @@ func FigEDetail(s Scale) ([]Series, ElasticResult) {
 		WriteRatio: 0.05, Keys: defaultKeys, Dist: cluster.Zipf09, Bucket: bucket,
 	})
 	c2.RunFor(30 * time.Millisecond)
+	// Phase 1's recorder holds the staggered scale-out (topology epoch
+	// bumps and seeding migrations); phase 2's holds the switch crash
+	// and the reassignment's epoch churn.
+	maybeDumpTrace("E", c)
+	maybeDumpTrace("E-crash", c2)
 	res.ReassignCovered = true
 	for slot := 0; slot < wire.NumSlots; slot++ {
 		g := c2.Rack().RouteOf(slot)

@@ -8,12 +8,45 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"harmonia/internal/cluster"
 	"harmonia/internal/simnet"
 	"harmonia/internal/wire"
 )
+
+// TraceDir, when set (harmonia-bench -trace dir), makes the figure
+// runs that exercise control-plane machinery dump their cluster's
+// flight recorder as Chrome trace_event JSON — TRACE_fig<name>.json
+// next to the BENCH_fig<name>.json snapshots — so a Fig E or Fig K run
+// produces an openable timeline of migrations, rebalancer rounds,
+// hot-key lifecycles, and epoch bumps.
+var TraceDir string
+
+// maybeDumpTrace writes c's flight recorder to
+// TraceDir/TRACE_fig<fig>.json; a dump failure is reported, not fatal
+// (the figure data is the product, the trace is a side artifact).
+func maybeDumpTrace(fig string, c *cluster.Cluster) {
+	if TraceDir == "" {
+		return
+	}
+	if err := os.MkdirAll(TraceDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "trace dump: %v\n", err)
+		return
+	}
+	path := filepath.Join(TraceDir, "TRACE_fig"+fig+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace dump: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := c.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace dump %s: %v\n", path, err)
+	}
+}
 
 // Scale multiplies all measurement windows. Benchmarks use a small
 // scale; the CLI defaults to 1.0.

@@ -102,6 +102,10 @@ func FigKDetail(s Scale) ([]Series, HotKeyResult) {
 	_, demotions := hot.HotKeyStats()
 	res.Demoted = hot.HotKeyCount() == 0 && demotions > 0
 
+	// Dumped after the cool-down so the timeline holds the complete
+	// lifecycle: promote → invalidate → refresh cycles → demote.
+	maybeDumpTrace("K", hot)
+
 	res.Linearizable = figKVerify()
 
 	return []Series{

@@ -123,6 +123,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
+// Sum returns the exact total of all samples (not a bucket estimate).
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Reset empties the histogram in place, preserving its bucket storage,
+// so long-lived per-phase histograms can be recycled between
+// measurement windows without allocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
 // Merge adds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

@@ -100,6 +100,73 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEqualsUnion is the Merge property test: merging
+// two histograms must be indistinguishable from observing the union of
+// their samples in one histogram — identical counts, sums, extremes,
+// and (since bucketing is deterministic) every quantile.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, union := NewHistogram(), NewHistogram(), NewHistogram()
+		n := 50 + rng.Intn(500)
+		cut := int(split) % (n + 1)
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+			union.Observe(d)
+			if i < cut {
+				a.Observe(d)
+			} else {
+				b.Observe(d)
+			}
+		}
+		a.Merge(b)
+		if a.Count() != union.Count() || a.Sum() != union.Sum() ||
+			a.Min() != union.Min() || a.Max() != union.Max() {
+			return false
+		}
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			if a.Quantile(q) != union.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramResetEmpties is the Reset property test: a reset
+// histogram must be indistinguishable from a fresh one, both when read
+// empty and after new observations.
+func TestHistogramResetEmpties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < 200; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+		}
+		h.Reset()
+		if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 ||
+			h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+			return false
+		}
+		// Reuse after Reset matches a fresh histogram sample-for-sample.
+		fresh := NewHistogram()
+		for i := 0; i < 100; i++ {
+			d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+			h.Observe(d)
+			fresh.Observe(d)
+		}
+		return h.Count() == fresh.Count() && h.Sum() == fresh.Sum() &&
+			h.Min() == fresh.Min() && h.Max() == fresh.Max() &&
+			h.Quantile(0.5) == fresh.Quantile(0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(time.Millisecond)

@@ -69,6 +69,9 @@ func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
 		// Echo the request's commit stamp (diagnostic; clients and the
 		// switch ignore it on replies).
 		LastCommitted: pkt.LastCommitted,
+		// The trace span follows the op onto the reply leg, so the
+		// client's completion hook can close it (internal/trace).
+		Span: pkt.Span,
 	}
 	if obj, ok := b.Store.Get(pkt.ObjID); ok {
 		// Alias the stored value: store values are written once at
@@ -96,6 +99,7 @@ func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
 		ClientID: pkt.ClientID,
 		ReqID:    pkt.ReqID,
 		Key:      pkt.Key,
+		Span:     pkt.Span, // the span follows the op onto the reply leg
 	}
 	if piggyback {
 		rep.Seq = pkt.Seq

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"harmonia/internal/core"
+	"harmonia/internal/trace"
 	"harmonia/internal/wire"
 	"harmonia/internal/workload"
 )
@@ -156,6 +157,24 @@ type Rack struct {
 	topo   Topology
 	epochs []uint32
 	stats  []SwitchStats
+
+	// rec, when set, is the control-plane flight recorder membership
+	// revisions and §5.3 agreement completions are reported to.
+	rec *trace.Recorder
+}
+
+// SetRecorder points the rack at the control-plane flight recorder.
+func (r *Rack) SetRecorder(rec *trace.Recorder) { r.rec = rec }
+
+// noteTopoEpoch reports a membership revision to the flight recorder,
+// labeled with the group whose add/retire/respec caused it.
+func (r *Rack) noteTopoEpoch(g int) {
+	if r.rec != nil {
+		r.rec.Emit(trace.Event{
+			Kind: trace.EvTopoEpoch, Switch: int16(r.topo.groupSw[g]),
+			Group: int16(g), Slot: -1, Arg: r.topo.epoch,
+		})
+	}
 }
 
 // SwitchOfSlotIn is the boot-time slot → switch assignment for a
@@ -432,6 +451,7 @@ func (r *Rack) AddGroup(sw int, weight float64) int {
 		f.EnsureGroups(g + 1)
 	}
 	r.topo.epoch++
+	r.noteTopoEpoch(g)
 	return g
 }
 
@@ -452,6 +472,7 @@ func (r *Rack) RetireGroup(g int) {
 	r.topo.live[g] = false
 	r.topo.weights[g] = 0
 	r.topo.epoch++
+	r.noteTopoEpoch(g)
 }
 
 // SetGroupWeight updates group g's capacity weight and bumps the
@@ -466,6 +487,7 @@ func (r *Rack) SetGroupWeight(g int, w float64) {
 	}
 	r.topo.weights[g] = w
 	r.topo.epoch++
+	r.noteTopoEpoch(g)
 }
 
 // Switches returns the front-end count.
@@ -624,4 +646,10 @@ func (r *Rack) NoteAck(s int) { r.stats[s].AcksReceived++ }
 func (r *Rack) NoteReplacement(s int, latency time.Duration) {
 	r.stats[s].Replacements++
 	r.stats[s].LastAgreementLatency = latency
+	if r.rec != nil {
+		r.rec.Emit(trace.Event{
+			Kind: trace.EvAgreement, Switch: int16(s), Group: -1, Slot: -1,
+			Arg: uint64(latency), Arg2: r.stats[s].AgreementMsgs(),
+		})
+	}
 }

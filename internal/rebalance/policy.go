@@ -22,7 +22,11 @@
 // and the per-slot cost veto are for.
 package rebalance
 
-import "time"
+import (
+	"time"
+
+	"harmonia/internal/trace"
+)
 
 // Heat is one routing slot's recent operation counters, as sampled
 // from the switch front-end's register array (after EWMA decay the
@@ -175,6 +179,12 @@ type Policy struct {
 
 	rounds     int
 	slotsMoved int
+
+	// rec, when set, is the flight recorder this policy reports its
+	// fired rounds and vetoed ticks to; sw labels the events with the
+	// switch domain the policy serves.
+	rec *trace.Recorder
+	sw  int16
 }
 
 // New builds a policy with cfg (zero fields defaulted) reading the
@@ -187,6 +197,15 @@ func New(cfg Config, now func() time.Duration) *Policy {
 
 // Config returns the effective (defaulted) configuration.
 func (p *Policy) Config() Config { return p.cfg }
+
+// SetRecorder points the policy at the control-plane flight recorder,
+// labeling its events with the switch domain sw. Group indices in the
+// emitted events are the policy's LOCAL plan indices (the switch
+// domain's group order), matching the inputs Plan/PlanRound received.
+func (p *Policy) SetRecorder(rec *trace.Recorder, sw int) {
+	p.rec = rec
+	p.sw = int16(sw)
+}
 
 // SetWeights installs the per-group capacity weights the imbalance
 // math normalizes by (index = the group index Plan's table uses; for a
@@ -355,6 +374,19 @@ func (p *Policy) planTick(heat []Heat, table []int, objects []int, groups int, b
 			}
 		}
 		p.stuckSlot = best
+		if p.rec != nil {
+			// The trigger fired but nothing moved: a vetoed tick. Arg
+			// records whether the cost model (1) or mere busyness/
+			// indivisibility (0) blocked the round.
+			var costArg uint64
+			if costVetoed {
+				costArg = 1
+			}
+			p.rec.Emit(trace.Event{
+				Kind: trace.EvRebalanceVeto, Switch: p.sw,
+				Group: int16(hot), Slot: int16(best), Arg: costArg,
+			})
+		}
 		return Round{}
 	}
 	p.armed = false
@@ -362,6 +394,12 @@ func (p *Policy) planTick(heat []Heat, table []int, objects []int, groups int, b
 	p.lastRound = p.now()
 	p.rounds++
 	p.slotsMoved += len(round.Moves) + 2*len(round.Swaps)
+	if p.rec != nil {
+		p.rec.Emit(trace.Event{
+			Kind: trace.EvRebalanceTick, Switch: p.sw, Group: int16(hot),
+			Slot: -1, Arg: uint64(len(round.Moves)), Arg2: uint64(len(round.Swaps)),
+		})
+	}
 	return round
 }
 

@@ -85,6 +85,29 @@ type queued struct {
 	msg  Message
 }
 
+// Tracer observes the life of a message inside a node's processor
+// model: arrival off the link, service start on a worker, and service
+// completion. simnet knows nothing about packets or spans — the
+// cluster installs an adapter that inspects the Message and stamps the
+// op's trace span. All three hooks fire BEFORE the corresponding
+// handler runs, so a handler that completes the op observes a fully
+// stamped span. Line-rate nodes (Workers == 0) and queue-drop paths
+// only see PacketArrive.
+type Tracer interface {
+	// PacketArrive fires when a message lands on node (after the link
+	// delay), before queueing, service, or the handler.
+	PacketArrive(node NodeID, msg Message)
+	// PacketServe fires when a worker starts serving the message.
+	PacketServe(node NodeID, msg Message)
+	// PacketDone fires when service completes, before the handler.
+	PacketDone(node NodeID, msg Message)
+}
+
+// SetTracer installs (or with nil removes) the network-wide tracer.
+// The hooks are nil-guarded on the delivery path, so an uninstalled
+// tracer costs one branch per event and zero allocations.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
 // Node is a simulated endpoint.
 type Node struct {
 	id      NodeID
@@ -129,6 +152,10 @@ type Network struct {
 	free       []*delivery
 	arriveFn   func(any)
 	completeFn func(any)
+
+	// tracer, when non-nil, observes arrive/serve/complete on every
+	// node (see Tracer).
+	tracer Tracer
 
 	// Sent counts every Send call, delivered or not.
 	Sent uint64
@@ -282,6 +309,9 @@ func (nd *Node) arrive(from NodeID, msg Message) {
 		nd.Dropped++
 		return
 	}
+	if t := nd.net.tracer; t != nil {
+		t.PacketArrive(nd.id, msg)
+	}
 	if nd.cfg.Workers == 0 {
 		// Line-rate device: no queueing, no service delay.
 		nd.Delivered++
@@ -302,6 +332,9 @@ func (nd *Node) arrive(from NodeID, msg Message) {
 
 // serve begins service for a message on a (now busy) worker.
 func (nd *Node) serve(from NodeID, msg Message) {
+	if t := nd.net.tracer; t != nil {
+		t.PacketServe(nd.id, msg)
+	}
 	var cost time.Duration
 	if nd.cfg.Cost != nil {
 		cost = nd.cfg.Cost(msg)
@@ -315,6 +348,9 @@ func (nd *Node) serve(from NodeID, msg Message) {
 func (nd *Node) complete(from NodeID, msg Message) {
 	if nd.down {
 		return // abandoned in-flight work
+	}
+	if t := nd.net.tracer; t != nil {
+		t.PacketDone(nd.id, msg)
 	}
 	nd.Delivered++
 	nd.handler.Recv(from, msg)

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (catapult "Trace Event Format"), the schema chrome://tracing and
+// Perfetto open directly.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the recorder's events as Chrome
+// trace_event JSON: open the file in chrome://tracing or
+// https://ui.perfetto.dev to see the control-plane timeline. Each
+// switch renders as one track (tid); migrations and hot-key lifetimes
+// render as async spans (begin/end pairs keyed by slot and object ID),
+// everything else as instant events.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+1)}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  "control",
+			TS:   float64(e.At) / float64(time.Microsecond),
+			TID:  int(e.Switch),
+			Args: map[string]any{
+				"switch": e.Switch, "group": e.Group, "slot": e.Slot,
+				"arg": e.Arg, "arg2": e.Arg2,
+			},
+		}
+		switch e.Kind {
+		case EvMigrationStart:
+			ce.Phase, ce.Cat, ce.Name, ce.ID = "b", "migration", "migration", uint64(e.Slot)+1
+			ce.Args["kind"] = EvMigrationStart.String()
+		case EvMigrationFlip, EvMigrationAbort:
+			ce.Phase, ce.Cat, ce.Name, ce.ID = "e", "migration", "migration", uint64(e.Slot)+1
+			ce.Args["kind"] = e.Kind.String()
+		case EvHotPromote:
+			ce.Phase, ce.Cat, ce.Name, ce.ID = "b", "hotkey", "hotkey", e.Arg+1
+			ce.Args["kind"] = EvHotPromote.String()
+		case EvHotDemote:
+			ce.Phase, ce.Cat, ce.Name, ce.ID = "e", "hotkey", "hotkey", e.Arg+1
+			ce.Args["kind"] = EvHotDemote.String()
+		default:
+			ce.Phase, ce.Scope = "i", "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+		// Async pairs alone are invisible until matched; mirror the
+		// lifecycle edges as instants too so a truncated ring (e.g. a
+		// promote that outlived its demote) still shows on the track.
+		if ce.Phase != "i" {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Cat: "control", Phase: "i", Scope: "t",
+				TS: ce.TS, TID: ce.TID, Args: ce.Args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

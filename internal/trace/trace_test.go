@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"harmonia/internal/sim"
+)
+
+// testClock is a hand-advanced simulated clock for driving stamps.
+type testClock struct{ t sim.Time }
+
+func (c *testClock) now() sim.Time           { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t += sim.Time(d) }
+
+func newTestTracer(cfg Config) (*Tracer, *testClock) {
+	clk := &testClock{}
+	return NewTracer(cfg, clk.now), clk
+}
+
+func TestTracerDisabledIsNil(t *testing.T) {
+	if tr := NewTracer(Config{}, func() sim.Time { return 0 }); tr != nil {
+		t.Fatal("zero config must disable tracing (nil tracer)")
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	tr, _ := newTestTracer(Config{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if r := tr.Sample(false, 0, 0, 1); r != 0 {
+			hits++
+			tr.Release(r)
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("SampleEvery=4 over 100 ops: %d spans, want 25", hits)
+	}
+}
+
+// TestPhaseSumIdentity checks the telescoping invariant: whatever
+// stamps a span collects, the five phase accumulators sum exactly to
+// the end-to-end latency.
+func TestPhaseSumIdentity(t *testing.T) {
+	tr, clk := newTestTracer(Config{SampleEvery: 1})
+	r := tr.Sample(true, 2, 1, 100)
+	clk.advance(5 * time.Microsecond)
+	tr.Stamp(r, HopSwitchArrive, 1, PhaseNetwork)
+	tr.Stamp(r, HopSwitchSeq, 1, PhaseQueue) // zero-width
+	clk.advance(7 * time.Microsecond)
+	tr.Stamp(r, HopReplicaArrive, 10, PhaseNetwork)
+	clk.advance(3 * time.Microsecond)
+	tr.Stamp(r, HopReplicaServe, 10, PhaseQueue)
+	clk.advance(11 * time.Microsecond)
+	tr.Stamp(r, HopReplicaDone, 10, PhaseService)
+	clk.advance(40 * time.Microsecond) // lost reply...
+	tr.StampResend(r, 100)             // ...retry
+	clk.advance(9 * time.Microsecond)
+	tr.StampDrop(r, 1) // frozen slot this time
+	clk.advance(30 * time.Microsecond)
+	tr.StampResend(r, 100) // attributed to FrozenStall
+	clk.advance(20 * time.Microsecond)
+	sp := tr.Finish(r, 100)
+	if sp == nil {
+		t.Fatal("Finish returned nil for a live span")
+	}
+	if got, want := sp.Total(), 125*time.Microsecond; got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+	if sp.PhaseSum() != sp.Total() {
+		t.Fatalf("phase sum %v != total %v: the telescoping identity broke", sp.PhaseSum(), sp.Total())
+	}
+	if got, want := sp.Phases[PhaseRetry], 40*time.Microsecond; got != want {
+		t.Fatalf("Retry = %v, want %v (the un-dropped resend gap)", got, want)
+	}
+	if got, want := sp.Phases[PhaseFrozenStall], 30*time.Microsecond; got != want {
+		t.Fatalf("FrozenStall = %v, want %v (the post-drop resend gap)", got, want)
+	}
+	if got, want := sp.Phases[PhaseService], 11*time.Microsecond; got != want {
+		t.Fatalf("Service = %v, want %v", got, want)
+	}
+	if got, want := sp.Phases[PhaseQueue], 3*time.Microsecond; got != want {
+		t.Fatalf("Queue = %v, want %v", got, want)
+	}
+	tr.Release(r)
+}
+
+// TestSpanPoolReuseRejectsStaleRefs pins the resurrection hazard: a
+// late packet holding a released span's reference must stamp nothing
+// into the slot's next tenant.
+func TestSpanPoolReuseRejectsStaleRefs(t *testing.T) {
+	tr, clk := newTestTracer(Config{SampleEvery: 1, Capacity: 1})
+	stale := tr.Sample(false, 0, 0, 1)
+	if stale == 0 {
+		t.Fatal("first sample missed")
+	}
+	clk.advance(time.Microsecond)
+	tr.Stamp(stale, HopSwitchArrive, 1, PhaseNetwork)
+	tr.Finish(stale, 1)
+	tr.Release(stale)
+
+	// The slot is recycled by the next tenant...
+	fresh := tr.Sample(false, 0, 0, 2)
+	if fresh == 0 {
+		t.Fatal("slot was not recycled")
+	}
+	if fresh == stale {
+		t.Fatal("recycled reference must differ (generation bump)")
+	}
+	sp := tr.span(fresh)
+	if sp.NHops != 1 || sp.Phases[PhaseNetwork] != 0 {
+		t.Fatalf("recycled span resurrected old stamps: NHops=%d phases=%v", sp.NHops, sp.Phases)
+	}
+	// ...and every operation through the stale reference is inert.
+	clk.advance(time.Microsecond)
+	tr.Stamp(stale, HopReplicaArrive, 9, PhaseService)
+	tr.StampDrop(stale, 9)
+	tr.StampResend(stale, 9)
+	if got := tr.Finish(stale, 9); got != nil {
+		t.Fatal("Finish on a stale reference must return nil")
+	}
+	if sp.NHops != 1 || sp.PhaseSum() != 0 {
+		t.Fatalf("stale stamps leaked into the new tenant: NHops=%d sum=%v", sp.NHops, sp.PhaseSum())
+	}
+	// Double-release through the stale ref must not corrupt the free
+	// list (the live tenant still owns the slot).
+	tr.Release(stale)
+	if tr.InFlight() != 1 {
+		t.Fatalf("stale Release freed a live span: in-flight %d, want 1", tr.InFlight())
+	}
+	tr.Release(fresh)
+	if tr.InFlight() != 0 {
+		t.Fatalf("in-flight %d after releasing everything", tr.InFlight())
+	}
+}
+
+func TestSampleTableExhaustion(t *testing.T) {
+	tr, _ := newTestTracer(Config{SampleEvery: 1, Capacity: 2})
+	a := tr.Sample(false, 0, 0, 1)
+	b := tr.Sample(false, 0, 0, 1)
+	if a == 0 || b == 0 {
+		t.Fatal("first two samples must hit")
+	}
+	if c := tr.Sample(false, 0, 0, 1); c != 0 {
+		t.Fatal("exhausted table must skip sampling, not grow")
+	}
+	if tr.SpansDropped != 1 {
+		t.Fatalf("SpansDropped = %d, want 1", tr.SpansDropped)
+	}
+	tr.Release(a)
+	if d := tr.Sample(false, 0, 0, 1); d == 0 {
+		t.Fatal("released slot must be sampleable again")
+	}
+}
+
+func TestHopLogSaturatesPhasesKeepCounting(t *testing.T) {
+	tr, clk := newTestTracer(Config{SampleEvery: 1})
+	r := tr.Sample(false, 0, 0, 1)
+	for i := 0; i < 2*MaxHops; i++ {
+		clk.advance(time.Microsecond)
+		tr.Stamp(r, HopReplicaArrive, 5, PhaseNetwork)
+	}
+	sp := tr.Finish(r, 1)
+	if sp.NHops != MaxHops {
+		t.Fatalf("hop log grew past MaxHops: %d", sp.NHops)
+	}
+	if got, want := sp.Phases[PhaseNetwork], time.Duration(2*MaxHops)*time.Microsecond; got != want {
+		t.Fatalf("phase accumulation stopped with the hop log: %v, want %v", got, want)
+	}
+	tr.Release(r)
+}
+
+func TestRecorderOverflowDropsOldest(t *testing.T) {
+	clk := &testClock{}
+	rec := NewRecorder(4, clk.now)
+	for i := 0; i < 7; i++ {
+		clk.advance(time.Microsecond)
+		rec.Emit(Event{Kind: EvRebalanceTick, Arg: uint64(i)})
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", rec.Len())
+	}
+	if got := rec.DroppedEvents(); got != 3 {
+		t.Fatalf("DroppedEvents = %d, want 3", got)
+	}
+	evs := rec.Events()
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Arg != want {
+			t.Fatalf("event %d Arg = %d, want %d (oldest dropped, order kept)", i, e.Arg, want)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events must come back oldest-first")
+		}
+	}
+}
+
+func TestRecorderStampsSimTime(t *testing.T) {
+	clk := &testClock{}
+	rec := NewRecorder(0, clk.now)
+	clk.advance(42 * time.Microsecond)
+	rec.Emit(Event{Kind: EvSwitchCrash, At: 12345 /* must be overwritten */})
+	if got := rec.Events()[0].At; got != sim.Time(42*time.Microsecond) {
+		t.Fatalf("Emit must self-stamp: At = %d", got)
+	}
+}
+
+// TestChromeTraceWellFormed round-trips the dump through encoding/json
+// and checks the async begin/end pairing for migrations and hot keys.
+func TestChromeTraceWellFormed(t *testing.T) {
+	clk := &testClock{}
+	rec := NewRecorder(0, clk.now)
+	clk.advance(time.Millisecond)
+	rec.Emit(Event{Kind: EvMigrationStart, Switch: 0, Group: 1, Slot: 7, Arg: 2})
+	clk.advance(time.Millisecond)
+	rec.Emit(Event{Kind: EvHotPromote, Switch: 0, Group: 1, Slot: 7, Arg: 99})
+	clk.advance(time.Millisecond)
+	rec.Emit(Event{Kind: EvMigrationFlip, Switch: 0, Group: 2, Slot: 7, Arg: 1})
+	rec.Emit(Event{Kind: EvTopoEpoch, Switch: 1, Group: 3, Slot: -1, Arg: 5})
+	rec.Emit(Event{Kind: EvHotDemote, Switch: 0, Group: 1, Slot: 7, Arg: 99})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			ID    uint64  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	begins := map[string]uint64{}
+	ends := map[string]uint64{}
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "b":
+			begins[e.Name] = e.ID
+		case "e":
+			ends[e.Name] = e.ID
+		case "i":
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if begins["migration"] == 0 || begins["migration"] != ends["migration"] {
+		t.Fatalf("migration b/e pair mismatched: b=%d e=%d", begins["migration"], ends["migration"])
+	}
+	if begins["hotkey"] == 0 || begins["hotkey"] != ends["hotkey"] {
+		t.Fatalf("hotkey b/e pair mismatched: b=%d e=%d", begins["hotkey"], ends["hotkey"])
+	}
+}

@@ -257,6 +257,14 @@ type Packet struct {
 	ClientID uint32
 	ReqID    uint64
 
+	// Span is the operation's trace-span reference (internal/trace),
+	// 0 when the op is untraced. It is a simulation-side annotation
+	// only: Encode never serializes it and DecodeInto always zeroes
+	// it, so the byte-level format is unchanged. Clone and
+	// ShallowClone copy it, which is how a span follows the op across
+	// per-transmission header copies and protocol replies.
+	Span uint64
+
 	// Key is the original variable-length key (carried in the payload;
 	// the switch looks only at ObjID).
 	Key string
@@ -391,6 +399,7 @@ func DecodeInto(p *Packet, b []byte) (int, error) {
 	}
 	p.ClientID = binary.BigEndian.Uint32(b[33:])
 	p.ReqID = binary.BigEndian.Uint64(b[37:])
+	p.Span = 0 // simulation-only annotation, never on the wire
 	off := headerSize
 	klen := int(binary.BigEndian.Uint16(b[off:]))
 	off += 2
