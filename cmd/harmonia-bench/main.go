@@ -170,6 +170,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceDir := flag.String("trace", "", "directory to dump control-plane flight-recorder timelines into (TRACE_fig<name>.json, Chrome trace_event format; figures E and K)")
+	maxAllocs := flag.Float64("max-allocs-per-op", 0, "fail (exit 1) if the figure-P perf run exceeds this many allocs/op (0 = no gate)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail (exit 1) if figure-P ops/wall-sec drops below this fraction of the -baseline snapshot (0 = no gate)")
 	flag.Parse()
 	s := experiments.Scale(*scale)
 	experiments.TraceDir = *traceDir
@@ -245,6 +247,27 @@ func main() {
 		if *jsonDir != "" {
 			if err := writeSnapshot(*jsonDir, snap); err != nil {
 				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if snap.Perf != nil {
+			// Regression gates for CI, checked after the snapshot is on
+			// disk so a failing run still uploads its numbers. allocs/op
+			// is deterministic and machine-independent, so it gets a hard
+			// bound; wall-clock speed varies across runners, so the
+			// speedup floor should be set well below 1 (it catches
+			// order-of-magnitude regressions like an accidental O(n)
+			// probe, not few-percent noise).
+			c := snap.Perf.Current
+			if *maxAllocs > 0 && c.AllocsPerOp > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "perf gate: %.2f allocs/op exceeds the %.2f bound\n",
+					c.AllocsPerOp, *maxAllocs)
+				os.Exit(1)
+			}
+			if *minSpeedup > 0 && snap.Perf.SpeedupVsBaseline > 0 &&
+				snap.Perf.SpeedupVsBaseline < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "perf gate: %.2fx ops/wall-sec vs baseline is below the %.2fx floor\n",
+					snap.Perf.SpeedupVsBaseline, *minSpeedup)
 				os.Exit(1)
 			}
 		}

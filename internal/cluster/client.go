@@ -157,7 +157,7 @@ type vclient struct {
 	addr simnet.NodeID
 
 	gen     *opGen
-	pending map[uint64]*opState
+	pending pendingTab
 	nextReq uint64
 
 	measuring  *measurement
@@ -252,15 +252,23 @@ func (m *measurement) observe(write bool, group int, d time.Duration, at sim.Tim
 	}
 }
 
-// Recv implements simnet.Handler for the client node.
+// Recv implements simnet.Handler for the client node. The client is
+// the reply's terminal consumer: it releases the packet after matching
+// it against the pending table, except when an onReply observer
+// (SyncClient) takes over the reference.
 func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 	pkt, ok := msg.(*wire.Packet)
-	if !ok || !pkt.IsReply() {
+	if !ok {
 		return
 	}
-	st, ok := v.pending[pkt.ReqID]
+	if !pkt.IsReply() {
+		pkt.Release()
+		return
+	}
+	st, ok := v.pending.get(pkt.ReqID)
 	if !ok {
-		return // late duplicate of an already-completed op
+		pkt.Release() // late duplicate of an already-completed op
+		return
 	}
 	if pkt.Op == wire.OpWriteReply && pkt.Flags&wire.FlagDropped != 0 {
 		// The switch dropped this write (dirty set full) and said so:
@@ -278,9 +286,10 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 			v.c.tracer.StampResend(st.pkt.Span, int32(v.addr))
 		}
 		v.send(st)
+		pkt.Release()
 		return
 	}
-	delete(v.pending, pkt.ReqID)
+	v.pending.del(pkt.ReqID)
 	st.timer.Stop()
 	now := v.c.eng.Now()
 	isWrite := st.pkt.Op == wire.OpWrite
@@ -303,7 +312,9 @@ func (v *vclient) Recv(from simnet.NodeID, msg simnet.Message) {
 	}
 	v.c.putOp(st)
 	if v.onReply != nil {
-		v.onReply(pkt)
+		v.onReply(pkt) // the observer takes the reference (SyncClient)
+	} else {
+		pkt.Release()
 	}
 	if v.closedLoop {
 		v.issueNext()
@@ -339,7 +350,7 @@ func (v *vclient) issue(kt *keyTab, idx int, write bool) {
 		st.pkt.Op = wire.OpWrite
 		v.c.valueCtr++
 		st.valueID = v.c.valueCtr
-		st.pkt.Value = encodeValue(st.valueID)
+		st.pkt.Value = v.c.varena.encode(st.valueID)
 	} else {
 		st.pkt.Op = wire.OpRead
 	}
@@ -350,19 +361,19 @@ func (v *vclient) issue(kt *keyTab, idx int, write bool) {
 		st.pkt.Span = t.Sample(write, int16(st.pkt.Group),
 			int16(v.c.rack.SwitchOfObj(st.pkt.ObjID)), int32(v.addr))
 	}
-	v.pending[req] = st
+	v.pending.put(req, st)
 	v.send(st)
 }
 
 func (v *vclient) send(st *opState) {
-	v.c.net.Send(v.addr, v.c.switchAddrForObj(st.pkt.ObjID), st.pkt.ShallowClone())
+	v.c.net.Send(v.addr, v.c.switchAddrForObj(st.pkt.ObjID), st.pkt.FlightClone())
 	if v.closedLoop {
 		st.timer = v.c.eng.AfterCallT(v.c.cfg.RetryTimeout, v.retryFn, st)
 	}
 }
 
 func (v *vclient) retry(st *opState) {
-	if _, still := v.pending[st.pkt.ReqID]; !still {
+	if _, still := v.pending.get(st.pkt.ReqID); !still {
 		return
 	}
 	v.measuring.noteRetry()
@@ -585,7 +596,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 		// Tear down: detach clients so the next run starts clean.
 		for _, v := range g.clients {
 			v.closedLoop = false
-			for _, st := range v.pending {
+			v.pending.each(func(st *opState) {
 				st.timer.Stop()
 				if st.pkt.Span != 0 {
 					// Unanswered op: give its span back so successive
@@ -595,7 +606,7 @@ func (c *Cluster) RunLoads(specs []LoadSpec) []Report {
 					st.pkt.Span = 0
 				}
 				rep.Unanswered++
-			}
+			})
 		}
 		out[gi] = rep
 	}
@@ -607,7 +618,7 @@ func (c *Cluster) newVClient(meas *measurement, gen *opGen, closed bool) *vclien
 	id := uint32(len(c.clients) + 1) // 0 reserved for the priming client
 	v := &vclient{
 		c: c, id: id, addr: clientBase + simnet.NodeID(id),
-		gen: gen, pending: make(map[uint64]*opState),
+		gen:       gen,
 		measuring: meas, closedLoop: closed,
 	}
 	v.retryFn = func(a any) { v.retry(a.(*opState)) }

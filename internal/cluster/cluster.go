@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"harmonia/internal/core"
@@ -524,11 +525,11 @@ type Cluster struct {
 	rebalanced      uint64
 	rebalanceRounds uint64
 
-	// ktabs caches key-name/object-ID tables per key-space size, and
-	// opFree pools completed in-flight op records — the client-side
-	// halves of the zero-allocation data path.
-	ktabs  map[int]*keyTab
+	// opFree pools completed in-flight op records and varena carves
+	// their id-coded write payloads — the client-side halves of the
+	// zero-allocation data path (key tables are process-global).
 	opFree []*opState
+	varena valueArena
 
 	// weightsExplicit records whether the boot config set every group's
 	// capacity weight by hand. Elastic AddGroup/RespecGroup must stay on
@@ -1300,11 +1301,11 @@ func (c *Cluster) prime() {
 // Preload installs n objects into their owning groups without going
 // through the protocol, and records them for history seeding.
 func (c *Cluster) Preload(n int) {
+	kt := c.keyTab(n)
 	for i := 0; i < n; i++ {
-		key := keyName(i)
-		id := wire.HashKey(key)
+		id := kt.ids[i]
 		c.valueCtr++
-		val := encodeValue(c.valueCtr)
+		val := c.varena.encode(c.valueCtr)
 		seq := wire.Seq{Epoch: 0, N: uint64(i + 1)}
 		grp := c.groups[c.routeObj(id)]
 		for _, r := range grp.replicas {
@@ -1591,9 +1592,21 @@ type keyTab struct {
 	ids   []wire.ObjectID
 }
 
+// ktabs caches the tables per key-space size. The entries are pure
+// functions of n (keyName is deterministic, HashKey a pure hash), so
+// the cache is process-global: a figure sweep that builds a fresh
+// cluster per rate point reuses one table instead of re-rendering and
+// re-hashing the whole key space every time.
+var (
+	ktabMu sync.Mutex
+	ktabs  = make(map[int]*keyTab)
+)
+
 // keyTab returns the (cached) table for an n-key workload.
 func (c *Cluster) keyTab(n int) *keyTab {
-	if t, ok := c.ktabs[n]; ok {
+	ktabMu.Lock()
+	defer ktabMu.Unlock()
+	if t, ok := ktabs[n]; ok {
 		return t
 	}
 	t := &keyTab{names: make([]string, n), ids: make([]wire.ObjectID, n)}
@@ -1601,15 +1614,29 @@ func (c *Cluster) keyTab(n int) *keyTab {
 		t.names[i] = keyName(i)
 		t.ids[i] = wire.HashKey(t.names[i])
 	}
-	if c.ktabs == nil {
-		c.ktabs = make(map[int]*keyTab)
-	}
-	c.ktabs[n] = t
+	ktabs[n] = t
 	return t
 }
 
-func encodeValue(id int64) []byte {
-	b := make([]byte, 8)
+// valueArena carves the 8-byte id-coded write payloads out of
+// append-only chunks. Payload bytes are never recycled — stores,
+// cached replies, and history records alias them indefinitely, the
+// same rule wire.Packet.Value lives by — so the arena only appends,
+// and one chunk allocation amortizes over thousands of writes.
+type valueArena struct {
+	chunk []byte
+}
+
+const valueArenaChunk = 64 * 1024
+
+// encode appends one id-coded value and returns its 8-byte slice.
+func (a *valueArena) encode(id int64) []byte {
+	if cap(a.chunk)-len(a.chunk) < 8 {
+		a.chunk = make([]byte, 0, valueArenaChunk)
+	}
+	n := len(a.chunk)
+	a.chunk = a.chunk[:n+8]
+	b := a.chunk[n : n+8 : n+8]
 	for k := 0; k < 8; k++ {
 		b[k] = byte(uint64(id) >> (8 * k))
 	}

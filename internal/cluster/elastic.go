@@ -534,6 +534,7 @@ func (c *Cluster) swapMembers(g int, spec GroupSpec, slots []int, r *Reconfig) {
 				rep.InstallSlot(install)
 				rep.MergeClients(clients)
 			}
+			protocol.ReleaseRecords(clients)
 			next := c.newScheduler(g, epoch)
 			next.AdoptFrom(oldSched)
 			c.rack.SetGroup(g, next)
@@ -569,7 +570,12 @@ func mergeClientTables(replicas []ReplicaHandle, dst int) map[uint32]protocol.Cl
 		for id, rec := range r.ExportClients() {
 			cur, ok := clients[id]
 			if !ok || rec.ReqID > cur.ReqID || (rec.ReqID == cur.ReqID && cur.Reply == nil && rec.Reply != nil) {
+				if ok && cur.Reply != nil {
+					cur.Reply.Release()
+				}
 				clients[id] = rec
+			} else if rec.Reply != nil {
+				rec.Reply.Release()
 			}
 		}
 	}
@@ -577,9 +583,13 @@ func mergeClientTables(replicas []ReplicaHandle, dst int) map[uint32]protocol.Cl
 		if rec.Reply == nil {
 			continue
 		}
-		rep := rec.Reply.ShallowClone()
+		// Re-stamp on a pooled flight copy owned by the returned record
+		// set (the caller drops it with ReleaseRecords after merging);
+		// the exported reference returns to its table's lifecycle.
+		rep := rec.Reply.FlightClone()
 		rep.Seq = wire.Seq{}
 		rep.Group = uint16(dst)
+		rec.Reply.Release()
 		clients[id] = protocol.ClientRecord{ReqID: rec.ReqID, Reply: rep}
 	}
 	return clients
@@ -695,6 +705,7 @@ func (c *Cluster) StartReassignDeadSwitch(s int) (*Reconfig, error) {
 				for _, rep := range c.groups[d].replicas {
 					rep.MergeClients(clients)
 				}
+				protocol.ReleaseRecords(clients)
 			}
 		}
 		for _, slot := range slots {

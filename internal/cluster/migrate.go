@@ -429,7 +429,12 @@ func (m *Migration) copyAndFlip() {
 		for id, rec := range r.ExportClients() {
 			cur, ok := clients[id]
 			if !ok || rec.ReqID > cur.ReqID || (rec.ReqID == cur.ReqID && cur.Reply == nil && rec.Reply != nil) {
+				if ok && cur.Reply != nil {
+					cur.Reply.Release()
+				}
 				clients[id] = rec
+			} else if rec.Reply != nil {
+				rec.Reply.Release()
 			}
 		}
 	}
@@ -437,9 +442,12 @@ func (m *Migration) copyAndFlip() {
 		if rec.Reply == nil {
 			continue
 		}
-		rep := rec.Reply.ShallowClone()
+		// Re-stamp on a pooled flight copy owned by this record set; the
+		// exported reference is returned to its table's lifecycle.
+		rep := rec.Reply.FlightClone()
 		rep.Seq = wire.Seq{}
 		rep.Group = uint16(m.To)
+		rec.Reply.Release()
 		clients[id] = protocol.ClientRecord{ReqID: rec.ReqID, Reply: rep}
 	}
 	// One control round trip plus a per-object transfer cost for the
@@ -450,6 +458,7 @@ func (m *Migration) copyAndFlip() {
 			r.InstallSlot(install)
 			r.MergeClients(clients)
 		}
+		protocol.ReleaseRecords(clients)
 		for _, r := range c.groups[m.From].replicas {
 			for _, slot := range m.Slots {
 				r.DropSlot(slot)

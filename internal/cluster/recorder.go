@@ -10,24 +10,57 @@ import (
 )
 
 // recorder captures the operation history for linearizability
-// checking.
+// checking in fixed-size chunks: an append-only arena, so recording an
+// op never re-copies the accumulated history the way a single growing
+// slice would, and the slot index arithmetic stays two shifts.
 type recorder struct {
-	ops []lincheck.Op
+	chunks [][]lincheck.Op // every chunk is capped at recorderChunkSize
+	n      int
 }
+
+const (
+	recorderChunkShift = 12
+	recorderChunkSize  = 1 << recorderChunkShift
+)
 
 func newRecorder() *recorder { return &recorder{} }
 
+// add appends one record and returns its slot index.
+func (r *recorder) add(op lincheck.Op) int {
+	ci := r.n >> recorderChunkShift
+	if ci == len(r.chunks) {
+		r.chunks = append(r.chunks, make([]lincheck.Op, 0, recorderChunkSize))
+	}
+	r.chunks[ci] = append(r.chunks[ci], op)
+	idx := r.n
+	r.n++
+	return idx
+}
+
+// at returns the record in slot idx.
+func (r *recorder) at(idx int) *lincheck.Op {
+	return &r.chunks[idx>>recorderChunkShift][idx&(recorderChunkSize-1)]
+}
+
+// all flattens the history into one slice (checker input; cold path).
+func (r *recorder) all() []lincheck.Op {
+	out := make([]lincheck.Op, 0, r.n)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
 // invoke registers an operation start and returns its slot index.
 func (r *recorder) invoke(key uint64, write bool, value int64, at int64) int {
-	r.ops = append(r.ops, lincheck.Op{
+	return r.add(lincheck.Op{
 		Key: key, Write: write, Value: value, Invoke: at, Return: -1,
 	})
-	return len(r.ops) - 1
 }
 
 // ret completes the op in slot idx. Reads record the observed value.
 func (r *recorder) ret(idx int, at int64, observed int64) {
-	op := &r.ops[idx]
+	op := r.at(idx)
 	op.Return = at
 	if !op.Write {
 		op.Value = observed
@@ -37,17 +70,17 @@ func (r *recorder) ret(idx int, at int64, observed int64) {
 // preload records an instantaneous write at time 0, representing data
 // installed before the run.
 func (r *recorder) preload(key uint64, value int64) {
-	r.ops = append(r.ops, lincheck.Op{Key: key, Write: true, Value: value, Invoke: 0, Return: 0})
+	r.add(lincheck.Op{Key: key, Write: true, Value: value, Invoke: 0, Return: 0})
 }
 
 // History returns the recorded operations.
 func (c *Cluster) History() []lincheck.Op {
-	return append([]lincheck.Op(nil), c.hist.ops...)
+	return c.hist.all()
 }
 
 // CheckLinearizability verifies the recorded history.
 func (c *Cluster) CheckLinearizability() lincheck.Result {
-	return lincheck.Check(c.hist.ops)
+	return lincheck.Check(c.hist.all())
 }
 
 // CheckLinearizabilityGroup verifies the slice of the recorded history
@@ -63,9 +96,11 @@ func (c *Cluster) CheckLinearizabilityGroup(g int) lincheck.Result {
 		return lincheck.Result{Reason: fmt.Sprintf("group %d out of range", g)}
 	}
 	var ops []lincheck.Op
-	for _, op := range c.hist.ops {
-		if c.routeObj(wire.ObjectID(op.Key)) == g {
-			ops = append(ops, op)
+	for _, ch := range c.hist.chunks {
+		for _, op := range ch {
+			if c.routeObj(wire.ObjectID(op.Key)) == g {
+				ops = append(ops, op)
+			}
 		}
 	}
 	return lincheck.Check(ops)
@@ -79,9 +114,11 @@ func (c *Cluster) CheckLinearizabilityGroup(g int) lincheck.Result {
 func (c *Cluster) CheckLinearizabilityKey(key string) lincheck.Result {
 	id := uint64(wire.HashKey(key))
 	var ops []lincheck.Op
-	for _, op := range c.hist.ops {
-		if op.Key == id {
-			ops = append(ops, op)
+	for _, ch := range c.hist.chunks {
+		for _, op := range ch {
+			if op.Key == id {
+				ops = append(ops, op)
+			}
 		}
 	}
 	// A promoted key is by definition absurdly contended; raise the

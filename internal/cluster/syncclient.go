@@ -44,6 +44,11 @@ func (c *Cluster) NewSyncClient() *SyncClient {
 // on the client's timeout like any other client.
 func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet, error) {
 	s.done = false
+	// The onReply observer handed us the previous reply's reference; it
+	// stays live for LastGroup/LastSwitch until the next operation.
+	if s.reply != nil {
+		s.reply.Release()
+	}
 	s.reply = nil
 	s.v.nextReq++
 	req := s.v.nextReq
@@ -69,7 +74,7 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 		if value != nil {
 			pkt.Value = append([]byte(nil), value...)
 		} else {
-			pkt.Value = encodeValue(st.valueID)
+			pkt.Value = s.c.varena.encode(st.valueID)
 		}
 	} else {
 		pkt.Op = wire.OpRead
@@ -81,11 +86,11 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 		// recording histories and custom values do not mix — the
 		// public API documents this.
 	}
-	s.v.pending[req] = st
+	s.v.pending.put(req, st)
 
 	// Issue with retries for up to one simulated second.
 	deadline := s.c.eng.Now() + 1_000_000_000
-	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(pkt.ObjID), pkt.ShallowClone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(pkt.ObjID), pkt.FlightClone())
 	retry := s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 	st.timer = retry
 	for !s.done && s.c.eng.Now() < deadline {
@@ -95,17 +100,17 @@ func (s *SyncClient) do(key string, write, del bool, value []byte) (*wire.Packet
 	}
 	st.timer.Stop()
 	if !s.done {
-		delete(s.v.pending, req)
+		s.v.pending.del(req)
 		return nil, ErrTimeout
 	}
 	return s.reply, nil
 }
 
 func (s *SyncClient) syncRetry(st *opState) {
-	if _, still := s.v.pending[st.pkt.ReqID]; !still {
+	if _, still := s.v.pending.get(st.pkt.ReqID); !still {
 		return
 	}
-	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(st.pkt.ObjID), st.pkt.ShallowClone())
+	s.c.net.Send(s.v.addr, s.c.switchAddrForObj(st.pkt.ObjID), st.pkt.FlightClone())
 	st.timer = s.c.eng.After(s.c.cfg.RetryTimeout, func() { s.syncRetry(st) })
 }
 

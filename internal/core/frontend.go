@@ -517,6 +517,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			if pkt.Span != 0 && f.onClientDrop != nil {
 				f.onClientDrop(pkt, DropMisrouted)
 			}
+			pkt.Release()
 			return
 		}
 		// Replica-forwarded re-entries (a fast read a replica bounced
@@ -585,6 +586,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			if pkt.Span != 0 && f.onClientDrop != nil {
 				f.onClientDrop(pkt, DropFrozen)
 			}
+			pkt.Release()
 			return
 		}
 		if e != nil && pkt.Op == wire.OpWrite && len(e.holders) > 0 {
@@ -610,6 +612,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			if pkt.Span != 0 && f.onClientDrop != nil {
 				f.onClientDrop(pkt, DropStalled)
 			}
+			pkt.Release()
 			return
 		}
 	default:
@@ -619,6 +622,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 			// partition ever sees it (its Seq carries a write
 			// generation, not a sequence number).
 			f.CompleteRefresh(pkt.ObjID, pkt.Seq.N)
+			pkt.Release()
 			return
 		}
 		// Replica-originated packets are trusted to carry their
@@ -626,6 +630,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 		// frozen slots untouched — a draining source group still needs
 		// its completions and replies.
 		if int(pkt.Group) >= len(f.groups) {
+			pkt.Release()
 			return
 		}
 		pkt.Switch = uint8(f.id)
@@ -644,5 +649,7 @@ func (f *Frontend) Recv(from simnet.NodeID, msg simnet.Message) {
 	}
 	if s := f.groups[pkt.Group]; s != nil {
 		s.Process(pkt)
+	} else {
+		pkt.Release() // booting partition: replica-originated traffic stalls
 	}
 }

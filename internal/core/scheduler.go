@@ -221,6 +221,7 @@ func (s *Scheduler) Process(pkt *wire.Packet) {
 	case wire.OpWriteCompletion:
 		s.processCompletion(pkt)
 		// Standalone completion notifications terminate here.
+		pkt.Release()
 	case wire.OpWriteReply:
 		// Completions are usually piggybacked on the write reply
 		// (§5.1, Fig. 2b): process the completion, then forward the
@@ -253,12 +254,17 @@ func (s *Scheduler) processWrite(pkt *wire.Packet) {
 		// so open-loop writers, which never retry on their own, are
 		// not left hanging forever).
 		s.Stats.WritesDropped++
-		s.toClient(&wire.Packet{
-			Op: wire.OpWriteReply, Flags: wire.FlagDropped,
-			ObjID: pkt.ObjID, Group: pkt.Group,
-			ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
-			Span: pkt.Span, // keep the trace span alive across the reject
-		})
+		rej := wire.NewPacket()
+		rej.Op = wire.OpWriteReply
+		rej.Flags = wire.FlagDropped
+		rej.ObjID = pkt.ObjID
+		rej.Group = pkt.Group
+		rej.ClientID = pkt.ClientID
+		rej.ReqID = pkt.ReqID
+		rej.Key = pkt.Key
+		rej.Span = pkt.Span // keep the trace span alive across the reject
+		s.toClient(rej)
+		pkt.Release()
 		return
 	}
 	s.Stats.Writes++
@@ -267,7 +273,17 @@ func (s *Scheduler) processWrite(pkt *wire.Packet) {
 		// stamped above and packets are immutable once sequenced (see
 		// internal/wire), so OUM multicast is N sends of one pointer,
 		// not N deep copies — the batched-multicast analogue of the
-		// switch replicating a frame in the egress pipeline.
+		// switch replicating a frame in the egress pipeline. Each
+		// delivery consumes one reference, so the extras are taken up
+		// front (before the first send can drop the packet to zero on a
+		// lossy link).
+		if len(s.replicas) == 0 {
+			pkt.Release()
+			return
+		}
+		for i := 1; i < len(s.replicas); i++ {
+			pkt.Retain()
+		}
 		for _, r := range s.replicas {
 			s.out.Send(r, pkt)
 		}

@@ -57,22 +57,22 @@ func NewBase(env Env, g GroupConfig, class ReadClass, shards int) *Base {
 }
 
 // ReadReply builds the reply for a read of pkt's object from the local
-// store.
+// store. The reply is pool-managed; the caller owns its one reference
+// and transfers it by sending.
 func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
-	rep := &wire.Packet{
-		Op:       wire.OpReadReply,
-		ObjID:    pkt.ObjID,
-		Group:    pkt.Group,
-		ClientID: pkt.ClientID,
-		ReqID:    pkt.ReqID,
-		Key:      pkt.Key,
-		// Echo the request's commit stamp (diagnostic; clients and the
-		// switch ignore it on replies).
-		LastCommitted: pkt.LastCommitted,
-		// The trace span follows the op onto the reply leg, so the
-		// client's completion hook can close it (internal/trace).
-		Span: pkt.Span,
-	}
+	rep := wire.NewPacket()
+	rep.Op = wire.OpReadReply
+	rep.ObjID = pkt.ObjID
+	rep.Group = pkt.Group
+	rep.ClientID = pkt.ClientID
+	rep.ReqID = pkt.ReqID
+	rep.Key = pkt.Key
+	// Echo the request's commit stamp (diagnostic; clients and the
+	// switch ignore it on replies).
+	rep.LastCommitted = pkt.LastCommitted
+	// The trace span follows the op onto the reply leg, so the
+	// client's completion hook can close it (internal/trace).
+	rep.Span = pkt.Span
 	if obj, ok := b.Store.Get(pkt.ObjID); ok {
 		// Alias the stored value: store values are written once at
 		// Apply time and never mutated in place, and reply packets are
@@ -92,15 +92,14 @@ func (b *Base) ReadReply(pkt *wire.Packet) *wire.Packet {
 // (Fig. 2b); read-behind protocols pass false and send completions
 // separately once the §7.3 condition holds.
 func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
-	rep := &wire.Packet{
-		Op:       wire.OpWriteReply,
-		ObjID:    pkt.ObjID,
-		Group:    pkt.Group,
-		ClientID: pkt.ClientID,
-		ReqID:    pkt.ReqID,
-		Key:      pkt.Key,
-		Span:     pkt.Span, // the span follows the op onto the reply leg
-	}
+	rep := wire.NewPacket()
+	rep.Op = wire.OpWriteReply
+	rep.ObjID = pkt.ObjID
+	rep.Group = pkt.Group
+	rep.ClientID = pkt.ClientID
+	rep.ReqID = pkt.ReqID
+	rep.Key = pkt.Key
+	rep.Span = pkt.Span // the span follows the op onto the reply leg
 	if piggyback {
 		rep.Seq = pkt.Seq
 	}
@@ -108,12 +107,15 @@ func (b *Base) WriteReply(pkt *wire.Packet, piggyback bool) *wire.Packet {
 }
 
 // Completion builds a standalone WRITE-COMPLETION notification for the
-// switch.
+// switch. Pool-managed like the replies; the scheduler releases it
+// after processing.
 func (b *Base) Completion(objID wire.ObjectID, seq wire.Seq) *wire.Packet {
-	return &wire.Packet{
-		Op: wire.OpWriteCompletion, ObjID: objID,
-		Group: uint16(b.Group.ID), Seq: seq,
-	}
+	c := wire.NewPacket()
+	c.Op = wire.OpWriteCompletion
+	c.ObjID = objID
+	c.Group = uint16(b.Group.ID)
+	c.Seq = seq
+	return c
 }
 
 // HandleFastRead runs the shim-layer check for a fast-path read. When
@@ -148,6 +150,7 @@ func (b *Base) HandleFastRead(pkt *wire.Packet, normalDst SendTarget) (serveNorm
 	}
 	b.FastServed++
 	b.Env.SendSwitch(b.ReadReply(pkt))
+	pkt.Release() // the read is fully answered; drop its delivery reference
 	return false
 }
 

@@ -126,7 +126,9 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 	case wire.OpWrite:
 		if r.IsHead() {
 			r.headWrite(pkt)
+			return
 		}
+		pkt.Release() // writes to a non-head are a routing error
 	case wire.OpRead:
 		if pkt.Flags&wire.FlagFastPath != 0 {
 			target := protocol.Target(r.Group.Addr(r.tailIndex()))
@@ -156,6 +158,7 @@ func (r *Replica) headWrite(pkt *wire.Packet) {
 		// already committed; if still in flight the pending reply will
 		// serve the retransmission.
 		r.Env.Send(r.Group.Addr(r.tailIndex()), reReply{ClientID: pkt.ClientID, ReqID: pkt.ReqID})
+		pkt.Release() // duplicate fully handled
 		return
 	}
 	r.apply(pkt)
@@ -170,6 +173,7 @@ func (r *Replica) apply(pkt *wire.Packet) {
 	if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
 		// §5.2 write-order requirement: out-of-order writes are
 		// discarded; the client's retry gets a fresh sequence number.
+		pkt.Release()
 		return
 	}
 	r.WritesApplied++
@@ -177,8 +181,10 @@ func (r *Replica) apply(pkt *wire.Packet) {
 		r.commitAtTail(pkt)
 		return
 	}
+	// The resend buffer keeps the delivery reference; the downstream
+	// propagation carries its own.
 	r.unacked = append(r.unacked, pkt)
-	r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt})
+	r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt.Retain()})
 }
 
 // commitAtTail finishes a write: the tail's apply is the commit.
@@ -191,6 +197,7 @@ func (r *Replica) commitAtTail(pkt *wire.Packet) {
 	if r.prev >= 0 {
 		r.Env.Send(r.Group.Addr(r.prev), chainAck{Seq: pkt.Seq})
 	}
+	pkt.Release() // the tail's apply is the write's terminal consumption
 }
 
 // recvAck trims the resend buffer and relays the commit point up.
@@ -198,6 +205,7 @@ func (r *Replica) recvAck(seq wire.Seq) {
 	r.committed = r.committed.Max(seq)
 	cut := 0
 	for cut < len(r.unacked) && r.unacked[cut].Seq.LessEq(seq) {
+		r.unacked[cut].Release()
 		cut++
 	}
 	r.unacked = r.unacked[cut:]
@@ -212,7 +220,7 @@ func (r *Replica) recvReReply(m reReply) {
 		return
 	}
 	if cached := r.CT.Cached(m.ClientID, m.ReqID); cached != nil {
-		rep := cached.ShallowClone()
+		rep := cached.FlightClone()
 		rep.Seq = wire.ZeroSeq // do not re-trigger the completion
 		r.Env.SendSwitch(rep)
 	}
@@ -222,6 +230,7 @@ func (r *Replica) recvReReply(m reReply) {
 func (r *Replica) tailRead(pkt *wire.Packet) {
 	r.ReadsServed++
 	r.Env.SendSwitch(r.ReadReply(pkt))
+	pkt.Release()
 }
 
 // Reconfigure removes a failed node from the chain. Every survivor
@@ -264,9 +273,10 @@ func (r *Replica) Reconfigure(failed int) {
 		}
 		return
 	}
-	// Resend the unacked window to the (possibly new) successor.
+	// Resend the unacked window to the (possibly new) successor; the
+	// buffer keeps its references, each resend carries a fresh one.
 	for _, pkt := range pending {
-		r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt})
+		r.Env.Send(r.Group.Addr(r.next), propagate{Pkt: pkt.Retain()})
 	}
 }
 

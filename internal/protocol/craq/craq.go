@@ -191,7 +191,9 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 	case wire.OpWrite:
 		if r.IsHead() {
 			r.headWrite(pkt)
+			return
 		}
+		pkt.Release() // writes to a non-head are a routing error
 	case wire.OpRead:
 		r.readAnywhere(pkt)
 	}
@@ -207,6 +209,7 @@ func (r *Replica) headWrite(pkt *wire.Packet) {
 			ObjID: pkt.ObjID, From: r.env.ID(),
 			Pkt: &wire.Packet{Op: wire.OpWrite, Group: pkt.Group, ClientID: pkt.ClientID, ReqID: pkt.ReqID},
 		})
+		pkt.Release() // duplicate fully handled
 		return
 	}
 	r.applyDirty(pkt)
@@ -218,7 +221,8 @@ func (r *Replica) recvPropagate(pkt *wire.Packet) { r.applyDirty(pkt) }
 // applyDirty appends a dirty version and moves the write along.
 func (r *Replica) applyDirty(pkt *wire.Packet) {
 	if pkt.Seq.N <= r.lastVer {
-		return // out-of-order write discarded
+		pkt.Release() // out-of-order write discarded
+		return
 	}
 	r.lastVer = pkt.Seq.N
 	o := r.obj(pkt.ObjID)
@@ -245,16 +249,20 @@ func (r *Replica) commitAtTail(pkt *wire.Packet, o *object) {
 	// sequences CRAQ's writes (the version numbers used here), and the
 	// dirty set is the quiescence signal slot migration drains on — a
 	// reply without the piggyback would leave entries nothing clears.
-	rep := &wire.Packet{
-		Op: wire.OpWriteReply, ObjID: pkt.ObjID, Group: pkt.Group,
-		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
-		Seq: pkt.Seq,
-	}
+	rep := wire.NewPacket()
+	rep.Op = wire.OpWriteReply
+	rep.ObjID = pkt.ObjID
+	rep.Group = pkt.Group
+	rep.ClientID = pkt.ClientID
+	rep.ReqID = pkt.ReqID
+	rep.Key = pkt.Key
+	rep.Seq = pkt.Seq
 	r.ct.Complete(pkt.ClientID, pkt.ReqID, rep)
 	r.env.SendSwitch(rep)
 	if r.prev >= 0 {
 		r.env.Send(r.group.Addr(r.prev), commitAck{ObjID: pkt.ObjID, N: pkt.Seq.N})
 	}
+	pkt.Release() // the tail's apply committed the write; version list holds a copy
 }
 
 // recvCommit applies phase 2 and relays it upstream.
@@ -272,12 +280,14 @@ func (r *Replica) readAnywhere(pkt *wire.Packet) {
 	if !ok || len(o.versions) == 0 {
 		r.CleanReads++
 		r.env.SendSwitch(r.notFound(pkt))
+		pkt.Release()
 		return
 	}
 	v := o.latest()
 	if v.clean {
 		r.CleanReads++
 		r.env.SendSwitch(r.replyWith(pkt, v))
+		pkt.Release()
 		return
 	}
 	if r.IsTail() {
@@ -287,6 +297,7 @@ func (r *Replica) readAnywhere(pkt *wire.Packet) {
 		// happen at the tail (it commits on apply). Answer clean.
 		r.CleanReads++
 		r.env.SendSwitch(r.replyWith(pkt, v))
+		pkt.Release()
 		return
 	}
 	r.DirtyReads++
@@ -301,8 +312,9 @@ func (r *Replica) recvVersionQuery(m versionQuery) {
 	if m.Pkt != nil && m.Pkt.Op == wire.OpWrite {
 		// Duplicate-write probe from the head.
 		if cached := r.ct.Cached(m.Pkt.ClientID, m.Pkt.ReqID); cached != nil {
-			r.env.SendSwitch(cached.ShallowClone())
+			r.env.SendSwitch(cached.FlightClone())
 		}
+		m.Pkt.Release()
 		return
 	}
 	o, ok := r.objects[m.ObjID]
@@ -319,6 +331,7 @@ func (r *Replica) recvVersionReply(m versionReply) {
 	if m.Pkt == nil {
 		return
 	}
+	defer m.Pkt.Release() // the pending read terminates here
 	if !m.Found {
 		r.env.SendSwitch(r.notFound(m.Pkt))
 		return
@@ -340,10 +353,13 @@ func (r *Replica) recvVersionReply(m versionReply) {
 }
 
 func (r *Replica) replyWith(pkt *wire.Packet, v *version) *wire.Packet {
-	rep := &wire.Packet{
-		Op: wire.OpReadReply, ObjID: pkt.ObjID, Group: pkt.Group,
-		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
-	}
+	rep := wire.NewPacket()
+	rep.Op = wire.OpReadReply
+	rep.ObjID = pkt.ObjID
+	rep.Group = pkt.Group
+	rep.ClientID = pkt.ClientID
+	rep.ReqID = pkt.ReqID
+	rep.Key = pkt.Key
 	if v.del {
 		rep.Flags |= wire.FlagNotFound
 	} else {
@@ -353,10 +369,15 @@ func (r *Replica) replyWith(pkt *wire.Packet, v *version) *wire.Packet {
 }
 
 func (r *Replica) notFound(pkt *wire.Packet) *wire.Packet {
-	return &wire.Packet{
-		Op: wire.OpReadReply, ObjID: pkt.ObjID, Group: pkt.Group, Flags: wire.FlagNotFound,
-		ClientID: pkt.ClientID, ReqID: pkt.ReqID, Key: pkt.Key,
-	}
+	rep := wire.NewPacket()
+	rep.Op = wire.OpReadReply
+	rep.Flags = wire.FlagNotFound
+	rep.ObjID = pkt.ObjID
+	rep.Group = pkt.Group
+	rep.ClientID = pkt.ClientID
+	rep.ReqID = pkt.ReqID
+	rep.Key = pkt.Key
+	return rep
 }
 
 // PreloadClean installs a committed version directly, used by the

@@ -35,6 +35,12 @@ import (
 )
 
 // entry is one log slot: a sequenced write or an agreed NO-OP.
+//
+// The log keeps its delivery reference for the replica's lifetime:
+// entries are never truncated, and gap replies share them wholesale
+// across replicas. Because a log-held packet's count therefore never
+// reaches zero, sharing entries through gapReply (and overwriting a
+// slot with a NO-OP) needs no per-share Retain/Release.
 type entry struct {
 	Pkt  *wire.Packet
 	NoOp bool
@@ -222,6 +228,7 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 func (r *Replica) leaderRead(pkt *wire.Packet) {
 	r.ReadsServed++
 	r.Env.SendSwitch(r.ReadReply(pkt))
+	pkt.Release()
 }
 
 // recvSequencedWrite handles an OUM-delivered write.
@@ -237,6 +244,9 @@ func (r *Replica) sessionCheck(e uint32) bool {
 		r.curEpoch = e
 		r.sessBase = uint64(len(r.log))
 		r.lastMsg = 0
+		for _, p := range r.pending {
+			p.Release()
+		}
 		r.pending = make(map[uint64]*wire.Packet)
 	}
 	return true
@@ -244,6 +254,7 @@ func (r *Replica) sessionCheck(e uint32) bool {
 
 func (r *Replica) recvSequencedWrite(pkt *wire.Packet) {
 	if !r.sessionCheck(pkt.Seq.Epoch) {
+		pkt.Release() // stale session; the client retries
 		return
 	}
 	n := pkt.Seq.N
@@ -264,6 +275,7 @@ func (r *Replica) recvSequencedWrite(pkt *wire.Packet) {
 		}
 	default:
 		// Duplicate delivery; already have it.
+		pkt.Release()
 	}
 }
 
@@ -333,7 +345,7 @@ func (r *Replica) executeThrough(opNum uint64) {
 		execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
 		if !execute {
 			if r.IsLeader() && cached != nil {
-				r.Env.SendSwitch(cached.ShallowClone())
+				r.Env.SendSwitch(cached.FlightClone())
 			}
 			continue
 		}
@@ -344,10 +356,14 @@ func (r *Replica) executeThrough(opNum uint64) {
 			continue
 		}
 		r.WritesExecuted++
+		// The client table takes its own reference; the leader's send
+		// transfers this one, a follower drops it (nothing is sent).
 		rep := r.WriteReply(pkt, false)
 		r.CT.Complete(pkt.ClientID, pkt.ReqID, rep)
 		if r.IsLeader() {
 			r.Env.SendSwitch(rep)
+		} else {
+			rep.Release()
 		}
 	}
 }

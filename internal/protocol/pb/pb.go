@@ -105,8 +105,10 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 	case wire.OpWrite:
 		if r.IsPrimary() {
 			r.primaryWrite(pkt)
+			return
 		}
 		// Writes to a backup are a routing error; drop.
+		pkt.Release()
 	case wire.OpRead:
 		if pkt.Flags&wire.FlagFastPath != 0 {
 			if r.HandleFastRead(pkt, r.normalTarget()) {
@@ -139,18 +141,23 @@ func (r *Replica) primaryWrite(pkt *wire.Packet) {
 			// Retransmission of a completed write: re-reply without
 			// re-piggybacking a completion (strip the seq so the
 			// switch does not process it twice; harmless either way,
-			// but cleaner).
-			rep := cached.ShallowClone()
+			// but cleaner). The cached reply stays in the table; a
+			// pooled flight copy goes on the wire.
+			rep := cached.FlightClone()
 			rep.Seq = wire.ZeroSeq
 			r.Env.SendSwitch(rep)
 		}
+		pkt.Release() // duplicate fully handled
 		return
 	}
 	if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
 		// Out of sequence order (§5.2 write-order requirement):
 		// discard; the client retries with a fresh sequence number.
+		pkt.Release()
 		return
 	}
+	// The pending entry keeps the delivery reference; each backup
+	// update carries its own, released by recvUpdate.
 	pw := &pendingWrite{pkt: pkt, acked: make(map[int]bool)}
 	r.pending[pkt.Seq.N] = pw
 	if r.pendingByObj[pkt.ObjID].Less(pkt.Seq) {
@@ -158,7 +165,7 @@ func (r *Replica) primaryWrite(pkt *wire.Packet) {
 	}
 	for i := 1; i < r.Group.N(); i++ {
 		if r.active[i] {
-			r.Env.Send(r.Group.Addr(i), update{Pkt: pkt})
+			r.Env.Send(r.Group.Addr(i), update{Pkt: pkt.Retain()})
 		}
 	}
 	r.maybeCommit(pkt.Seq) // zero backups: commits immediately
@@ -167,6 +174,7 @@ func (r *Replica) primaryWrite(pkt *wire.Packet) {
 // recvUpdate applies a state transfer at a backup.
 func (r *Replica) recvUpdate(m update) {
 	pkt := m.Pkt
+	defer pkt.Release() // the backup keeps nothing past this call
 	if err := r.Store.Apply(pkt.ObjID, pkt.Value, pkt.Seq, pkt.Flags&wire.FlagDelete != 0); err != nil {
 		// Out-of-order update: dropped, no ack, so the write cannot
 		// commit and the client will retry. This keeps the §5.2
@@ -227,6 +235,7 @@ func (r *Replica) commit(pw *pendingWrite) {
 	rep := r.WriteReply(pkt, true)
 	r.CT.Complete(pkt.ClientID, pkt.ReqID, rep)
 	r.Env.SendSwitch(rep)
+	pkt.Release() // pending entry retired with the commit
 }
 
 // normalRead serves a read on the normal protocol path at the primary:
@@ -240,6 +249,7 @@ func (r *Replica) normalRead(pkt *wire.Packet) {
 	}
 	r.ReadsServed++
 	r.Env.SendSwitch(r.ReadReply(pkt))
+	pkt.Release()
 }
 
 // releaseReads serves queued reads whose barrier write has committed.
@@ -249,6 +259,7 @@ func (r *Replica) releaseReads() {
 		if q.barrier.LessEq(r.committed) {
 			r.ReadsServed++
 			r.Env.SendSwitch(r.ReadReply(q.pkt))
+			q.pkt.Release()
 		} else {
 			rest = append(rest, q)
 		}

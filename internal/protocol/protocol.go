@@ -147,6 +147,9 @@ func NewClientTable() *ClientTable {
 //   - a retransmission of the completed request returns the cached
 //     reply;
 //   - anything older is ignored.
+//
+// A returned cached reply is BORROWED from the table: a caller that
+// re-sends it must transmit a FlightClone, never the table's copy.
 func (t *ClientTable) Admit(clientID uint32, reqID uint64) (execute bool, cached *wire.Packet) {
 	if mig, ok := t.migrated[clientID]; ok {
 		if reqID == mig.reqID {
@@ -157,11 +160,20 @@ func (t *ClientTable) Admit(clientID uint32, reqID uint64) (execute bool, cached
 		if reqID > mig.reqID {
 			// The client moved on; the migrated record can never match
 			// again.
+			if mig.reply != nil {
+				mig.reply.Release()
+			}
 			delete(t.migrated, clientID)
 		}
 	}
 	e, ok := t.m[clientID]
 	if !ok || reqID > e.reqID {
+		if ok && e.reply != nil {
+			// The client moved on: the previous request's cached reply
+			// can never be replayed again. This is the steady-state
+			// reclamation point for reply packets.
+			e.reply.Release()
+		}
 		t.m[clientID] = clientEntry{reqID: reqID}
 		return true, nil
 	}
@@ -175,11 +187,25 @@ func (t *ClientTable) Admit(clientID uint32, reqID uint64) (execute bool, cached
 // completion for a request the table has not seen (possible at a chain
 // tail, where admission happens at the head) registers it directly;
 // completions older than the tracked request are dropped.
+//
+// The table takes its OWN reference on the stored reply (Retain), so
+// the caller keeps its reference for the send that usually follows; a
+// caller that caches a reply without sending it releases its own
+// reference after Complete.
 func (t *ClientTable) Complete(clientID uint32, reqID uint64, reply *wire.Packet) {
-	if e, ok := t.m[clientID]; ok && reqID < e.reqID {
-		return
+	if e, ok := t.m[clientID]; ok {
+		if reqID < e.reqID {
+			return
+		}
+		if e.reply == reply {
+			t.m[clientID] = clientEntry{reqID: reqID, reply: reply}
+			return // already hold this exact reply; no extra reference
+		}
+		if e.reply != nil {
+			e.reply.Release()
+		}
 	}
-	t.m[clientID] = clientEntry{reqID: reqID, reply: reply}
+	t.m[clientID] = clientEntry{reqID: reqID, reply: reply.Retain()}
 }
 
 // Cached returns the stored reply for (clientID, reqID) without
@@ -218,6 +244,12 @@ type ClientRecord struct {
 // applied at the source (a drained slot's writes either committed,
 // caching a reply at whichever replica executed them, or can never
 // apply), so no resurrection hazard exists for it.
+//
+// Each exported record carries its own reference on the reply
+// (Retain), owned by the caller. Merge takes its own references on
+// whatever it adopts, so one exported set can be merged into every
+// replica of a destination group (or several groups); the caller
+// releases the set with ReleaseRecords when the last merge is done.
 func (t *ClientTable) Export() map[uint32]ClientRecord {
 	out := make(map[uint32]ClientRecord, len(t.m))
 	for c, e := range t.m {
@@ -236,6 +268,9 @@ func (t *ClientTable) Export() map[uint32]ClientRecord {
 			out[c] = ClientRecord{ReqID: mig.reqID, Reply: mig.reply}
 		}
 	}
+	for _, rec := range out {
+		rec.Reply.Retain()
+	}
 	return out
 }
 
@@ -245,11 +280,32 @@ func (t *ClientTable) Export() map[uint32]ClientRecord {
 // answer the retry instead of suppressing it forever). The main table
 // is never touched — see the type comment for why that would corrupt
 // log replay.
+//
+// Merge takes its own reference on each adopted reply and releases any
+// overlay entry it displaces; the records themselves are left intact,
+// so the caller can merge the same set into several tables before
+// dropping it with ReleaseRecords.
 func (t *ClientTable) Merge(recs map[uint32]ClientRecord) {
 	for c, rec := range recs {
 		e, ok := t.migrated[c]
 		if !ok || rec.ReqID > e.reqID || (rec.ReqID == e.reqID && e.reply == nil && rec.Reply != nil) {
+			if rec.Reply != nil {
+				rec.Reply.Retain()
+			}
+			if ok && e.reply != nil {
+				e.reply.Release()
+			}
 			t.migrated[c] = clientEntry{reqID: rec.ReqID, reply: rec.Reply}
+		}
+	}
+}
+
+// ReleaseRecords drops the caller-owned reply references of an
+// exported record set once its merges are done.
+func ReleaseRecords(recs map[uint32]ClientRecord) {
+	for _, rec := range recs {
+		if rec.Reply != nil {
+			rec.Reply.Release()
 		}
 	}
 }

@@ -290,7 +290,8 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 	switch pkt.Op {
 	case wire.OpWrite:
 		if r.status != statusNormal {
-			return // client retries after the view change settles
+			pkt.Release() // client retries after the view change settles
+			return
 		}
 		if !r.IsLeader() {
 			r.Env.Send(r.leaderAddr(), pkt)
@@ -309,6 +310,7 @@ func (r *Replica) recvPacket(pkt *wire.Packet) {
 			return
 		}
 		if r.status != statusNormal {
+			pkt.Release()
 			return
 		}
 		if !r.IsLeader() {
@@ -323,16 +325,24 @@ func (r *Replica) leaderWrite(pkt *wire.Packet) {
 	execute, cached := r.CT.Admit(pkt.ClientID, pkt.ReqID)
 	if !execute {
 		if cached != nil {
-			r.Env.SendSwitch(cached.ShallowClone())
+			r.Env.SendSwitch(cached.FlightClone())
 		}
+		pkt.Release() // duplicate fully handled
 		return
 	}
 	// §5.2 write-order requirement, enforced at log entry.
 	if !r.lastSwitchSeq.Less(pkt.Seq) {
+		pkt.Release()
 		return
 	}
 	r.lastSwitchSeq = pkt.Seq
 	r.opNum++
+	// The log keeps the delivery reference for the replica's lifetime:
+	// VR never truncates, and view changes share log entries wholesale
+	// (doViewChange/startView/newState copy the slices, not the
+	// packets). Because a log-held packet's count can therefore never
+	// reach zero, sharing the entry across the prepare broadcast and
+	// the view-change messages needs no per-share Retain.
 	r.log = append(r.log, logEntry{Pkt: pkt})
 	r.okAcks[r.opNum] = map[int]bool{r.Group.Self: true}
 	r.broadcast(prepare{View: r.view, OpNum: r.opNum, Entry: logEntry{Pkt: pkt}, CommitNum: r.commitNum})
@@ -344,6 +354,7 @@ func (r *Replica) leaderWrite(pkt *wire.Packet) {
 func (r *Replica) leaderRead(pkt *wire.Packet) {
 	r.ReadsServed++
 	r.Env.SendSwitch(r.ReadReply(pkt))
+	pkt.Release()
 }
 
 // --- normal-case replication ---
@@ -427,9 +438,12 @@ func (r *Replica) executeOne(opNum uint64) {
 		panic("vr: out-of-order execution: " + err.Error())
 	}
 	// Keep the client table warm at every replica so any future
-	// leader can answer duplicates.
+	// leader can answer duplicates. The table takes its own reference;
+	// this replica never sends the reply, so its own is dropped.
 	if !r.IsLeader() {
-		r.CT.Complete(pkt.ClientID, pkt.ReqID, r.WriteReply(pkt, false))
+		rep := r.WriteReply(pkt, false)
+		r.CT.Complete(pkt.ClientID, pkt.ReqID, rep)
+		rep.Release()
 	}
 }
 

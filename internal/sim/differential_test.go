@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap reimplement the engine's former container/heap
+// scheduler: ordered by (time, insertion sequence). The differential
+// tests drive the timing wheel and this reference side by side through
+// randomized schedule/cancel/advance sequences and demand the exact
+// same fire order, tie-breaks included.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine is the reference scheduler: same clamp-to-now and
+// run-until semantics as Engine, O(log n) and allocating, but simple
+// enough to be obviously correct.
+type refEngine struct {
+	now    Time
+	nextID uint64
+	pq     refHeap
+}
+
+func (r *refEngine) schedule(t Time, fn func()) *refEvent {
+	if t < r.now {
+		t = r.now
+	}
+	ev := &refEvent{at: t, seq: r.nextID, fn: fn}
+	r.nextID++
+	heap.Push(&r.pq, ev)
+	return ev
+}
+
+func (r *refEngine) run(until Time) {
+	for r.pq.Len() > 0 {
+		ev := r.pq[0]
+		if ev.dead {
+			heap.Pop(&r.pq)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&r.pq)
+		r.now = ev.at
+		ev.fn()
+	}
+	if r.now < until {
+		r.now = until
+	}
+}
+
+// TestWheelMatchesHeapDifferential drives randomized workloads —
+// schedules at clustered and scattered times (exact ties, past times
+// that clamp to now, byte-boundary neighborhoods, multi-level far
+// offsets), cancellations of random pending timers, and partial
+// Run(until) windows — through the timing wheel and the reference heap
+// and requires the two fire orders to be identical element by element.
+// Runs under -race in CI via the ordinary test shards.
+func TestWheelMatchesHeapDifferential(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine(1)
+		ref := &refEngine{}
+
+		var gotOrder, wantOrder []int
+		type pending struct {
+			tm Timer
+			re *refEvent
+		}
+		var open []pending
+		nextID := 0
+
+		for round := 0; round < 40; round++ {
+			// A burst of schedules: clustered times force ties and deep
+			// slots; large offsets exercise the high wheel levels.
+			n := 1 + rng.Intn(12)
+			for i := 0; i < n; i++ {
+				var at Time
+				switch rng.Intn(5) {
+				case 0: // exact tie cluster
+					at = eng.Now() + Time(rng.Intn(3))
+				case 1: // past: clamps to now on both sides
+					at = eng.Now() - Time(rng.Intn(50))
+				case 2: // far future, multi-level
+					at = eng.Now() + Time(rng.Intn(1<<20))
+				case 3: // byte-boundary neighborhood
+					at = (eng.Now() | 0xff) + Time(rng.Intn(4))
+				default:
+					at = eng.Now() + Time(rng.Intn(500))
+				}
+				id := nextID
+				nextID++
+				tm := eng.At(at, func() { gotOrder = append(gotOrder, id) })
+				re := ref.schedule(at, func() { wantOrder = append(wantOrder, id) })
+				open = append(open, pending{tm, re})
+			}
+			// Cancel a few random pending timers on both sides. Stop's
+			// verdict must agree with the reference's fired/pending state.
+			for i := 0; i < rng.Intn(4) && len(open) > 0; i++ {
+				k := rng.Intn(len(open))
+				p := open[k]
+				stopped := p.tm.Stop()
+				// The reference has no generation stamps; emulate Stop's
+				// verdict by checking whether the event is still queued.
+				if refPending(ref, p.re) != stopped {
+					t.Fatalf("seed %d: wheel Stop=%v, reference still pending=%v",
+						seed, stopped, refPending(ref, p.re))
+				}
+				p.re.dead = true
+				open[k] = open[len(open)-1]
+				open = open[:len(open)-1]
+			}
+			// Advance a partial window; sometimes zero-width, sometimes
+			// crossing several byte boundaries.
+			until := eng.Now() + Time(rng.Intn(1<<14))
+			eng.Run(until)
+			ref.run(until)
+			if eng.Now() != ref.now {
+				t.Fatalf("seed %d round %d: clock diverged wheel=%d ref=%d",
+					seed, round, eng.Now(), ref.now)
+			}
+		}
+		// Drain both completely.
+		eng.Run(maxTime)
+		ref.run(maxTime)
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: wheel fired %d events, reference fired %d",
+				seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: fire order diverges at %d: wheel=%d ref=%d",
+					seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}
+
+// refPending reports whether ev is still queued (not fired, not
+// cancelled) in the reference heap.
+func refPending(r *refEngine, ev *refEvent) bool {
+	if ev.dead {
+		return false
+	}
+	for _, q := range r.pq {
+		if q == ev {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWheelNestedSchedulingDifferential covers self-scheduling:
+// callbacks that schedule more work at the current instant and at
+// short offsets, where tie-break stability is the former heap's
+// sequence order. Both sides draw nested offsets from identical
+// deterministic RNG streams, so the schedules correspond 1:1.
+func TestWheelNestedSchedulingDifferential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		eng := NewEngine(1)
+		ref := &refEngine{}
+		var gotOrder, wantOrder []int
+		rngW := rand.New(rand.NewSource(seed*7 + 1))
+		rngR := rand.New(rand.NewSource(seed*7 + 1))
+		nextW, nextR := 0, 0
+
+		var spawnW func(depth int) func()
+		spawnW = func(depth int) func() {
+			return func() {
+				id := nextW
+				nextW++
+				gotOrder = append(gotOrder, id)
+				if depth < 6 {
+					for i, k := 0, rngW.Intn(3); i < k; i++ {
+						eng.After(Duration(rngW.Intn(64)), spawnW(depth+1))
+					}
+				}
+			}
+		}
+		var spawnR func(depth int) func()
+		spawnR = func(depth int) func() {
+			return func() {
+				id := nextR
+				nextR++
+				wantOrder = append(wantOrder, id)
+				if depth < 6 {
+					for i, k := 0, rngR.Intn(3); i < k; i++ {
+						ref.schedule(ref.now+Time(rngR.Intn(64)), spawnR(depth+1))
+					}
+				}
+			}
+		}
+
+		for i := 0; i < 16; i++ {
+			at := Time(i * 97)
+			eng.At(at, spawnW(0))
+			ref.schedule(at, spawnR(0))
+		}
+		eng.Run(1 << 20)
+		ref.run(1 << 20)
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: wheel fired %d events, reference fired %d",
+				seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: nested fire order diverges at index %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestTimerStopIdempotent pins the Timer contract under the wheel: the
+// zero Timer is inert, Stop before firing reports true exactly once,
+// Stop after firing reports false (including from inside the firing
+// callback), and a handle whose event slot was recycled for a new
+// event never cancels the newcomer.
+func TestTimerStopIdempotent(t *testing.T) {
+	var zero Timer
+	for i := 0; i < 3; i++ {
+		if zero.Stop() {
+			t.Fatal("zero Timer Stop returned true")
+		}
+	}
+
+	e := NewEngine(1)
+	tm := e.After(10, func() {})
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	for i := 0; i < 3; i++ {
+		if tm.Stop() {
+			t.Fatal("repeated Stop returned true")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0", e.Pending())
+	}
+
+	// Stop from inside the firing callback must report false: by the
+	// time the callback runs, the event has fired.
+	var inside, after Timer
+	var insideVerdict bool
+	inside = e.After(5, func() { insideVerdict = inside.Stop() })
+	e.Run(100)
+	if insideVerdict {
+		t.Fatal("Stop from inside own callback returned true")
+	}
+	if inside.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+
+	// Recycling: the fired event's slot is reused for a new event with
+	// a bumped generation; the stale handle must not cancel it.
+	fired := false
+	after = e.After(5, func() { fired = true })
+	if inside.Stop() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	e.Run(200)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if after.Stop() {
+		t.Fatal("Stop after fire returned true for recycled event")
+	}
+}
+
+// TestPendingCountsLiveEvents pins Pending's O(1) live counter against
+// fires, cancellations, and cancelled-event sweeps.
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := NewEngine(1)
+	tms := make([]Timer, 10)
+	for i := range tms {
+		tms[i] = e.After(Duration(10+i), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	tms[3].Stop()
+	tms[7].Stop()
+	if e.Pending() != 8 {
+		t.Fatalf("Pending after 2 stops = %d, want 8", e.Pending())
+	}
+	e.Run(14) // fires events at 10..14 except the stopped one at 13
+	if e.Pending() != 4 {
+		t.Fatalf("Pending after partial run = %d, want 4", e.Pending())
+	}
+	e.Run(1000)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}

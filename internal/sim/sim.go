@@ -5,6 +5,19 @@
 // timestamp order; ties break by scheduling order, so a run with a fixed
 // RNG seed is fully reproducible.
 //
+// The scheduler is a hierarchical timing wheel: eight levels of 256
+// slots, level k spanning 256^k nanoseconds per slot, so schedule,
+// cancel, and fire are all O(1) amortized (a heap's O(log n) per event
+// and its pointer-chasing Less calls are off the hot path entirely).
+// Each slot is an intrusive FIFO list and an event lands in the level
+// given by the highest byte in which its deadline differs from the
+// wheel's current base time. Advancing the clock cascades a higher
+// slot's events down exactly when the base crosses the slot's byte
+// boundary; since every event in the slot shares the deadline prefix
+// above that byte, re-placement preserves insertion order, and the
+// fire order is bit-identical to the former heap's (time, then FIFO) —
+// the differential test in sim_test.go pins that equivalence.
+//
 // The event records themselves are recycled through a free list and
 // timers are generation-stamped value handles, so steady-state
 // scheduling allocates nothing: the per-message event traffic of a
@@ -15,7 +28,7 @@
 package sim
 
 import (
-	"container/heap"
+	"math/bits"
 	"math/rand"
 	"time"
 )
@@ -30,65 +43,54 @@ type Time int64
 type Duration = time.Duration
 
 // event is a scheduled closure. Events are pooled: when one fires or
-// is swept out of the heap cancelled, it returns to the engine's free
+// is swept out of the wheel cancelled, it returns to the engine's free
 // list and its generation advances, which is what invalidates any
 // Timer still pointing at it.
 type event struct {
 	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
 	gen  uint64 // incarnation counter; Timers must match to act
 	fn   func()
 	call func(any) // closure-free form: call(arg) if fn is nil
 	arg  any
-	idx  int // heap index, -1 when popped
+	next *event  // intrusive slot-list link
+	eng  *Engine // back-pointer so Stop can maintain the live count
 	dead bool
 }
 
-type eventHeap []*event
+// Timing-wheel geometry: 8 levels of 256 slots cover the full non-
+// negative int64 time range, one byte of the deadline per level.
+const (
+	wheelLevels = 8
+	wheelSlots  = 256
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+// slotList is one wheel slot: an intrusive singly-linked FIFO queue.
+type slotList struct {
+	head, tail *event
 }
 
 // Timer is a cancellation handle for a scheduled event. It is a value:
-// the zero Timer is inert (Stop reports false), and a Timer whose
-// event has already fired and been recycled is detected by the
-// generation stamp, so holding a stale handle is always safe.
+// the zero Timer is inert (Stop reports false and is safe to call any
+// number of times), and a Timer whose event has already fired — or was
+// already stopped — is detected by the generation stamp and the dead
+// flag, so Stop is idempotent and holding a stale handle is always
+// safe. In particular, Stop after the event has fired reports false,
+// including when called from inside the firing callback itself.
 type Timer struct {
 	e   *event
 	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet
-// fired (and therefore was prevented from firing).
+// fired (and therefore was prevented from firing). Stopping an
+// already-fired, already-stopped, or zero Timer reports false and has
+// no effect; the call is idempotent.
 func (t Timer) Stop() bool {
 	if t.e == nil || t.e.gen != t.gen || t.e.dead {
 		return false
 	}
 	t.e.dead = true
+	t.e.eng.live--
 	return true
 }
 
@@ -97,11 +99,21 @@ func (t Timer) Stop() bool {
 // Engine is not safe for concurrent use: the simulation model is
 // single-threaded by design, which is what makes runs deterministic.
 type Engine struct {
-	now    Time
-	nextID uint64
-	pq     eventHeap
-	free   []*event
-	rng    *rand.Rand
+	now Time
+	// base is the wheel's reference time: the level/slot of a deadline
+	// is derived from base, and cascades keep every queued event's
+	// placement consistent as base advances. base == now whenever user
+	// code can observe the engine (inside callbacks and between runs);
+	// it runs ahead of now only transiently while the pop loop drains
+	// cancelled events.
+	base Time
+	rng  *rand.Rand
+	live int // scheduled, non-cancelled events
+
+	wheel [wheelLevels][wheelSlots]slotList
+	occ   [wheelLevels][wheelSlots / 64]uint64 // slot-occupancy bitmaps
+
+	free []*event
 
 	// Processed counts executed events, for diagnostics.
 	Processed uint64
@@ -119,6 +131,28 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// place links ev into the wheel slot its deadline selects relative to
+// the current base: level = highest byte where at and base differ,
+// slot = that byte of at. Appending to the slot tail is what preserves
+// FIFO order among equal deadlines across cascades.
+func (e *Engine) place(ev *event) {
+	lvl := 0
+	idx := int(uint64(ev.at) & 0xff)
+	if d := uint64(ev.at ^ e.base); d != 0 {
+		lvl = (63 - bits.LeadingZeros64(d)) >> 3
+		idx = int((uint64(ev.at) >> (8 * uint(lvl))) & 0xff)
+	}
+	ev.next = nil
+	sl := &e.wheel[lvl][idx]
+	if sl.head == nil {
+		sl.head = ev
+		e.occ[lvl][idx>>6] |= 1 << uint(idx&63)
+	} else {
+		sl.tail.next = ev
+	}
+	sl.tail = ev
+}
+
 // alloc takes an event from the free list (or the heap allocator) and
 // schedules it at t.
 func (e *Engine) alloc(t Time) *event {
@@ -128,16 +162,15 @@ func (e *Engine) alloc(t Time) *event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &event{}
+		ev = &event{eng: e}
 	}
 	if t < e.now {
 		t = e.now
 	}
 	ev.at = t
-	ev.seq = e.nextID
 	ev.dead = false
-	e.nextID++
-	heap.Push(&e.pq, ev)
+	e.live++
+	e.place(ev)
 	return ev
 }
 
@@ -149,6 +182,7 @@ func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.call = nil
 	ev.arg = nil
+	ev.next = nil
 	e.free = append(e.free, ev)
 }
 
@@ -191,12 +225,112 @@ func (e *Engine) AfterCallT(d Duration, call func(any), arg any) Timer {
 	return Timer{e: ev, gen: ev.gen}
 }
 
+// findSlot returns the first occupied slot index >= from at lvl, or -1.
+func (e *Engine) findSlot(lvl, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	b := e.occ[lvl][w] >> uint(from&63) << uint(from&63)
+	for {
+		if b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+		w++
+		if w == len(e.occ[lvl]) {
+			return -1
+		}
+		b = e.occ[lvl][w]
+	}
+}
+
+// clearSlot empties slot idx of lvl and returns its list head.
+func (e *Engine) clearSlot(lvl, idx int) *event {
+	sl := &e.wheel[lvl][idx]
+	head := sl.head
+	sl.head, sl.tail = nil, nil
+	e.occ[lvl][idx>>6] &^= 1 << uint(idx&63)
+	return head
+}
+
+// popNext removes and returns the earliest live event with deadline <=
+// until, advancing base (and cascading higher-level slots) as needed.
+// It returns nil when no such event exists; base is then left <= until,
+// and reset to now if the wheel is completely empty (so a transient
+// base advance from draining cancelled future events can never strand
+// the placement invariant ahead of the clock).
+func (e *Engine) popNext(until Time) *event {
+	for {
+		// Level 0 first: slots at or after the cursor byte hold events
+		// whose deadline differs from base only in byte 0, so the whole
+		// slot shares one exact deadline.
+		if s := e.findSlot(0, int(uint64(e.base)&0xff)); s >= 0 {
+			slotTime := Time(uint64(e.base)&^0xff | uint64(s))
+			if slotTime > until {
+				return nil
+			}
+			e.base = slotTime
+			sl := &e.wheel[0][s]
+			for ev := sl.head; ev != nil; ev = sl.head {
+				if sl.head = ev.next; sl.head == nil {
+					sl.tail = nil
+					e.occ[0][s>>6] &^= 1 << uint(s&63)
+				}
+				if ev.dead {
+					e.recycle(ev)
+					continue
+				}
+				return ev
+			}
+			continue // slot held only cancelled events
+		}
+		// Level 0 exhausted for this 256ns window: cascade the next
+		// occupied higher slot whose window starts within the bound.
+		// Levels are inspected lowest-first, so the chosen slot's base
+		// is the earliest possible deadline of anything still queued —
+		// and a slot is only cascaded once base may legally enter it
+		// (slotBase <= until), never prematurely.
+		cascaded := false
+		for lvl := 1; lvl < wheelLevels; lvl++ {
+			shift := uint(8 * lvl)
+			cur := int((uint64(e.base) >> shift) & 0xff)
+			s := e.findSlot(lvl, cur+1)
+			if s < 0 {
+				continue
+			}
+			upper := uint64(e.base) >> (shift + 8) << (shift + 8)
+			slotBase := Time(upper | uint64(s)<<shift)
+			if slotBase > until {
+				return nil
+			}
+			head := e.clearSlot(lvl, s)
+			e.base = slotBase
+			for ev := head; ev != nil; {
+				nxt := ev.next
+				if ev.dead {
+					e.recycle(ev)
+				} else {
+					e.place(ev)
+				}
+				ev = nxt
+			}
+			cascaded = true
+			break
+		}
+		if !cascaded {
+			e.base = e.now // wheel empty; re-anchor for future inserts
+			return nil
+		}
+	}
+}
+
 // fire executes a popped live event and recycles it.
 func (e *Engine) fire(ev *event) {
 	// Dead before the callback runs: a Stop issued from inside the
 	// callback must report false, exactly like the pre-pooled engine.
 	ev.dead = true
 	e.now = ev.at
+	e.live--
 	e.Processed++
 	fn, call, arg := ev.fn, ev.call, ev.arg
 	e.recycle(ev)
@@ -207,41 +341,36 @@ func (e *Engine) fire(ev *event) {
 	}
 }
 
+// maxTime is the unbounded deadline for Step and Drain.
+const maxTime = Time(1<<63 - 1)
+
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.pq.Len() > 0 {
-		ev := heap.Pop(&e.pq).(*event)
-		if ev.dead {
-			e.recycle(ev)
-			continue
-		}
-		e.fire(ev)
-		return true
+	ev := e.popNext(maxTime)
+	if ev == nil {
+		return false
 	}
-	return false
+	e.fire(ev)
+	return true
 }
 
 // Run executes events until the queue empties or the clock would pass
-// until. The clock is left at min(until, time of last executed event);
-// events scheduled after until remain pending.
+// until. The clock is left at until (or its starting value, if that is
+// later); events scheduled after until remain pending.
 func (e *Engine) Run(until Time) {
-	for e.pq.Len() > 0 {
-		// Peek first: a live event past the deadline must stay queued.
-		ev := e.pq[0]
-		if ev.dead {
-			heap.Pop(&e.pq)
-			e.recycle(ev)
-			continue
-		}
-		if ev.at > until {
+	for {
+		ev := e.popNext(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.pq)
 		e.fire(ev)
 	}
 	if e.now < until {
 		e.now = until
+	}
+	if e.base < e.now {
+		e.base = e.now
 	}
 }
 
@@ -256,19 +385,11 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 	for e.Step() {
 		n++
 		if maxEvents > 0 && n >= maxEvents {
-			return e.pq.Len() == 0
+			return e.live == 0
 		}
 	}
 	return true
 }
 
 // Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.pq {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.live }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"harmonia/internal/sim"
+	"harmonia/internal/wire"
 )
 
 // NodeID identifies an endpoint. Cluster assembly assigns stable IDs:
@@ -29,6 +30,28 @@ const Broadcast NodeID = -1
 // Message is anything deliverable to a node. Protocol-internal
 // messages are plain Go values; client-facing traffic is *wire.Packet.
 type Message any
+
+// releaseMsg returns a managed packet's delivery reference when the
+// network drops the message on the floor (down node, missing
+// destination, link loss, queue overflow). Wrapper messages — the
+// protocol-internal structs that may carry packets inside — pass
+// through untouched; a packet inside a dropped wrapper leaks its
+// struct to the garbage collector, which the wire ownership contract
+// makes benign, and wrappers only travel the reliable replica links
+// anyway.
+func releaseMsg(msg Message) {
+	if p, ok := msg.(*wire.Packet); ok {
+		p.Release()
+	}
+}
+
+// retainMsg takes an extra delivery reference for a duplicated packet:
+// each scheduled arrival hands the handler one consumable reference.
+func retainMsg(msg Message) {
+	if p, ok := msg.(*wire.Packet); ok {
+		p.Retain()
+	}
+}
 
 // Handler consumes delivered messages. Handlers run to completion on
 // the simulation's single thread; they may send messages and set
@@ -250,22 +273,35 @@ func (n *Network) linkFor(from, to NodeID) LinkConfig {
 func (n *Network) Send(from, to NodeID, msg Message) {
 	n.Sent++
 	if src, ok := n.nodes[from]; ok && src.down {
+		releaseMsg(msg)
 		return
 	}
 	dst, ok := n.nodes[to]
 	if !ok {
-		return // destination never existed; silently dropped like UDP
+		releaseMsg(msg) // destination never existed; silently dropped like UDP
+		return
 	}
 	cfg := n.linkFor(from, to)
-	n.transmit(cfg, from, dst, msg)
-	if cfg.DupProb > 0 && n.rng.Float64() < cfg.DupProb {
+	if cfg.DupProb > 0 {
+		// Take a provisional reference before the first transmit can
+		// consume the sender's: each transmit call owns exactly one,
+		// whether it schedules the arrival or drops the message.
+		retainMsg(msg)
 		n.transmit(cfg, from, dst, msg)
+		if n.rng.Float64() < cfg.DupProb {
+			n.transmit(cfg, from, dst, msg)
+		} else {
+			releaseMsg(msg)
+		}
+		return
 	}
+	n.transmit(cfg, from, dst, msg)
 }
 
 func (n *Network) transmit(cfg LinkConfig, from NodeID, dst *Node, msg Message) {
 	if cfg.DropProb > 0 && (cfg.DropFilter == nil || cfg.DropFilter(msg)) &&
 		n.rng.Float64() < cfg.DropProb {
+		releaseMsg(msg)
 		return
 	}
 	d := cfg.Latency
@@ -289,6 +325,9 @@ func (n *Network) SetDown(id NodeID, down bool) {
 	nd.down = down
 	if down {
 		nd.Dropped += uint64(len(nd.q))
+		for _, qd := range nd.q {
+			releaseMsg(qd.msg)
+		}
 		nd.q = nil
 		// In-service work is abandoned; workers become idle on
 		// recovery. We reset immediately: completions for abandoned
@@ -307,6 +346,7 @@ func (n *Network) IsDown(id NodeID) bool {
 func (nd *Node) arrive(from NodeID, msg Message) {
 	if nd.down {
 		nd.Dropped++
+		releaseMsg(msg)
 		return
 	}
 	if t := nd.net.tracer; t != nil {
@@ -325,6 +365,7 @@ func (nd *Node) arrive(from NodeID, msg Message) {
 	}
 	if nd.cfg.QueueLimit > 0 && len(nd.q) >= nd.cfg.QueueLimit {
 		nd.Dropped++
+		releaseMsg(msg)
 		return
 	}
 	nd.q = append(nd.q, queued{from, msg})
@@ -347,7 +388,8 @@ func (nd *Node) serve(from NodeID, msg Message) {
 // worker picks up the next queued message, if any.
 func (nd *Node) complete(from NodeID, msg Message) {
 	if nd.down {
-		return // abandoned in-flight work
+		releaseMsg(msg) // abandoned in-flight work
+		return
 	}
 	if t := nd.net.tracer; t != nil {
 		t.PacketDone(nd.id, msg)

@@ -1,0 +1,15 @@
+//go:build !race
+
+package wire
+
+// Non-race builds skip the managed-packet accounting entirely; the
+// calls inline to nothing. Double releases still panic via the
+// refsFreed sentinel in Release.
+
+func notePacketAlloc() {}
+
+func notePacketFree() {}
+
+// LiveManagedPackets returns -1 outside race builds, where the
+// managed-packet account is not maintained.
+func LiveManagedPackets() int64 { return -1 }

@@ -1,0 +1,25 @@
+//go:build race
+
+package wire
+
+import "sync/atomic"
+
+// Race builds account every managed packet so leak and double-release
+// bugs surface in CI's -race shards: the live counter must never go
+// negative (a free without a matching alloc means the refcount was
+// corrupted), and tests can snapshot LiveManagedPackets around a
+// quiesced workload to bound leakage.
+var liveManagedPackets atomic.Int64
+
+func notePacketAlloc() { liveManagedPackets.Add(1) }
+
+func notePacketFree() {
+	if liveManagedPackets.Add(-1) < 0 {
+		panic("wire: managed-packet account went negative (double release)")
+	}
+}
+
+// LiveManagedPackets returns the number of managed packets currently
+// alive (allocated via NewPacket/FlightClone and not yet released to
+// zero). Only meaningful under -race; other builds return -1.
+func LiveManagedPackets() int64 { return liveManagedPackets.Load() }

@@ -274,18 +274,41 @@ type Packet struct {
 	// representation no matter how many codec or pooling round trips a
 	// packet takes.
 	Value []byte
+
+	// refs is the reference count of a pool-managed packet. 0 means
+	// unmanaged: a packet built as a literal (tests, control-plane
+	// writes, client master records) is outside the pool's lifecycle
+	// and every Retain/Release on it is a no-op. Managed packets come
+	// from NewPacket/FlightClone with refs == 1; refsFreed marks a
+	// packet sitting in the pool, so any use after free panics instead
+	// of corrupting an unrelated packet.
+	refs int32
 }
 
 // Ownership contract. In the simulated network packets travel by
-// pointer and are immutable once sequenced: the switch stamps header
-// fields (Seq, LastCommitted, Flags, Group, Switch) while it is the
-// sole owner, and after fan-out every receiver — duplicates included —
-// shares the same struct and payload read-only. Senders that retry
-// therefore pass a fresh ShallowClone per transmission (headers are
-// per-flight, payload bytes are not). On a byte transport the
-// equivalent rule: a packet produced by DecodeInto borrows Key and
-// Value from the input buffer and is valid only while the buffer is;
-// a receiver that retains it past that point must call Own first.
+// pointer and are reference-counted: Send transfers one reference to
+// the receiving node, and whichever handler terminally consumes a
+// packet (replies to it, drops it, or absorbs it into a reply) calls
+// Release; a handler that stores the packet past its Recv call (a
+// replication log, a pending-write table, a cached reply) keeps the
+// reference it was handed, and every additional long-lived holder or
+// concurrent transmission takes its own via Retain. Packets are still
+// immutable once sequenced — the switch stamps header fields (Seq,
+// LastCommitted, Flags, Group, Switch) while it is the sole owner, and
+// after fan-out every receiver shares the struct and payload
+// read-only; a sender that may retransmit (client retries, cached
+// re-replies) therefore sends a pooled FlightClone per transmission,
+// never the retained original. Value bytes are never recycled — only
+// the packet struct is pooled — so a store or client table that
+// aliased a released packet's payload stays valid. The whole scheme is
+// fail-safe by construction: a missed Release leaks one struct to the
+// garbage collector (losing pooling, nothing else), while double
+// releases and uses after free panic outright, and race builds
+// additionally account every managed packet (see refs_race.go). On a
+// byte transport the equivalent rule: a packet produced by DecodeInto
+// borrows Key and Value from the input buffer and is valid only while
+// the buffer is; a receiver that retains it past that point must call
+// Own first.
 
 // header layout (fixed 45 bytes) followed by key and value, each
 // length-prefixed with uint16/uint32.
@@ -449,6 +472,7 @@ func (p *Packet) Own() {
 // produces them.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.refs = 0 // deep copies start unmanaged regardless of the source
 	if len(p.Value) > 0 {
 		q.Value = append([]byte(nil), p.Value...)
 	} else {
@@ -457,18 +481,109 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
-// ShallowClone returns a fresh header copy sharing p's payload. This
-// is the per-transmission copy a retrying sender uses: header stamps
-// (Seq, Flags, routing) are per-flight state, while the payload bytes
-// are immutable once created and safe to share. Zero-length values
-// normalize to nil like Clone.
+// ShallowClone returns a fresh unmanaged header copy sharing p's
+// payload: header stamps (Seq, Flags, routing) are per-flight state,
+// while the payload bytes are immutable once created and safe to
+// share. Hot paths use the pooled FlightClone instead; ShallowClone
+// remains for callers outside the pool's lifecycle (tests, one-off
+// control-plane copies). Zero-length values normalize to nil like
+// Clone.
 func (p *Packet) ShallowClone() *Packet {
 	q := *p
+	q.refs = 0
 	if len(q.Value) == 0 {
 		q.Value = nil
 	}
 	return &q
 }
+
+// refsFreed marks a packet parked in the pool. Any Retain, Release, or
+// FlightClone on it is a use after free and panics.
+const refsFreed int32 = -1
+
+// packetPool recycles managed packet structs. Only the struct is
+// pooled: Key strings and Value bytes are never written through a
+// pooled packet, so payloads outlive any Release that recycles their
+// carrier. The pool is shared across clusters (parallel tests), but a
+// packet moves between goroutines only through Get/Put, which
+// sync.Pool synchronizes.
+var packetPool = sync.Pool{New: func() any { return &Packet{} }}
+
+// NewPacket returns a zeroed pool-managed packet holding one
+// reference. The caller owns that reference and must balance it with
+// Release (or transfer it by sending the packet).
+func NewPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	*p = Packet{refs: 1}
+	notePacketAlloc()
+	return p
+}
+
+// FlightClone returns a pool-managed header copy of p sharing its
+// payload, holding one fresh reference. It is the per-transmission
+// copy for senders that may transmit the same logical packet more than
+// once — client retries and cached re-replies — keeping the retained
+// original off the wire so in-flight header stamps never race a second
+// flight. p itself may be managed or unmanaged; its count is
+// untouched.
+func (p *Packet) FlightClone() *Packet {
+	if p.refs < 0 {
+		panic("wire: FlightClone of a freed packet")
+	}
+	q := packetPool.Get().(*Packet)
+	*q = *p
+	q.refs = 1
+	if len(q.Value) == 0 {
+		q.Value = nil
+	}
+	notePacketAlloc()
+	return q
+}
+
+// Retain adds a reference to a managed packet and returns it. Take one
+// per additional long-lived holder or concurrent transfer: a cached
+// reply stored while the same packet rides to the client, a multicast
+// fan-out beyond the first destination, a chain propagation that also
+// stays in the local unacked window. On an unmanaged packet (refs 0:
+// literals, ShallowClone/Clone results) Retain is a no-op, so code
+// paths shared with test-crafted packets need no special casing.
+// Retaining a freed packet panics.
+func (p *Packet) Retain() *Packet {
+	if p.refs < 0 {
+		panic("wire: Retain of a freed packet")
+	}
+	if p.refs > 0 {
+		p.refs++
+	}
+	return p
+}
+
+// Release drops one reference; at zero the struct returns to the
+// packet pool. Call it at every terminal consumption: a handler that
+// answered, dropped, or absorbed the packet; a trimmed unacked entry;
+// a replaced cached reply. Unmanaged packets ignore Release, so a
+// missed Release on a managed one merely leaks the struct to the
+// garbage collector — pooling lost, correctness intact — while a
+// double Release panics instead of recycling a packet someone still
+// holds. Race builds additionally keep a live-packet account (see
+// refs_race.go).
+func (p *Packet) Release() {
+	if p.refs == 0 {
+		return
+	}
+	if p.refs < 0 {
+		panic("wire: Release of a freed packet (double release)")
+	}
+	if p.refs--; p.refs == 0 {
+		notePacketFree()
+		*p = Packet{refs: refsFreed}
+		packetPool.Put(p)
+	}
+}
+
+// Managed reports whether p participates in the pool's refcount
+// lifecycle (came from NewPacket/FlightClone and is still live).
+func (p *Packet) Managed() bool { return p.refs > 0 }
 
 // IsReply reports whether the packet is a client-bound response.
 func (p *Packet) IsReply() bool { return p.Op == OpReadReply || p.Op == OpWriteReply }
